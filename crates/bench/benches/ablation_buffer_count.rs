@@ -1,0 +1,42 @@
+//! §V-F ablation — the number of prefetch buffers per process. Paper
+//! claims: one buffer per process obtains smaller improvements for all
+//! patterns; within 2–5 buffers the choice has only a minor impact on
+//! total execution time.
+
+use rt_bench::figure_header;
+use rt_core::experiment::{run_experiment, run_pair};
+use rt_core::report::Table;
+use rt_core::{ExperimentConfig, PrefetchConfig};
+use rt_patterns::{AccessPattern, SyncStyle};
+
+fn main() {
+    figure_header(
+        "Ablation (§V-F)",
+        "prefetch buffers per process vs total-time improvement",
+    );
+    let sync = SyncStyle::BlocksPerProc(10);
+    let mut t = Table::new(&["pattern", "1 buf %", "2 buf %", "3 buf %", "4 buf %", "5 buf %"]);
+    for pattern in AccessPattern::ALL {
+        // The no-prefetch base for this pattern.
+        let base = run_pair(&ExperimentConfig::paper_default(pattern, sync)).base;
+        let base_ms = base.total_time.as_millis_f64();
+        let mut row = vec![pattern.abbrev().to_string()];
+        for bufs in 1..=5u16 {
+            let mut cfg = ExperimentConfig::paper_default(pattern, sync);
+            cfg.prefetch = PrefetchConfig {
+                buffers_per_proc: bufs,
+                global_cap_per_proc: bufs,
+                ..PrefetchConfig::paper()
+            };
+            let m = run_experiment(&cfg);
+            let imp = (base_ms - m.total_time.as_millis_f64()) / base_ms * 100.0;
+            row.push(format!("{imp:+.1}"));
+        }
+        t.row(&row);
+    }
+    print!("{}", t.render());
+    println!(
+        "\n(paper: one buffer per process is noticeably worse; two to five\n\
+         buffers differ only slightly)"
+    );
+}

@@ -1,0 +1,57 @@
+//! Extension ablation — RU-set (demand cache) size. The paper fixes one
+//! demand buffer per node ("toss-immediately") and argues 20 buffers
+//! suffice for the interprocess locality present; this sweep verifies that
+//! claim and shows where extra demand buffers would start to matter.
+
+use rt_bench::figure_header;
+use rt_core::experiment::run_pair;
+use rt_core::report::Table;
+use rt_core::ExperimentConfig;
+use rt_patterns::{AccessPattern, SyncStyle};
+
+fn main() {
+    figure_header(
+        "Ablation (extension)",
+        "demand buffers per node (RU-set size) 1..8, without prefetching",
+    );
+    let mut t = Table::new(&[
+        "pattern",
+        "1 buf hit",
+        "2 buf hit",
+        "4 buf hit",
+        "8 buf hit",
+        "1 buf total ms",
+        "8 buf total ms",
+    ]);
+    for pattern in [
+        AccessPattern::LocalWholeFile,
+        AccessPattern::LocalRandomPortions,
+        AccessPattern::GlobalWholeFile,
+    ] {
+        let run = |ru: u16| {
+            let mut cfg = ExperimentConfig::paper_default(pattern, SyncStyle::BlocksPerProc(10));
+            cfg.ru_set_size = ru;
+            run_pair(&cfg).base
+        };
+        let r1 = run(1);
+        let r2 = run(2);
+        let r4 = run(4);
+        let r8 = run(8);
+        t.row(&[
+            pattern.abbrev().to_string(),
+            format!("{:.3}", r1.hit_ratio),
+            format!("{:.3}", r2.hit_ratio),
+            format!("{:.3}", r4.hit_ratio),
+            format!("{:.3}", r8.hit_ratio),
+            format!("{:.0}", r1.total_time.as_millis_f64()),
+            format!("{:.0}", r8.total_time.as_millis_f64()),
+        ]);
+    }
+    print!("{}", t.render());
+    println!(
+        "\n(paper §IV-D: \"the cache size of 20 was adequate to accommodate\n\
+         any interprocess locality present within these sequential access\n\
+         patterns\" — extra demand buffers should barely move lw's hit ratio\n\
+         and do nothing for the disjoint patterns)"
+    );
+}

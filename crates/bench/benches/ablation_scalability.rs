@@ -1,0 +1,59 @@
+//! Extension ablation — scalability (the paper lists "determining the
+//! scalability of these schemes" as future work). Machine and workload
+//! scale together: P processors, P disks, 100·P blocks read collectively
+//! under gw. Interesting quantities: whether prefetching's relative gain
+//! survives growing contention for the shared cache structures.
+
+use rt_bench::figure_header;
+use rt_core::experiment::run_pair;
+use rt_core::report::Table;
+use rt_core::ExperimentConfig;
+use rt_patterns::{AccessPattern, SyncStyle, WorkloadParams};
+
+fn main() {
+    figure_header(
+        "Ablation (extension)",
+        "scalability: processors 4..64, gw, work scaled with the machine",
+    );
+    let mut t = Table::new(&[
+        "procs",
+        "total ms (base)",
+        "total ms (pf)",
+        "Δtotal %",
+        "Δread %",
+        "hit ratio",
+        "action ms",
+        "lock wait ms",
+    ]);
+    for procs in [4u16, 8, 16, 20, 32, 48, 64] {
+        let mut cfg = ExperimentConfig::paper_default(
+            AccessPattern::GlobalWholeFile,
+            SyncStyle::BlocksPerProc(10),
+        );
+        cfg.procs = procs;
+        cfg.disks = procs;
+        cfg.workload = WorkloadParams {
+            procs,
+            file_blocks: 100 * procs as u32,
+            total_reads: 100 * procs as u32,
+            ..WorkloadParams::paper()
+        };
+        let pair = run_pair(&cfg);
+        t.row(&[
+            procs.to_string(),
+            format!("{:.0}", pair.base.total_time.as_millis_f64()),
+            format!("{:.0}", pair.prefetch.total_time.as_millis_f64()),
+            format!("{:+.1}", pair.total_time_improvement() * 100.0),
+            format!("{:+.1}", pair.read_time_improvement() * 100.0),
+            format!("{:.3}", pair.prefetch.hit_ratio),
+            format!("{:.2}", pair.prefetch.action_time.mean_millis()),
+            format!("{:.2}", pair.prefetch.lock_wait.mean_millis()),
+        ]);
+    }
+    print!("{}", t.render());
+    println!(
+        "\n(expected: the single shared cache lock becomes the scaling\n\
+         bottleneck — lock waits and action times grow with the machine,\n\
+         eroding prefetching's relative gain at large P)"
+    );
+}

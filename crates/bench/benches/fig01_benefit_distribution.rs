@@ -1,0 +1,88 @@
+//! Fig. 1 — the paper's opening *conceptual* figure made quantitative.
+//!
+//! Fig. 1(a): evenly distributed prefetching benefit shortens everyone's
+//! I/O and the barrier opens sooner. Fig. 1(b): the same average benefit
+//! concentrated on some processes shortens *their* waits only — everyone
+//! still waits for the stragglers, and the prefetching effort of the
+//! unlucky processes is pure overhead. The paper invokes this to explain
+//! why lfp can slow down despite better read times (§V-B).
+//!
+//! This bench measures the distribution directly: the coefficient of
+//! variation of per-process mean read times and hit counts, next to each
+//! pattern's total-time outcome.
+
+use rt_bench::{figure_header, grid_pairs};
+use rt_core::report::Table;
+
+fn main() {
+    figure_header(
+        "Figure 1 (quantified)",
+        "distribution of prefetching benefit across processes",
+    );
+    let pairs = grid_pairs();
+    let mut t = Table::new(&[
+        "experiment",
+        "Δtotal %",
+        "read-time CV",
+        "hit CV",
+        "finish skew ms",
+        "min proc hits",
+        "max proc hits",
+    ]);
+    for p in &pairs {
+        let m = &p.prefetch;
+        let hits: Vec<u64> = m.per_proc.iter().map(|pp| pp.hits).collect();
+        t.row(&[
+            p.label.clone(),
+            format!("{:+.1}", p.total_time_improvement() * 100.0),
+            format!("{:.3}", m.read_time_imbalance()),
+            format!("{:.3}", m.hit_imbalance()),
+            format!("{:.1}", m.finish_skew().as_millis_f64()),
+            hits.iter().min().unwrap().to_string(),
+            hits.iter().max().unwrap().to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+
+    // The paper's causal claim: among the *local* patterns (which prefetch
+    // only for themselves), higher benefit imbalance should go with worse
+    // total-time outcomes.
+    let locals: Vec<_> = pairs
+        .iter()
+        .filter(|p| p.label.starts_with('l'))
+        .collect();
+    let mut cvs: Vec<f64> = locals
+        .iter()
+        .map(|p| p.prefetch.read_time_imbalance())
+        .collect();
+    cvs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let split = cvs[cvs.len() / 2];
+    let (high, low): (Vec<_>, Vec<_>) = locals
+        .iter()
+        .partition(|p| p.prefetch.read_time_imbalance() > split);
+    let mean = |v: &[&&rt_core::RunPair]| {
+        if v.is_empty() {
+            f64::NAN
+        } else {
+            v.iter().map(|p| p.total_time_improvement()).sum::<f64>() / v.len() as f64
+        }
+    };
+    println!(
+        "\nLocal patterns, split at their median read-time imbalance \
+         (CV {split:.3}):"
+    );
+    println!(
+        "  more-imbalanced runs: {} (mean Δtotal {:+.1}%)",
+        high.len(),
+        mean(&high) * 100.0
+    );
+    println!(
+        "  less-imbalanced runs: {} (mean Δtotal {:+.1}%)",
+        low.len(),
+        mean(&low) * 100.0
+    );
+    println!(
+        "(paper Fig. 1(b): concentrated benefit converts I/O savings into\n\
+         barrier waits; the high-imbalance group should fare worse)"
+    );
+}

@@ -1,0 +1,43 @@
+//! Fig. 3 — Average block read time, prefetching vs. not, one point per
+//! grid configuration. Paper claims: every point falls below the y = x
+//! line; the improvement exceeds 35% for 60% of the experiments, has a
+//! median of 48%, and reaches 88%.
+
+use rt_bench::{figure_header, grid_pairs};
+use rt_core::report::{fraction_at_least, median, pct, scatter_table};
+
+fn main() {
+    figure_header(
+        "Figure 3",
+        "average block read time with prefetching (y) vs without (x)",
+    );
+    let pairs = grid_pairs();
+    let table = scatter_table(
+        &pairs,
+        "read ms",
+        |p| p.base.mean_read_ms(),
+        |p| p.prefetch.mean_read_ms(),
+    );
+    print!("{}", table.render());
+
+    let improvements: Vec<f64> = pairs.iter().map(|p| p.read_time_improvement()).collect();
+    let below_line = improvements.iter().filter(|&&i| i > 0.0).count();
+    println!("\nSummary vs. paper text:");
+    println!(
+        "  points improved (below y=x):   {}/{}   (paper: all)",
+        below_line,
+        improvements.len()
+    );
+    println!(
+        "  improvement >= 35%:            {}  (paper: 60% of experiments)",
+        pct(fraction_at_least(&improvements, 0.35))
+    );
+    println!(
+        "  median improvement:            {}  (paper: 48%)",
+        pct(median(&improvements))
+    );
+    println!(
+        "  max improvement:               {}  (paper: 88%)",
+        pct(improvements.iter().copied().fold(f64::MIN, f64::max))
+    );
+}

@@ -1,0 +1,53 @@
+//! Fig. 4 — Cumulative distributions of the cache hit ratio across the
+//! grid, with ("P") and without ("N") prefetching. Paper claims: with
+//! prefetching every experiment exceeds 0.69 and more than half exceed
+//! 0.86; without prefetching most hit ratios are near zero, except the
+//! patterns with interprocess locality (lw).
+
+use rt_bench::{figure_header, grid_pairs};
+use rt_core::report::Table;
+
+fn cdf(mut values: Vec<f64>) -> Vec<(f64, f64)> {
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = values.len() as f64;
+    values
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, (i + 1) as f64 / n))
+        .collect()
+}
+
+fn main() {
+    figure_header(
+        "Figure 4",
+        "cumulative distribution of cache hit ratios (P = prefetch, N = none)",
+    );
+    let pairs = grid_pairs();
+    let with: Vec<f64> = pairs.iter().map(|p| p.prefetch.hit_ratio).collect();
+    let without: Vec<f64> = pairs.iter().map(|p| p.base.hit_ratio).collect();
+
+    let mut t = Table::new(&["series", "hit ratio", "cumulative fraction"]);
+    for (v, f) in cdf(without.clone()) {
+        t.row(&["N".into(), format!("{v:.3}"), format!("{f:.3}")]);
+    }
+    for (v, f) in cdf(with.clone()) {
+        t.row(&["P".into(), format!("{v:.3}"), format!("{f:.3}")]);
+    }
+    print!("{}", t.render());
+
+    let min_with = with.iter().copied().fold(f64::MAX, f64::min);
+    let over_086 = with.iter().filter(|&&v| v > 0.86).count();
+    let near_zero_without = without.iter().filter(|&&v| v < 0.1).count();
+    println!("\nSummary vs. paper text:");
+    println!("  min hit ratio with prefetching:    {min_with:.3}  (paper: > 0.69)");
+    println!(
+        "  runs over 0.86 with prefetching:   {}/{}  (paper: more than half)",
+        over_086,
+        with.len()
+    );
+    println!(
+        "  non-prefetch runs with ratio <0.1: {}/{}  (paper: most, except lw)",
+        near_zero_without,
+        without.len()
+    );
+}

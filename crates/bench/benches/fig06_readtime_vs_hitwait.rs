@@ -1,0 +1,59 @@
+//! Fig. 6 — Average block read time vs. average hit-wait time, one point
+//! per prefetching run. Paper claims: a "fuzzy relationship" — hit-wait
+//! contributes to read time but does not determine it.
+
+use rt_bench::{figure_header, grid_pairs};
+use rt_core::report::Table;
+
+/// Pearson correlation of two equal-length samples.
+fn correlation(xs: &[f64], ys: &[f64]) -> f64 {
+    let n = xs.len() as f64;
+    if n < 2.0 {
+        return 0.0;
+    }
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        0.0
+    } else {
+        cov / (vx.sqrt() * vy.sqrt())
+    }
+}
+
+fn main() {
+    figure_header(
+        "Figure 6",
+        "average block read time vs average hit-wait time (prefetch runs)",
+    );
+    let pairs = grid_pairs();
+    let mut t = Table::new(&["experiment", "hit-wait ms (x)", "read ms (y)"]);
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for p in &pairs {
+        let x = p.prefetch.mean_hit_wait_ms();
+        let y = p.prefetch.mean_read_ms();
+        xs.push(x);
+        ys.push(y);
+        t.row(&[p.label.clone(), format!("{x:.2}"), format!("{y:.2}")]);
+    }
+    print!("{}", t.render());
+
+    println!("\nSummary vs. paper text:");
+    println!(
+        "  correlation(read time, hit-wait): {:.2}  (paper: fuzzy positive relationship)",
+        correlation(&xs, &ys)
+    );
+    let hr: Vec<f64> = pairs.iter().map(|p| p.prefetch.hit_ratio).collect();
+    println!(
+        "  correlation(read time, hit ratio): {:.2}  (paper: no obvious relationship)",
+        correlation(&ys, &hr)
+    );
+}

@@ -1,0 +1,43 @@
+//! Fig. 7 — Average disk response time (queue entry to I/O completion),
+//! prefetching vs not. Paper claims: prefetching increases disk contention
+//! — the same number of requests issued in less time fills the queues — so
+//! most points lie *above* the y = x line, with sharp increases for runs
+//! that already had high disk utilization.
+
+use rt_bench::{figure_header, grid_pairs};
+use rt_core::report::scatter_table;
+
+fn main() {
+    figure_header(
+        "Figure 7",
+        "average disk response time with prefetching (y) vs without (x)",
+    );
+    let pairs = grid_pairs();
+    let table = scatter_table(
+        &pairs,
+        "disk resp ms",
+        |p| p.base.mean_disk_response_ms(),
+        |p| p.prefetch.mean_disk_response_ms(),
+    );
+    print!("{}", table.render());
+
+    let worsened = pairs
+        .iter()
+        .filter(|p| p.prefetch.mean_disk_response_ms() > p.base.mean_disk_response_ms())
+        .count();
+    let same_ops = pairs
+        .iter()
+        .filter(|p| p.prefetch.disk_ops == p.base.disk_ops)
+        .count();
+    println!("\nSummary vs. paper text:");
+    println!(
+        "  runs where disk response worsened under prefetching: {}/{}  (paper: general trend)",
+        worsened,
+        pairs.len()
+    );
+    println!(
+        "  runs with identical disk op counts (no wasted fetches): {}/{}  (paper: disks serve no more requests)",
+        same_ops,
+        pairs.len()
+    );
+}

@@ -1,0 +1,83 @@
+//! Fig. 8 — Total execution time, prefetching vs not: the paper's primary
+//! measure. Paper claims: prefetching reduces total time in most cases
+//! (improvements up to 69%, the best in lw where every prefetched block
+//! benefits all 20 processes), but *some lfp runs slow down* by as much as
+//! 15% despite better hit ratios and read times — the benefit-distribution
+//! pathology of Fig. 1(b).
+
+use rt_bench::{figure_header, grid_pairs};
+use rt_core::report::{median, pct, scatter_table};
+use rt_patterns::AccessPattern;
+
+fn main() {
+    figure_header(
+        "Figure 8",
+        "total execution time with prefetching (y) vs without (x)",
+    );
+    let pairs = grid_pairs();
+    let table = scatter_table(
+        &pairs,
+        "total ms",
+        |p| p.base.total_time.as_millis_f64(),
+        |p| p.prefetch.total_time.as_millis_f64(),
+    );
+    print!("{}", table.render());
+
+    let imps: Vec<f64> = pairs.iter().map(|p| p.total_time_improvement()).collect();
+    let improved = imps.iter().filter(|&&i| i > 0.0).count();
+    let over15 = imps.iter().filter(|&&i| i > 0.15).count();
+    let best = pairs
+        .iter()
+        .max_by(|a, b| {
+            a.total_time_improvement()
+                .partial_cmp(&b.total_time_improvement())
+                .unwrap()
+        })
+        .unwrap();
+    let worst = pairs
+        .iter()
+        .min_by(|a, b| {
+            a.total_time_improvement()
+                .partial_cmp(&b.total_time_improvement())
+                .unwrap()
+        })
+        .unwrap();
+    let lw_imps: Vec<f64> = pairs
+        .iter()
+        .filter(|p| p.label.starts_with(AccessPattern::LocalWholeFile.abbrev()))
+        .map(|p| p.total_time_improvement())
+        .collect();
+    let slowdowns: Vec<&str> = pairs
+        .iter()
+        .filter(|p| p.total_time_improvement() < 0.0)
+        .map(|p| p.label.as_str())
+        .collect();
+
+    println!("\nSummary vs. paper text:");
+    println!(
+        "  runs improved: {}/{}   (paper: most cases)",
+        improved,
+        imps.len()
+    );
+    println!(
+        "  runs improved by more than 15%: {}/{}  (paper: most improvements exceed 15%)",
+        over15,
+        imps.len()
+    );
+    println!("  median improvement: {}", pct(median(&imps)));
+    println!(
+        "  best: {} at {}   (paper: up to 69%, in lw)",
+        best.label,
+        pct(best.total_time_improvement())
+    );
+    println!(
+        "  best lw improvement: {}",
+        pct(lw_imps.iter().copied().fold(f64::MIN, f64::max))
+    );
+    println!(
+        "  worst: {} at {}   (paper: lfp slowdowns up to -15%)",
+        worst.label,
+        pct(worst.total_time_improvement())
+    );
+    println!("  slowed-down runs: {slowdowns:?}");
+}

@@ -1,0 +1,46 @@
+//! Fig. 9 — Average synchronization time (arrival at a barrier to the
+//! moment all processes achieve synchrony), prefetching vs not. Paper
+//! claims: prefetching *usually increases* synchronization time — savings
+//! on I/O operations convert into longer waits at the next barrier when
+//! the benefit is unevenly distributed.
+
+use rt_bench::{figure_header, grid_pairs};
+use rt_core::report::scatter_table;
+
+fn main() {
+    figure_header(
+        "Figure 9",
+        "average synchronization time with prefetching (y) vs without (x)",
+    );
+    let pairs: Vec<_> = grid_pairs()
+        .into_iter()
+        .filter(|p| p.base.barriers > 0)
+        .collect();
+    let table = scatter_table(
+        &pairs,
+        "sync ms",
+        |p| p.base.sync_wait.mean_millis(),
+        |p| p.prefetch.sync_wait.mean_millis(),
+    );
+    print!("{}", table.render());
+
+    let increased = pairs
+        .iter()
+        .filter(|p| p.prefetch.sync_wait.mean_millis() > p.base.sync_wait.mean_millis())
+        .count();
+    let dramatic = pairs
+        .iter()
+        .filter(|p| p.prefetch.sync_wait.mean_millis() > 1.5 * p.base.sync_wait.mean_millis())
+        .count();
+    println!("\nSummary vs. paper text:");
+    println!(
+        "  synchronizing runs where sync time increased: {}/{}  (paper: usually)",
+        increased,
+        pairs.len()
+    );
+    println!(
+        "  increases beyond 1.5x: {}/{}  (paper: a few quite dramatic)",
+        dramatic,
+        pairs.len()
+    );
+}

@@ -1,0 +1,39 @@
+//! Fig. 10 — Reduction in total execution time vs. reduction in average
+//! block read time, one point per grid configuration. Paper claims: "at
+//! best only a fuzzy relationship" — without a way to distribute the
+//! benefit across processes, a lower *average* read time does not
+//! necessarily shorten the computation.
+
+use rt_bench::{figure_header, grid_pairs};
+use rt_core::report::Table;
+
+fn main() {
+    figure_header(
+        "Figure 10",
+        "reduction in total time (y) vs reduction in read time (x), %",
+    );
+    let pairs = grid_pairs();
+    let mut t = Table::new(&["experiment", "Δread %", "Δtotal %"]);
+    let mut weaker = 0usize;
+    for p in &pairs {
+        let dr = p.read_time_improvement() * 100.0;
+        let dt = p.total_time_improvement() * 100.0;
+        if dt < dr {
+            weaker += 1;
+        }
+        t.row(&[p.label.clone(), format!("{dr:+.1}"), format!("{dt:+.1}")]);
+    }
+    print!("{}", t.render());
+
+    println!("\nSummary vs. paper text:");
+    println!(
+        "  runs where total-time gain lags read-time gain: {}/{}",
+        weaker,
+        pairs.len()
+    );
+    println!(
+        "  (paper: read-time savings only partially translate into total-time\n\
+         savings; the relationship is fuzzy because benefits distribute\n\
+         unevenly across processes and turn into synchronization waits)"
+    );
+}

@@ -1,0 +1,41 @@
+//! Fig. 11 — Reduction in total execution time vs. the cache hit ratio
+//! achieved, one point per grid configuration. Paper claims: the hit ratio
+//! is *not* a strong predictor of overall success — a high hit ratio can
+//! coexist with small (even negative) total-time improvements.
+
+use rt_bench::{figure_header, grid_pairs};
+use rt_core::report::Table;
+
+fn main() {
+    figure_header(
+        "Figure 11",
+        "reduction in total time (y, %) vs hit ratio with prefetching (x)",
+    );
+    let pairs = grid_pairs();
+    let mut t = Table::new(&["experiment", "hit ratio", "Δtotal %"]);
+    for p in &pairs {
+        t.row(&[
+            p.label.clone(),
+            format!("{:.3}", p.prefetch.hit_ratio),
+            format!("{:+.1}", p.total_time_improvement() * 100.0),
+        ]);
+    }
+    print!("{}", t.render());
+
+    // Demonstrate the paper's point: among high-hit-ratio runs, the spread
+    // of total-time outcomes stays wide.
+    let high: Vec<f64> = pairs
+        .iter()
+        .filter(|p| p.prefetch.hit_ratio > 0.85)
+        .map(|p| p.total_time_improvement() * 100.0)
+        .collect();
+    if !high.is_empty() {
+        let min = high.iter().copied().fold(f64::MAX, f64::min);
+        let max = high.iter().copied().fold(f64::MIN, f64::max);
+        println!(
+            "\nAmong {} runs with hit ratio > 0.85, Δtotal ranges from {min:+.1}% to {max:+.1}%.",
+            high.len()
+        );
+        println!("(paper: hit ratio alone does not predict overall performance)");
+    }
+}

@@ -1,0 +1,73 @@
+//! Fig. 12 — Total-time improvement as the program shifts from I/O-bound
+//! to compute-bound (gw pattern, synchronizing every 10 blocks per
+//! processor, exponential compute with swept mean). Paper claims: the
+//! improvement grows once some computation exists to overlap with I/O,
+//! then tails off as computation dominates; the read-time reduction
+//! reaches ~80% (read time falls to 20% of the no-prefetch value); disk
+//! contention and prefetch-action times fall as processors stay busy
+//! (actions from ~22 ms down to ~5 ms).
+
+use rt_bench::{compute_sweep, figure_header};
+use rt_core::report::Table;
+
+fn main() {
+    figure_header(
+        "Figure 12",
+        "improvement in total time vs mean computation per block (gw, sync 10/proc)",
+    );
+    let points = compute_sweep();
+    let mut t = Table::new(&[
+        "compute ms",
+        "Δtotal %",
+        "Δread %",
+        "read ms (pf)",
+        "disk resp pf ms",
+        "action ms",
+        "overrun ms",
+    ]);
+    for p in &points {
+        t.row(&[
+            p.compute_ms.to_string(),
+            format!("{:+.1}", p.pair.total_time_improvement() * 100.0),
+            format!("{:+.1}", p.pair.read_time_improvement() * 100.0),
+            format!("{:.2}", p.pair.prefetch.mean_read_ms()),
+            format!("{:.2}", p.pair.prefetch.mean_disk_response_ms()),
+            format!("{:.2}", p.pair.prefetch.action_time.mean_millis()),
+            format!("{:.2}", p.pair.prefetch.overrun.mean_millis()),
+        ]);
+    }
+    print!("{}", t.render());
+
+    let io_bound = &points[0];
+    let peak = points
+        .iter()
+        .max_by(|a, b| {
+            a.pair
+                .total_time_improvement()
+                .partial_cmp(&b.pair.total_time_improvement())
+                .unwrap()
+        })
+        .unwrap();
+    let last = points.last().unwrap();
+    println!("\nSummary vs. paper text:");
+    println!(
+        "  I/O-bound (0 ms) improvement: {:+.1}%; peak {:+.1}% at {} ms; compute-bound tail {:+.1}%",
+        io_bound.pair.total_time_improvement() * 100.0,
+        peak.pair.total_time_improvement() * 100.0,
+        peak.compute_ms,
+        last.pair.total_time_improvement() * 100.0
+    );
+    println!(
+        "  prefetch action time: {:.1} ms when I/O-bound vs {:.1} ms compute-bound  (paper: 22 -> 5 ms)",
+        io_bound.pair.prefetch.action_time.mean_millis(),
+        last.pair.prefetch.action_time.mean_millis()
+    );
+    let best_read = points
+        .iter()
+        .map(|p| p.pair.read_time_improvement())
+        .fold(f64::MIN, f64::max);
+    println!(
+        "  best read-time reduction: {:.0}%  (paper: read time falls to ~20% of base)",
+        best_read * 100.0
+    );
+}

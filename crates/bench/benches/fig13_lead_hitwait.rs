@@ -1,0 +1,54 @@
+//! Fig. 13 — Average hit-wait time vs. minimum prefetch lead, for the
+//! lfp/gfp/lw/gw patterns. Paper claims: the hit-wait time falls
+//! considerably as the lead grows — *except* for lw, where it rises,
+//! because every block is hit by nearly all processes and each forgone
+//! early prefetch is paid twenty times over.
+
+use rt_bench::{figure_header, lead_sweep, LEADS, LEAD_PATTERNS};
+use rt_core::report::Table;
+
+fn main() {
+    figure_header(
+        "Figure 13",
+        "average hit-wait time (ms) vs minimum prefetch lead (blocks)",
+    );
+    let points = lead_sweep();
+    let mut t = Table::new(&["lead", "lfp", "gfp", "lw", "gw"]);
+    for lead in LEADS {
+        let mut row = vec![lead.to_string()];
+        for pattern in LEAD_PATTERNS {
+            let m = points
+                .iter()
+                .find(|p| p.pattern == pattern && p.lead == lead)
+                .expect("sweep covers all cells");
+            row.push(format!("{:.2}", m.metrics.mean_hit_wait_ms()));
+        }
+        t.row(&row);
+    }
+    print!("{}", t.render());
+
+    let cell = |pattern, lead| {
+        points
+            .iter()
+            .find(|p| p.pattern == pattern && p.lead == lead)
+            .unwrap()
+            .metrics
+            .mean_hit_wait_ms()
+    };
+    println!("\nSummary vs. paper text:");
+    for pattern in LEAD_PATTERNS {
+        let start = cell(pattern, 0);
+        let end = cell(pattern, 90);
+        println!(
+            "  {}: {:.2} ms at lead 0 -> {:.2} ms at lead 90  ({})",
+            pattern.abbrev(),
+            start,
+            end,
+            if pattern == rt_patterns::AccessPattern::LocalWholeFile {
+                "paper: lw INCREASES"
+            } else {
+                "paper: decreases"
+            }
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! Fig. 15 — Average block read time vs. minimum prefetch lead. Paper
+//! claims: the miss-ratio increase overwhelms the hit-wait improvement —
+//! read times *rise* for lw and gw, with only slight improvements for gfp
+//! and lfp at small leads.
+
+use rt_bench::{figure_header, lead_sweep, LEADS, LEAD_PATTERNS};
+use rt_core::report::Table;
+
+fn main() {
+    figure_header(
+        "Figure 15",
+        "average block read time (ms) vs minimum prefetch lead",
+    );
+    let points = lead_sweep();
+    let mut t = Table::new(&["lead", "lfp", "gfp", "lw", "gw"]);
+    for lead in LEADS {
+        let mut row = vec![lead.to_string()];
+        for pattern in LEAD_PATTERNS {
+            let m = points
+                .iter()
+                .find(|p| p.pattern == pattern && p.lead == lead)
+                .unwrap();
+            row.push(format!("{:.2}", m.metrics.mean_read_ms()));
+        }
+        t.row(&row);
+    }
+    print!("{}", t.render());
+
+    println!("\nSummary vs. paper text (read time, lead 0 -> 90):");
+    for pattern in LEAD_PATTERNS {
+        let at = |lead| {
+            points
+                .iter()
+                .find(|p| p.pattern == pattern && p.lead == lead)
+                .unwrap()
+                .metrics
+                .mean_read_ms()
+        };
+        let (a, b) = (at(0), at(90));
+        println!(
+            "  {}: {:.2} -> {:.2} ms ({})",
+            pattern.abbrev(),
+            a,
+            b,
+            if b > a { "rises" } else { "falls" }
+        );
+    }
+    println!("(paper: lw and gw rise; gfp/lfp see only slight dips at small leads)");
+}

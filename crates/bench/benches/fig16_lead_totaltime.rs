@@ -1,0 +1,72 @@
+//! Fig. 16 — Total execution time vs. minimum prefetch lead (local-pattern
+//! times divided by 20, as in the paper, since those runs read 20× the
+//! blocks). Paper claims: gw and lw slow down overall; gfp also slows
+//! (severely increased miss ratio); lfp *improves*, and with leads of 30
+//! or more beats even its non-prefetching time — but no lead value helps
+//! all patterns at once.
+
+use rt_bench::{
+    figure_header, lead_baselines, lead_sweep, lead_time_scale, LEADS, LEAD_PATTERNS,
+};
+use rt_core::report::Table;
+
+fn main() {
+    figure_header(
+        "Figure 16",
+        "total execution time (ms, local /20) vs minimum prefetch lead",
+    );
+    let points = lead_sweep();
+    let baselines = lead_baselines();
+
+    let mut t = Table::new(&["lead", "lfp", "gfp", "lw", "gw"]);
+    for lead in LEADS {
+        let mut row = vec![lead.to_string()];
+        for pattern in LEAD_PATTERNS {
+            let m = points
+                .iter()
+                .find(|p| p.pattern == pattern && p.lead == lead)
+                .unwrap();
+            let ms = m.metrics.total_time.as_millis_f64() / lead_time_scale(pattern);
+            row.push(format!("{ms:.0}"));
+        }
+        t.row(&row);
+    }
+    // The non-prefetching reference row.
+    let mut base_row = vec!["none".to_string()];
+    for (i, pattern) in LEAD_PATTERNS.iter().enumerate() {
+        base_row.push(format!(
+            "{:.0}",
+            baselines[i].total_time.as_millis_f64() / lead_time_scale(*pattern)
+        ));
+    }
+    t.row(&base_row);
+    print!("{}", t.render());
+    println!("(last row: no prefetching at all)\n");
+
+    println!("Summary vs. paper text:");
+    for (i, pattern) in LEAD_PATTERNS.iter().enumerate() {
+        let at = |lead| {
+            points
+                .iter()
+                .find(|p| p.pattern == *pattern && p.lead == lead)
+                .unwrap()
+                .metrics
+                .total_time
+                .as_millis_f64()
+                / lead_time_scale(*pattern)
+        };
+        let base = baselines[i].total_time.as_millis_f64() / lead_time_scale(*pattern);
+        println!(
+            "  {}: lead0 {:.0} ms, lead90 {:.0} ms, no-prefetch {:.0} ms ({})",
+            pattern.abbrev(),
+            at(0),
+            at(90),
+            base,
+            if at(90) > at(0) { "slows with lead" } else { "improves with lead" },
+        );
+    }
+    println!(
+        "(paper: gw/lw/gfp slow down with lead; lfp improves, beating the\n\
+         non-prefetching time at leads >= 30; no lead satisfies all patterns)"
+    );
+}

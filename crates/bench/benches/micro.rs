@@ -1,0 +1,104 @@
+//! Criterion micro-benchmarks of the simulator substrate itself: event
+//! queue throughput, cache operations, oracle selection, and a complete
+//! small experiment. These measure the *reproduction's* performance (how
+//! fast the harness regenerates figures), not the paper's system.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use rt_cache::{BufferPool, PoolConfig};
+use rt_core::experiment::run_experiment;
+use rt_core::policy::{select_oracle, OracleView};
+use rt_core::ExperimentConfig;
+use rt_disk::{BlockId, ProcId};
+use rt_patterns::{AccessPattern, RefString, SyncStyle, WorkloadParams};
+use rt_sim::{EventQueue, SimDuration, SimTime};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue/push_pop_10k", |b| {
+        b.iter_batched(
+            EventQueue::<u32>::new,
+            |mut q| {
+                for i in 0..10_000u32 {
+                    // Pseudo-shuffled times exercise heap reordering.
+                    let t = SimTime::from_nanos(((i as u64).wrapping_mul(2654435761)) % 1_000_000);
+                    q.schedule(t, i);
+                }
+                let mut count = 0;
+                while let Some((_, v)) = q.pop() {
+                    count += black_box(v) as u64 & 1;
+                }
+                count
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_cache_ops(c: &mut Criterion) {
+    c.bench_function("cache/miss_fetch_hit_cycle", |b| {
+        b.iter_batched(
+            || BufferPool::new(PoolConfig::paper_prefetch(20)),
+            |mut pool| {
+                let mut t = SimTime::ZERO;
+                for i in 0..1000u32 {
+                    let block = BlockId(i);
+                    let proc = ProcId((i % 20) as u16);
+                    let _ = pool.lookup_for_read(block, t);
+                    let ready = t + SimDuration::from_millis(30);
+                    let buf = pool.alloc_demand(proc, block, ready).unwrap();
+                    pool.complete_io(buf, ready);
+                    let _ = pool.lookup_for_read(block, ready);
+                    pool.record_use(buf, proc, ready);
+                    t = ready;
+                }
+                black_box(pool.stats().hit_ratio.value())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_oracle_select(c: &mut Criterion) {
+    let string = RefString::from_portions(&[(0, 2000)]);
+    let pool = BufferPool::new(PoolConfig::paper_prefetch(20));
+    c.bench_function("policy/oracle_select_2000", |b| {
+        b.iter(|| {
+            let view = OracleView {
+                string: &string,
+                frontier: black_box(1000),
+                cross_portions: true,
+                min_lead: 0,
+            };
+            black_box(select_oracle(&view, &pool))
+        })
+    });
+}
+
+fn bench_full_run(c: &mut Criterion) {
+    let mut cfg = ExperimentConfig::paper_default(
+        AccessPattern::GlobalWholeFile,
+        SyncStyle::BlocksPerProc(10),
+    );
+    cfg.procs = 8;
+    cfg.disks = 8;
+    cfg.workload = WorkloadParams {
+        procs: 8,
+        file_blocks: 800,
+        total_reads: 800,
+        ..WorkloadParams::paper()
+    };
+    cfg.prefetch = rt_core::PrefetchConfig::paper();
+    c.bench_function("experiment/gw_8proc_800blocks", |b| {
+        b.iter(|| black_box(run_experiment(&cfg)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_cache_ops,
+    bench_oracle_select,
+    bench_full_run
+);
+criterion_main!(benches);

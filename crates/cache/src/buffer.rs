@@ -1,0 +1,228 @@
+//! Buffer descriptors and their state machine.
+//!
+//! A buffer is either free, filling from disk ([`BufState::Pending`]), or
+//! holding valid data ([`BufState::Ready`]). The distinction between a
+//! *pending* and a *ready* buffer is central to the paper: a read request
+//! that finds a pending buffer is an **unready hit** — counted as a cache
+//! hit by the traditional metric, yet the requester still waits out the
+//! remaining I/O time (the *hit-wait time*).
+
+use rt_disk::{BlockId, FetchKind, ProcId};
+use rt_sim::SimTime;
+
+/// Identifies a buffer within the pool.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BufferId(pub u32);
+
+impl BufferId {
+    /// Index for the pool's buffer array.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Which partition of the pool a buffer belongs to. The testbed reserves the
+/// prefetch partition exclusively for prefetching (3 per node in the paper's
+/// configuration) on top of the per-node demand (RU-set) buffers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BufferClass {
+    /// Part of a node's RU set; filled by demand fetches.
+    Demand,
+    /// Reserved for prefetched blocks.
+    Prefetch,
+}
+
+/// The buffer state machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BufState {
+    /// No valid contents.
+    Free,
+    /// Disk I/O in flight.
+    Pending {
+        /// The block being fetched.
+        block: BlockId,
+        /// When the I/O completes (known at submission: FIFO disks).
+        ready_at: SimTime,
+        /// Demand fetch or prefetch.
+        kind: FetchKind,
+    },
+    /// Holds valid data for `block`.
+    Ready {
+        /// The cached block.
+        block: BlockId,
+        /// Completion time of the I/O that filled it.
+        since: SimTime,
+        /// Last time any processor read it (equals `since` until first use).
+        last_use: SimTime,
+        /// Whether any processor has read it yet. A prefetched-but-unused
+        /// buffer counts against the global prefetch cap and is not
+        /// evictable.
+        used: bool,
+        /// Whether a prefetch (rather than a demand fetch) filled it.
+        prefetched: bool,
+    },
+}
+
+/// One buffer: its home node, partition, and current state.
+#[derive(Clone, Copy, Debug)]
+pub struct Buffer {
+    /// The node whose memory holds this buffer (NUMA placement).
+    pub home: ProcId,
+    /// Demand (RU set) or prefetch partition.
+    pub class: BufferClass,
+    /// Current contents.
+    pub state: BufState,
+    /// Number of processes currently copying out of this buffer. A pinned
+    /// buffer is never evicted — data cannot vanish mid-copy.
+    pub pins: u16,
+}
+
+impl Buffer {
+    /// A free buffer homed at `home` in partition `class`.
+    pub fn new(home: ProcId, class: BufferClass) -> Self {
+        Buffer {
+            home,
+            class,
+            state: BufState::Free,
+            pins: 0,
+        }
+    }
+
+    /// The block this buffer holds or is filling, if any.
+    pub fn block(&self) -> Option<BlockId> {
+        match self.state {
+            BufState::Free => None,
+            BufState::Pending { block, .. } | BufState::Ready { block, .. } => Some(block),
+        }
+    }
+
+    /// True if the buffer holds a prefetched block no one has read yet, or
+    /// is filling on behalf of a prefetch. Such buffers count against the
+    /// global prefetched-but-unused cap.
+    pub fn is_unused_prefetch(&self) -> bool {
+        match self.state {
+            BufState::Pending { kind, .. } => kind == FetchKind::Prefetch,
+            BufState::Ready {
+                used, prefetched, ..
+            } => prefetched && !used,
+            BufState::Free => false,
+        }
+    }
+
+    /// True if the replacement policy may reclaim this buffer: free, or
+    /// ready, unpinned, and already used at least once. Pending buffers,
+    /// pinned buffers, and prefetched-but-unused buffers are never evicted.
+    pub fn is_evictable(&self) -> bool {
+        match self.state {
+            BufState::Free => true,
+            BufState::Pending { .. } => false,
+            BufState::Ready {
+                used, prefetched, ..
+            } => self.pins == 0 && (used || !prefetched),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn free_buffer_shape() {
+        let b = Buffer::new(ProcId(3), BufferClass::Demand);
+        assert_eq!(b.block(), None);
+        assert!(b.is_evictable());
+        assert!(!b.is_unused_prefetch());
+    }
+
+    #[test]
+    fn pending_prefetch_counts_against_cap() {
+        let mut b = Buffer::new(ProcId(0), BufferClass::Prefetch);
+        b.state = BufState::Pending {
+            block: BlockId(9),
+            ready_at: t(100),
+            kind: FetchKind::Prefetch,
+        };
+        assert!(b.is_unused_prefetch());
+        assert!(!b.is_evictable());
+        assert_eq!(b.block(), Some(BlockId(9)));
+    }
+
+    #[test]
+    fn pending_demand_not_counted() {
+        let mut b = Buffer::new(ProcId(0), BufferClass::Demand);
+        b.state = BufState::Pending {
+            block: BlockId(1),
+            ready_at: t(1),
+            kind: FetchKind::Demand,
+        };
+        assert!(!b.is_unused_prefetch());
+        assert!(!b.is_evictable());
+    }
+
+    #[test]
+    fn ready_prefetched_unused_protected() {
+        let mut b = Buffer::new(ProcId(0), BufferClass::Prefetch);
+        b.state = BufState::Ready {
+            block: BlockId(2),
+            since: t(5),
+            last_use: t(5),
+            used: false,
+            prefetched: true,
+        };
+        assert!(b.is_unused_prefetch());
+        assert!(!b.is_evictable());
+    }
+
+    #[test]
+    fn pinned_buffer_is_protected() {
+        let mut b = Buffer::new(ProcId(0), BufferClass::Demand);
+        b.state = BufState::Ready {
+            block: BlockId(2),
+            since: t(5),
+            last_use: t(9),
+            used: true,
+            prefetched: false,
+        };
+        b.pins = 1;
+        assert!(!b.is_evictable());
+        b.pins = 0;
+        assert!(b.is_evictable());
+    }
+
+    #[test]
+    fn ready_used_is_evictable() {
+        let mut b = Buffer::new(ProcId(0), BufferClass::Prefetch);
+        b.state = BufState::Ready {
+            block: BlockId(2),
+            since: t(5),
+            last_use: t(9),
+            used: true,
+            prefetched: true,
+        };
+        assert!(!b.is_unused_prefetch());
+        assert!(b.is_evictable());
+    }
+
+    #[test]
+    fn ready_demand_fetched_is_evictable_even_unused() {
+        // A demand-fetched block always has a waiting reader, but even
+        // before the read lands, demand contents never count against the
+        // prefetch cap and stay evictable.
+        let mut b = Buffer::new(ProcId(0), BufferClass::Demand);
+        b.state = BufState::Ready {
+            block: BlockId(4),
+            since: t(5),
+            last_use: t(5),
+            used: false,
+            prefetched: false,
+        };
+        assert!(!b.is_unused_prefetch());
+        assert!(b.is_evictable());
+    }
+}

@@ -1,0 +1,39 @@
+//! # rt-cache — the shared block cache
+//!
+//! The buffer-cache substrate of the RAPID Transit reproduction: a global
+//! block index over per-processor buffer partitions. Demand fetches recycle
+//! each node's small **RU set** (size 1 in the paper — "toss-immediately");
+//! prefetches draw from a reserved per-node partition under a global cap on
+//! prefetched-but-unused blocks. Lookups are global, so any processor hits
+//! on blocks fetched by any other — the property that makes global access
+//! patterns profitable to prefetch.
+//!
+//! The pool distinguishes **ready hits** from **unready hits** (buffer
+//! reserved, I/O still in flight) and records the **hit-wait time** of the
+//! latter, the quantity the paper identifies as the gap between the
+//! traditional hit-ratio metric and real performance.
+//!
+//! ```
+//! use rt_cache::{BufferPool, PoolConfig, Lookup};
+//! use rt_disk::{BlockId, ProcId};
+//! use rt_sim::{SimTime, SimDuration};
+//!
+//! let mut pool = BufferPool::new(PoolConfig::paper_prefetch(20));
+//! let t0 = SimTime::ZERO;
+//! assert_eq!(pool.lookup_for_read(BlockId(0), t0), Lookup::Miss);
+//! let buf = pool
+//!     .alloc_demand(ProcId(0), BlockId(0), t0 + SimDuration::from_millis(30))
+//!     .expect("fresh pool has free buffers");
+//! pool.complete_io(buf, t0 + SimDuration::from_millis(30));
+//! // Any other processor now gets a ready hit.
+//! let hit = pool.lookup_for_read(BlockId(0), t0 + SimDuration::from_millis(31));
+//! assert_eq!(hit, Lookup::ReadyHit(buf));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod buffer;
+pub mod pool;
+
+pub use buffer::{BufState, Buffer, BufferClass, BufferId};
+pub use pool::{BufferPool, CacheStats, Lookup, PoolConfig, PrefetchBlocked, Replacement};

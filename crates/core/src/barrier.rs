@@ -1,0 +1,171 @@
+//! The computation-wide barrier used by the synchronization styles.
+//!
+//! Membership is dynamic: a process that has exhausted its reference string
+//! departs the computation and no longer participates (necessary for styles
+//! whose barrier points do not divide every process's read count evenly,
+//! e.g. random portions). The barrier records, per arrival, the paper's
+//! *synchronization time*: "the time between arrival of a process at a
+//! synchronization point and the moment all processes achieve synchrony".
+
+use rt_disk::ProcId;
+use rt_sim::{SimTime, Tally};
+
+/// Result of an arrival or departure that completed a barrier episode.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BarrierOpen {
+    /// The processes that were blocked and must now be released (excludes
+    /// a process whose own arrival completed the episode — it never waits).
+    pub released: Vec<ProcId>,
+}
+
+/// A reusable barrier over the computation's processes.
+#[derive(Clone, Debug)]
+pub struct Barrier {
+    members: u16,
+    departed: u16,
+    waiting: Vec<(ProcId, SimTime)>,
+    episodes: u64,
+    sync_wait: Tally,
+}
+
+impl Barrier {
+    /// A barrier over `members` processes.
+    pub fn new(members: u16) -> Self {
+        assert!(members > 0);
+        Barrier {
+            members,
+            departed: 0,
+            waiting: Vec::with_capacity(members as usize),
+            episodes: 0,
+            sync_wait: Tally::new(),
+        }
+    }
+
+    /// Process `proc` arrives at `now`. If this completes the episode, all
+    /// waiting processes are released and their synchronization waits
+    /// recorded (the arriving process records a zero wait).
+    pub fn arrive(&mut self, proc: ProcId, now: SimTime) -> Option<BarrierOpen> {
+        debug_assert!(
+            !self.waiting.iter().any(|&(p, _)| p == proc),
+            "process arrived at the same barrier twice"
+        );
+        self.waiting.push((proc, now));
+        self.try_open(now, Some(proc))
+    }
+
+    /// Process `proc` leaves the computation for good; it will not arrive
+    /// at this or any future episode. May complete the current episode.
+    pub fn depart(&mut self, _proc: ProcId, now: SimTime) -> Option<BarrierOpen> {
+        self.departed += 1;
+        debug_assert!(self.departed <= self.members);
+        self.try_open(now, None)
+    }
+
+    fn try_open(&mut self, now: SimTime, completer: Option<ProcId>) -> Option<BarrierOpen> {
+        if self.waiting.is_empty()
+            || (self.waiting.len() as u16) + self.departed < self.members
+        {
+            return None;
+        }
+        let mut released = Vec::with_capacity(self.waiting.len());
+        for (p, arrived) in self.waiting.drain(..) {
+            self.sync_wait.record(now.saturating_since(arrived));
+            if Some(p) != completer {
+                released.push(p);
+            }
+        }
+        self.episodes += 1;
+        Some(BarrierOpen { released })
+    }
+
+    /// Completed barrier episodes.
+    pub fn episodes(&self) -> u64 {
+        self.episodes
+    }
+
+    /// Distribution of per-arrival synchronization waits.
+    pub fn sync_wait(&self) -> &Tally {
+        &self.sync_wait
+    }
+
+    /// Number of processes currently blocked.
+    pub fn waiting(&self) -> usize {
+        self.waiting.len()
+    }
+
+    /// Number of processes that left the computation.
+    pub fn departed(&self) -> u16 {
+        self.departed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_sim::SimDuration;
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn opens_when_all_arrive() {
+        let mut b = Barrier::new(3);
+        assert_eq!(b.arrive(ProcId(0), at(0)), None);
+        assert_eq!(b.arrive(ProcId(1), at(5)), None);
+        let open = b.arrive(ProcId(2), at(9)).expect("barrier should open");
+        // The completer is not in the released list.
+        assert_eq!(open.released, vec![ProcId(0), ProcId(1)]);
+        assert_eq!(b.episodes(), 1);
+        // Waits: 9, 4, 0 ms.
+        assert!((b.sync_wait().mean_millis() - 13.0 / 3.0).abs() < 1e-9);
+        assert_eq!(b.waiting(), 0);
+    }
+
+    #[test]
+    fn reusable_across_episodes() {
+        let mut b = Barrier::new(2);
+        assert!(b.arrive(ProcId(0), at(0)).is_none());
+        assert!(b.arrive(ProcId(1), at(1)).is_some());
+        assert!(b.arrive(ProcId(1), at(10)).is_none());
+        let open = b.arrive(ProcId(0), at(12)).unwrap();
+        assert_eq!(open.released, vec![ProcId(1)]);
+        assert_eq!(b.episodes(), 2);
+    }
+
+    #[test]
+    fn departure_shrinks_membership() {
+        let mut b = Barrier::new(3);
+        assert!(b.arrive(ProcId(0), at(0)).is_none());
+        assert!(b.depart(ProcId(2), at(1)).is_none());
+        // Now only 2 effective members; proc 1's arrival opens it.
+        let open = b.arrive(ProcId(1), at(2)).unwrap();
+        assert_eq!(open.released, vec![ProcId(0)]);
+    }
+
+    #[test]
+    fn departure_of_last_straggler_opens() {
+        let mut b = Barrier::new(2);
+        assert!(b.arrive(ProcId(0), at(0)).is_none());
+        let open = b.depart(ProcId(1), at(3)).unwrap();
+        assert_eq!(open.released, vec![ProcId(0)]);
+        assert_eq!(b.departed(), 1);
+    }
+
+    #[test]
+    fn depart_with_empty_waitlist_is_silent() {
+        let mut b = Barrier::new(2);
+        assert_eq!(b.depart(ProcId(0), at(0)), None);
+        // Remaining single member forms future episodes alone.
+        let open = b.arrive(ProcId(1), at(1)).unwrap();
+        assert!(open.released.is_empty());
+    }
+
+    #[test]
+    fn single_member_barrier_is_transparent() {
+        let mut b = Barrier::new(1);
+        let open = b.arrive(ProcId(0), at(5)).unwrap();
+        assert!(open.released.is_empty());
+        assert_eq!(b.sync_wait().max(), Some(SimDuration::ZERO));
+    }
+}

@@ -1,0 +1,227 @@
+//! Experiment execution: single runs, prefetch-vs-base pairs, the paper's
+//! full grid, and a thread-parallel sweep runner.
+
+use rt_patterns::{AccessPattern, SyncStyle};
+use rt_sim::{run, Scheduler};
+
+pub use crate::config::ExperimentConfig;
+
+use crate::config::PrefetchConfig;
+use crate::metrics::{RunMetrics, RunPair};
+use crate::world::World;
+
+/// Backstop on events per run; real experiments use a few hundred thousand.
+const MAX_EVENTS: u64 = 500_000_000;
+
+/// Run one experiment to completion and collect its metrics.
+pub fn run_experiment(cfg: &ExperimentConfig) -> RunMetrics {
+    let (metrics, _) = run_with_world(cfg, false);
+    metrics
+}
+
+/// Run one experiment with access tracing enabled, returning the metrics
+/// and the exact access pattern for off-line analysis (§IV-C).
+pub fn run_experiment_traced(cfg: &ExperimentConfig) -> (RunMetrics, crate::trace::Trace) {
+    let (metrics, trace) = run_with_world(cfg, true);
+    (metrics, trace.expect("tracing was enabled"))
+}
+
+fn run_with_world(
+    cfg: &ExperimentConfig,
+    traced: bool,
+) -> (RunMetrics, Option<crate::trace::Trace>) {
+    let mut world = World::new(cfg.clone());
+    if traced {
+        world.enable_tracing();
+    }
+    let mut sched = Scheduler::new();
+    world.bootstrap(&mut sched);
+    let outcome = run(&mut world, &mut sched, MAX_EVENTS);
+    assert!(
+        !outcome.budget_exhausted,
+        "simulation exceeded the event budget: {}",
+        cfg.label()
+    );
+    assert!(world.complete(), "simulation drained without finishing");
+
+    let pool_stats = world.pool().stats().clone();
+    let disks = world.disks();
+    let finish = world.finish_times();
+    let total_time = finish
+        .iter()
+        .copied()
+        .max()
+        .expect("at least one process")
+        .saturating_since(rt_sim::SimTime::ZERO);
+
+    let metrics = RunMetrics {
+        total_time,
+        proc_finish: finish.clone(),
+        reads: world.rec.reads.clone(),
+        hit_ratio: pool_stats.hit_ratio.value(),
+        ready_hits: pool_stats.ready_hits,
+        unready_hits: pool_stats.unready_hits,
+        misses: pool_stats.misses,
+        hit_wait: world.rec.hit_wait.clone(),
+        disk_response: disks.response(),
+        disk_ops: disks.total_ops(),
+        disk_utilization: disks.mean_utilization(outcome.end_time),
+        demand_fetches: pool_stats.demand_fetches,
+        prefetches: pool_stats.prefetches,
+        sync_wait: world.barrier().sync_wait().clone(),
+        barriers: world.barrier().episodes(),
+        action_time: world.rec.action_time.clone(),
+        failed_actions: world.rec.empty_actions + world.rec.blocked_actions,
+        overrun: world.rec.overrun.clone(),
+        idle_necessary: world.rec.idle_necessary.clone(),
+        idle_actual: world.rec.idle_actual.clone(),
+        lock_wait: world.lock().wait().clone(),
+        alloc_retries: world.rec.alloc_retries,
+        per_proc: (0..cfg.procs as usize)
+            .map(|p| crate::metrics::ProcMetrics {
+                reads: world.rec.proc_reads[p].clone(),
+                hits: world.rec.proc_hits[p],
+                prefetches_issued: world.rec.proc_prefetches[p],
+                finish: finish[p],
+            })
+            .collect(),
+        tl_prefetched: world.rec.tl_prefetched.clone(),
+        tl_barrier: world.rec.tl_barrier.clone(),
+        tl_outstanding_io: world.rec.tl_outstanding_io.clone(),
+    };
+    let trace = world.take_trace();
+    (metrics, trace)
+}
+
+/// Run the same configuration with prefetching off and on (the paper's
+/// base/prefetch comparison). The base run uses the identical seed and
+/// workload; only the cache partitioning and daemon differ.
+pub fn run_pair(cfg: &ExperimentConfig) -> RunPair {
+    let mut base_cfg = cfg.clone();
+    base_cfg.prefetch = PrefetchConfig::disabled();
+    let mut pf_cfg = cfg.clone();
+    if !pf_cfg.prefetch.enabled {
+        pf_cfg.prefetch = PrefetchConfig::paper();
+    }
+    RunPair {
+        label: cfg.label(),
+        base: run_experiment(&base_cfg),
+        prefetch: run_experiment(&pf_cfg),
+    }
+}
+
+/// Enumerate the paper's experiment grid (§IV-D): six patterns × four
+/// synchronization styles (portion sync excluded for `lw`) × two I/O
+/// intensities (balanced and I/O-bound). 46 configurations.
+pub fn paper_grid() -> Vec<ExperimentConfig> {
+    let mut grid = Vec::new();
+    for pattern in AccessPattern::ALL {
+        for sync in SyncStyle::PAPER {
+            if !sync.valid_for(pattern) {
+                continue;
+            }
+            grid.push(ExperimentConfig::paper_default(pattern, sync));
+            grid.push(ExperimentConfig::paper_io_bound(pattern, sync));
+        }
+    }
+    grid
+}
+
+/// Run `configs` as base/prefetch pairs across `threads` worker threads.
+/// Results return in input order; each run is internally deterministic so
+/// the parallelism never affects the numbers.
+pub fn run_pairs_parallel(configs: &[ExperimentConfig], threads: usize) -> Vec<RunPair> {
+    assert!(threads > 0);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: Vec<parking_lot::Mutex<Option<RunPair>>> =
+        configs.iter().map(|_| parking_lot::Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(configs.len().max(1)) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= configs.len() {
+                    break;
+                }
+                let pair = run_pair(&configs[i]);
+                *results[i].lock() = Some(pair);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("worker skipped a config"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_patterns::WorkloadParams;
+    use rt_sim::SimDuration;
+
+    fn small(pattern: AccessPattern, sync: SyncStyle) -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::paper_default(pattern, sync);
+        cfg.procs = 4;
+        cfg.disks = 4;
+        cfg.workload = WorkloadParams {
+            procs: 4,
+            file_blocks: 200,
+            total_reads: 200,
+            fixed_portion_len: 5,
+            global_fixed_portion_len: 20,
+            rand_portion_min: 1,
+            rand_portion_max: 10,
+            global_rand_portion_min: 5,
+            global_rand_portion_max: 20,
+        };
+        cfg.compute_mean = SimDuration::from_millis(5);
+        cfg
+    }
+
+    #[test]
+    fn run_experiment_accounts_every_read() {
+        let m = run_experiment(&small(AccessPattern::GlobalWholeFile, SyncStyle::None));
+        assert_eq!(m.total_reads(), 200);
+        assert_eq!(m.ready_hits + m.unready_hits + m.misses, 200);
+        assert_eq!(m.demand_fetches, m.misses);
+        assert!(m.total_time > SimDuration::ZERO);
+        assert_eq!(m.proc_finish.len(), 4);
+    }
+
+    #[test]
+    fn pair_base_has_no_prefetches() {
+        let pair = run_pair(&small(AccessPattern::GlobalWholeFile, SyncStyle::None));
+        assert_eq!(pair.base.prefetches, 0);
+        assert!(pair.prefetch.prefetches > 0);
+        assert!(pair.read_time_improvement() > 0.0);
+    }
+
+    #[test]
+    fn paper_grid_shape() {
+        let grid = paper_grid();
+        // 6 patterns × 4 syncs − lw-portion, ×2 intensities = 46.
+        assert_eq!(grid.len(), 46);
+        let lw_portion = grid.iter().any(|c| {
+            c.pattern == AccessPattern::LocalWholeFile && c.sync == SyncStyle::EachPortion
+        });
+        assert!(!lw_portion);
+        for c in &grid {
+            c.validate();
+        }
+    }
+
+    #[test]
+    fn parallel_runner_matches_serial() {
+        let configs = vec![
+            small(AccessPattern::GlobalWholeFile, SyncStyle::None),
+            small(AccessPattern::LocalWholeFile, SyncStyle::BlocksPerProc(10)),
+        ];
+        let serial: Vec<_> = configs.iter().map(run_pair).collect();
+        let parallel = run_pairs_parallel(&configs, 2);
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.base.total_time, p.base.total_time);
+            assert_eq!(s.prefetch.total_time, p.prefetch.total_time);
+            assert_eq!(s.prefetch.prefetches, p.prefetch.prefetches);
+        }
+    }
+}

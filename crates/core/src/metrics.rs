@@ -1,0 +1,333 @@
+//! Run metrics — every measure the paper's §IV-C enumerates.
+
+use rt_sim::{Sampled, SimDuration, SimTime, Tally, Timeline};
+
+/// Per-process measurements — the paper's Fig. 1(b) concern made
+/// quantitative: when prefetching benefits distribute unevenly, fast
+/// processes wait at barriers for slow ones and the average read time
+/// stops predicting total time.
+#[derive(Clone, Debug)]
+pub struct ProcMetrics {
+    /// This process's block read times.
+    pub reads: Tally,
+    /// Hits (ready + unready) this process received.
+    pub hits: u64,
+    /// Prefetch I/Os this node's daemon issued.
+    pub prefetches_issued: u64,
+    /// When this process finished its reference string.
+    pub finish: SimTime,
+}
+
+/// All measurements from one experiment run.
+///
+/// Quantities map one-to-one onto §IV-C of the paper: overall completion
+/// time, average block read time, average effective disk access time
+/// (contention), blocks prefetched vs demand-fetched (hit ratio), the three
+/// idle-time accounts, prefetch action lengths, and overrun.
+#[derive(Clone, Debug)]
+pub struct RunMetrics {
+    /// Completion time of the whole computation (the last process's finish).
+    pub total_time: SimDuration,
+    /// Per-process finish times.
+    pub proc_finish: Vec<SimTime>,
+    /// Block read times (request to data-copied), over all reads.
+    pub reads: Tally,
+    /// Cache hit ratio (ready + unready hits over all reads).
+    pub hit_ratio: f64,
+    /// Reads satisfied from a ready buffer.
+    pub ready_hits: u64,
+    /// Reads that found a pending buffer (hit-wait > 0 possible).
+    pub unready_hits: u64,
+    /// Reads that missed.
+    pub misses: u64,
+    /// Hit-wait times (zero for ready hits, positive for unready hits).
+    pub hit_wait: Sampled,
+    /// Disk response times (queue entry to completion), all requests.
+    pub disk_response: Tally,
+    /// Total disk operations.
+    pub disk_ops: u64,
+    /// Mean disk utilization over the run.
+    pub disk_utilization: f64,
+    /// Blocks fetched on demand.
+    pub demand_fetches: u64,
+    /// Blocks prefetched.
+    pub prefetches: u64,
+    /// Per-arrival synchronization waits (arrival to barrier-open).
+    pub sync_wait: Tally,
+    /// Number of barrier episodes completed.
+    pub barriers: u64,
+    /// Durations of prefetch actions (lock wait + work; no I/O wait).
+    pub action_time: Tally,
+    /// Prefetch actions that found no candidate or no buffer.
+    pub failed_actions: u64,
+    /// Overrun: prefetch activity extending past the moment the user
+    /// process was logically able to resume.
+    pub overrun: Tally,
+    /// Logically necessary idle periods (wait begin to logical wake).
+    pub idle_necessary: Tally,
+    /// Actual idle periods (wait begin to actual resumption).
+    pub idle_actual: Tally,
+    /// Cache-lock waiting times (shared-structure contention).
+    pub lock_wait: Tally,
+    /// Demand allocations that had to spin because every candidate buffer
+    /// was pinned by an in-flight copy. A retried miss can be satisfied by
+    /// another process's fetch, so `misses - demand_fetches` is bounded by
+    /// this count.
+    pub alloc_retries: u64,
+    /// Per-process breakdowns (benefit distribution).
+    pub per_proc: Vec<ProcMetrics>,
+    /// Prefetched-but-unused blocks held, over time.
+    pub tl_prefetched: Timeline,
+    /// Processes blocked at the barrier, over time.
+    pub tl_barrier: Timeline,
+    /// Disk requests in flight, over time.
+    pub tl_outstanding_io: Timeline,
+}
+
+impl RunMetrics {
+    /// Miss ratio (`1 - hit_ratio`).
+    pub fn miss_ratio(&self) -> f64 {
+        1.0 - self.hit_ratio
+    }
+
+    /// Total reads performed.
+    pub fn total_reads(&self) -> u64 {
+        self.reads.count()
+    }
+
+    /// Mean block read time in milliseconds.
+    pub fn mean_read_ms(&self) -> f64 {
+        self.reads.mean_millis()
+    }
+
+    /// Mean disk response time in milliseconds.
+    pub fn mean_disk_response_ms(&self) -> f64 {
+        self.disk_response.mean_millis()
+    }
+
+    /// Mean hit-wait in milliseconds, over all hits.
+    pub fn mean_hit_wait_ms(&self) -> f64 {
+        self.hit_wait.tally().mean_millis()
+    }
+
+    /// Fraction of all reads served by *ready* hits.
+    pub fn ready_fraction(&self) -> f64 {
+        if self.total_reads() == 0 {
+            0.0
+        } else {
+            self.ready_hits as f64 / self.total_reads() as f64
+        }
+    }
+
+    /// Fraction of all reads served by *unready* hits.
+    pub fn unready_fraction(&self) -> f64 {
+        if self.total_reads() == 0 {
+            0.0
+        } else {
+            self.unready_hits as f64 / self.total_reads() as f64
+        }
+    }
+
+    /// Completion-time skew across processes: latest minus earliest finish.
+    /// Large skew indicates unevenly distributed prefetching benefit —
+    /// the paper's explanation for the `lfp` slowdowns.
+    pub fn finish_skew(&self) -> SimDuration {
+        match (self.proc_finish.iter().min(), self.proc_finish.iter().max()) {
+            (Some(&min), Some(&max)) => max - min,
+            _ => SimDuration::ZERO,
+        }
+    }
+
+    /// Coefficient of variation (σ/μ) of the per-process *mean read
+    /// times*: 0 when prefetching's benefit is evenly distributed, larger
+    /// as some processes enjoy fast reads while others pay full price —
+    /// the quantity behind Fig. 1(b).
+    pub fn read_time_imbalance(&self) -> f64 {
+        let means: Vec<f64> = self
+            .per_proc
+            .iter()
+            .filter(|p| p.reads.count() > 0)
+            .map(|p| p.reads.mean_millis())
+            .collect();
+        coefficient_of_variation(&means)
+    }
+
+    /// Coefficient of variation of the per-process hit counts.
+    pub fn hit_imbalance(&self) -> f64 {
+        let hits: Vec<f64> = self.per_proc.iter().map(|p| p.hits as f64).collect();
+        coefficient_of_variation(&hits)
+    }
+}
+
+/// σ/μ of a sample; 0 for empty or zero-mean samples.
+pub fn coefficient_of_variation(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    if mean == 0.0 {
+        return 0.0;
+    }
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    var.sqrt() / mean
+}
+
+/// Relative improvement of `with` over `base` for a scalar metric:
+/// `(base - with) / base`, positive when `with` is better (smaller).
+pub fn improvement(base: f64, with: f64) -> f64 {
+    if base == 0.0 {
+        0.0
+    } else {
+        (base - with) / base
+    }
+}
+
+/// Convenience pair of a base (no-prefetch) and prefetch run over the same
+/// configuration, with the comparative quantities the paper plots.
+#[derive(Clone, Debug)]
+pub struct RunPair {
+    /// Short label (pattern/sync/compute).
+    pub label: String,
+    /// The run without prefetching.
+    pub base: RunMetrics,
+    /// The run with prefetching.
+    pub prefetch: RunMetrics,
+}
+
+impl RunPair {
+    /// Fractional reduction in mean block read time (Fig. 3 / Fig. 10 axis).
+    pub fn read_time_improvement(&self) -> f64 {
+        improvement(self.base.mean_read_ms(), self.prefetch.mean_read_ms())
+    }
+
+    /// Fractional reduction in total execution time (Fig. 8 / Fig. 10).
+    pub fn total_time_improvement(&self) -> f64 {
+        improvement(
+            self.base.total_time.as_millis_f64(),
+            self.prefetch.total_time.as_millis_f64(),
+        )
+    }
+
+    /// Change in mean disk response time (negative = worsened; Fig. 7).
+    pub fn disk_response_improvement(&self) -> f64 {
+        improvement(
+            self.base.mean_disk_response_ms(),
+            self.prefetch.mean_disk_response_ms(),
+        )
+    }
+
+    /// Change in mean synchronization wait (negative = lengthened; Fig. 9).
+    pub fn sync_wait_improvement(&self) -> f64 {
+        improvement(
+            self.base.sync_wait.mean_millis(),
+            self.prefetch.sync_wait.mean_millis(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_metrics(read_ms: f64, total_ms: u64) -> RunMetrics {
+        let mut reads = Tally::new();
+        reads.record(SimDuration::from_millis_f64(read_ms));
+        RunMetrics {
+            total_time: SimDuration::from_millis(total_ms),
+            proc_finish: vec![
+                SimTime::ZERO + SimDuration::from_millis(total_ms - 5),
+                SimTime::ZERO + SimDuration::from_millis(total_ms),
+            ],
+            reads,
+            hit_ratio: 0.8,
+            ready_hits: 6,
+            unready_hits: 2,
+            misses: 2,
+            hit_wait: Sampled::new(),
+            disk_response: Tally::new(),
+            disk_ops: 10,
+            disk_utilization: 0.5,
+            demand_fetches: 2,
+            prefetches: 8,
+            sync_wait: Tally::new(),
+            barriers: 4,
+            action_time: Tally::new(),
+            failed_actions: 1,
+            overrun: Tally::new(),
+            idle_necessary: Tally::new(),
+            idle_actual: Tally::new(),
+            lock_wait: Tally::new(),
+            alloc_retries: 0,
+            per_proc: Vec::new(),
+            tl_prefetched: Timeline::new(),
+            tl_barrier: Timeline::new(),
+            tl_outstanding_io: Timeline::new(),
+        }
+    }
+
+    #[test]
+    fn ratios_and_fractions() {
+        let mut m = dummy_metrics(10.0, 100);
+        m.reads = Tally::new();
+        for _ in 0..10 {
+            m.reads.record(SimDuration::from_millis(10));
+        }
+        assert!((m.miss_ratio() - 0.2).abs() < 1e-9);
+        assert!((m.ready_fraction() - 0.6).abs() < 1e-9);
+        assert!((m.unready_fraction() - 0.2).abs() < 1e-9);
+        assert_eq!(m.total_reads(), 10);
+    }
+
+    #[test]
+    fn finish_skew() {
+        let m = dummy_metrics(10.0, 100);
+        assert_eq!(m.finish_skew(), SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn imbalance_measures() {
+        let mut m = dummy_metrics(10.0, 100);
+        let mk = |ms: u64, hits: u64| {
+            let mut reads = Tally::new();
+            reads.record(SimDuration::from_millis(ms));
+            ProcMetrics {
+                reads,
+                hits,
+                prefetches_issued: 0,
+                finish: SimTime::ZERO,
+            }
+        };
+        m.per_proc = vec![mk(10, 5), mk(10, 5)];
+        assert!(m.read_time_imbalance() < 1e-9, "equal procs, no imbalance");
+        assert!(m.hit_imbalance() < 1e-9);
+        m.per_proc = vec![mk(5, 9), mk(15, 1)];
+        assert!(m.read_time_imbalance() > 0.4);
+        assert!(m.hit_imbalance() > 0.7);
+    }
+
+    #[test]
+    fn cv_edge_cases() {
+        assert_eq!(coefficient_of_variation(&[]), 0.0);
+        assert_eq!(coefficient_of_variation(&[0.0, 0.0]), 0.0);
+        assert!((coefficient_of_variation(&[1.0, 1.0]) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn improvement_signs() {
+        assert!((improvement(100.0, 50.0) - 0.5).abs() < 1e-9);
+        assert!(improvement(100.0, 150.0) < 0.0);
+        assert_eq!(improvement(0.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn pair_improvements() {
+        let pair = RunPair {
+            label: "gw".into(),
+            base: dummy_metrics(30.0, 200),
+            prefetch: dummy_metrics(15.0, 150),
+        };
+        assert!((pair.read_time_improvement() - 0.5).abs() < 1e-9);
+        assert!((pair.total_time_improvement() - 0.25).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,233 @@
+//! Prefetch block selection.
+//!
+//! The paper's policies are *optimistic oracles*: each pattern's prefetch
+//! algorithm is handed the reference string in advance and "always chooses a
+//! block that will be needed in the near future and never makes mistakes",
+//! tempered by feasibility limits — the random-portion patterns never
+//! prefetch past the end of the currently established portion, because an
+//! on-the-fly predictor could not know where the next portion starts
+//! (§IV-B). The §V-E *minimum prefetch lead* variant additionally refuses
+//! blocks closer than `lead` string positions to the demand frontier,
+//! relaxed near the end of the string.
+
+use rt_cache::BufferPool;
+use rt_disk::BlockId;
+use rt_patterns::RefString;
+
+/// Inputs to one oracle selection.
+#[derive(Clone, Copy, Debug)]
+pub struct OracleView<'a> {
+    /// The reference string to prefetch from (the issuing process's own
+    /// string for local patterns; the shared string for global patterns).
+    pub string: &'a RefString,
+    /// Index of the next access to be demanded (the demand frontier).
+    pub frontier: usize,
+    /// May the policy select blocks beyond the current portion? False for
+    /// the random-portion patterns.
+    pub cross_portions: bool,
+    /// Minimum prefetch lead in string positions (0 = none).
+    pub min_lead: u32,
+}
+
+/// Choose the next block to prefetch under the paper's oracle rules, or
+/// `None` when no feasible uncached block exists.
+///
+/// Scans the reference string forward from the frontier (offset by the
+/// lead), skipping blocks already cached or in flight. Near the end of the
+/// string the lead restriction is relaxed, exactly as in §V-E.
+pub fn select_oracle(view: &OracleView<'_>, pool: &BufferPool) -> Option<BlockId> {
+    let len = view.string.len();
+    if view.frontier >= len {
+        return None;
+    }
+    // The portion the demand stream has most recently established: that of
+    // the last taken access (or the first access before any are taken).
+    let established = view
+        .string
+        .get(view.frontier.saturating_sub(1))
+        .map(|a| a.portion)
+        .unwrap_or(0);
+
+    let lead_start = view.frontier + view.min_lead as usize;
+    let start = if lead_start < len {
+        lead_start
+    } else {
+        // End-of-string relaxation: fewer than `lead` accesses remain.
+        view.frontier
+    };
+    scan(view, pool, start, established)
+        // If the lead window found nothing but the tail was never examined
+        // (all candidates cached), there is nothing more to do; but when
+        // the relaxation kicked in we already scanned from the frontier.
+}
+
+fn scan(
+    view: &OracleView<'_>,
+    pool: &BufferPool,
+    start: usize,
+    established: u32,
+) -> Option<BlockId> {
+    for i in start..view.string.len() {
+        let access = view.string.get(i).expect("index in range");
+        if !view.cross_portions && access.portion > established {
+            // Random portions: never predict into an unestablished portion.
+            return None;
+        }
+        if !pool.contains(access.block) {
+            return Some(access.block);
+        }
+    }
+    None
+}
+
+/// Choose a block from an on-line predictor's candidate list: the first
+/// prediction not already cached or in flight.
+pub fn select_predicted(candidates: &[BlockId], pool: &BufferPool) -> Option<BlockId> {
+    candidates.iter().copied().find(|&b| !pool.contains(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_cache::PoolConfig;
+    use rt_disk::ProcId;
+    use rt_sim::SimTime;
+
+    fn pool_with(blocks: &[u32]) -> BufferPool {
+        // A roomy pool so reservations never fail in these tests.
+        let mut p = BufferPool::new(PoolConfig {
+            procs: 1,
+            demand_per_proc: 1,
+            prefetch_per_proc: 64,
+            global_prefetch_cap: 64,
+            replacement: rt_cache::Replacement::RuSet,
+            evict_unused_prefetch: false,
+        });
+        for &b in blocks {
+            let buf = p.try_reserve_prefetch(ProcId(0), BlockId(b)).unwrap();
+            p.commit_prefetch(buf, BlockId(b), SimTime::ZERO);
+        }
+        p
+    }
+
+    fn whole_file(n: u32) -> RefString {
+        RefString::from_portions(&[(0, n)])
+    }
+
+    #[test]
+    fn oracle_picks_first_uncached_after_frontier() {
+        let s = whole_file(100);
+        let pool = pool_with(&[3, 4]);
+        let view = OracleView {
+            string: &s,
+            frontier: 3,
+            cross_portions: true,
+            min_lead: 0,
+        };
+        assert_eq!(select_oracle(&view, &pool), Some(BlockId(5)));
+    }
+
+    #[test]
+    fn oracle_exhausted_string_yields_none() {
+        let s = whole_file(10);
+        let pool = pool_with(&[]);
+        let view = OracleView {
+            string: &s,
+            frontier: 10,
+            cross_portions: true,
+            min_lead: 0,
+        };
+        assert_eq!(select_oracle(&view, &pool), None);
+    }
+
+    #[test]
+    fn oracle_respects_lead() {
+        let s = whole_file(100);
+        let pool = pool_with(&[]);
+        let view = OracleView {
+            string: &s,
+            frontier: 10,
+            cross_portions: true,
+            min_lead: 20,
+        };
+        assert_eq!(select_oracle(&view, &pool), Some(BlockId(30)));
+    }
+
+    #[test]
+    fn oracle_relaxes_lead_near_end() {
+        let s = whole_file(100);
+        let pool = pool_with(&[]);
+        let view = OracleView {
+            string: &s,
+            frontier: 95,
+            cross_portions: true,
+            min_lead: 20,
+        };
+        // Frontier + lead is past the end: relaxed, selects from frontier.
+        assert_eq!(select_oracle(&view, &pool), Some(BlockId(95)));
+    }
+
+    #[test]
+    fn oracle_stops_at_unestablished_portion() {
+        // Two portions: 0..5 and 50..55.
+        let s = RefString::from_portions(&[(0, 5), (50, 5)]);
+        let pool = pool_with(&[2, 3, 4]);
+        // Frontier at index 2 (portion 0 established).
+        let view = OracleView {
+            string: &s,
+            frontier: 2,
+            cross_portions: false,
+            min_lead: 0,
+        };
+        // Blocks 2-4 cached; block 50 is portion 1 — not established yet.
+        assert_eq!(select_oracle(&view, &pool), None);
+        // Once the frontier enters portion 1, selection proceeds there.
+        let view = OracleView {
+            string: &s,
+            frontier: 6,
+            cross_portions: false,
+            min_lead: 0,
+        };
+        assert_eq!(select_oracle(&view, &pool), Some(BlockId(51)));
+    }
+
+    #[test]
+    fn oracle_crosses_portions_when_allowed() {
+        let s = RefString::from_portions(&[(0, 5), (50, 5)]);
+        let pool = pool_with(&[2, 3, 4]);
+        let view = OracleView {
+            string: &s,
+            frontier: 2,
+            cross_portions: true,
+            min_lead: 0,
+        };
+        assert_eq!(select_oracle(&view, &pool), Some(BlockId(50)));
+    }
+
+    #[test]
+    fn oracle_skips_duplicate_appearances() {
+        // A string with a repeated block (overlapping random portions).
+        let s = RefString::from_portions(&[(0, 3), (1, 3)]);
+        let pool = pool_with(&[1, 2]);
+        let view = OracleView {
+            string: &s,
+            frontier: 1,
+            cross_portions: true,
+            min_lead: 0,
+        };
+        // Index 1,2 cached; index 3 is block 1 again (cached); index 4 is
+        // block 2 (cached); index 5 is block 3.
+        assert_eq!(select_oracle(&view, &pool), Some(BlockId(3)));
+    }
+
+    #[test]
+    fn predicted_selection_filters_cached() {
+        let pool = pool_with(&[7]);
+        assert_eq!(
+            select_predicted(&[BlockId(7), BlockId(8)], &pool),
+            Some(BlockId(8))
+        );
+        assert_eq!(select_predicted(&[BlockId(7)], &pool), None);
+        assert_eq!(select_predicted(&[], &pool), None);
+    }
+}

@@ -1,0 +1,217 @@
+//! Standard experiment sweeps, parameterized so callers (the benchmark
+//! harness, the CLI, downstream studies) share one implementation.
+//!
+//! Each sweep is a thread-parallel map over configurations derived from a
+//! base; the workers run whole experiments, which are internally
+//! deterministic, so parallelism never changes a number.
+
+use rt_patterns::AccessPattern;
+use rt_sim::SimDuration;
+
+use crate::config::{ExperimentConfig, PrefetchConfig};
+use crate::experiment::{run_experiment, run_pairs_parallel};
+use crate::metrics::{RunMetrics, RunPair};
+
+/// Worker threads used by the sweeps.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(4, |n| n.get())
+}
+
+/// Generic parallel map over derived configurations.
+pub fn sweep<T: Send>(
+    jobs: Vec<ExperimentConfig>,
+    tags: Vec<T>,
+    threads: usize,
+) -> Vec<(T, RunMetrics)> {
+    assert_eq!(jobs.len(), tags.len());
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<Option<RunMetrics>>> =
+        jobs.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.max(1).min(jobs.len().max(1)) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                *slots[i].lock().unwrap() = Some(run_experiment(&jobs[i]));
+            });
+        }
+    });
+    tags.into_iter()
+        .zip(slots)
+        .map(|(tag, slot)| (tag, slot.into_inner().unwrap().expect("job skipped")))
+        .collect()
+}
+
+/// One point of a computation sweep.
+pub struct ComputePoint {
+    /// Mean per-block computation time in milliseconds.
+    pub compute_ms: u64,
+    /// The base/prefetch pair at that intensity.
+    pub pair: RunPair,
+}
+
+/// Sweep the mean per-block computation time over `means_ms`, running each
+/// point as a base/prefetch pair (§V-C / Fig. 12).
+pub fn compute_sweep_over(
+    base: &ExperimentConfig,
+    means_ms: &[u64],
+    threads: usize,
+) -> Vec<ComputePoint> {
+    let configs: Vec<ExperimentConfig> = means_ms
+        .iter()
+        .map(|&ms| {
+            let mut cfg = base.clone();
+            cfg.compute_mean = SimDuration::from_millis(ms);
+            cfg
+        })
+        .collect();
+    let pairs = run_pairs_parallel(&configs, threads);
+    means_ms
+        .iter()
+        .zip(pairs)
+        .map(|(&compute_ms, pair)| ComputePoint { compute_ms, pair })
+        .collect()
+}
+
+/// One point of a minimum-prefetch-lead sweep.
+pub struct LeadPoint {
+    /// The pattern under study.
+    pub pattern: AccessPattern,
+    /// The minimum prefetch lead in string positions.
+    pub lead: u32,
+    /// Metrics with prefetching at that lead.
+    pub metrics: RunMetrics,
+}
+
+/// Sweep the minimum prefetch lead over `leads` for each of `patterns`,
+/// using the paper's §V-E geometry (local patterns read the whole file per
+/// process).
+pub fn lead_sweep_over(
+    patterns: &[AccessPattern],
+    leads: &[u32],
+    threads: usize,
+) -> Vec<LeadPoint> {
+    let mut jobs = Vec::new();
+    let mut tags = Vec::new();
+    for &pattern in patterns {
+        for &lead in leads {
+            jobs.push(ExperimentConfig::paper_lead(pattern, lead));
+            tags.push((pattern, lead));
+        }
+    }
+    sweep(jobs, tags, threads)
+        .into_iter()
+        .map(|((pattern, lead), metrics)| LeadPoint {
+            pattern,
+            lead,
+            metrics,
+        })
+        .collect()
+}
+
+/// Non-prefetching references for the lead sweep, in `patterns` order.
+pub fn lead_baselines_for(patterns: &[AccessPattern]) -> Vec<RunMetrics> {
+    patterns
+        .iter()
+        .map(|&pattern| {
+            let mut cfg = ExperimentConfig::paper_lead(pattern, 0);
+            cfg.prefetch = PrefetchConfig::disabled();
+            run_experiment(&cfg)
+        })
+        .collect()
+}
+
+/// One point of a prefetch-buffer-count sweep.
+pub struct BufferPoint {
+    /// Prefetch buffers (and cap) per node.
+    pub buffers: u16,
+    /// Metrics with prefetching at that size.
+    pub metrics: RunMetrics,
+}
+
+/// Sweep the prefetch buffers per node over `counts` (§V-F).
+pub fn buffer_sweep_over(
+    base: &ExperimentConfig,
+    counts: &[u16],
+    threads: usize,
+) -> Vec<BufferPoint> {
+    let mut jobs = Vec::new();
+    let mut tags = Vec::new();
+    for &buffers in counts {
+        let mut cfg = base.clone();
+        cfg.prefetch = PrefetchConfig {
+            buffers_per_proc: buffers,
+            global_cap_per_proc: buffers,
+            ..PrefetchConfig::paper()
+        };
+        jobs.push(cfg);
+        tags.push(buffers);
+    }
+    sweep(jobs, tags, threads)
+        .into_iter()
+        .map(|(buffers, metrics)| BufferPoint { buffers, metrics })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_patterns::{SyncStyle, WorkloadParams};
+
+    fn small() -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::paper_default(
+            AccessPattern::GlobalWholeFile,
+            SyncStyle::BlocksPerProc(10),
+        );
+        cfg.procs = 4;
+        cfg.disks = 4;
+        cfg.workload = WorkloadParams {
+            procs: 4,
+            file_blocks: 200,
+            total_reads: 200,
+            ..WorkloadParams::paper()
+        };
+        cfg
+    }
+
+    #[test]
+    fn compute_sweep_points_carry_their_means() {
+        let points = compute_sweep_over(&small(), &[0, 5, 10], 2);
+        assert_eq!(points.len(), 3);
+        assert_eq!(points[0].compute_ms, 0);
+        assert_eq!(points[2].compute_ms, 10);
+        for p in &points {
+            assert_eq!(p.pair.base.total_reads(), 200);
+            assert!(p.pair.prefetch.prefetches > 0);
+        }
+        // More compute -> longer runs, monotone across this small sweep.
+        assert!(points[2].pair.base.total_time > points[0].pair.base.total_time);
+    }
+
+    #[test]
+    fn buffer_sweep_orders_by_count() {
+        let points = buffer_sweep_over(&small(), &[1, 3], 2);
+        assert_eq!(points[0].buffers, 1);
+        assert_eq!(points[1].buffers, 3);
+        for p in &points {
+            assert_eq!(p.metrics.total_reads(), 200);
+        }
+    }
+
+    #[test]
+    fn generic_sweep_preserves_tag_order() {
+        let jobs = vec![small(), small()];
+        let out = sweep(jobs, vec!["a", "b"], 2);
+        assert_eq!(out[0].0, "a");
+        assert_eq!(out[1].0, "b");
+        assert_eq!(out[0].1.total_time, out[1].1.total_time, "same config");
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_tags_rejected() {
+        let _ = sweep(vec![small()], Vec::<u32>::new(), 1);
+    }
+}

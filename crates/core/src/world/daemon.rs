@@ -1,0 +1,121 @@
+//! The idle-time prefetching daemon: action scheduling, block selection,
+//! and overrun semantics.
+
+use super::*;
+
+impl World {
+    // ------------------------------------------------------------------
+    // The prefetching daemon.
+    // ------------------------------------------------------------------
+
+    /// An idle period begins on node `p`: start the daemon if configured.
+    pub(super) fn idle_begin(&mut self, p: usize, sched: &mut Scheduler<Ev>) {
+        self.procs[p].idle_since = Some(sched.now());
+        self.procs[p].logical_wake = None;
+        self.procs[p].last_action_empty = false;
+        self.maybe_start_action(p, sched);
+    }
+
+    /// Start one prefetch action on node `p` if the daemon may run.
+    pub(super) fn maybe_start_action(&mut self, p: usize, sched: &mut Scheduler<Ev>) {
+        if !self.cfg.prefetch.enabled || self.procs[p].action_busy {
+            return;
+        }
+        let now = sched.now();
+        // Minimum-prefetch-time rule (§V-D): skip when the estimated
+        // remaining idle time is too short. The estimate is exact for I/O
+        // waits; barrier waits have no estimate and always qualify.
+        if !self.cfg.prefetch.min_action_time.is_zero() {
+            if let Some(wake) = self.procs[p].expected_wake {
+                if wake.saturating_since(now) < self.cfg.prefetch.min_action_time {
+                    return;
+                }
+            }
+        }
+        // Repeat considerations that found nothing are cheaper: the
+        // selection runs but no buffer/I/O work follows.
+        let hold = if self.procs[p].last_action_empty {
+            self.cfg.costs.action_fail_hold
+        } else {
+            self.cfg.costs.action_hold
+        };
+        let done = self.lock.acquire_until_done(now, hold);
+        let proc = &mut self.procs[p];
+        proc.action_busy = true;
+        proc.action_started = now;
+        sched.schedule_at(done, Ev::ActionEnd(proc.id));
+    }
+
+    /// A prefetch action completed: perform its effect (selection ran
+    /// inside the critical section), then resume the user process if its
+    /// wake fired meanwhile, or consider another action.
+    pub(super) fn action_end(&mut self, p: usize, sched: &mut Scheduler<Ev>) {
+        let now = sched.now();
+        self.procs[p].action_busy = false;
+        self.rec
+            .action_time
+            .record(now - self.procs[p].action_started);
+
+        let candidate = self.select_block(p);
+        match candidate {
+            Some(block) => {
+                self.procs[p].last_action_empty = false;
+                match self.pool.try_reserve_prefetch(ProcId(p as u16), block) {
+                    Ok(buf) => {
+                        self.pool.commit_prefetch(buf, block, SimTime::MAX);
+                        self.rec.proc_prefetches[p] += 1;
+                        self.rec
+                            .tl_prefetched
+                            .record(now, self.pool.prefetched_unused() as f64);
+                        let started = self
+                            .fs
+                            .read(now, self.file, block, FetchKind::Prefetch, ProcId(p as u16))
+                            .expect("policy blocks are in range");
+                        self.outstanding_io += 1;
+                        self.rec.tl_outstanding_io.record(now, self.outstanding_io as f64);
+                        self.note_started(block, started, sched);
+                    }
+                    Err(_) => {
+                        self.rec.blocked_actions += 1;
+                    }
+                }
+            }
+            None => {
+                self.rec.empty_actions += 1;
+                self.procs[p].last_action_empty = true;
+            }
+        }
+
+        if self.procs[p].logical_wake.is_some() {
+            self.resume(p, sched);
+        } else if self.procs[p].idle_since.is_some() {
+            self.maybe_start_action(p, sched);
+        }
+    }
+
+    /// Pick the next block to prefetch on behalf of node `p`.
+    pub(super) fn select_block(&mut self, p: usize) -> Option<BlockId> {
+        match self.cfg.prefetch.policy {
+            PolicyKind::Oracle => {
+                let (string, frontier) = match &self.workload {
+                    Workload::Local(strings) => (&strings[p], self.procs[p].cursor.position()),
+                    Workload::Global(s) => (s, self.global_cursor.position()),
+                };
+                let view = OracleView {
+                    string,
+                    frontier,
+                    cross_portions: self.cfg.pattern.may_prefetch_across_portions(),
+                    min_lead: self.cfg.prefetch.min_lead,
+                };
+                select_oracle(&view, &self.pool)
+            }
+            PolicyKind::Obl { .. } | PolicyKind::PortionLearner { .. } => {
+                let preds = self.predictors[p]
+                    .as_ref()
+                    .expect("online policy without predictor")
+                    .predict(16);
+                select_predicted(&preds, &self.pool)
+            }
+        }
+    }
+}

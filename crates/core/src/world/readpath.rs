@@ -1,0 +1,280 @@
+//! The file-system read path: lookup classification, miss work, copies
+//! (with pinning), disk completions, and wake-ups.
+
+use super::*;
+
+impl World {
+    /// Issue the read of the process's current access: acquire the cache
+    /// lock; the lookup completes when the critical section ends.
+    pub(super) fn issue_read(&mut self, p: usize, sched: &mut Scheduler<Ev>) {
+        let now = sched.now();
+        let proc = &mut self.procs[p];
+        proc.state = PState::Lookup;
+        proc.read_start = now;
+        let done = self
+            .lock
+            .acquire_until_done(now, self.cfg.costs.lookup_overhead);
+        sched.schedule_at(done, Ev::LookupDone(proc.id));
+    }
+
+    /// The lookup critical section finished: classify hit/miss and either
+    /// copy, wait, or start a demand fetch.
+    pub(super) fn lookup_done(&mut self, p: usize, sched: &mut Scheduler<Ev>) {
+        let now = sched.now();
+        let access = self.procs[p].cur_access.expect("lookup without access");
+        let block = access.block;
+        match self.pool.lookup_for_read(block, now) {
+            Lookup::ReadyHit(buf) => {
+                self.procs[p].cur_outcome = Some(ReadOutcome::ReadyHit);
+                self.rec.hit_wait.record(SimDuration::ZERO);
+                self.begin_copy(p, buf, sched);
+            }
+            Lookup::UnreadyHit { ready_at, .. } => {
+                self.procs[p].cur_outcome = Some(ReadOutcome::UnreadyHit);
+                self.waiters.entry(block).or_default().push(ProcId(p as u16));
+                let proc = &mut self.procs[p];
+                proc.state = PState::WaitBlock;
+                proc.wait_since = now;
+                proc.wait_is_hit = true;
+                proc.expected_wake = (ready_at != SimTime::MAX).then_some(ready_at);
+                self.idle_begin(p, sched);
+            }
+            Lookup::Miss => {
+                self.procs[p].cur_outcome = Some(ReadOutcome::Miss);
+                self.start_miss(p, block, sched);
+            }
+        }
+    }
+
+    /// Begin the copy of a ready block: pin it so it cannot be evicted
+    /// mid-copy, refresh its recency, and schedule the read's completion.
+    pub(super) fn begin_copy(&mut self, p: usize, buf: rt_cache::BufferId, sched: &mut Scheduler<Ev>) {
+        let now = sched.now();
+        self.pool.record_use(buf, ProcId(p as u16), now);
+        self.rec
+            .tl_prefetched
+            .record(now, self.pool.prefetched_unused() as f64);
+        self.pool.pin(buf);
+        debug_assert!(self.procs[p].copying_buf.is_none());
+        self.procs[p].copying_buf = Some(buf);
+        let copy = self.copy_cost(p, buf);
+        self.procs[p].state = PState::Copying;
+        sched.schedule_in(copy, Ev::ReadFinished(ProcId(p as u16)));
+    }
+
+    /// Reserve a demand buffer for `block` and start the miss work. If all
+    /// candidate buffers are pinned by in-flight copies, retry shortly.
+    pub(super) fn start_miss(&mut self, p: usize, block: BlockId, sched: &mut Scheduler<Ev>) {
+        let now = sched.now();
+        // Reserve the buffer immediately (so concurrent readers of the same
+        // block become unready hits), then perform the miss work — RU-set
+        // manipulation and disk enqueue — in its own critical section. The
+        // node's file-system component is busy during that window, so no
+        // prefetch action starts until the fetch is on the disk queue.
+        match self
+            .pool
+            .alloc_demand(ProcId(p as u16), block, SimTime::MAX)
+        {
+            Some(_) => {
+                self.waiters.entry(block).or_default().push(ProcId(p as u16));
+                let done = self
+                    .lock
+                    .acquire_until_done(now, self.cfg.costs.miss_overhead);
+                let proc = &mut self.procs[p];
+                proc.state = PState::WaitBlock;
+                proc.wait_since = now;
+                proc.wait_is_hit = false;
+                proc.expected_wake = None;
+                sched.schedule_at(done, Ev::MissIssue(ProcId(p as u16)));
+            }
+            None => {
+                // Every candidate buffer is pinned by an in-flight copy;
+                // copies are short, so spin on the allocation.
+                self.rec.alloc_retries += 1;
+                sched.schedule_in(self.cfg.costs.copy_remote, Ev::RetryMiss(ProcId(p as u16)));
+            }
+        }
+    }
+
+    /// Retry a miss whose buffer allocation found only pinned victims. The
+    /// block may have appeared in the cache meanwhile (another process
+    /// fetched it); the read's original classification stands.
+    pub(super) fn retry_miss(&mut self, p: usize, sched: &mut Scheduler<Ev>) {
+        let now = sched.now();
+        let block = self.procs[p]
+            .cur_access
+            .expect("retry without access")
+            .block;
+        match self.pool.buffer_for(block) {
+            Some(buf) => match self.pool.buffer(buf).state {
+                rt_cache::BufState::Ready { .. } => self.begin_copy(p, buf, sched),
+                _ => {
+                    // In flight on someone else's behalf: wait like an
+                    // unready hit (but keep the original miss accounting).
+                    self.waiters.entry(block).or_default().push(ProcId(p as u16));
+                    let proc = &mut self.procs[p];
+                    proc.state = PState::WaitBlock;
+                    proc.wait_since = now;
+                    proc.wait_is_hit = false;
+                    proc.expected_wake = None;
+                    self.idle_begin(p, sched);
+                }
+            },
+            None => self.start_miss(p, block, sched),
+        }
+    }
+
+    /// The miss work finished: the demand fetch goes on the disk queue and
+    /// the node's daemon may use the remaining wait.
+    pub(super) fn miss_issue(&mut self, p: usize, sched: &mut Scheduler<Ev>) {
+        let now = sched.now();
+        let block = self.procs[p]
+            .cur_access
+            .expect("miss work without access")
+            .block;
+        let started = self
+            .fs
+            .read(now, self.file, block, FetchKind::Demand, ProcId(p as u16))
+            .expect("workload blocks are in range");
+        self.outstanding_io += 1;
+        self.rec.tl_outstanding_io.record(now, self.outstanding_io as f64);
+        self.procs[p].expected_wake = self.note_started(block, started, sched);
+        self.idle_begin(p, sched);
+    }
+
+    /// Record a submission's outcome: when the request started service, its
+    /// pending buffer learns the completion time and a completion event is
+    /// scheduled. Queued requests stay at an unknown ready time until a
+    /// completion starts them.
+    pub(super) fn note_started(
+        &mut self,
+        block: BlockId,
+        started: Option<FsStarted>,
+        sched: &mut Scheduler<Ev>,
+    ) -> Option<SimTime> {
+        started.map(|s| {
+            let buf = self
+                .pool
+                .buffer_for(block)
+                .expect("started request without a pending buffer");
+            self.pool.set_ready_at(buf, s.completion);
+            sched.schedule_at(s.completion, Ev::DiskDone(s.disk));
+            s.completion
+        })
+    }
+
+    /// NUMA-aware copy cost: local buffers copy faster than remote ones.
+    pub(super) fn copy_cost(&self, p: usize, buf: rt_cache::BufferId) -> SimDuration {
+        if self.pool.buffer(buf).home == ProcId(p as u16) {
+            self.cfg.costs.copy_local
+        } else {
+            self.cfg.costs.copy_remote
+        }
+    }
+
+    /// The in-flight request on a disk completed: the finished block's
+    /// buffer becomes ready; if queued work started, track its completion.
+    pub(super) fn disk_done(&mut self, disk: DiskId, sched: &mut Scheduler<Ev>) {
+        let now = sched.now();
+        let (done, next) = self.fs.complete(disk, now);
+        debug_assert_eq!(done.file, self.file);
+        self.outstanding_io -= 1;
+        self.rec.tl_outstanding_io.record(now, self.outstanding_io as f64);
+        if let Some(s) = next {
+            // The newly started request's pending buffer learns its
+            // completion time.
+            debug_assert_eq!(s.file, self.file);
+            if let Some(buf) = self.pool.buffer_for(s.block) {
+                self.pool.set_ready_at(buf, s.completion);
+            }
+            sched.schedule_at(s.completion, Ev::DiskDone(disk));
+        }
+        self.block_ready(done.block, sched);
+    }
+
+    /// A disk I/O completed: the buffer becomes ready; wake the waiters.
+    pub(super) fn block_ready(&mut self, block: BlockId, sched: &mut Scheduler<Ev>) {
+        let now = sched.now();
+        let buf = self
+            .pool
+            .buffer_for(block)
+            .expect("I/O completed for an unindexed block");
+        self.pool.complete_io(buf, now);
+        if let Some(list) = self.waiters.remove(&block) {
+            for w in list {
+                let (is_hit, since) = {
+                    let proc = &mut self.procs[w.index()];
+                    proc.logical_wake = Some(now);
+                    (proc.wait_is_hit, proc.wait_since)
+                };
+                if is_hit {
+                    self.rec.hit_wait.record(now.saturating_since(since));
+                }
+                // Pin on behalf of each waiter: the data must survive until
+                // its (possibly overrun-delayed) copy completes.
+                let buf = self.pool.buffer_for(block).expect("ready block indexed");
+                self.pool.pin(buf);
+                self.wake(w.index(), sched);
+            }
+        }
+    }
+
+    /// Resume a process whose wake condition fired, unless a prefetch
+    /// action is in flight on its node (then the action's completion
+    /// resumes it — overrun).
+    pub(super) fn wake(&mut self, p: usize, sched: &mut Scheduler<Ev>) {
+        if self.procs[p].logical_wake.is_none() {
+            self.procs[p].logical_wake = Some(sched.now());
+        }
+        if self.procs[p].action_busy {
+            return;
+        }
+        self.resume(p, sched);
+    }
+
+    /// Actually resume a process out of an idle period, accounting the
+    /// idle time and any overrun.
+    pub(super) fn resume(&mut self, p: usize, sched: &mut Scheduler<Ev>) {
+        let now = sched.now();
+        let (wake, idle_since) = {
+            let proc = &mut self.procs[p];
+            let wake = proc.logical_wake.take().expect("resume without wake");
+            let idle_since = proc.idle_since.take().expect("resume without idle start");
+            (wake, idle_since)
+        };
+        self.rec.idle_necessary.record(wake.saturating_since(idle_since));
+        self.rec.idle_actual.record(now.saturating_since(idle_since));
+        if now > wake {
+            self.rec.overrun.record(now - wake);
+        }
+        match self.procs[p].state {
+            PState::WaitBlock => {
+                let block = self.procs[p]
+                    .cur_access
+                    .expect("waiting without access")
+                    .block;
+                // The buffer was pinned on this process's behalf when the
+                // I/O completed, so the data cannot have vanished.
+                let buf = self
+                    .pool
+                    .buffer_for(block)
+                    .expect("pinned block evicted before its copy");
+                self.pool.record_use(buf, ProcId(p as u16), now);
+                self.rec
+                    .tl_prefetched
+                    .record(now, self.pool.prefetched_unused() as f64);
+                debug_assert!(self.procs[p].copying_buf.is_none());
+                self.procs[p].copying_buf = Some(buf);
+                let copy = self.copy_cost(p, buf);
+                self.procs[p].state = PState::Copying;
+                sched.schedule_in(copy, Ev::ReadFinished(ProcId(p as u16)));
+            }
+            PState::AtBarrier => {
+                self.procs[p].state = PState::Running;
+                self.proceed_next(p, sched);
+            }
+            other => panic!("resume in unexpected state {other:?}"),
+        }
+    }
+
+}

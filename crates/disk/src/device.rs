@@ -1,0 +1,322 @@
+//! A single simulated disk device with an explicit request queue.
+//!
+//! The device is event-driven: a submission either starts service
+//! immediately (the caller schedules a completion event) or queues; each
+//! completion may start the next request per the queue discipline. The
+//! paper's testbed serves requests FCFS — prefetches *do* delay demand
+//! fetches, a deliberate property ([`Discipline::Fifo`]). The
+//! demand-priority discipline is an extension for studying how much of the
+//! prefetch-induced contention (Fig. 7) a smarter disk queue could absorb.
+
+use std::collections::VecDeque;
+
+use rt_sim::{Rng, SimDuration, SimTime, Tally, TimeWeighted};
+
+use crate::request::{DiskRequest, FetchKind};
+use crate::service::{Service, ServiceModel};
+
+/// Order in which queued requests are dispatched.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Discipline {
+    /// First-come first-served (the paper's testbed).
+    #[default]
+    Fifo,
+    /// Demand fetches dispatch before prefetches; FCFS within each class
+    /// (extension).
+    DemandPriority,
+}
+
+/// A request actively being serviced.
+#[derive(Clone, Copy, Debug)]
+struct InService {
+    req: DiskRequest,
+    completion: SimTime,
+}
+
+/// One disk: a queue, a head, and the response-time accounting the paper
+/// uses as its disk-contention metric ("the time from the entry of the
+/// request on the queue of the appropriate disk to the completion of the
+/// I/O").
+#[derive(Clone, Debug)]
+pub struct Disk {
+    service: Service,
+    rng: Rng,
+    discipline: Discipline,
+    queue: VecDeque<DiskRequest>,
+    in_service: Option<InService>,
+    busy: SimDuration,
+    completed: u64,
+    demand_response: Tally,
+    prefetch_response: Tally,
+    response: Tally,
+    queue_delay: Tally,
+    queue_len: TimeWeighted,
+}
+
+impl Disk {
+    /// A new idle disk with the given service model, queue discipline, and
+    /// its own random stream (used only by stochastic service models).
+    pub fn new(service: Service, discipline: Discipline, rng: Rng) -> Self {
+        Disk {
+            service,
+            rng,
+            discipline,
+            queue: VecDeque::new(),
+            in_service: None,
+            busy: SimDuration::ZERO,
+            completed: 0,
+            demand_response: Tally::new(),
+            prefetch_response: Tally::new(),
+            response: Tally::new(),
+            queue_delay: Tally::new(),
+            queue_len: TimeWeighted::new(SimTime::ZERO, 0.0),
+        }
+    }
+
+    /// Submit `req` at `req.submitted`. If the disk is idle the request
+    /// starts at once and its completion time is returned — the caller
+    /// must schedule a completion event and call [`Disk::complete`] then.
+    /// Otherwise the request queues and `None` is returned.
+    pub fn submit(&mut self, req: DiskRequest) -> Option<SimTime> {
+        if self.in_service.is_none() {
+            debug_assert!(self.queue.is_empty(), "idle disk with queued work");
+            Some(self.start(req, req.submitted))
+        } else {
+            self.queue_len.add(req.submitted, 1.0);
+            self.queue.push_back(req);
+            None
+        }
+    }
+
+    /// The in-flight request finished at `now`. Returns the finished
+    /// request and, if the queue was non-empty, the next request together
+    /// with its completion time (the caller schedules the next completion
+    /// event).
+    pub fn complete(&mut self, now: SimTime) -> (DiskRequest, Option<(DiskRequest, SimTime)>) {
+        let done = self
+            .in_service
+            .take()
+            .expect("complete on an idle disk");
+        debug_assert_eq!(done.completion, now, "completion fired at the wrong time");
+        self.completed += 1;
+        let response = now.saturating_since(done.req.submitted);
+        self.response.record(response);
+        match done.req.kind {
+            FetchKind::Demand => self.demand_response.record(response),
+            FetchKind::Prefetch => self.prefetch_response.record(response),
+        }
+        let next = self.dequeue().map(|req| {
+            self.queue_len.add(now, -1.0);
+            self.queue_delay.record(now.saturating_since(req.submitted));
+            let completion = self.start(req, now);
+            (req, completion)
+        });
+        (done.req, next)
+    }
+
+    /// Pick the next queued request per the discipline.
+    fn dequeue(&mut self) -> Option<DiskRequest> {
+        match self.discipline {
+            Discipline::Fifo => self.queue.pop_front(),
+            Discipline::DemandPriority => {
+                let pos = self
+                    .queue
+                    .iter()
+                    .position(|r| r.kind == FetchKind::Demand)
+                    .unwrap_or(0);
+                if self.queue.is_empty() {
+                    None
+                } else {
+                    self.queue.remove(pos)
+                }
+            }
+        }
+    }
+
+    /// Begin servicing `req` at `start`; returns its completion time.
+    fn start(&mut self, req: DiskRequest, start: SimTime) -> SimTime {
+        let service = self.service.service_time(req.physical, &mut self.rng);
+        self.busy += service;
+        let completion = start + service;
+        self.in_service = Some(InService { req, completion });
+        completion
+    }
+
+    /// True when a request is in service.
+    pub fn busy_now(&self) -> bool {
+        self.in_service.is_some()
+    }
+
+    /// Requests completed so far.
+    pub fn ops(&self) -> u64 {
+        self.completed
+    }
+
+    /// Requests waiting in queue (excluding the one in service).
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Distribution of response times over all completed requests.
+    pub fn response(&self) -> &Tally {
+        &self.response
+    }
+
+    /// Response-time distribution of demand fetches only.
+    pub fn demand_response(&self) -> &Tally {
+        &self.demand_response
+    }
+
+    /// Response-time distribution of prefetches only.
+    pub fn prefetch_response(&self) -> &Tally {
+        &self.prefetch_response
+    }
+
+    /// Distribution of time spent queued before service began (queued
+    /// requests only; immediate starts contribute nothing).
+    pub fn queue_delay(&self) -> &Tally {
+        &self.queue_delay
+    }
+
+    /// Fraction of `[0, now]` the device was busy.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        let span = now.as_nanos();
+        if span == 0 {
+            0.0
+        } else {
+            self.busy.as_nanos() as f64 / span as f64
+        }
+    }
+
+    /// Aggregate busy time (sum of service times started so far).
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy
+    }
+
+    /// Time-averaged queue length over `[0, now]`.
+    pub fn avg_queue_len(&self, now: SimTime) -> f64 {
+        self.queue_len.average(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{BlockId, ProcId};
+
+    fn req(at_ms: u64, kind: FetchKind, block: u32) -> DiskRequest {
+        DiskRequest {
+            block: BlockId(block),
+            physical: block,
+            kind,
+            initiator: ProcId(0),
+            submitted: SimTime::ZERO + SimDuration::from_millis(at_ms),
+        }
+    }
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    fn disk(d: Discipline) -> Disk {
+        Disk::new(Service::paper(), d, Rng::seeded(1))
+    }
+
+    #[test]
+    fn idle_disk_starts_immediately() {
+        let mut d = disk(Discipline::Fifo);
+        let completion = d.submit(req(0, FetchKind::Demand, 0)).unwrap();
+        assert_eq!(completion, t(30));
+        assert!(d.busy_now());
+        let (done, next) = d.complete(t(30));
+        assert_eq!(done.block, BlockId(0));
+        assert!(next.is_none());
+        assert!(!d.busy_now());
+        assert_eq!(d.ops(), 1);
+    }
+
+    #[test]
+    fn busy_disk_queues_fifo() {
+        let mut d = disk(Discipline::Fifo);
+        assert_eq!(d.submit(req(0, FetchKind::Demand, 0)), Some(t(30)));
+        assert_eq!(d.submit(req(5, FetchKind::Demand, 1)), None);
+        assert_eq!(d.submit(req(6, FetchKind::Demand, 2)), None);
+        assert_eq!(d.queued(), 2);
+        let (done, next) = d.complete(t(30));
+        assert_eq!(done.block, BlockId(0));
+        let (nreq, ncomp) = next.unwrap();
+        assert_eq!(nreq.block, BlockId(1));
+        assert_eq!(ncomp, t(60));
+        let (done, next) = d.complete(t(60));
+        assert_eq!(done.block, BlockId(1));
+        assert_eq!(next.unwrap().0.block, BlockId(2));
+        // Response of block 1: submitted at 5, done at 60 -> 55ms.
+        assert!((d.response().mean_millis() - (30.0 + 55.0) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn demand_priority_jumps_prefetches() {
+        let mut d = disk(Discipline::DemandPriority);
+        d.submit(req(0, FetchKind::Demand, 0));
+        d.submit(req(1, FetchKind::Prefetch, 1));
+        d.submit(req(2, FetchKind::Prefetch, 2));
+        d.submit(req(3, FetchKind::Demand, 3));
+        let (_, next) = d.complete(t(30));
+        // The demand fetch (block 3) overtakes both queued prefetches.
+        assert_eq!(next.unwrap().0.block, BlockId(3));
+        let (_, next) = d.complete(t(60));
+        assert_eq!(next.unwrap().0.block, BlockId(1));
+    }
+
+    #[test]
+    fn fifo_never_reorders() {
+        let mut d = disk(Discipline::Fifo);
+        d.submit(req(0, FetchKind::Prefetch, 0));
+        d.submit(req(1, FetchKind::Prefetch, 1));
+        d.submit(req(2, FetchKind::Demand, 2));
+        let (_, next) = d.complete(t(30));
+        assert_eq!(next.unwrap().0.block, BlockId(1));
+    }
+
+    #[test]
+    fn kinds_tracked_separately() {
+        let mut d = disk(Discipline::Fifo);
+        d.submit(req(0, FetchKind::Demand, 0));
+        d.complete(t(30));
+        d.submit(req(100, FetchKind::Prefetch, 1));
+        d.complete(t(130));
+        assert_eq!(d.demand_response().count(), 1);
+        assert_eq!(d.prefetch_response().count(), 1);
+        assert!((d.demand_response().mean_millis() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_accumulates() {
+        let mut d = disk(Discipline::Fifo);
+        d.submit(req(0, FetchKind::Demand, 0));
+        d.complete(t(30));
+        d.submit(req(70, FetchKind::Demand, 1));
+        d.complete(t(100));
+        // Busy 60ms out of 100ms.
+        assert!((d.utilization(t(100)) - 0.6).abs() < 1e-9);
+        assert_eq!(d.busy_time(), SimDuration::from_millis(60));
+    }
+
+    #[test]
+    fn queue_delay_recorded_for_waiters_only() {
+        let mut d = disk(Discipline::Fifo);
+        d.submit(req(0, FetchKind::Demand, 0));
+        d.submit(req(10, FetchKind::Demand, 1));
+        d.complete(t(30));
+        // Block 1 waited from 10 to 30.
+        assert_eq!(d.queue_delay().count(), 1);
+        assert!((d.queue_delay().mean_millis() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "complete on an idle disk")]
+    fn complete_when_idle_panics() {
+        let mut d = disk(Discipline::Fifo);
+        d.complete(t(0));
+    }
+}

@@ -1,0 +1,231 @@
+//! Disk service-time models.
+//!
+//! The paper's testbed simulated its disks with a **fixed 30 ms access
+//! time** per block ([`FixedLatency`]); we reproduce that as the default.
+//! [`SeekRotate`] is an extension — a conventional seek, rotational-latency
+//! and transfer model — for studying how sensitive the paper's conclusions
+//! are to the flat-latency assumption (the authors list more realistic
+//! device models as future work). Both plug into the same [`ServiceModel`]
+//! trait.
+
+use rt_sim::{Rng, SimDuration};
+
+/// Computes the service time of the next request given the physical block
+/// it targets. Implementations may keep per-device state (e.g. head
+/// position).
+pub trait ServiceModel {
+    /// Service time for a request at `physical` block offset.
+    fn service_time(&mut self, physical: u32, rng: &mut Rng) -> SimDuration;
+
+    /// A short human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The paper's model: every access costs the same fixed latency.
+#[derive(Clone, Copy, Debug)]
+pub struct FixedLatency {
+    /// Cost of any single-block access.
+    pub latency: SimDuration,
+}
+
+impl FixedLatency {
+    /// The paper's 30 ms disk.
+    pub fn paper() -> Self {
+        FixedLatency {
+            latency: SimDuration::from_millis(30),
+        }
+    }
+}
+
+impl ServiceModel for FixedLatency {
+    fn service_time(&mut self, _physical: u32, _rng: &mut Rng) -> SimDuration {
+        self.latency
+    }
+
+    fn name(&self) -> &'static str {
+        "fixed-latency"
+    }
+}
+
+/// Geometry for the seek/rotate model.
+#[derive(Clone, Copy, Debug)]
+pub struct DiskGeometry {
+    /// Number of cylinders.
+    pub cylinders: u32,
+    /// Blocks per track (one track per cylinder in this simplified model).
+    pub blocks_per_track: u32,
+    /// Full-stroke seek time; a seek over `d` cylinders costs
+    /// `seek_min + (seek_full - seek_min) * d / cylinders`.
+    pub seek_full: SimDuration,
+    /// Single-cylinder seek time.
+    pub seek_min: SimDuration,
+    /// Time for one full platter rotation.
+    pub rotation: SimDuration,
+}
+
+impl DiskGeometry {
+    /// A geometry loosely patterned on a late-1980s Winchester drive, tuned
+    /// so the *average* access is near the paper's 30 ms.
+    pub fn vintage() -> Self {
+        DiskGeometry {
+            cylinders: 1024,
+            blocks_per_track: 32,
+            seek_full: SimDuration::from_millis(45),
+            seek_min: SimDuration::from_millis(5),
+            rotation: SimDuration::from_millis(17),
+        }
+    }
+}
+
+/// Seek + rotational latency + transfer model with a moving head.
+#[derive(Clone, Debug)]
+pub struct SeekRotate {
+    geometry: DiskGeometry,
+    head_cylinder: u32,
+}
+
+impl SeekRotate {
+    /// A drive with the head parked at cylinder 0.
+    pub fn new(geometry: DiskGeometry) -> Self {
+        SeekRotate {
+            geometry,
+            head_cylinder: 0,
+        }
+    }
+
+    /// Cylinder holding `physical`.
+    fn cylinder_of(&self, physical: u32) -> u32 {
+        (physical / self.geometry.blocks_per_track) % self.geometry.cylinders
+    }
+}
+
+impl ServiceModel for SeekRotate {
+    fn service_time(&mut self, physical: u32, rng: &mut Rng) -> SimDuration {
+        let g = &self.geometry;
+        let target = self.cylinder_of(physical);
+        let distance = target.abs_diff(self.head_cylinder) as u64;
+        let seek = if distance == 0 {
+            SimDuration::ZERO
+        } else {
+            let span = g.seek_full.saturating_sub(g.seek_min).as_nanos();
+            g.seek_min + SimDuration::from_nanos(span * distance / g.cylinders as u64)
+        };
+        self.head_cylinder = target;
+        // Rotational latency: uniform over one rotation.
+        let rot = SimDuration::from_nanos(rng.below(g.rotation.as_nanos().max(1)));
+        // Transfer: one block out of blocks_per_track per rotation.
+        let transfer = g.rotation / g.blocks_per_track as u64;
+        seek + rot + transfer
+    }
+
+    fn name(&self) -> &'static str {
+        "seek-rotate"
+    }
+}
+
+/// Runtime-selectable service model (avoids generics bleeding through the
+/// device layer).
+#[derive(Clone, Debug)]
+pub enum Service {
+    /// Fixed per-access latency (the paper's model).
+    Fixed(FixedLatency),
+    /// Seek + rotation + transfer.
+    SeekRotate(SeekRotate),
+}
+
+impl Service {
+    /// The paper's 30 ms fixed-latency disk.
+    pub fn paper() -> Self {
+        Service::Fixed(FixedLatency::paper())
+    }
+}
+
+impl ServiceModel for Service {
+    fn service_time(&mut self, physical: u32, rng: &mut Rng) -> SimDuration {
+        match self {
+            Service::Fixed(m) => m.service_time(physical, rng),
+            Service::SeekRotate(m) => m.service_time(physical, rng),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            Service::Fixed(m) => m.name(),
+            Service::SeekRotate(m) => m.name(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_latency_is_constant() {
+        let mut m = FixedLatency::paper();
+        let mut rng = Rng::seeded(1);
+        for p in [0u32, 7, 1999] {
+            assert_eq!(m.service_time(p, &mut rng), SimDuration::from_millis(30));
+        }
+    }
+
+    #[test]
+    fn seek_rotate_zero_seek_on_same_cylinder() {
+        let g = DiskGeometry::vintage();
+        let mut m = SeekRotate::new(g);
+        let mut rng = Rng::seeded(2);
+        // Two accesses on cylinder 0: second involves no seek component,
+        // so it is bounded by rotation + transfer.
+        let _ = m.service_time(0, &mut rng);
+        let t = m.service_time(1, &mut rng);
+        assert!(t <= g.rotation + g.rotation / g.blocks_per_track as u64);
+    }
+
+    #[test]
+    fn seek_rotate_longer_for_far_seeks() {
+        let g = DiskGeometry::vintage();
+        let mut rng = Rng::seeded(3);
+        // Average over many draws to wash out rotational randomness.
+        let avg = |from: u32, to: u32, rng: &mut Rng| -> f64 {
+            let mut total = 0u64;
+            for _ in 0..200 {
+                let mut m = SeekRotate::new(g);
+                let _ = m.service_time(from * g.blocks_per_track, rng);
+                total += m.service_time(to * g.blocks_per_track, rng).as_nanos();
+            }
+            total as f64 / 200.0
+        };
+        let near = avg(0, 1, &mut rng);
+        let far = avg(0, 1000, &mut rng);
+        assert!(far > near, "far seek {far} should exceed near seek {near}");
+    }
+
+    #[test]
+    fn vintage_average_near_30ms() {
+        let g = DiskGeometry::vintage();
+        let mut m = SeekRotate::new(g);
+        let mut rng = Rng::seeded(4);
+        let n = 10_000;
+        let mut total = 0u64;
+        for _ in 0..n {
+            let p = rng.below((g.cylinders * g.blocks_per_track) as u64) as u32;
+            total += m.service_time(p, &mut rng).as_nanos();
+        }
+        let avg_ms = total as f64 / n as f64 / 1.0e6;
+        assert!(
+            (15.0..45.0).contains(&avg_ms),
+            "vintage average {avg_ms} ms out of expected band"
+        );
+    }
+
+    #[test]
+    fn service_enum_dispatches() {
+        let mut rng = Rng::seeded(5);
+        let mut s = Service::paper();
+        assert_eq!(s.name(), "fixed-latency");
+        assert_eq!(s.service_time(0, &mut rng), SimDuration::from_millis(30));
+        let mut s = Service::SeekRotate(SeekRotate::new(DiskGeometry::vintage()));
+        assert_eq!(s.name(), "seek-rotate");
+        assert!(!s.service_time(0, &mut rng).is_zero());
+    }
+}

@@ -1,0 +1,225 @@
+//! Interleaved ("striped") file layout over parallel independent disks.
+//!
+//! RAPID Transit inherits the Bridge file system's layout: consecutive
+//! logical blocks of a file are assigned to disks on different processor
+//! nodes **round-robin**, so a sequential scan drives all disks in parallel.
+//! A contiguous single-disk layout is provided as the traditional baseline.
+
+use crate::request::{BlockId, DiskId};
+
+/// Where a logical block lives: which disk, and at which physical offset on
+/// that disk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Placement {
+    /// Target device.
+    pub disk: DiskId,
+    /// Physical block offset on that device.
+    pub physical: u32,
+}
+
+/// A mapping from logical file blocks to physical placements.
+pub trait Layout {
+    /// Placement of logical block `block`.
+    fn place(&self, block: BlockId) -> Placement;
+
+    /// Number of disks this layout spreads the file over.
+    fn disk_count(&self) -> u16;
+
+    /// A short human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Round-robin interleaving: block *i* lives on disk *i mod D* at physical
+/// offset *i / D* (plus a per-file base). This is the paper's configuration
+/// with stripe unit = 1 block.
+#[derive(Clone, Copy, Debug)]
+pub struct Interleaved {
+    disks: u16,
+    /// Physical offset of the file's first stripe on every disk.
+    base: u32,
+}
+
+impl Interleaved {
+    /// Interleave over `disks` devices starting at physical offset `base`.
+    /// Panics if `disks == 0`.
+    pub fn new(disks: u16, base: u32) -> Self {
+        assert!(disks > 0, "cannot interleave over zero disks");
+        Interleaved { disks, base }
+    }
+
+    /// The paper's layout: interleaved over 20 disks from offset 0.
+    pub fn paper() -> Self {
+        Interleaved::new(20, 0)
+    }
+}
+
+impl Layout for Interleaved {
+    fn place(&self, block: BlockId) -> Placement {
+        let d = self.disks as u32;
+        Placement {
+            disk: DiskId((block.0 % d) as u16),
+            physical: self.base + block.0 / d,
+        }
+    }
+
+    fn disk_count(&self) -> u16 {
+        self.disks
+    }
+
+    fn name(&self) -> &'static str {
+        "interleaved"
+    }
+}
+
+/// Traditional layout: the whole file sits contiguously on one disk.
+#[derive(Clone, Copy, Debug)]
+pub struct Contiguous {
+    disk: DiskId,
+    base: u32,
+}
+
+impl Contiguous {
+    /// Place the file on `disk` starting at physical offset `base`.
+    pub fn new(disk: DiskId, base: u32) -> Self {
+        Contiguous { disk, base }
+    }
+}
+
+impl Layout for Contiguous {
+    fn place(&self, block: BlockId) -> Placement {
+        Placement {
+            disk: self.disk,
+            physical: self.base + block.0,
+        }
+    }
+
+    fn disk_count(&self) -> u16 {
+        1
+    }
+
+    fn name(&self) -> &'static str {
+        "contiguous"
+    }
+}
+
+/// Runtime-selectable layout.
+#[derive(Clone, Copy, Debug)]
+pub enum FileLayout {
+    /// Round-robin over all disks (the paper's configuration).
+    Interleaved(Interleaved),
+    /// Whole file on one disk (uniprocessor baseline).
+    Contiguous(Contiguous),
+}
+
+impl FileLayout {
+    /// The paper's 20-disk round-robin interleave.
+    pub fn paper() -> Self {
+        FileLayout::Interleaved(Interleaved::paper())
+    }
+
+    /// Round-robin over `disks` devices.
+    pub fn interleaved(disks: u16) -> Self {
+        FileLayout::Interleaved(Interleaved::new(disks, 0))
+    }
+}
+
+impl Layout for FileLayout {
+    fn place(&self, block: BlockId) -> Placement {
+        match self {
+            FileLayout::Interleaved(l) => l.place(block),
+            FileLayout::Contiguous(l) => l.place(block),
+        }
+    }
+
+    fn disk_count(&self) -> u16 {
+        match self {
+            FileLayout::Interleaved(l) => l.disk_count(),
+            FileLayout::Contiguous(l) => l.disk_count(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            FileLayout::Interleaved(l) => l.name(),
+            FileLayout::Contiguous(l) => l.name(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interleave_round_robin() {
+        let l = Interleaved::new(4, 0);
+        assert_eq!(
+            l.place(BlockId(0)),
+            Placement { disk: DiskId(0), physical: 0 }
+        );
+        assert_eq!(
+            l.place(BlockId(1)),
+            Placement { disk: DiskId(1), physical: 0 }
+        );
+        assert_eq!(
+            l.place(BlockId(4)),
+            Placement { disk: DiskId(0), physical: 1 }
+        );
+        assert_eq!(
+            l.place(BlockId(7)),
+            Placement { disk: DiskId(3), physical: 1 }
+        );
+    }
+
+    #[test]
+    fn interleave_respects_base() {
+        let l = Interleaved::new(2, 100);
+        assert_eq!(l.place(BlockId(3)).physical, 101);
+    }
+
+    #[test]
+    fn paper_layout_uses_20_disks() {
+        let l = Interleaved::paper();
+        assert_eq!(l.disk_count(), 20);
+        // Consecutive blocks land on consecutive disks.
+        for i in 0..40u32 {
+            assert_eq!(l.place(BlockId(i)).disk, DiskId((i % 20) as u16));
+        }
+    }
+
+    #[test]
+    fn interleave_spreads_sequential_scan_evenly() {
+        let l = Interleaved::paper();
+        let mut counts = [0u32; 20];
+        for i in 0..2000u32 {
+            counts[l.place(BlockId(i)).disk.index()] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 100));
+    }
+
+    #[test]
+    fn contiguous_single_disk() {
+        let l = Contiguous::new(DiskId(5), 10);
+        assert_eq!(
+            l.place(BlockId(7)),
+            Placement { disk: DiskId(5), physical: 17 }
+        );
+        assert_eq!(l.disk_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero disks")]
+    fn zero_disks_rejected() {
+        let _ = Interleaved::new(0, 0);
+    }
+
+    #[test]
+    fn layout_enum_dispatch() {
+        let l = FileLayout::paper();
+        assert_eq!(l.name(), "interleaved");
+        assert_eq!(l.disk_count(), 20);
+        let c = FileLayout::Contiguous(Contiguous::new(DiskId(0), 0));
+        assert_eq!(c.name(), "contiguous");
+        assert_eq!(c.place(BlockId(9)).physical, 9);
+    }
+}

@@ -1,0 +1,73 @@
+//! File metadata.
+
+use rt_disk::FileLayout;
+
+/// Identifies an open file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FileId(pub u32);
+
+impl FileId {
+    /// Index for the file table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// How a file is spread over the disks — the choice §II of the paper
+/// motivates: interleaving parallelizes sequential scans, the traditional
+/// single-disk placement serializes them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Striping {
+    /// Round-robin over all disks (Bridge's layout, the paper's default).
+    Interleaved,
+    /// Contiguous on one chosen disk (the uniprocessor baseline).
+    OnDisk(u16),
+}
+
+/// Metadata of one file.
+#[derive(Clone, Debug)]
+pub struct FileMeta {
+    /// Human-readable name, unique within the file system.
+    pub name: String,
+    /// Length in blocks.
+    pub blocks: u32,
+    /// Requested striping.
+    pub striping: Striping,
+    /// Resolved physical layout (block → disk/offset mapping).
+    pub layout: FileLayout,
+    /// First block of this file in the global block namespace.
+    pub base: u32,
+}
+
+impl FileMeta {
+    /// Does `block` fall inside this file?
+    pub fn contains_block(&self, block: u32) -> bool {
+        block < self.blocks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_disk::{Contiguous, DiskId};
+
+    #[test]
+    fn file_id_index() {
+        assert_eq!(FileId(7).index(), 7);
+    }
+
+    #[test]
+    fn contains_block_checks_length() {
+        let meta = FileMeta {
+            name: "data".into(),
+            blocks: 10,
+            striping: Striping::OnDisk(0),
+            layout: FileLayout::Contiguous(Contiguous::new(DiskId(0), 0)),
+            base: 0,
+        };
+        assert!(meta.contains_block(0));
+        assert!(meta.contains_block(9));
+        assert!(!meta.contains_block(10));
+    }
+}

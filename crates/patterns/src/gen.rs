@@ -1,0 +1,521 @@
+//! Generators for the six synthetic access patterns (§IV-B, §IV-D).
+//!
+//! The paper's grid configuration reads 2000 blocks in total from a
+//! 2000-block file with 20 processes (100 reads per process for local
+//! patterns); the prefetch-lead experiments (§V-E) instead have each local
+//! process read 2000 blocks (40 000 total). Both shapes are supported.
+
+use rt_disk::BlockId;
+use rt_sim::Rng;
+
+use crate::refstring::{Access, RefString};
+use crate::taxonomy::AccessPattern;
+
+/// Parameters shared by all generators.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadParams {
+    /// Number of cooperating processes (one per node).
+    pub procs: u16,
+    /// File size in blocks.
+    pub file_blocks: u32,
+    /// Total reads across all processes. Must be divisible by `procs`.
+    pub total_reads: u32,
+    /// Portion length for the local fixed-portion pattern (`lfp`). Local
+    /// portions are per-process, so they are short relative to each
+    /// process's share of the reads.
+    pub fixed_portion_len: u32,
+    /// Portion length for the global fixed-portion pattern (`gfp`). Global
+    /// portions are consumed by all processes jointly, so they are sized
+    /// relative to the whole file.
+    pub global_fixed_portion_len: u32,
+    /// Smallest random portion length for `lrp`.
+    pub rand_portion_min: u32,
+    /// Largest random portion length for `lrp`.
+    pub rand_portion_max: u32,
+    /// Smallest random portion length for `grp`.
+    pub global_rand_portion_min: u32,
+    /// Largest random portion length for `grp`.
+    pub global_rand_portion_max: u32,
+}
+
+impl WorkloadParams {
+    /// The paper's grid configuration: 20 processes, 2000-block file,
+    /// 2000 total reads, portions of 5 blocks (local) — we use 5 for both
+    /// fixed-portion patterns so portion structure is comparable.
+    pub fn paper() -> Self {
+        WorkloadParams {
+            procs: 20,
+            file_blocks: 2000,
+            total_reads: 2000,
+            fixed_portion_len: 5,
+            global_fixed_portion_len: 50,
+            rand_portion_min: 1,
+            rand_portion_max: 10,
+            global_rand_portion_min: 20,
+            global_rand_portion_max: 80,
+        }
+    }
+
+    /// The §V-E prefetch-lead configuration for local patterns: each of the
+    /// 20 processes reads the whole 2000-block file (40 000 total reads).
+    pub fn paper_lead_local() -> Self {
+        WorkloadParams {
+            total_reads: 40_000,
+            ..WorkloadParams::paper()
+        }
+    }
+
+    /// Reads issued by each process.
+    pub fn reads_per_proc(&self) -> u32 {
+        assert!(self.procs > 0, "need at least one process");
+        assert_eq!(
+            self.total_reads % self.procs as u32,
+            0,
+            "total_reads must divide evenly among processes"
+        );
+        self.total_reads / self.procs as u32
+    }
+}
+
+/// A generated workload: per-process strings for local patterns, one shared
+/// string for global patterns.
+#[derive(Clone, Debug)]
+pub enum Workload {
+    /// One reference string per process, consumed independently.
+    Local(Vec<RefString>),
+    /// One shared reference string, consumed cooperatively.
+    Global(RefString),
+}
+
+impl Workload {
+    /// Generate the reference string(s) for `pattern` under `params`,
+    /// drawing any randomness from `rng`.
+    pub fn generate(pattern: AccessPattern, params: &WorkloadParams, rng: &mut Rng) -> Workload {
+        match pattern {
+            AccessPattern::LocalFixedPortions => Workload::Local(gen_lfp(params)),
+            AccessPattern::LocalRandomPortions => Workload::Local(gen_lrp(params, rng)),
+            AccessPattern::LocalWholeFile => Workload::Local(gen_lw(params)),
+            AccessPattern::GlobalFixedPortions => Workload::Global(gen_gfp(params)),
+            AccessPattern::GlobalRandomPortions => Workload::Global(gen_grp(params, rng)),
+            AccessPattern::GlobalWholeFile => Workload::Global(gen_gw(params)),
+        }
+    }
+
+    /// True for globally consumed workloads.
+    pub fn is_global(&self) -> bool {
+        matches!(self, Workload::Global(_))
+    }
+
+    /// Total reads across all processes.
+    pub fn total_reads(&self) -> usize {
+        match self {
+            Workload::Local(strings) => strings.iter().map(|s| s.len()).sum(),
+            Workload::Global(s) => s.len(),
+        }
+    }
+
+    /// Largest block referenced anywhere.
+    pub fn max_block(&self) -> Option<BlockId> {
+        match self {
+            Workload::Local(strings) => strings.iter().filter_map(|s| s.max_block()).max(),
+            Workload::Global(s) => s.max_block(),
+        }
+    }
+
+    /// The per-process string of a local workload.
+    pub fn local_string(&self, proc: usize) -> &RefString {
+        match self {
+            Workload::Local(strings) => &strings[proc],
+            Workload::Global(_) => panic!("local_string on a global workload"),
+        }
+    }
+
+    /// The shared string of a global workload.
+    pub fn global_string(&self) -> &RefString {
+        match self {
+            Workload::Global(s) => s,
+            Workload::Local(_) => panic!("global_string on a local workload"),
+        }
+    }
+}
+
+/// `lfp`: regular portions at per-process offsets.
+///
+/// * When the whole grid covers the file once (`total_reads == file_blocks`),
+///   process *p*'s *k*-th portion starts at `p·L + k·P·L`: portions of
+///   length `L` spaced `P·L` apart, disjoint across processes, jointly
+///   covering the file exactly once.
+/// * When each process reads the whole file (`reads_per_proc ==
+///   file_blocks`, the §V-E shape), process *p* reads the file rotated by
+///   `p·file/P`, cut into portions of length `L` — regular and at different
+///   places per process, fully overlapped.
+fn gen_lfp(params: &WorkloadParams) -> Vec<RefString> {
+    let p_count = params.procs as u32;
+    let rpp = params.reads_per_proc();
+    let len = params.fixed_portion_len;
+    assert!(len > 0, "portion length must be positive");
+    assert_eq!(rpp % len, 0, "reads per process must be whole portions");
+    let portions_per_proc = rpp / len;
+
+    (0..p_count)
+        .map(|p| {
+            let mut accesses = Vec::with_capacity(rpp as usize);
+            if rpp == params.file_blocks {
+                // Whole-file shape (lead experiments): the grid geometry
+                // repeated in "laps". In lap l, process p reads the
+                // interleaved subset numbered (p + l) mod P — portions of
+                // length L at a regular stride of P·L, and at any instant
+                // the processes cover disjoint subsets, preserving the
+                // no-sharing character of lfp at 20× the length.
+                let stride = p_count * len;
+                let portions_per_lap = params.file_blocks / stride;
+                let laps = portions_per_proc / portions_per_lap;
+                debug_assert_eq!(portions_per_lap * laps, portions_per_proc);
+                let mut portion = 0;
+                for lap in 0..laps {
+                    let subset = (p + lap) % p_count;
+                    for k in 0..portions_per_lap {
+                        for j in 0..len {
+                            let block = subset * len + k * stride + j;
+                            accesses.push(Access {
+                                block: BlockId(block),
+                                portion,
+                                last_of_portion: j + 1 == len,
+                            });
+                        }
+                        portion += 1;
+                    }
+                }
+            } else {
+                // Disjoint interleaved shape (grid experiments); wraps
+                // modulo the file if the pattern is larger than the file.
+                let stride = p_count * len;
+                for k in 0..portions_per_proc {
+                    for j in 0..len {
+                        let block = (p * len + k * stride + j) % params.file_blocks;
+                        accesses.push(Access {
+                            block: BlockId(block),
+                            portion: k,
+                            last_of_portion: j + 1 == len,
+                        });
+                    }
+                }
+            }
+            RefString::new(accesses)
+        })
+        .collect()
+}
+
+/// `lrp`: random-length portions at random places, per process; overlaps
+/// with other processes happen by coincidence.
+fn gen_lrp(params: &WorkloadParams, rng: &mut Rng) -> Vec<RefString> {
+    let rpp = params.reads_per_proc();
+    (0..params.procs)
+        .map(|p| {
+            let mut local = rng.split(0x6c72_7000 + p as u64);
+            random_portions(
+                params.file_blocks,
+                rpp,
+                params.rand_portion_min,
+                params.rand_portion_max,
+                &mut local,
+            )
+        })
+        .collect()
+}
+
+/// `lw`: every process reads blocks `0 .. reads_per_proc` in order — a
+/// single fully-overlapped portion. (In the paper's grid this is 100 blocks
+/// per process so the total stays at 2000 reads, comparable with the global
+/// patterns; in the lead experiments it is the whole 2000-block file.)
+fn gen_lw(params: &WorkloadParams) -> Vec<RefString> {
+    let rpp = params.reads_per_proc();
+    assert!(
+        rpp <= params.file_blocks,
+        "lw cannot read past the end of the file"
+    );
+    let s = RefString::from_portions(&[(0, rpp)]);
+    vec![s; params.procs as usize]
+}
+
+/// `gfp`: globally sequential portions of length `L` spaced `2L` apart; the
+/// file is covered in two passes (even-numbered stretches first, then the
+/// odd ones) so length *and* spacing are regular while every block is still
+/// read exactly once, keeping the paper's "2000 blocks read" invariant.
+fn gen_gfp(params: &WorkloadParams) -> RefString {
+    let len = params.global_fixed_portion_len;
+    assert!(len > 0, "portion length must be positive");
+    assert_eq!(
+        params.total_reads, params.file_blocks,
+        "gfp covers the file exactly once"
+    );
+    assert_eq!(
+        params.file_blocks % (2 * len),
+        0,
+        "file must be a whole number of 2L stretches"
+    );
+    let mut portions = Vec::new();
+    for pass in 0..2u32 {
+        let mut start = pass * len;
+        while start < params.file_blocks {
+            portions.push((start, len));
+            start += 2 * len;
+        }
+    }
+    RefString::from_portions(&portions)
+}
+
+/// `grp`: globally sequential portions of random length and spacing.
+fn gen_grp(params: &WorkloadParams, rng: &mut Rng) -> RefString {
+    let mut local = rng.split(0x6772_7000);
+    random_portions(
+        params.file_blocks,
+        params.total_reads,
+        params.global_rand_portion_min,
+        params.global_rand_portion_max,
+        &mut local,
+    )
+}
+
+/// `gw`: the whole file, beginning to end, read exactly once collectively.
+fn gen_gw(params: &WorkloadParams) -> RefString {
+    assert!(
+        params.total_reads <= params.file_blocks,
+        "gw cannot read past the end of the file"
+    );
+    RefString::from_portions(&[(0, params.total_reads)])
+}
+
+/// Portions with uniformly random length in `[min, max]` and uniformly
+/// random start, accumulated until exactly `count` blocks are covered (the
+/// final portion is truncated to fit).
+fn random_portions(
+    file_blocks: u32,
+    count: u32,
+    min_len: u32,
+    max_len: u32,
+    rng: &mut Rng,
+) -> RefString {
+    assert!(min_len >= 1 && min_len <= max_len);
+    assert!(max_len <= file_blocks);
+    let mut portions = Vec::new();
+    let mut produced = 0;
+    while produced < count {
+        let len = rng
+            .range_inclusive(min_len as u64, max_len as u64)
+            .min((count - produced) as u64) as u32;
+        let start = rng.below((file_blocks - len + 1) as u64) as u32;
+        portions.push((start, len));
+        produced += len;
+    }
+    RefString::from_portions(&portions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper() -> WorkloadParams {
+        WorkloadParams::paper()
+    }
+
+    #[test]
+    fn reads_per_proc_divides() {
+        assert_eq!(paper().reads_per_proc(), 100);
+        assert_eq!(WorkloadParams::paper_lead_local().reads_per_proc(), 2000);
+    }
+
+    #[test]
+    fn lfp_grid_covers_file_exactly_once() {
+        let w = Workload::generate(
+            AccessPattern::LocalFixedPortions,
+            &paper(),
+            &mut Rng::seeded(1),
+        );
+        let Workload::Local(strings) = &w else {
+            panic!("lfp must be local")
+        };
+        assert_eq!(strings.len(), 20);
+        let mut seen = vec![0u32; 2000];
+        for s in strings {
+            assert_eq!(s.len(), 100);
+            assert_eq!(s.portion_count(), 20);
+            assert_eq!(s.first_nonsequential(), None);
+            for a in s.accesses() {
+                seen[a.block.index()] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "every block read exactly once");
+    }
+
+    #[test]
+    fn lfp_portions_have_fixed_length_and_spacing() {
+        let w = Workload::generate(
+            AccessPattern::LocalFixedPortions,
+            &paper(),
+            &mut Rng::seeded(1),
+        );
+        let s = w.local_string(3);
+        // Portion starts: 15, 115, 215, ...
+        let starts: Vec<u32> = s
+            .accesses()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 5 == 0)
+            .map(|(_, a)| a.block.0)
+            .collect();
+        assert_eq!(starts[0], 15);
+        for w2 in starts.windows(2) {
+            assert_eq!(w2[1] - w2[0], 100, "regular spacing");
+        }
+    }
+
+    #[test]
+    fn lfp_lead_shape_rotates_whole_file() {
+        let params = WorkloadParams::paper_lead_local();
+        let w = Workload::generate(
+            AccessPattern::LocalFixedPortions,
+            &params,
+            &mut Rng::seeded(1),
+        );
+        let Workload::Local(strings) = &w else {
+            panic!()
+        };
+        for (p, s) in strings.iter().enumerate() {
+            assert_eq!(s.len(), 2000);
+            // The first lap starts in the process's own interleaved subset.
+            assert_eq!(s.get(0).unwrap().block.0, p as u32 * 5);
+            // Every block of the file appears exactly once.
+            let mut seen = vec![false; 2000];
+            for a in s.accesses() {
+                assert!(!seen[a.block.index()]);
+                seen[a.block.index()] = true;
+            }
+            assert!(seen.iter().all(|&b| b));
+        }
+        // At equal string positions, processes cover disjoint blocks.
+        for pos in [0usize, 7, 500, 1999] {
+            let mut blocks: Vec<u32> = strings
+                .iter()
+                .map(|s| s.get(pos).unwrap().block.0)
+                .collect();
+            blocks.sort_unstable();
+            blocks.dedup();
+            assert_eq!(blocks.len(), 20, "overlap at position {pos}");
+        }
+    }
+
+    #[test]
+    fn lrp_counts_and_bounds() {
+        let w = Workload::generate(
+            AccessPattern::LocalRandomPortions,
+            &paper(),
+            &mut Rng::seeded(2),
+        );
+        let Workload::Local(strings) = &w else {
+            panic!()
+        };
+        for s in strings {
+            assert_eq!(s.len(), 100);
+            assert!(s.max_block().unwrap().0 < 2000);
+            assert_eq!(s.first_nonsequential(), None);
+            assert!(s.portion_count() >= 10, "random portions of length <= 10");
+        }
+    }
+
+    #[test]
+    fn lrp_differs_between_procs_and_reproduces() {
+        let w1 = Workload::generate(
+            AccessPattern::LocalRandomPortions,
+            &paper(),
+            &mut Rng::seeded(2),
+        );
+        let w2 = Workload::generate(
+            AccessPattern::LocalRandomPortions,
+            &paper(),
+            &mut Rng::seeded(2),
+        );
+        let (Workload::Local(a), Workload::Local(b)) = (&w1, &w2) else {
+            panic!()
+        };
+        assert_eq!(a, b, "same seed, same workload");
+        assert_ne!(a[0], a[1], "different processes draw different portions");
+    }
+
+    #[test]
+    fn lw_all_processes_identical() {
+        let w = Workload::generate(AccessPattern::LocalWholeFile, &paper(), &mut Rng::seeded(3));
+        let Workload::Local(strings) = &w else {
+            panic!()
+        };
+        for s in strings {
+            assert_eq!(s.len(), 100);
+            assert_eq!(s.portion_count(), 1);
+            assert_eq!(s.get(0).unwrap().block, BlockId(0));
+            assert_eq!(s.get(99).unwrap().block, BlockId(99));
+        }
+        assert_eq!(w.total_reads(), 2000);
+    }
+
+    #[test]
+    fn gfp_two_pass_coverage() {
+        let params = paper(); // global portions of 50 at stride 100
+        let w = Workload::generate(AccessPattern::GlobalFixedPortions, &params, &mut Rng::seeded(4));
+        let s = w.global_string();
+        assert_eq!(s.len(), 2000);
+        assert_eq!(s.portion_count(), 40);
+        assert_eq!(s.first_nonsequential(), None);
+        let mut seen = vec![0u32; 2000];
+        for a in s.accesses() {
+            seen[a.block.index()] += 1;
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+        // First pass portion starts at 0, 100, 200, ...
+        assert_eq!(s.get(0).unwrap().block, BlockId(0));
+        assert_eq!(s.get(50).unwrap().block, BlockId(100));
+        // Second pass starts at block 50 halfway through.
+        assert_eq!(s.get(1000).unwrap().block, BlockId(50));
+    }
+
+    #[test]
+    fn grp_count_and_sequential_within_portions() {
+        let w = Workload::generate(
+            AccessPattern::GlobalRandomPortions,
+            &paper(),
+            &mut Rng::seeded(5),
+        );
+        let s = w.global_string();
+        assert_eq!(s.len(), 2000);
+        assert_eq!(s.first_nonsequential(), None);
+        assert!(s.max_block().unwrap().0 < 2000);
+    }
+
+    #[test]
+    fn gw_is_one_sequential_sweep() {
+        let w = Workload::generate(AccessPattern::GlobalWholeFile, &paper(), &mut Rng::seeded(6));
+        let s = w.global_string();
+        assert_eq!(s.len(), 2000);
+        assert_eq!(s.portion_count(), 1);
+        for (i, a) in s.accesses().iter().enumerate() {
+            assert_eq!(a.block, BlockId(i as u32));
+        }
+    }
+
+    #[test]
+    fn workload_accessors() {
+        let w = Workload::generate(AccessPattern::GlobalWholeFile, &paper(), &mut Rng::seeded(6));
+        assert!(w.is_global());
+        assert_eq!(w.total_reads(), 2000);
+        assert_eq!(w.max_block(), Some(BlockId(1999)));
+        let w = Workload::generate(AccessPattern::LocalWholeFile, &paper(), &mut Rng::seeded(6));
+        assert!(!w.is_global());
+        assert_eq!(w.local_string(5).len(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "local_string on a global workload")]
+    fn local_accessor_panics_on_global() {
+        let w = Workload::generate(AccessPattern::GlobalWholeFile, &paper(), &mut Rng::seeded(6));
+        let _ = w.local_string(0);
+    }
+}

@@ -1,0 +1,32 @@
+//! # rt-patterns — parallel file access patterns
+//!
+//! The workload substrate of the RAPID Transit reproduction: the paper's
+//! taxonomy of parallel file access patterns (Fig. 2), generators for the
+//! six synthetic patterns in its workload (`lfp`, `lrp`, `lw`, `gfp`,
+//! `grp`, `gw`), the four synchronization styles, and — as an extension —
+//! on-the-fly predictors that learn the pattern instead of being handed the
+//! reference string.
+//!
+//! ```
+//! use rt_patterns::{AccessPattern, Workload, WorkloadParams};
+//! use rt_sim::Rng;
+//!
+//! let params = WorkloadParams::paper();
+//! let w = Workload::generate(AccessPattern::GlobalWholeFile, &params, &mut Rng::seeded(1));
+//! assert_eq!(w.total_reads(), 2000);
+//! assert!(w.is_global());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod predict;
+pub mod refstring;
+pub mod taxonomy;
+pub mod validate;
+
+pub use gen::{Workload, WorkloadParams};
+pub use predict::{Obl, PortionLearner, Predictor};
+pub use refstring::{Access, Cursor, RefString};
+pub use taxonomy::{AccessPattern, SyncStyle};
+pub use validate::{validate, Violation};

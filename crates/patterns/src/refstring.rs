@@ -1,0 +1,206 @@
+//! Reference strings: the block sequences an experiment reads.
+//!
+//! A [`RefString`] is an ordered list of [`Access`]es annotated with the
+//! sequential-portion structure the access belongs to. Local patterns carry
+//! one string per process; global patterns carry a single string that the
+//! processes consume cooperatively (§IV-B: "the encoding of the reference
+//! string for local patterns is a set of strings, one per processor; in the
+//! global patterns, a single global reference string is used").
+
+use rt_disk::BlockId;
+
+/// One read in a reference string.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Access {
+    /// The block read.
+    pub block: BlockId,
+    /// Index of the sequential portion this access belongs to.
+    pub portion: u32,
+    /// True for the final access of its portion (drives portion-style
+    /// synchronization and the `*rp` prefetch stop rule).
+    pub last_of_portion: bool,
+}
+
+/// An ordered sequence of accesses with portion annotations.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RefString {
+    accesses: Vec<Access>,
+}
+
+impl RefString {
+    /// Build from raw accesses. Portion indices must be non-decreasing.
+    pub fn new(accesses: Vec<Access>) -> Self {
+        debug_assert!(
+            accesses.windows(2).all(|w| w[0].portion <= w[1].portion),
+            "portion indices must be non-decreasing"
+        );
+        RefString { accesses }
+    }
+
+    /// Build from a list of portions, each a run of consecutive blocks
+    /// `[start, start + len)`.
+    pub fn from_portions(portions: &[(u32, u32)]) -> Self {
+        let mut accesses = Vec::new();
+        for (pi, &(start, len)) in portions.iter().enumerate() {
+            for j in 0..len {
+                accesses.push(Access {
+                    block: BlockId(start + j),
+                    portion: pi as u32,
+                    last_of_portion: j + 1 == len,
+                });
+            }
+        }
+        RefString { accesses }
+    }
+
+    /// Number of accesses.
+    pub fn len(&self) -> usize {
+        self.accesses.len()
+    }
+
+    /// True when the string is empty.
+    pub fn is_empty(&self) -> bool {
+        self.accesses.is_empty()
+    }
+
+    /// The access at position `i`.
+    pub fn get(&self, i: usize) -> Option<Access> {
+        self.accesses.get(i).copied()
+    }
+
+    /// All accesses in order.
+    pub fn accesses(&self) -> &[Access] {
+        &self.accesses
+    }
+
+    /// Number of distinct portions.
+    pub fn portion_count(&self) -> u32 {
+        self.accesses.last().map_or(0, |a| a.portion + 1)
+    }
+
+    /// Largest block number referenced (for sizing the file).
+    pub fn max_block(&self) -> Option<BlockId> {
+        self.accesses.iter().map(|a| a.block).max()
+    }
+
+    /// Verify the per-portion sequentiality invariant: within a portion,
+    /// consecutive accesses reference consecutive blocks. Returns the index
+    /// of the first violation, if any.
+    pub fn first_nonsequential(&self) -> Option<usize> {
+        self.accesses.windows(2).position(|w| {
+            w[0].portion == w[1].portion && w[1].block.0 != w[0].block.0.wrapping_add(1)
+        })
+    }
+}
+
+/// A position cursor over a reference string. Local patterns give each
+/// process its own cursor; global patterns share one cursor among all
+/// processes (cooperative consumption — each process takes the next access
+/// when it is ready to read).
+#[derive(Clone, Debug)]
+pub struct Cursor {
+    pos: usize,
+}
+
+impl Cursor {
+    /// A cursor at the beginning.
+    pub fn new() -> Self {
+        Cursor { pos: 0 }
+    }
+
+    /// The next access, advancing the cursor.
+    pub fn take(&mut self, string: &RefString) -> Option<Access> {
+        let a = string.get(self.pos);
+        if a.is_some() {
+            self.pos += 1;
+        }
+        a
+    }
+
+    /// Position of the next unconsumed access (the demand frontier).
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Accesses not yet consumed.
+    pub fn remaining(&self, string: &RefString) -> usize {
+        string.len().saturating_sub(self.pos)
+    }
+}
+
+impl Default for Cursor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_portions_annotates_boundaries() {
+        let s = RefString::from_portions(&[(0, 3), (10, 2)]);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.portion_count(), 2);
+        assert_eq!(
+            s.get(2),
+            Some(Access {
+                block: BlockId(2),
+                portion: 0,
+                last_of_portion: true
+            })
+        );
+        assert_eq!(
+            s.get(3),
+            Some(Access {
+                block: BlockId(10),
+                portion: 1,
+                last_of_portion: false
+            })
+        );
+        assert_eq!(s.max_block(), Some(BlockId(11)));
+        assert_eq!(s.first_nonsequential(), None);
+    }
+
+    #[test]
+    fn sequentiality_check_finds_violation() {
+        let s = RefString::new(vec![
+            Access {
+                block: BlockId(0),
+                portion: 0,
+                last_of_portion: false,
+            },
+            Access {
+                block: BlockId(2),
+                portion: 0,
+                last_of_portion: true,
+            },
+        ]);
+        assert_eq!(s.first_nonsequential(), Some(0));
+    }
+
+    #[test]
+    fn cursor_consumes_in_order() {
+        let s = RefString::from_portions(&[(5, 3)]);
+        let mut c = Cursor::new();
+        assert_eq!(c.remaining(&s), 3);
+        assert_eq!(c.take(&s).unwrap().block, BlockId(5));
+        assert_eq!(c.take(&s).unwrap().block, BlockId(6));
+        assert_eq!(c.position(), 2);
+        assert_eq!(c.take(&s).unwrap().block, BlockId(7));
+        assert_eq!(c.take(&s), None);
+        assert_eq!(c.position(), 3);
+        assert_eq!(c.remaining(&s), 0);
+    }
+
+    #[test]
+    fn empty_string() {
+        let s = RefString::default();
+        assert!(s.is_empty());
+        assert_eq!(s.portion_count(), 0);
+        assert_eq!(s.max_block(), None);
+        let mut c = Cursor::new();
+        assert_eq!(c.take(&s), None);
+    }
+}

@@ -1,0 +1,257 @@
+//! Workload conformance checking.
+//!
+//! Given a [`Workload`] and the [`AccessPattern`] it claims to embody,
+//! [`validate`] verifies the structural properties the taxonomy promises:
+//! locality class, per-portion sequentiality, portion regularity for the
+//! fixed-portion patterns, whole-file coverage for the `*w` patterns, and
+//! process disjointness where the pattern requires it. The testbed's own
+//! generators pass by construction (property-tested); the checker exists so
+//! user-supplied custom workloads can be validated before a run and so
+//! experiments can assert what they consumed.
+
+use std::collections::HashSet;
+
+use crate::gen::Workload;
+use crate::refstring::RefString;
+use crate::taxonomy::AccessPattern;
+
+/// A conformance violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// The workload's locality class (local/global) does not match the
+    /// pattern's.
+    WrongLocality {
+        /// Whether the pattern expects a global workload.
+        expected_global: bool,
+    },
+    /// A portion contains non-consecutive blocks.
+    NonSequentialPortion {
+        /// Which process's string (0 for global workloads).
+        proc: usize,
+        /// Index of the offending access.
+        index: usize,
+    },
+    /// A fixed-portion pattern has portions of differing lengths.
+    IrregularPortionLength {
+        /// Which process's string (0 for global workloads).
+        proc: usize,
+        /// The lengths observed.
+        lengths: Vec<u32>,
+    },
+    /// A whole-file pattern does not read a contiguous prefix exactly once
+    /// (per process for `lw`, collectively for `gw`).
+    IncompleteCoverage {
+        /// Which process's string (0 for global workloads).
+        proc: usize,
+    },
+    /// Processes of a disjoint pattern share blocks.
+    UnexpectedOverlap {
+        /// A block read by more than one process.
+        block: u32,
+    },
+}
+
+/// Portion lengths of a reference string.
+fn portion_lengths(s: &RefString) -> Vec<u32> {
+    let mut lengths = Vec::new();
+    let mut current = 0u32;
+    let mut cur_portion = None;
+    for a in s.accesses() {
+        if cur_portion == Some(a.portion) {
+            current += 1;
+        } else {
+            if cur_portion.is_some() {
+                lengths.push(current);
+            }
+            cur_portion = Some(a.portion);
+            current = 1;
+        }
+    }
+    if cur_portion.is_some() {
+        lengths.push(current);
+    }
+    lengths
+}
+
+/// Does the string read exactly the blocks `0..n` once each, in order?
+fn is_whole_prefix(s: &RefString) -> bool {
+    s.accesses()
+        .iter()
+        .enumerate()
+        .all(|(i, a)| a.block.0 == i as u32)
+}
+
+/// Check `workload` against the structural promises of `pattern`.
+/// Returns all violations found (empty = conformant).
+pub fn validate(pattern: AccessPattern, workload: &Workload) -> Vec<Violation> {
+    let mut violations = Vec::new();
+
+    if pattern.is_global() != workload.is_global() {
+        violations.push(Violation::WrongLocality {
+            expected_global: pattern.is_global(),
+        });
+        return violations; // nothing else is meaningful
+    }
+
+    let strings: Vec<&RefString> = match workload {
+        Workload::Local(v) => v.iter().collect(),
+        Workload::Global(s) => vec![s],
+    };
+
+    // Per-portion sequentiality holds for every sequential pattern.
+    for (proc, s) in strings.iter().enumerate() {
+        if let Some(index) = s.first_nonsequential() {
+            violations.push(Violation::NonSequentialPortion { proc, index });
+        }
+    }
+
+    // Fixed-portion patterns: equal portion lengths.
+    if matches!(
+        pattern,
+        AccessPattern::LocalFixedPortions | AccessPattern::GlobalFixedPortions
+    ) {
+        for (proc, s) in strings.iter().enumerate() {
+            let lengths = portion_lengths(s);
+            if lengths.windows(2).any(|w| w[0] != w[1]) {
+                violations.push(Violation::IrregularPortionLength { proc, lengths });
+            }
+        }
+    }
+
+    // Whole-file patterns: a contiguous prefix read exactly once, in order.
+    match pattern {
+        AccessPattern::LocalWholeFile => {
+            for (proc, s) in strings.iter().enumerate() {
+                if !is_whole_prefix(s) {
+                    violations.push(Violation::IncompleteCoverage { proc });
+                }
+            }
+        }
+        AccessPattern::GlobalWholeFile => {
+            if !is_whole_prefix(strings[0]) {
+                violations.push(Violation::IncompleteCoverage { proc: 0 });
+            }
+        }
+        _ => {}
+    }
+
+    // lfp processes never read a block twice themselves, and across
+    // processes are either fully disjoint (the grid shape: the machine
+    // covers the file once collectively) or all read the same block set
+    // (the lead shape: every process covers the whole file, in laps that
+    // keep them disjoint *in time*). lrp may overlap by coincidence; lw
+    // overlaps fully by definition.
+    if pattern == AccessPattern::LocalFixedPortions {
+        let sets: Vec<HashSet<u32>> = strings
+            .iter()
+            .map(|s| s.accesses().iter().map(|a| a.block.0).collect())
+            .collect();
+        for (proc, (s, set)) in strings.iter().zip(&sets).enumerate() {
+            if set.len() != s.len() {
+                // A repeated block within one process's own string.
+                violations.push(Violation::IncompleteCoverage { proc });
+            }
+        }
+        let disjoint = {
+            let mut seen: HashSet<u32> = HashSet::new();
+            sets.iter().flatten().all(|&b| seen.insert(b))
+        };
+        let identical = sets.windows(2).all(|w| w[0] == w[1]);
+        if !disjoint && !identical {
+            let block = sets
+                .iter()
+                .enumerate()
+                .flat_map(|(i, set)| {
+                    sets[..i].iter().flat_map(move |prev| set.intersection(prev))
+                })
+                .next()
+                .copied()
+                .unwrap_or(0);
+            violations.push(Violation::UnexpectedOverlap { block });
+        }
+    }
+
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::WorkloadParams;
+    use crate::refstring::{Access, RefString};
+    use rt_disk::BlockId;
+    use rt_sim::Rng;
+
+    #[test]
+    fn generated_workloads_conform() {
+        let params = WorkloadParams::paper();
+        for pattern in AccessPattern::ALL {
+            let w = Workload::generate(pattern, &params, &mut Rng::seeded(5));
+            assert_eq!(
+                validate(pattern, &w),
+                Vec::new(),
+                "{pattern} generator violated its own taxonomy"
+            );
+        }
+    }
+
+    #[test]
+    fn locality_mismatch_detected() {
+        let params = WorkloadParams::paper();
+        let w = Workload::generate(AccessPattern::GlobalWholeFile, &params, &mut Rng::seeded(5));
+        let v = validate(AccessPattern::LocalWholeFile, &w);
+        assert_eq!(
+            v,
+            vec![Violation::WrongLocality {
+                expected_global: false
+            }]
+        );
+    }
+
+    #[test]
+    fn nonsequential_portion_detected() {
+        let s = RefString::new(vec![
+            Access { block: BlockId(0), portion: 0, last_of_portion: false },
+            Access { block: BlockId(7), portion: 0, last_of_portion: true },
+        ]);
+        let w = Workload::Global(s);
+        let v = validate(AccessPattern::GlobalWholeFile, &w);
+        assert!(v.contains(&Violation::NonSequentialPortion { proc: 0, index: 0 }));
+    }
+
+    #[test]
+    fn irregular_fixed_portions_detected() {
+        let s = RefString::from_portions(&[(0, 5), (100, 3)]);
+        let w = Workload::Global(s);
+        let v = validate(AccessPattern::GlobalFixedPortions, &w);
+        assert!(matches!(
+            v.as_slice(),
+            [Violation::IrregularPortionLength { proc: 0, .. }]
+        ));
+    }
+
+    #[test]
+    fn incomplete_whole_file_detected() {
+        // Starts at block 1: not a whole prefix.
+        let s = RefString::from_portions(&[(1, 10)]);
+        let w = Workload::Global(s);
+        let v = validate(AccessPattern::GlobalWholeFile, &w);
+        assert_eq!(v, vec![Violation::IncompleteCoverage { proc: 0 }]);
+    }
+
+    #[test]
+    fn lfp_overlap_detected() {
+        let a = RefString::from_portions(&[(0, 5)]);
+        let b = RefString::from_portions(&[(4, 5)]); // shares block 4
+        let w = Workload::Local(vec![a, b]);
+        let v = validate(AccessPattern::LocalFixedPortions, &w);
+        assert!(v.contains(&Violation::UnexpectedOverlap { block: 4 }));
+    }
+
+    #[test]
+    fn portion_lengths_helper() {
+        let s = RefString::from_portions(&[(0, 3), (10, 3), (20, 2)]);
+        assert_eq!(portion_lengths(&s), vec![3, 3, 2]);
+        assert_eq!(portion_lengths(&RefString::default()), Vec::<u32>::new());
+    }
+}

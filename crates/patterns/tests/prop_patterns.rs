@@ -1,0 +1,157 @@
+//! Property tests for the workload generators: every pattern, over
+//! arbitrary valid geometries, must produce exactly the promised reads,
+//! stay within the file, keep portions sequential, and be reproducible.
+
+use proptest::prelude::*;
+
+use rt_patterns::{AccessPattern, Workload, WorkloadParams};
+use rt_sim::Rng;
+
+prop_compose! {
+    fn params_strategy()(
+        // Even process counts keep the total even, so the gfp constraint
+        // (file divisible by 2L) is always satisfiable.
+        procs in (1u16..6).prop_map(|p| p * 2),
+        portions_per_proc in 2u32..12,
+        len in 1u32..8,
+        seedless in any::<u64>(),
+    ) -> (WorkloadParams, u64) {
+        // total = procs * portions * len keeps lfp geometry exact; the file
+        // equals the total so every generator's constraints hold.
+        let total = procs as u32 * portions_per_proc * len;
+        // gfp needs file % 2L == 0 for its global portion length. Derive a
+        // valid global length from the file size.
+        let mut global_len = (total / 8).max(1);
+        while !total.is_multiple_of(2 * global_len) {
+            global_len -= 1;
+        }
+        let params = WorkloadParams {
+            procs,
+            file_blocks: total,
+            total_reads: total,
+            fixed_portion_len: len,
+            global_fixed_portion_len: global_len,
+            rand_portion_min: 1,
+            rand_portion_max: 6.min(total),
+            global_rand_portion_min: 1,
+            global_rand_portion_max: 10.min(total),
+        };
+        (params, seedless)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    #[test]
+    fn all_patterns_produce_exact_read_counts((params, seed) in params_strategy()) {
+        for pattern in AccessPattern::ALL {
+            let w = Workload::generate(pattern, &params, &mut Rng::seeded(seed));
+            prop_assert_eq!(
+                w.total_reads(),
+                params.total_reads as usize,
+                "{} produced the wrong number of reads", pattern
+            );
+            if let Some(max) = w.max_block() {
+                prop_assert!(
+                    max.0 < params.file_blocks,
+                    "{} read past the end of the file", pattern
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn portions_are_sequential_runs((params, seed) in params_strategy()) {
+        for pattern in AccessPattern::ALL {
+            let w = Workload::generate(pattern, &params, &mut Rng::seeded(seed));
+            match &w {
+                Workload::Local(strings) => {
+                    for s in strings {
+                        prop_assert_eq!(
+                            s.first_nonsequential(), None,
+                            "{} has a non-sequential portion", pattern
+                        );
+                    }
+                }
+                Workload::Global(s) => {
+                    prop_assert_eq!(s.first_nonsequential(), None);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_reproducible((params, seed) in params_strategy()) {
+        for pattern in AccessPattern::ALL {
+            let a = Workload::generate(pattern, &params, &mut Rng::seeded(seed));
+            let b = Workload::generate(pattern, &params, &mut Rng::seeded(seed));
+            prop_assert_eq!(a.total_reads(), b.total_reads());
+            match (&a, &b) {
+                (Workload::Local(x), Workload::Local(y)) => prop_assert_eq!(x, y),
+                (Workload::Global(x), Workload::Global(y)) => prop_assert_eq!(x, y),
+                _ => prop_assert!(false, "locality class changed between runs"),
+            }
+        }
+    }
+
+    #[test]
+    fn whole_file_patterns_cover_exactly((params, seed) in params_strategy()) {
+        // gw covers blocks 0..total exactly once.
+        let w = Workload::generate(AccessPattern::GlobalWholeFile, &params, &mut Rng::seeded(seed));
+        let s = w.global_string();
+        let mut seen = vec![false; params.total_reads as usize];
+        for a in s.accesses() {
+            prop_assert!(!seen[a.block.index()], "gw read a block twice");
+            seen[a.block.index()] = true;
+        }
+        prop_assert!(seen.iter().all(|&b| b));
+
+        // lfp covers the file exactly once across all processes.
+        let w = Workload::generate(AccessPattern::LocalFixedPortions, &params, &mut Rng::seeded(seed));
+        let Workload::Local(strings) = &w else { unreachable!() };
+        let mut seen = vec![0u32; params.file_blocks as usize];
+        for s in strings {
+            for a in s.accesses() {
+                seen[a.block.index()] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1), "lfp coverage not exactly once");
+    }
+
+    #[test]
+    fn lfp_portion_geometry_is_regular((params, seed) in params_strategy()) {
+        let w = Workload::generate(AccessPattern::LocalFixedPortions, &params, &mut Rng::seeded(seed));
+        let Workload::Local(strings) = &w else { unreachable!() };
+        let len = params.fixed_portion_len as usize;
+        for s in strings {
+            // Portion starts are spaced procs*len apart.
+            let starts: Vec<u32> = s
+                .accesses()
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % len == 0)
+                .map(|(_, a)| a.block.0)
+                .collect();
+            for w2 in starts.windows(2) {
+                prop_assert_eq!(
+                    (w2[1] as i64 - w2[0] as i64).rem_euclid(params.file_blocks as i64) as u32
+                        % (params.procs as u32 * params.fixed_portion_len),
+                    0,
+                    "irregular lfp spacing"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn local_random_portions_stay_per_process((params, seed) in params_strategy()) {
+        let w = Workload::generate(AccessPattern::LocalRandomPortions, &params, &mut Rng::seeded(seed));
+        let Workload::Local(strings) = &w else { unreachable!() };
+        prop_assert_eq!(strings.len(), params.procs as usize);
+        let per = params.total_reads / params.procs as u32;
+        for s in strings {
+            prop_assert_eq!(s.len(), per as usize);
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! The pending-event set.
+//!
+//! A binary heap keyed on `(time, sequence)`: events at equal simulated
+//! times fire in the order they were scheduled, which makes runs fully
+//! deterministic — a property the reproduction harness depends on.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// Identifies a scheduled event so it can be cancelled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    cancelled: bool,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap but we want the earliest event.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered queue of simulation events.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    // Sequence numbers of cancelled events not yet popped. Kept sorted-free:
+    // cancellation is rare, so a linear membership vec would also do, but a
+    // sorted Vec with binary search keeps worst cases predictable.
+    cancelled: Vec<u64>,
+    live: usize,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            cancelled: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Schedule `payload` to fire at `time`. Events already in the past are
+    /// permitted (they fire "now"); the engine asserts monotonicity at pop.
+    pub fn schedule(&mut self, time: SimTime, payload: E) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry {
+            time,
+            seq,
+            cancelled: false,
+            payload,
+        });
+        self.live += 1;
+        EventId(seq)
+    }
+
+    /// Cancel a previously scheduled event. Returns `true` if the event was
+    /// still pending. Cancelling twice (or after the event fired) is a no-op.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        match self.cancelled.binary_search(&id.0) {
+            Ok(_) => false,
+            Err(pos) => {
+                if id.0 >= self.next_seq {
+                    return false;
+                }
+                // We cannot know cheaply whether it already fired; the pop
+                // path compensates `live` only for entries actually skipped,
+                // so track membership and verify on pop.
+                self.cancelled.insert(pos, id.0);
+                true
+            }
+        }
+    }
+
+    /// Remove and return the earliest live event, as `(time, payload)`.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if let Ok(pos) = self.cancelled.binary_search(&entry.seq) {
+                self.cancelled.remove(pos);
+                self.live -= 1;
+                continue;
+            }
+            if entry.cancelled {
+                self.live -= 1;
+                continue;
+            }
+            self.live -= 1;
+            return Some((entry.time, entry.payload));
+        }
+        None
+    }
+
+    /// The timestamp of the earliest live event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        // Skipping cancelled entries would require popping; since
+        // cancellation is rare we accept a cancelled head here — callers
+        // only use this for progress reporting, never for correctness.
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of live (scheduled, not cancelled, not fired) events.
+    ///
+    /// Note: events cancelled with an `EventId` that already fired are
+    /// counted until their tombstone is cleaned; this is an upper bound.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(30), "c");
+        q.schedule(t(10), "a");
+        q.schedule(t(20), "b");
+        assert_eq!(q.pop(), Some((t(10), "a")));
+        assert_eq!(q.pop(), Some((t(20), "b")));
+        assert_eq!(q.pop(), Some((t(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_fire_in_schedule_order() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(t(5), i);
+        }
+        for i in 0..10 {
+            assert_eq!(q.pop(), Some((t(5), i)));
+        }
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), "a");
+        q.schedule(t(2), "b");
+        assert!(q.cancel(a));
+        assert_eq!(q.pop(), Some((t(2), "b")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_twice_is_noop() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), "a");
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn len_tracks_live_events() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), 1);
+        q.schedule(t(2), 2);
+        assert_eq!(q.len(), 2);
+        q.cancel(a);
+        // Tombstone still pending until popped past.
+        q.pop();
+        assert_eq!(q.len(), 0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_time_sees_head() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.schedule(t(9), ());
+        q.schedule(t(3), ());
+        assert_eq!(q.peek_time(), Some(t(3)));
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(t(10), 10);
+        q.schedule(t(5), 5);
+        assert_eq!(q.pop(), Some((t(5), 5)));
+        q.schedule(t(7), 7);
+        q.schedule(t(6), 6);
+        assert_eq!(q.pop(), Some((t(6), 6)));
+        assert_eq!(q.pop(), Some((t(7), 7)));
+        assert_eq!(q.pop(), Some((t(10), 10)));
+    }
+}

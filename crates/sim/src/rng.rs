@@ -1,0 +1,246 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Every stochastic element of an experiment (compute delays, random portion
+//! lengths, …) draws from a [`Rng`] seeded from the experiment
+//! configuration, so a run is exactly reproducible from its config. We
+//! implement xoshiro256** (Blackman & Vigna) with a SplitMix64 seeder rather
+//! than depending on a particular external generator whose stream might
+//! change across crate versions: the figure-reproduction harness relies on
+//! byte-stable streams.
+//!
+//! [`Rng::split`] derives an independent child generator, used to give each
+//! simulated processor its own stream so that adding a draw on one processor
+//! does not perturb the others.
+
+use crate::time::SimDuration;
+
+/// SplitMix64 step; used for seeding and stream splitting.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A small, fast, deterministic PRNG (xoshiro256**).
+#[derive(Clone, Debug)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Create a generator from a 64-bit seed. Distinct seeds give
+    /// independent-looking streams; the all-zero internal state is
+    /// unreachable because SplitMix64 never emits four zeros in a row.
+    pub fn seeded(seed: u64) -> Self {
+        let mut sm = seed;
+        Rng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Derive an independent child generator keyed by `stream`. Children
+    /// with different keys (or from different parents) do not overlap in
+    /// practice.
+    pub fn split(&self, stream: u64) -> Rng {
+        // Mix the parent state with the stream key through SplitMix64 so
+        // that child streams decorrelate even for adjacent keys.
+        let mut sm = self.s[0] ^ self.s[2].rotate_left(17) ^ stream.wrapping_mul(0xA24B_AED4_963E_E407);
+        Rng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform float in `[0, 1)`, with 53 bits of precision.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)`. Panics if `bound == 0`.
+    /// Uses Lemire's multiply-shift with rejection for exact uniformity.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "Rng::below called with bound 0");
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut lo = m as u64;
+        if lo < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform integer in the inclusive range `[lo, hi]`. Panics if
+    /// `lo > hi`.
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "Rng::range_inclusive with lo > hi");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.below(span + 1)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Sample an exponentially distributed value with the given mean, by
+    /// inversion. Returns 0 when the mean is 0 (the paper's "no added
+    /// computation" configuration).
+    pub fn exponential(&mut self, mean: SimDuration) -> SimDuration {
+        if mean.is_zero() {
+            return SimDuration::ZERO;
+        }
+        // 1 - f64() lies in (0, 1]; ln of it is finite and <= 0.
+        let u = 1.0 - self.f64();
+        let x = -u.ln() * mean.as_nanos() as f64;
+        SimDuration::from_nanos(x.round() as u64)
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        let n = items.len();
+        for i in (1..n).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_streams_are_reproducible() {
+        let mut a = Rng::seeded(42);
+        let mut b = Rng::seeded(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::seeded(1);
+        let mut b = Rng::seeded(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn split_streams_are_independent_of_parent_consumption() {
+        let parent = Rng::seeded(7);
+        let mut c1 = parent.split(3);
+        let mut c2 = parent.split(3);
+        assert_eq!(c1.next_u64(), c2.next_u64());
+        let mut c3 = parent.split(4);
+        assert_ne!(c1.next_u64(), c3.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Rng::seeded(9);
+        for _ in 0..10_000 {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_is_bounded_and_covers() {
+        let mut r = Rng::seeded(11);
+        let mut seen = [false; 7];
+        for _ in 0..10_000 {
+            let v = r.below(7) as usize;
+            assert!(v < 7);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn range_inclusive_hits_endpoints() {
+        let mut r = Rng::seeded(13);
+        let (mut lo_seen, mut hi_seen) = (false, false);
+        for _ in 0..10_000 {
+            match r.range_inclusive(5, 8) {
+                5 => lo_seen = true,
+                8 => hi_seen = true,
+                v => assert!((5..=8).contains(&v)),
+            }
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut r = Rng::seeded(17);
+        let mean = SimDuration::from_millis(30);
+        let n = 20_000u64;
+        let total: u128 = (0..n).map(|_| r.exponential(mean).as_nanos() as u128).sum();
+        let avg = total as f64 / n as f64;
+        let expect = mean.as_nanos() as f64;
+        assert!(
+            (avg - expect).abs() / expect < 0.03,
+            "sample mean {avg} too far from {expect}"
+        );
+    }
+
+    #[test]
+    fn exponential_zero_mean_is_zero() {
+        let mut r = Rng::seeded(19);
+        assert_eq!(r.exponential(SimDuration::ZERO), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = Rng::seeded(23);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle left the slice in sorted order");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = Rng::seeded(29);
+        assert!(!(0..100).any(|_| r.chance(0.0)));
+        assert!((0..100).all(|_| r.chance(1.0)));
+    }
+}

@@ -1,0 +1,188 @@
+//! Time-series sampling of simulation quantities.
+//!
+//! A [`Timeline`] records `(time, value)` observations of some quantity —
+//! outstanding prefetches, disk queue depth, processes at a barrier — and
+//! can resample them onto a fixed grid or render a compact text sparkline.
+//! The paper's "on-going experiments ... substantiating cause-and-effect
+//! relationships" need exactly this view: not just a run's averages, but
+//! the shape of its behaviour over time.
+
+use crate::time::SimTime;
+
+/// A recorded step function: the value changes at each observation and
+/// holds until the next.
+#[derive(Clone, Debug, Default)]
+pub struct Timeline {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl Timeline {
+    /// An empty timeline.
+    pub fn new() -> Self {
+        Timeline::default()
+    }
+
+    /// Record that the quantity took `value` at `time`. Times must be
+    /// non-decreasing (simulation time is monotone); equal-time updates
+    /// overwrite.
+    pub fn record(&mut self, time: SimTime, value: f64) {
+        if let Some(last) = self.points.last_mut() {
+            debug_assert!(time >= last.0, "timeline must advance");
+            if last.0 == time {
+                last.1 = value;
+                return;
+            }
+        }
+        self.points.push((time, value));
+    }
+
+    /// Adjust the current value by `delta` at `time` (counter-style use).
+    pub fn add(&mut self, time: SimTime, delta: f64) {
+        let current = self.current();
+        self.record(time, current + delta);
+    }
+
+    /// The most recent value (0 before any observation).
+    pub fn current(&self) -> f64 {
+        self.points.last().map_or(0.0, |&(_, v)| v)
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Raw observations.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// The value at an arbitrary instant (step-function semantics; 0
+    /// before the first observation).
+    pub fn value_at(&self, time: SimTime) -> f64 {
+        match self.points.partition_point(|&(t, _)| t <= time) {
+            0 => 0.0,
+            n => self.points[n - 1].1,
+        }
+    }
+
+    /// Resample onto `buckets` equal intervals of `[start, end]`, taking
+    /// the value at each bucket's end.
+    pub fn resample(&self, start: SimTime, end: SimTime, buckets: usize) -> Vec<f64> {
+        assert!(buckets > 0, "need at least one bucket");
+        assert!(end >= start, "inverted window");
+        let span = end.saturating_since(start).as_nanos();
+        (1..=buckets)
+            .map(|i| {
+                let t = start + crate::time::SimDuration::from_nanos(span * i as u64 / buckets as u64);
+                self.value_at(t)
+            })
+            .collect()
+    }
+
+    /// Largest observed value (0 when empty).
+    pub fn max(&self) -> f64 {
+        self.points.iter().map(|&(_, v)| v).fold(0.0, f64::max)
+    }
+
+    /// Render a text sparkline of the window: one character per bucket,
+    /// scaled to the window's maximum.
+    pub fn sparkline(&self, start: SimTime, end: SimTime, buckets: usize) -> String {
+        const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        let samples = self.resample(start, end, buckets);
+        let max = samples.iter().copied().fold(0.0, f64::max);
+        if max == 0.0 {
+            return LEVELS[0].to_string().repeat(buckets);
+        }
+        samples
+            .iter()
+            .map(|&v| {
+                let idx = ((v / max) * (LEVELS.len() - 1) as f64).round() as usize;
+                LEVELS[idx.min(LEVELS.len() - 1)]
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn step_function_semantics() {
+        let mut tl = Timeline::new();
+        tl.record(t(10), 2.0);
+        tl.record(t(20), 5.0);
+        assert_eq!(tl.value_at(t(5)), 0.0);
+        assert_eq!(tl.value_at(t(10)), 2.0);
+        assert_eq!(tl.value_at(t(15)), 2.0);
+        assert_eq!(tl.value_at(t(20)), 5.0);
+        assert_eq!(tl.value_at(t(99)), 5.0);
+        assert_eq!(tl.current(), 5.0);
+        assert_eq!(tl.max(), 5.0);
+    }
+
+    #[test]
+    fn equal_time_updates_overwrite() {
+        let mut tl = Timeline::new();
+        tl.record(t(10), 1.0);
+        tl.record(t(10), 3.0);
+        assert_eq!(tl.len(), 1);
+        assert_eq!(tl.value_at(t(10)), 3.0);
+    }
+
+    #[test]
+    fn counter_style_add() {
+        let mut tl = Timeline::new();
+        tl.add(t(1), 1.0);
+        tl.add(t(2), 1.0);
+        tl.add(t(3), -2.0);
+        assert_eq!(tl.value_at(t(2)), 2.0);
+        assert_eq!(tl.current(), 0.0);
+    }
+
+    #[test]
+    fn resample_grid() {
+        let mut tl = Timeline::new();
+        tl.record(t(0), 1.0);
+        tl.record(t(50), 3.0);
+        let samples = tl.resample(t(0), t(100), 4);
+        assert_eq!(samples, vec![1.0, 3.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn sparkline_shapes() {
+        let mut tl = Timeline::new();
+        tl.record(t(0), 0.0);
+        tl.record(t(50), 8.0);
+        let s = tl.sparkline(t(0), t(100), 4);
+        assert_eq!(s.chars().count(), 4);
+        let flat = Timeline::new().sparkline(t(0), t(100), 5);
+        assert_eq!(flat, "▁▁▁▁▁");
+    }
+
+    #[test]
+    fn empty_timeline_defaults() {
+        let tl = Timeline::new();
+        assert!(tl.is_empty());
+        assert_eq!(tl.current(), 0.0);
+        assert_eq!(tl.value_at(t(100)), 0.0);
+        assert_eq!(tl.max(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn zero_buckets_rejected() {
+        Timeline::new().resample(t(0), t(1), 0);
+    }
+}

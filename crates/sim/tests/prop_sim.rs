@@ -1,0 +1,133 @@
+//! Property tests for the simulation engine substrate: event ordering,
+//! server conservation laws, and PRNG sanity.
+
+use proptest::prelude::*;
+
+use rt_sim::{EventQueue, FifoServer, Rng, SimDuration, SimLock, SimTime};
+
+proptest! {
+    /// The event queue is a stable priority queue: popping returns events
+    /// in time order, and schedule order within equal times.
+    #[test]
+    fn event_queue_is_stable_and_ordered(times in prop::collection::vec(0u64..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_nanos(t), i);
+        }
+        let mut expected: Vec<(u64, usize)> =
+            times.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        expected.sort(); // stable by (time, insertion index)
+        let mut popped = Vec::new();
+        while let Some((t, i)) = q.pop() {
+            popped.push((t.as_nanos(), i));
+        }
+        prop_assert_eq!(popped, expected);
+    }
+
+    /// Cancelling an arbitrary subset removes exactly those events.
+    #[test]
+    fn cancellation_removes_exactly_the_cancelled(
+        times in prop::collection::vec(0u64..100, 1..100),
+        cancel_mask in prop::collection::vec(any::<bool>(), 100),
+    ) {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| q.schedule(SimTime::from_nanos(t), i))
+            .collect();
+        let mut kept = Vec::new();
+        for (i, id) in ids.iter().enumerate() {
+            if cancel_mask[i % cancel_mask.len()] {
+                q.cancel(*id);
+            } else {
+                kept.push(i);
+            }
+        }
+        let mut popped: Vec<usize> = Vec::new();
+        while let Some((_, i)) = q.pop() {
+            popped.push(i);
+        }
+        popped.sort_unstable();
+        prop_assert_eq!(popped, kept);
+    }
+
+    /// FIFO server conservation: completions are ordered, no two service
+    /// intervals overlap, and busy time equals the sum of service times.
+    #[test]
+    fn fifo_server_conserves_work(
+        jobs in prop::collection::vec((0u64..10_000, 1u64..100), 1..100)
+    ) {
+        let mut server = FifoServer::new();
+        let mut jobs = jobs;
+        jobs.sort_by_key(|&(at, _)| at); // submissions arrive in time order
+        let mut last_completion = SimTime::ZERO;
+        let mut total_service = SimDuration::ZERO;
+        for &(at, service) in &jobs {
+            let adm = server.submit(SimTime::from_nanos(at), SimDuration::from_nanos(service));
+            prop_assert!(adm.start >= SimTime::from_nanos(at));
+            prop_assert!(adm.start >= last_completion);
+            prop_assert_eq!(adm.completion, adm.start + SimDuration::from_nanos(service));
+            last_completion = adm.completion;
+            total_service += SimDuration::from_nanos(service);
+        }
+        prop_assert_eq!(server.busy_time(), total_service);
+        prop_assert_eq!(server.ops(), jobs.len() as u64);
+        prop_assert_eq!(server.free_at(), last_completion);
+    }
+
+    /// Lock grants never overlap and respect FIFO order.
+    #[test]
+    fn lock_grants_are_disjoint_and_fifo(
+        reqs in prop::collection::vec((0u64..10_000, 1u64..50), 1..100)
+    ) {
+        let mut lock = SimLock::new();
+        let mut reqs = reqs;
+        reqs.sort_by_key(|&(at, _)| at);
+        let mut prev_end = SimTime::ZERO;
+        for &(at, hold) in &reqs {
+            let grant = lock.acquire(SimTime::from_nanos(at), SimDuration::from_nanos(hold));
+            prop_assert!(grant >= SimTime::from_nanos(at));
+            prop_assert!(grant >= prev_end, "critical sections must not overlap");
+            prev_end = grant + SimDuration::from_nanos(hold);
+        }
+        prop_assert_eq!(lock.acquisitions(), reqs.len() as u64);
+    }
+
+    /// Rng::below stays in range for arbitrary bounds.
+    #[test]
+    fn rng_below_in_range(seed in any::<u64>(), bound in 1u64..u64::MAX) {
+        let mut rng = Rng::seeded(seed);
+        for _ in 0..32 {
+            prop_assert!(rng.below(bound) < bound);
+        }
+    }
+
+    /// Splitting the same parent with the same key is reproducible, and
+    /// different keys diverge.
+    #[test]
+    fn rng_split_reproducible(seed in any::<u64>(), key in any::<u64>()) {
+        let parent = Rng::seeded(seed);
+        let mut a = parent.split(key);
+        let mut b = parent.split(key);
+        for _ in 0..8 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = parent.split(key.wrapping_add(1));
+        let divergent = (0..8).any(|_| a.next_u64() != c.next_u64());
+        prop_assert!(divergent);
+    }
+
+    /// Exponential sampling is non-negative and zero-mean gives zero.
+    #[test]
+    fn rng_exponential_bounds(seed in any::<u64>(), mean_ms in 0u64..100) {
+        let mut rng = Rng::seeded(seed);
+        let mean = SimDuration::from_millis(mean_ms);
+        let x = rng.exponential(mean);
+        if mean_ms == 0 {
+            prop_assert_eq!(x, SimDuration::ZERO);
+        }
+        // An exponential draw beyond 50x the mean has probability e^-50.
+        prop_assert!(x <= mean * 50 + SimDuration::from_millis(1));
+    }
+}

@@ -1,0 +1,71 @@
+//! Minimum prefetch lead (§V-E): try to shrink the hit-wait time by
+//! prefetching only blocks at least `lead` string positions ahead of the
+//! demand frontier — and watch the miss ratio climb, wiping out the gain
+//! for most patterns (`lw` suffers most: every lost prefetch is paid by
+//! all 20 processes).
+//!
+//! ```sh
+//! cargo run --release --example prefetch_lead [gw|lw|gfp|lfp]
+//! ```
+
+use rapid_transit::core::experiment::run_experiment;
+use rapid_transit::core::report::Table;
+use rapid_transit::core::ExperimentConfig;
+use rapid_transit::patterns::AccessPattern;
+
+fn main() {
+    let pattern = match std::env::args().nth(1).as_deref() {
+        None | Some("gw") => AccessPattern::GlobalWholeFile,
+        Some("lw") => AccessPattern::LocalWholeFile,
+        Some("gfp") => AccessPattern::GlobalFixedPortions,
+        Some("lfp") => AccessPattern::LocalFixedPortions,
+        Some(other) => {
+            eprintln!("unsupported pattern {other:?}; §V-E studied gw|lw|gfp|lfp");
+            std::process::exit(2);
+        }
+    };
+
+    // The no-prefetch reference for this pattern.
+    let mut base_cfg = ExperimentConfig::paper_lead(pattern, 0);
+    base_cfg.prefetch.enabled = false;
+    let base = run_experiment(&base_cfg);
+    let scale = if pattern.is_local() { 20.0 } else { 1.0 };
+
+    println!(
+        "Minimum prefetch lead sweep — pattern {pattern} \
+         (total time shown ÷{scale:.0} for local patterns, as in the paper)\n"
+    );
+    println!(
+        "no-prefetch reference: total {:.0} ms, read {:.2} ms\n",
+        base.total_time.as_millis_f64() / scale,
+        base.mean_read_ms()
+    );
+
+    let mut t = Table::new(&[
+        "lead",
+        "hit-wait ms",
+        "miss ratio",
+        "read ms",
+        "total ms",
+        "vs base %",
+    ]);
+    for lead in [0u32, 10, 20, 30, 45, 60, 75, 90] {
+        let cfg = ExperimentConfig::paper_lead(pattern, lead);
+        let m = run_experiment(&cfg);
+        let total = m.total_time.as_millis_f64() / scale;
+        t.row(&[
+            lead.to_string(),
+            format!("{:.2}", m.mean_hit_wait_ms()),
+            format!("{:.3}", m.miss_ratio()),
+            format!("{:.2}", m.mean_read_ms()),
+            format!("{total:.0}"),
+            format!(
+                "{:+.1}",
+                (base.total_time.as_millis_f64() / scale - total)
+                    / (base.total_time.as_millis_f64() / scale)
+                    * 100.0
+            ),
+        ]);
+    }
+    print!("{}", t.render());
+}

@@ -1,0 +1,93 @@
+//! Quickstart: run the paper's headline experiment — the global whole-file
+//! pattern on 20 processors and 20 disks — with and without prefetching,
+//! and print the §IV-C measures side by side.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use rapid_transit::core::experiment::run_pair;
+use rapid_transit::core::report::Table;
+use rapid_transit::core::ExperimentConfig;
+use rapid_transit::patterns::{AccessPattern, SyncStyle};
+
+fn main() {
+    let cfg = ExperimentConfig::paper_default(
+        AccessPattern::GlobalWholeFile,
+        SyncStyle::BlocksPerProc(10),
+    );
+    println!("RAPID Transit quickstart — {}", cfg.label());
+    println!(
+        "{} processors, {} disks, {}-block file, {} total reads\n",
+        cfg.procs, cfg.disks, cfg.workload.file_blocks, cfg.workload.total_reads
+    );
+
+    let pair = run_pair(&cfg);
+
+    let mut t = Table::new(&["measure", "no prefetch", "prefetch"]);
+    let b = &pair.base;
+    let p = &pair.prefetch;
+    t.row(&[
+        "total execution time (ms)".into(),
+        format!("{:.1}", b.total_time.as_millis_f64()),
+        format!("{:.1}", p.total_time.as_millis_f64()),
+    ]);
+    t.row(&[
+        "avg block read time (ms)".into(),
+        format!("{:.2}", b.mean_read_ms()),
+        format!("{:.2}", p.mean_read_ms()),
+    ]);
+    t.row(&[
+        "cache hit ratio".into(),
+        format!("{:.3}", b.hit_ratio),
+        format!("{:.3}", p.hit_ratio),
+    ]);
+    t.row(&[
+        "ready hits".into(),
+        b.ready_hits.to_string(),
+        p.ready_hits.to_string(),
+    ]);
+    t.row(&[
+        "unready hits".into(),
+        b.unready_hits.to_string(),
+        p.unready_hits.to_string(),
+    ]);
+    t.row(&[
+        "avg hit-wait (ms)".into(),
+        format!("{:.2}", b.mean_hit_wait_ms()),
+        format!("{:.2}", p.mean_hit_wait_ms()),
+    ]);
+    t.row(&[
+        "avg disk response (ms)".into(),
+        format!("{:.2}", b.mean_disk_response_ms()),
+        format!("{:.2}", p.mean_disk_response_ms()),
+    ]);
+    t.row(&[
+        "blocks prefetched".into(),
+        b.prefetches.to_string(),
+        p.prefetches.to_string(),
+    ]);
+    t.row(&[
+        "avg sync wait (ms)".into(),
+        format!("{:.2}", b.sync_wait.mean_millis()),
+        format!("{:.2}", p.sync_wait.mean_millis()),
+    ]);
+    t.row(&[
+        "avg prefetch action (ms)".into(),
+        "-".into(),
+        format!("{:.2}", p.action_time.mean_millis()),
+    ]);
+    t.row(&[
+        "avg overrun (ms)".into(),
+        "-".into(),
+        format!("{:.2}", p.overrun.mean_millis()),
+    ]);
+    print!("{}", t.render());
+
+    println!(
+        "\nPrefetching changed total execution time by {:+.1}% and the\n\
+         average block read time by {:+.1}% (positive = improvement).",
+        pair.total_time_improvement() * 100.0,
+        pair.read_time_improvement() * 100.0,
+    );
+}

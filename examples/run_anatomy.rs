@@ -1,0 +1,74 @@
+//! Anatomy of a run: time-series view of one experiment. The paper's
+//! averages hide the dynamics this prints — the prefetch window filling at
+//! startup and draining at the end, disk queues breathing with the barrier
+//! rhythm, and processes piling up at synchronization points.
+//!
+//! ```sh
+//! cargo run --release --example run_anatomy [pattern] [sync]
+//! ```
+
+use rapid_transit::core::experiment::run_experiment;
+use rapid_transit::core::{ExperimentConfig, PrefetchConfig};
+use rapid_transit::patterns::{AccessPattern, SyncStyle};
+use rapid_transit::sim::SimTime;
+
+fn main() {
+    let pattern = std::env::args()
+        .nth(1)
+        .and_then(|s| AccessPattern::from_abbrev(&s))
+        .unwrap_or(AccessPattern::GlobalWholeFile);
+    let sync = match std::env::args().nth(2).as_deref() {
+        Some("none") => SyncStyle::None,
+        Some("total") => SyncStyle::BlocksTotal(200),
+        Some("portion") => SyncStyle::EachPortion,
+        _ => SyncStyle::BlocksPerProc(10),
+    };
+
+    let mut cfg = ExperimentConfig::paper_default(pattern, sync);
+    cfg.prefetch = PrefetchConfig::paper();
+    println!("Run anatomy — {}\n", cfg.label());
+    let m = run_experiment(&cfg);
+
+    let start = SimTime::ZERO;
+    let end = start + m.total_time;
+    const W: usize = 72;
+
+    println!(
+        "time axis: 0 .. {:.1} ms  ({} columns of {:.1} ms)\n",
+        m.total_time.as_millis_f64(),
+        W,
+        m.total_time.as_millis_f64() / W as f64
+    );
+    println!(
+        "prefetched-but-unused blocks (cap {}):\n  {}  max {:.0}",
+        cfg.prefetch.global_cap_per_proc as u32 * cfg.procs as u32,
+        m.tl_prefetched.sparkline(start, end, W),
+        m.tl_prefetched.max(),
+    );
+    println!(
+        "\ndisk requests in flight:\n  {}  max {:.0}",
+        m.tl_outstanding_io.sparkline(start, end, W),
+        m.tl_outstanding_io.max(),
+    );
+    println!(
+        "\nprocesses blocked at the barrier:\n  {}  max {:.0}",
+        m.tl_barrier.sparkline(start, end, W),
+        m.tl_barrier.max(),
+    );
+
+    println!(
+        "\nsummary: total {:.0} ms, read {:.2} ms, hit ratio {:.3}, \
+         {} prefetches, {} barrier episodes",
+        m.total_time.as_millis_f64(),
+        m.mean_read_ms(),
+        m.hit_ratio,
+        m.prefetches,
+        m.barriers,
+    );
+    println!(
+        "\nReading the charts: the prefetch window fills at startup, holds\n\
+         near the cap while the computation streams, and drains at the end;\n\
+         barrier spikes line up with dips in disk traffic — synchronization\n\
+         stalls the I/O pipeline, one of the costs the paper identifies."
+    );
+}

@@ -1,0 +1,242 @@
+//! Command-line interface to the RAPID Transit testbed.
+//!
+//! ```text
+//! rapid-transit run   [options]     one experiment, metrics table
+//! rapid-transit grid  [--csv]       the full §IV-D grid, base vs prefetch
+//! rapid-transit lead  <pattern>     the §V-E minimum-lead sweep
+//! rapid-transit sweep-compute       the §V-C computation sweep (Fig. 12)
+//! rapid-transit trace <pattern>     record a run and analyze its trace
+//! ```
+//!
+//! Run options:
+//! `--pattern lfp|lrp|lw|gfp|grp|gw` (default gw),
+//! `--sync none|portion|per-proc:N|total:N` (default per-proc:10),
+//! `--compute MS` (default 30; lw defaults to 10), `--procs N`,
+//! `--disks N`, `--blocks N`, `--prefetch`, `--lead N`,
+//! `--policy oracle|obl|learner`, `--seed N`, `--csv`.
+
+use std::process::ExitCode;
+
+use rapid_transit::core::experiment::{
+    paper_grid, run_experiment, run_experiment_traced, run_pair, run_pairs_parallel,
+};
+use rapid_transit::core::report::Table;
+use rapid_transit::core::trace::{replay_obl, Trace};
+use rapid_transit::cli::{build_config, has_flag, parse_pattern};
+use rapid_transit::core::{ExperimentConfig, PrefetchConfig, RunMetrics};
+use rapid_transit::patterns::{AccessPattern, SyncStyle};
+use rapid_transit::sim::SimDuration;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{}", USAGE);
+        return ExitCode::from(2);
+    };
+    let rest = &args[1..];
+    let result = match command.as_str() {
+        "run" => cmd_run(rest),
+        "grid" => cmd_grid(rest),
+        "lead" => cmd_lead(rest),
+        "sweep-compute" => cmd_sweep_compute(rest),
+        "trace" => cmd_trace(rest),
+        "help" | "--help" | "-h" => {
+            println!("{}", USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{}", USAGE);
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage: rapid-transit <command> [options]
+
+commands:
+  run            one experiment (see --pattern/--sync/--prefetch/...)
+  grid [--csv]   the paper's full grid, prefetch off vs on
+  lead <pat>     the minimum-prefetch-lead sweep for lfp|gfp|lw|gw
+  sweep-compute  the computation sweep of Fig. 12
+  trace <pat>    record one run's access trace and analyze it off-line
+
+run options:
+  --pattern P    lfp|lrp|lw|gfp|grp|gw          (default gw)
+  --sync S       none|portion|per-proc:N|total:N (default per-proc:10)
+  --compute MS   mean per-block computation in ms
+  --procs N      processors (= nodes)            (default 20)
+  --disks N      disks                           (default = procs)
+  --blocks N     file blocks = total reads       (default 2000)
+  --prefetch     enable prefetching
+  --lead N       minimum prefetch lead
+  --policy K     oracle|obl|learner              (default oracle)
+  --seed N       random seed
+  --csv          machine-readable output where applicable";
+
+fn metric_rows(m: &RunMetrics) -> Vec<(&'static str, String)> {
+    vec![
+        ("total time (ms)", format!("{:.1}", m.total_time.as_millis_f64())),
+        ("avg read time (ms)", format!("{:.2}", m.mean_read_ms())),
+        ("hit ratio", format!("{:.3}", m.hit_ratio)),
+        ("ready hits", m.ready_hits.to_string()),
+        ("unready hits", m.unready_hits.to_string()),
+        ("misses", m.misses.to_string()),
+        ("avg hit-wait (ms)", format!("{:.2}", m.mean_hit_wait_ms())),
+        ("disk response (ms)", format!("{:.2}", m.mean_disk_response_ms())),
+        ("disk ops", m.disk_ops.to_string()),
+        ("prefetches", m.prefetches.to_string()),
+        ("failed actions", m.failed_actions.to_string()),
+        ("avg action (ms)", format!("{:.2}", m.action_time.mean_millis())),
+        ("avg overrun (ms)", format!("{:.2}", m.overrun.mean_millis())),
+        ("avg sync wait (ms)", format!("{:.2}", m.sync_wait.mean_millis())),
+        ("barriers", m.barriers.to_string()),
+        (
+            "finish skew (ms)",
+            format!("{:.1}", m.finish_skew().as_millis_f64()),
+        ),
+    ]
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let cfg = build_config(args)?;
+    println!("running {} ...", cfg.label());
+    let m = run_experiment(&cfg);
+    if has_flag(args, "--csv") {
+        println!("metric,value");
+        for (k, v) in metric_rows(&m) {
+            println!("{k},{v}");
+        }
+        return Ok(());
+    }
+    let mut t = Table::new(&["metric", "value"]);
+    for (k, v) in metric_rows(&m) {
+        t.row(&[k.to_string(), v]);
+    }
+    print!("{}", t.render());
+    Ok(())
+}
+
+fn cmd_grid(args: &[String]) -> Result<(), String> {
+    let csv = has_flag(args, "--csv");
+    let grid = paper_grid();
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let pairs = run_pairs_parallel(&grid, threads);
+    if csv {
+        println!("experiment,total_base_ms,total_pf_ms,read_base_ms,read_pf_ms,hit_pf,disk_base_ms,disk_pf_ms");
+        for p in &pairs {
+            println!(
+                "{},{:.2},{:.2},{:.3},{:.3},{:.4},{:.3},{:.3}",
+                p.label,
+                p.base.total_time.as_millis_f64(),
+                p.prefetch.total_time.as_millis_f64(),
+                p.base.mean_read_ms(),
+                p.prefetch.mean_read_ms(),
+                p.prefetch.hit_ratio,
+                p.base.mean_disk_response_ms(),
+                p.prefetch.mean_disk_response_ms(),
+            );
+        }
+        return Ok(());
+    }
+    let mut t = Table::new(&["experiment", "Δtotal %", "Δread %", "hit (pf)"]);
+    for p in &pairs {
+        t.row(&[
+            p.label.clone(),
+            format!("{:+.1}", p.total_time_improvement() * 100.0),
+            format!("{:+.1}", p.read_time_improvement() * 100.0),
+            format!("{:.3}", p.prefetch.hit_ratio),
+        ]);
+    }
+    print!("{}", t.render());
+    Ok(())
+}
+
+fn cmd_lead(args: &[String]) -> Result<(), String> {
+    let pattern = match args.first() {
+        Some(p) => parse_pattern(p)?,
+        None => return Err("lead requires a pattern (lfp|gfp|lw|gw)".into()),
+    };
+    let scale = if pattern.is_local() { 20.0 } else { 1.0 };
+    println!("lead,hit_wait_ms,miss_ratio,read_ms,total_ms");
+    for lead in [0u32, 15, 30, 45, 60, 75, 90] {
+        let cfg = ExperimentConfig::paper_lead(pattern, lead);
+        let m = run_experiment(&cfg);
+        println!(
+            "{lead},{:.3},{:.4},{:.3},{:.1}",
+            m.mean_hit_wait_ms(),
+            m.miss_ratio(),
+            m.mean_read_ms(),
+            m.total_time.as_millis_f64() / scale,
+        );
+    }
+    Ok(())
+}
+
+fn cmd_sweep_compute(_args: &[String]) -> Result<(), String> {
+    println!("compute_ms,dtotal_pct,dread_pct,read_pf_ms,action_ms");
+    for ms in [0u64, 5, 10, 20, 30, 45, 60, 80, 100, 150, 200] {
+        let mut cfg = ExperimentConfig::paper_default(
+            AccessPattern::GlobalWholeFile,
+            SyncStyle::BlocksPerProc(10),
+        );
+        cfg.compute_mean = SimDuration::from_millis(ms);
+        let pair = run_pair(&cfg);
+        println!(
+            "{ms},{:.2},{:.2},{:.3},{:.3}",
+            pair.total_time_improvement() * 100.0,
+            pair.read_time_improvement() * 100.0,
+            pair.prefetch.mean_read_ms(),
+            pair.prefetch.action_time.mean_millis(),
+        );
+    }
+    Ok(())
+}
+
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let pattern = match args.first() {
+        Some(p) => parse_pattern(p)?,
+        None => return Err("trace requires a pattern".into()),
+    };
+    let mut cfg = ExperimentConfig::paper_default(pattern, SyncStyle::BlocksPerProc(10));
+    cfg.prefetch = PrefetchConfig::paper();
+    let (m, trace) = run_experiment_traced(&cfg);
+    let merged = trace.merged_reference_string();
+    let runs = Trace::run_lengths(&merged);
+    let mean_run = if runs.is_empty() {
+        0.0
+    } else {
+        runs.iter().map(|&r| r as f64).sum::<f64>() / runs.len() as f64
+    };
+    let mut t = Table::new(&["trace property", "value"]);
+    t.row(&["reads".into(), trace.len().to_string()]);
+    t.row(&[
+        "global sequentiality".into(),
+        format!("{:.3}", trace.global_sequentiality()),
+    ]);
+    t.row(&[
+        "local sequentiality".into(),
+        format!("{:.3}", trace.mean_local_sequentiality()),
+    ]);
+    t.row(&["mean run length".into(), format!("{mean_run:.1}")]);
+    t.row(&[
+        "interprocess overlap".into(),
+        format!("{:.3}", trace.overlap_fraction()),
+    ]);
+    t.row(&["hit ratio".into(), format!("{:.3}", m.hit_ratio)]);
+    t.row(&[
+        "OBL replay (local)".into(),
+        format!("{:.3}", replay_obl(&trace, 3, 20, false)),
+    ]);
+    t.row(&[
+        "OBL replay (shared)".into(),
+        format!("{:.3}", replay_obl(&trace, 3, 20, true)),
+    ]);
+    print!("{}", t.render());
+    Ok(())
+}

@@ -1,0 +1,213 @@
+//! Argument parsing for the `rapid-transit` command-line tool, kept in the
+//! library so it can be unit-tested.
+
+use rt_core::{ExperimentConfig, PolicyKind, PrefetchConfig};
+use rt_patterns::{AccessPattern, SyncStyle};
+use rt_sim::SimDuration;
+
+/// Return the value following `--name`, if present.
+pub fn flag_value<'a>(args: &'a [String], name: &str) -> Result<Option<&'a str>, String> {
+    for (i, a) in args.iter().enumerate() {
+        if a == name {
+            return match args.get(i + 1) {
+                Some(v) => Ok(Some(v.as_str())),
+                None => Err(format!("{name} requires a value")),
+            };
+        }
+    }
+    Ok(None)
+}
+
+/// True when the bare flag `--name` is present.
+pub fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+/// Parse a pattern abbreviation (`lfp` … `gw`).
+pub fn parse_pattern(s: &str) -> Result<AccessPattern, String> {
+    AccessPattern::from_abbrev(s)
+        .ok_or_else(|| format!("unknown pattern {s:?} (use lfp|lrp|lw|gfp|grp|gw)"))
+}
+
+/// Parse a synchronization style: `none`, `portion`, `per-proc:N`,
+/// `total:N`.
+pub fn parse_sync(s: &str) -> Result<SyncStyle, String> {
+    match s {
+        "none" => Ok(SyncStyle::None),
+        "portion" => Ok(SyncStyle::EachPortion),
+        other => {
+            if let Some(n) = other.strip_prefix("per-proc:") {
+                n.parse()
+                    .map(SyncStyle::BlocksPerProc)
+                    .map_err(|_| format!("bad per-proc count in {other:?}"))
+            } else if let Some(n) = other.strip_prefix("total:") {
+                n.parse()
+                    .map(SyncStyle::BlocksTotal)
+                    .map_err(|_| format!("bad total count in {other:?}"))
+            } else {
+                Err(format!("unknown sync style {other:?}"))
+            }
+        }
+    }
+}
+
+/// Build an [`ExperimentConfig`] from `run`-style command-line options.
+pub fn build_config(args: &[String]) -> Result<ExperimentConfig, String> {
+    let pattern = match flag_value(args, "--pattern")? {
+        Some(s) => parse_pattern(s)?,
+        None => AccessPattern::GlobalWholeFile,
+    };
+    let sync = match flag_value(args, "--sync")? {
+        Some(s) => parse_sync(s)?,
+        None => SyncStyle::BlocksPerProc(10),
+    };
+    if !sync.valid_for(pattern) {
+        return Err("portion synchronization cannot be used with lw".into());
+    }
+    let mut cfg = ExperimentConfig::paper_default(pattern, sync);
+
+    if let Some(v) = flag_value(args, "--procs")? {
+        let procs: u16 = v.parse().map_err(|_| "bad --procs")?;
+        if procs == 0 {
+            return Err("--procs must be positive".into());
+        }
+        cfg.procs = procs;
+        cfg.disks = procs;
+        cfg.workload.procs = procs;
+    }
+    if let Some(v) = flag_value(args, "--disks")? {
+        let disks: u16 = v.parse().map_err(|_| "bad --disks")?;
+        if disks == 0 {
+            return Err("--disks must be positive".into());
+        }
+        cfg.disks = disks;
+    }
+    if let Some(v) = flag_value(args, "--blocks")? {
+        let blocks: u32 = v.parse().map_err(|_| "bad --blocks")?;
+        if blocks == 0 {
+            return Err("--blocks must be positive".into());
+        }
+        cfg.workload.file_blocks = blocks;
+        cfg.workload.total_reads = blocks;
+    }
+    if !cfg.workload.total_reads.is_multiple_of(cfg.procs as u32) {
+        return Err(format!(
+            "total reads ({}) must divide evenly among {} processors",
+            cfg.workload.total_reads, cfg.procs
+        ));
+    }
+    if let Some(v) = flag_value(args, "--compute")? {
+        let ms: u64 = v.parse().map_err(|_| "bad --compute")?;
+        cfg.compute_mean = SimDuration::from_millis(ms);
+    }
+    if let Some(v) = flag_value(args, "--seed")? {
+        cfg.seed = v.parse().map_err(|_| "bad --seed")?;
+    }
+    if has_flag(args, "--prefetch") {
+        let policy = match flag_value(args, "--policy")? {
+            None | Some("oracle") => PolicyKind::Oracle,
+            Some("obl") => PolicyKind::Obl { depth: 3 },
+            Some("learner") => PolicyKind::PortionLearner { confidence: 2 },
+            Some(other) => return Err(format!("unknown policy {other:?}")),
+        };
+        cfg.prefetch = match policy {
+            PolicyKind::Oracle => PrefetchConfig::paper(),
+            other => PrefetchConfig::online(other),
+        };
+        if let Some(v) = flag_value(args, "--lead")? {
+            cfg.prefetch.min_lead = v.parse().map_err(|_| "bad --lead")?;
+        }
+    }
+    Ok(cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_are_the_paper_config() {
+        let cfg = build_config(&[]).unwrap();
+        assert_eq!(cfg.pattern, AccessPattern::GlobalWholeFile);
+        assert_eq!(cfg.sync, SyncStyle::BlocksPerProc(10));
+        assert_eq!(cfg.procs, 20);
+        assert!(!cfg.prefetch.enabled);
+    }
+
+    #[test]
+    fn pattern_and_sync_parse() {
+        let cfg = build_config(&args(&["--pattern", "lrp", "--sync", "total:200"])).unwrap();
+        assert_eq!(cfg.pattern, AccessPattern::LocalRandomPortions);
+        assert_eq!(cfg.sync, SyncStyle::BlocksTotal(200));
+        assert!(parse_sync("per-proc:7").unwrap() == SyncStyle::BlocksPerProc(7));
+        assert!(parse_sync("bogus").is_err());
+        assert!(parse_pattern("nope").is_err());
+    }
+
+    #[test]
+    fn lw_portion_combination_rejected() {
+        let err = build_config(&args(&["--pattern", "lw", "--sync", "portion"])).unwrap_err();
+        assert!(err.contains("portion"));
+    }
+
+    #[test]
+    fn machine_shape_flags() {
+        let cfg =
+            build_config(&args(&["--procs", "8", "--blocks", "800", "--compute", "5"])).unwrap();
+        assert_eq!(cfg.procs, 8);
+        assert_eq!(cfg.disks, 8);
+        assert_eq!(cfg.workload.total_reads, 800);
+        assert_eq!(cfg.compute_mean, SimDuration::from_millis(5));
+        // Explicit --disks overrides the procs default.
+        let cfg = build_config(&args(&["--procs", "4", "--disks", "2", "--blocks", "100"]))
+            .unwrap();
+        assert_eq!(cfg.disks, 2);
+    }
+
+    #[test]
+    fn uneven_division_rejected() {
+        let err = build_config(&args(&["--procs", "7", "--blocks", "100"])).unwrap_err();
+        assert!(err.contains("divide evenly"));
+    }
+
+    #[test]
+    fn prefetch_flags() {
+        let cfg = build_config(&args(&["--prefetch", "--lead", "30"])).unwrap();
+        assert!(cfg.prefetch.enabled);
+        assert_eq!(cfg.prefetch.min_lead, 30);
+        assert_eq!(cfg.prefetch.policy, PolicyKind::Oracle);
+        assert!(!cfg.prefetch.evict_unused);
+
+        let cfg = build_config(&args(&["--prefetch", "--policy", "obl"])).unwrap();
+        assert_eq!(cfg.prefetch.policy, PolicyKind::Obl { depth: 3 });
+        assert!(cfg.prefetch.evict_unused, "online policies relax eviction");
+
+        assert!(build_config(&args(&["--prefetch", "--policy", "psychic"])).is_err());
+    }
+
+    #[test]
+    fn missing_value_reported() {
+        let err = build_config(&args(&["--pattern"])).unwrap_err();
+        assert!(err.contains("requires a value"));
+    }
+
+    #[test]
+    fn zero_values_rejected() {
+        assert!(build_config(&args(&["--procs", "0"])).is_err());
+        assert!(build_config(&args(&["--blocks", "0"])).is_err());
+        assert!(build_config(&args(&["--disks", "0"])).is_err());
+    }
+
+    #[test]
+    fn flag_helpers() {
+        let a = args(&["--x", "1", "--y"]);
+        assert_eq!(flag_value(&a, "--x").unwrap(), Some("1"));
+        assert_eq!(flag_value(&a, "--z").unwrap(), None);
+        assert!(has_flag(&a, "--y"));
+        assert!(!has_flag(&a, "--w"));
+    }
+}

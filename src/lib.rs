@@ -1,0 +1,40 @@
+//! # rapid-transit — reproduction of Kotz & Ellis (1989)
+//!
+//! *Prefetching in File Systems for MIMD Multiprocessors*, ICPP 1989.
+//!
+//! This facade crate re-exports the whole workspace so examples, integration
+//! tests, and downstream users can depend on a single crate:
+//!
+//! * [`sim`] — deterministic discrete-event simulation engine,
+//! * [`disk`] — parallel independent disks and interleaved file layout,
+//! * [`fs`] — the interleaved file system (naming, allocation, striping),
+//! * [`cache`] — shared block cache with per-processor RU-set replacement,
+//! * [`patterns`] — the six parallel file access patterns and
+//!   synchronization styles,
+//! * [`core`] — the RAPID Transit testbed itself: the parallel file system
+//!   with idle-time prefetching, the experiment runner, and metrics.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rapid_transit::core::experiment::run_experiment;
+//! use rapid_transit::core::ExperimentConfig;
+//! use rapid_transit::patterns::{AccessPattern, SyncStyle};
+//!
+//! // The paper's headline configuration: 20 processors, 20 disks, a
+//! // 2000-block file read with the global-whole-file pattern.
+//! let mut config = ExperimentConfig::paper_default(AccessPattern::GlobalWholeFile,
+//!                                                  SyncStyle::BlocksPerProc(10));
+//! config.prefetch = rapid_transit::core::PrefetchConfig::paper();
+//! let metrics = run_experiment(&config);
+//! assert!(metrics.reads.count() > 0);
+//! ```
+
+pub mod cli;
+
+pub use rt_cache as cache;
+pub use rt_core as core;
+pub use rt_disk as disk;
+pub use rt_fs as fs;
+pub use rt_patterns as patterns;
+pub use rt_sim as sim;

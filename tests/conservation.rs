@@ -1,0 +1,114 @@
+//! Cross-crate accounting invariants: every read, fetch, and disk
+//! operation must balance, for every pattern, synchronization style, and
+//! prefetch setting, at paper scale.
+
+use rapid_transit::core::experiment::run_experiment;
+use rapid_transit::core::{ExperimentConfig, PrefetchConfig, RunMetrics};
+use rapid_transit::patterns::{AccessPattern, SyncStyle};
+
+fn check(m: &RunMetrics, label: &str) {
+    // Every read is classified exactly once.
+    assert_eq!(
+        m.ready_hits + m.unready_hits + m.misses,
+        m.total_reads(),
+        "{label}: read classification does not balance"
+    );
+    // Every miss triggers a demand fetch, except a miss whose allocation
+    // spun on pinned buffers and found the block fetched by someone else
+    // meanwhile.
+    assert!(
+        m.demand_fetches <= m.misses,
+        "{label}: more fetches than misses"
+    );
+    assert!(
+        m.misses - m.demand_fetches <= m.alloc_retries,
+        "{label}: unexplained miss/fetch gap ({} misses, {} fetches, {} retries)",
+        m.misses, m.demand_fetches, m.alloc_retries
+    );
+    // The disks served exactly the issued fetches.
+    assert_eq!(
+        m.disk_ops,
+        m.demand_fetches + m.prefetches,
+        "{label}: disk ops do not balance fetches"
+    );
+    // Hit-wait observations cover ready and unready hits.
+    assert_eq!(
+        m.hit_wait.count(),
+        m.ready_hits + m.unready_hits,
+        "{label}: hit-wait accounting mismatch"
+    );
+    // All processes finish, and the run's span is the latest finish.
+    let max_finish = m.proc_finish.iter().max().expect("procs");
+    assert_eq!(
+        max_finish.as_nanos(),
+        m.total_time.as_nanos(),
+        "{label}: total time is not the last finish"
+    );
+    // Per-process breakdowns add up to the run totals.
+    let proc_reads: u64 = m.per_proc.iter().map(|p| p.reads.count()).sum();
+    assert_eq!(proc_reads, m.total_reads(), "{label}: per-proc reads drift");
+    let proc_hits: u64 = m.per_proc.iter().map(|p| p.hits).sum();
+    assert_eq!(
+        proc_hits,
+        m.ready_hits + m.unready_hits,
+        "{label}: per-proc hits drift"
+    );
+    let proc_pf: u64 = m.per_proc.iter().map(|p| p.prefetches_issued).sum();
+    assert_eq!(proc_pf, m.prefetches, "{label}: per-proc prefetches drift");
+}
+
+#[test]
+fn balances_for_every_grid_cell() {
+    for pattern in AccessPattern::ALL {
+        for sync in SyncStyle::PAPER {
+            if !sync.valid_for(pattern) {
+                continue;
+            }
+            for &prefetch in &[false, true] {
+                let mut cfg = ExperimentConfig::paper_default(pattern, sync);
+                if prefetch {
+                    cfg.prefetch = PrefetchConfig::paper();
+                }
+                let m = run_experiment(&cfg);
+                assert_eq!(
+                    m.total_reads(),
+                    2000,
+                    "{pattern}/{sync}: grid reads must total 2000"
+                );
+                check(&m, &format!("{pattern}/{sync}/pf={prefetch}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn oracle_prefetching_never_fetches_unneeded_blocks_in_gw() {
+    // gw reads each of 2000 blocks exactly once and nothing is ever reused,
+    // so with a mistake-free oracle the disks serve exactly 2000 requests.
+    let mut cfg =
+        ExperimentConfig::paper_default(AccessPattern::GlobalWholeFile, SyncStyle::None);
+    cfg.prefetch = PrefetchConfig::paper();
+    let m = run_experiment(&cfg);
+    assert_eq!(m.disk_ops, 2000, "oracle must fetch each block exactly once");
+}
+
+#[test]
+fn io_bound_runs_balance_too() {
+    for pattern in [AccessPattern::GlobalWholeFile, AccessPattern::LocalRandomPortions] {
+        let mut cfg = ExperimentConfig::paper_io_bound(pattern, SyncStyle::BlocksTotal(200));
+        cfg.prefetch = PrefetchConfig::paper();
+        let m = run_experiment(&cfg);
+        check(&m, &format!("io-bound/{pattern}"));
+    }
+}
+
+#[test]
+fn lead_runs_balance() {
+    for pattern in [AccessPattern::LocalFixedPortions, AccessPattern::GlobalWholeFile] {
+        let cfg = ExperimentConfig::paper_lead(pattern, 45);
+        let m = run_experiment(&cfg);
+        let expected = if pattern.is_local() { 40_000 } else { 2000 };
+        assert_eq!(m.total_reads(), expected, "{pattern}: lead workload size");
+        check(&m, &format!("lead/{pattern}"));
+    }
+}

@@ -1,0 +1,134 @@
+//! Edge-of-envelope configurations: degenerate machine shapes and
+//! workloads must still complete and balance.
+
+use rapid_transit::core::experiment::{run_experiment, run_pair};
+use rapid_transit::core::{ExperimentConfig, PrefetchConfig};
+use rapid_transit::patterns::{AccessPattern, SyncStyle, WorkloadParams};
+use rapid_transit::sim::SimDuration;
+
+fn tiny(procs: u16, blocks_per_proc: u32) -> ExperimentConfig {
+    let total = procs as u32 * blocks_per_proc;
+    let mut cfg =
+        ExperimentConfig::paper_default(AccessPattern::GlobalWholeFile, SyncStyle::None);
+    cfg.procs = procs;
+    cfg.disks = procs;
+    cfg.workload = WorkloadParams {
+        procs,
+        file_blocks: total,
+        total_reads: total,
+        ..WorkloadParams::paper()
+    };
+    cfg.compute_mean = SimDuration::from_millis(1);
+    cfg
+}
+
+#[test]
+fn single_processor_single_disk() {
+    // The degenerate "uniprocessor" case: one process, one disk; gw
+    // becomes plain sequential reading and OBL-style prefetching works.
+    let mut cfg = tiny(1, 50);
+    cfg.prefetch = PrefetchConfig::paper();
+    let m = run_experiment(&cfg);
+    assert_eq!(m.total_reads(), 50);
+    assert!(m.hit_ratio > 0.5, "sequential reads should be prefetchable");
+    // One disk: everything serializes, so the run cannot beat 50 accesses.
+    assert!(m.total_time >= SimDuration::from_millis(50 * 30));
+}
+
+#[test]
+fn one_read_per_process() {
+    let cfg = tiny(4, 1);
+    let m = run_experiment(&cfg);
+    assert_eq!(m.total_reads(), 4);
+    assert_eq!(m.misses, 4, "nothing to share or prefetch");
+}
+
+#[test]
+fn more_processes_than_disks() {
+    let mut cfg = tiny(8, 25);
+    cfg.disks = 2; // heavy disk contention
+    let pair = run_pair(&cfg);
+    assert_eq!(pair.base.total_reads(), 200);
+    // Two disks bound the run: 200 × 30 ms / 2.
+    assert!(
+        pair.base.total_time >= SimDuration::from_millis(200 / 2 * 30),
+        "cannot beat aggregate disk bandwidth"
+    );
+    // Contention shows up as queueing in the disk response time.
+    assert!(pair.base.mean_disk_response_ms() > 30.0);
+}
+
+#[test]
+fn more_disks_than_processes() {
+    let mut cfg = tiny(2, 50);
+    cfg.disks = 16;
+    let m = run_experiment(&cfg);
+    assert_eq!(m.total_reads(), 100);
+    // Plenty of disks: no queueing at all without prefetching.
+    assert!((m.mean_disk_response_ms() - 30.0).abs() < 1.0);
+}
+
+#[test]
+fn large_ru_sets_act_as_a_bigger_cache() {
+    let mut small = tiny(4, 50);
+    small.pattern = AccessPattern::LocalWholeFile;
+    small.workload.total_reads = 200;
+    small.workload.file_blocks = 200;
+    let mut large = small.clone();
+    large.ru_set_size = 8;
+    let m_small = run_experiment(&small);
+    let m_large = run_experiment(&large);
+    // lw rereads blocks across processes; more demand buffers can only
+    // help retention.
+    assert!(m_large.hit_ratio >= m_small.hit_ratio);
+}
+
+#[test]
+fn zero_compute_with_sync_everywhere() {
+    let mut cfg = tiny(4, 25);
+    cfg.sync = SyncStyle::BlocksPerProc(5);
+    cfg.compute_mean = SimDuration::ZERO;
+    cfg.prefetch = PrefetchConfig::paper();
+    let m = run_experiment(&cfg);
+    assert_eq!(m.total_reads(), 100);
+    assert_eq!(m.barriers, 4, "barrier every 5 reads, last coincides with exit");
+}
+
+#[test]
+fn huge_compute_makes_io_invisible() {
+    let mut cfg = tiny(4, 10);
+    cfg.compute_mean = SimDuration::from_millis(500);
+    let pair = run_pair(&cfg);
+    // Compute dominates: prefetching can't change much of the total.
+    let delta = pair.total_time_improvement().abs();
+    assert!(
+        delta < 0.25,
+        "compute-bound run should be mostly insensitive, saw {delta:.3}"
+    );
+}
+
+#[test]
+fn minimal_prefetch_window() {
+    let mut cfg = tiny(4, 25);
+    cfg.prefetch = PrefetchConfig {
+        buffers_per_proc: 1,
+        global_cap_per_proc: 1,
+        ..PrefetchConfig::paper()
+    };
+    let m = run_experiment(&cfg);
+    assert_eq!(m.total_reads(), 100);
+    assert!(m.prefetches > 0, "even one buffer per node prefetches");
+}
+
+#[test]
+fn lead_larger_than_string_relaxes_to_plain_prefetching() {
+    let mut cfg = tiny(4, 10);
+    cfg.prefetch = PrefetchConfig {
+        min_lead: 10_000, // far beyond the 40-access string
+        ..PrefetchConfig::paper()
+    };
+    let m = run_experiment(&cfg);
+    assert_eq!(m.total_reads(), 40);
+    // End-of-string relaxation applies from the start: prefetching happens.
+    assert!(m.prefetches > 0);
+}

@@ -1,0 +1,67 @@
+//! Golden regression tests: the simulation is deterministic, so the
+//! paper-default runs (per-processor sync, balanced compute, default seed)
+//! must reproduce these exact fingerprints. A legitimate model change will
+//! move these numbers — regenerate them deliberately (see the table below)
+//! and re-validate the figure benches against EXPERIMENTS.md when it does.
+
+use rapid_transit::core::experiment::run_experiment;
+use rapid_transit::core::{ExperimentConfig, PrefetchConfig};
+use rapid_transit::patterns::{AccessPattern, SyncStyle};
+
+/// (pattern, prefetch, total ns, mean read ns, ready, unready, misses)
+const GOLDEN: &[(&str, bool, u64, u64, u64, u64, u64)] = &[
+    ("lfp", false, 9655075092, 44123664, 0, 0, 2000),
+    ("lfp", true, 8762689957, 21717746, 1512, 68, 420),
+    ("lrp", false, 8981900912, 40912441, 8, 8, 1984),
+    ("lrp", true, 7039652001, 18486718, 1507, 69, 424),
+    ("lw", false, 3735367087, 24580194, 64, 1832, 104),
+    ("lw", true, 2678292539, 6952721, 1880, 93, 27),
+    ("gfp", false, 8268681093, 33980141, 0, 0, 2000),
+    ("gfp", true, 6495565390, 10332742, 1479, 464, 57),
+    ("grp", false, 8323782295, 34140404, 0, 0, 2000),
+    ("grp", true, 6426273094, 14161485, 1218, 663, 119),
+    ("gw", false, 8258476186, 33685345, 0, 0, 2000),
+    ("gw", true, 6442648341, 10153561, 1553, 387, 60),
+];
+
+#[test]
+fn paper_default_runs_match_golden_fingerprints() {
+    for &(abbrev, prefetch, total_ns, read_ns, ready, unready, misses) in GOLDEN {
+        let pattern = AccessPattern::from_abbrev(abbrev).unwrap();
+        let mut cfg = ExperimentConfig::paper_default(pattern, SyncStyle::BlocksPerProc(10));
+        if prefetch {
+            cfg.prefetch = PrefetchConfig::paper();
+        }
+        let m = run_experiment(&cfg);
+        let got = (
+            m.total_time.as_nanos(),
+            m.reads.mean().as_nanos(),
+            m.ready_hits,
+            m.unready_hits,
+            m.misses,
+        );
+        assert_eq!(
+            got,
+            (total_ns, read_ns, ready, unready, misses),
+            "{abbrev}/pf={prefetch} drifted from its golden fingerprint; if \
+             this change is intentional, regenerate the GOLDEN table and \
+             re-validate EXPERIMENTS.md"
+        );
+    }
+}
+
+#[test]
+fn golden_table_spans_all_patterns_both_ways() {
+    // Guard the guard: the table must cover every (pattern, prefetch) cell.
+    assert_eq!(GOLDEN.len(), 12);
+    for pattern in AccessPattern::ALL {
+        for &pf in &[false, true] {
+            assert!(
+                GOLDEN
+                    .iter()
+                    .any(|&(a, p, ..)| a == pattern.abbrev() && p == pf),
+                "missing golden entry for {pattern}/pf={pf}"
+            );
+        }
+    }
+}

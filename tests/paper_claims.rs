@@ -1,0 +1,269 @@
+//! End-to-end integration tests asserting the paper's qualitative claims
+//! on the real (20-processor) configuration. Each test corresponds to a
+//! result in §V; the benchmark harness prints the full tables, these tests
+//! pin the *shape* so regressions are caught by `cargo test`.
+
+use rapid_transit::core::experiment::{run_pair, run_experiment};
+use rapid_transit::core::{ExperimentConfig, PrefetchConfig};
+use rapid_transit::patterns::{AccessPattern, SyncStyle};
+use rapid_transit::sim::SimDuration;
+
+fn paper_pair(pattern: AccessPattern, sync: SyncStyle) -> rapid_transit::core::RunPair {
+    run_pair(&ExperimentConfig::paper_default(pattern, sync))
+}
+
+#[test]
+fn fig3_prefetching_reduces_read_time_for_gw() {
+    let pair = paper_pair(AccessPattern::GlobalWholeFile, SyncStyle::BlocksPerProc(10));
+    assert!(
+        pair.read_time_improvement() > 0.35,
+        "gw read-time improvement too small: {:.3}",
+        pair.read_time_improvement()
+    );
+}
+
+#[test]
+fn fig4_hit_ratio_transformed_by_prefetching() {
+    let pair = paper_pair(AccessPattern::GlobalWholeFile, SyncStyle::BlocksPerProc(10));
+    assert!(pair.base.hit_ratio < 0.05, "gw base should miss nearly always");
+    assert!(
+        pair.prefetch.hit_ratio > 0.69,
+        "paper: every prefetch run exceeds 0.69, got {:.3}",
+        pair.prefetch.hit_ratio
+    );
+}
+
+#[test]
+fn fig4_lw_has_locality_even_without_prefetching() {
+    let pair = paper_pair(AccessPattern::LocalWholeFile, SyncStyle::BlocksPerProc(10));
+    assert!(
+        pair.base.hit_ratio > 0.5,
+        "lw interprocess temporal locality should produce hits without \
+         prefetching, got {:.3}",
+        pair.base.hit_ratio
+    );
+}
+
+#[test]
+fn fig5_unready_hits_are_significant() {
+    let pair = paper_pair(AccessPattern::GlobalWholeFile, SyncStyle::BlocksPerProc(10));
+    let m = &pair.prefetch;
+    assert!(
+        m.unready_fraction() > 0.1,
+        "unready hits should be a significant portion, got {:.3}",
+        m.unready_fraction()
+    );
+    // Paper: average hit-wait small (70% of runs < 6 ms, all < 17 ms).
+    assert!(
+        m.mean_hit_wait_ms() < 17.0,
+        "hit-wait out of the paper's band: {:.2} ms",
+        m.mean_hit_wait_ms()
+    );
+}
+
+#[test]
+fn fig7_disk_response_worsens_under_prefetching() {
+    for pattern in [AccessPattern::GlobalWholeFile, AccessPattern::LocalFixedPortions] {
+        let pair = paper_pair(pattern, SyncStyle::BlocksPerProc(10));
+        assert!(
+            pair.prefetch.mean_disk_response_ms() >= pair.base.mean_disk_response_ms(),
+            "{pattern}: prefetching should increase disk contention"
+        );
+    }
+}
+
+#[test]
+fn fig8_lw_gains_most_from_prefetching() {
+    let lw = paper_pair(AccessPattern::LocalWholeFile, SyncStyle::None);
+    let lfp = paper_pair(AccessPattern::LocalFixedPortions, SyncStyle::None);
+    assert!(
+        lw.total_time_improvement() > lfp.total_time_improvement(),
+        "lw (every prefetched block helps all 20 processes) must beat lfp"
+    );
+    assert!(
+        lw.total_time_improvement() > 0.3,
+        "lw improvement too small: {:.3}",
+        lw.total_time_improvement()
+    );
+}
+
+#[test]
+fn fig9_sync_wait_grows_under_prefetching_somewhere() {
+    // The paper: prefetching usually increases synchronization time. Assert
+    // it happens for at least one of the synchronizing patterns.
+    let increased = [
+        AccessPattern::GlobalWholeFile,
+        AccessPattern::LocalFixedPortions,
+        AccessPattern::GlobalRandomPortions,
+    ]
+    .iter()
+    .map(|&p| paper_pair(p, SyncStyle::BlocksPerProc(10)))
+    .any(|pair| pair.prefetch.sync_wait.mean_millis() > pair.base.sync_wait.mean_millis());
+    assert!(increased, "no pattern converted I/O savings into sync waits");
+}
+
+#[test]
+fn fig12_balanced_runs_benefit_more_than_io_bound() {
+    let io_bound = run_pair(&ExperimentConfig::paper_io_bound(
+        AccessPattern::GlobalWholeFile,
+        SyncStyle::BlocksPerProc(10),
+    ));
+    let balanced = paper_pair(AccessPattern::GlobalWholeFile, SyncStyle::BlocksPerProc(10));
+    assert!(
+        balanced.total_time_improvement() > io_bound.total_time_improvement(),
+        "overlap of I/O with computation should make balanced runs gain more \
+         ({:.3} vs {:.3})",
+        balanced.total_time_improvement(),
+        io_bound.total_time_improvement()
+    );
+}
+
+#[test]
+fn fig13_lead_raises_lw_hit_wait() {
+    let near = run_experiment(&ExperimentConfig::paper_lead(AccessPattern::LocalWholeFile, 0));
+    let led = run_experiment(&ExperimentConfig::paper_lead(AccessPattern::LocalWholeFile, 60));
+    assert!(
+        led.mean_hit_wait_ms() > near.mean_hit_wait_ms(),
+        "paper: lw hit-wait increases with lead ({:.2} vs {:.2})",
+        led.mean_hit_wait_ms(),
+        near.mean_hit_wait_ms()
+    );
+}
+
+#[test]
+fn fig14_lead_raises_global_miss_ratio() {
+    let near = run_experiment(&ExperimentConfig::paper_lead(AccessPattern::GlobalWholeFile, 0));
+    let led = run_experiment(&ExperimentConfig::paper_lead(AccessPattern::GlobalWholeFile, 60));
+    assert!(
+        led.miss_ratio() > near.miss_ratio() + 0.1,
+        "paper: the miss ratio climbs drastically with lead ({:.3} vs {:.3})",
+        led.miss_ratio(),
+        near.miss_ratio()
+    );
+}
+
+#[test]
+fn fig16_lead_slows_gw_and_lw() {
+    for pattern in [AccessPattern::GlobalWholeFile, AccessPattern::LocalWholeFile] {
+        let near = run_experiment(&ExperimentConfig::paper_lead(pattern, 0));
+        let led = run_experiment(&ExperimentConfig::paper_lead(pattern, 90));
+        assert!(
+            led.total_time > near.total_time,
+            "{pattern}: paper says large leads slow the whole-file patterns"
+        );
+    }
+}
+
+#[test]
+fn sec5d_min_prefetch_time_lowers_overrun_but_degrades_hit_ratio() {
+    let mk = |min_ms: u64| {
+        let mut cfg = ExperimentConfig::paper_default(
+            AccessPattern::GlobalWholeFile,
+            SyncStyle::BlocksPerProc(10),
+        );
+        cfg.prefetch = PrefetchConfig {
+            min_action_time: SimDuration::from_millis(min_ms),
+            ..PrefetchConfig::paper()
+        };
+        run_experiment(&cfg)
+    };
+    let without = mk(0);
+    let with = mk(20);
+    // The threshold suppresses the actions that would have overrun: the
+    // *aggregate* overrun falls (individual overruns that remain can be
+    // larger, which is why the idea bought so little).
+    assert!(
+        with.overrun.total() <= without.overrun.total(),
+        "thresholding idle time should reduce aggregate overrun ({} vs {})",
+        with.overrun.total(),
+        without.overrun.total()
+    );
+    assert!(
+        with.hit_ratio < without.hit_ratio,
+        "paper: the hit ratio degrades steadily under the threshold"
+    );
+}
+
+#[test]
+fn sec5f_one_prefetch_buffer_is_worse_than_three() {
+    let mk = |bufs: u16| {
+        let mut cfg = ExperimentConfig::paper_default(
+            AccessPattern::GlobalWholeFile,
+            SyncStyle::BlocksPerProc(10),
+        );
+        cfg.prefetch = PrefetchConfig {
+            buffers_per_proc: bufs,
+            global_cap_per_proc: bufs,
+            ..PrefetchConfig::paper()
+        };
+        run_experiment(&cfg)
+    };
+    let one = mk(1);
+    let three = mk(3);
+    assert!(
+        three.total_time <= one.total_time,
+        "paper: a single prefetch buffer per process obtains smaller \
+         improvements ({} vs {})",
+        three.total_time,
+        one.total_time
+    );
+}
+
+#[test]
+fn oracle_beats_local_obl_on_global_patterns() {
+    let mk = |policy| {
+        let mut cfg = ExperimentConfig::paper_default(
+            AccessPattern::GlobalWholeFile,
+            SyncStyle::BlocksPerProc(10),
+        );
+        cfg.prefetch = PrefetchConfig {
+            policy,
+            ..PrefetchConfig::paper()
+        };
+        run_experiment(&cfg)
+    };
+    let oracle = mk(rapid_transit::core::PolicyKind::Oracle);
+    let obl = mk(rapid_transit::core::PolicyKind::Obl { depth: 3 });
+    assert!(
+        oracle.hit_ratio > obl.hit_ratio + 0.2,
+        "global sequentiality should be invisible to per-process OBL \
+         (oracle {:.3} vs obl {:.3})",
+        oracle.hit_ratio,
+        obl.hit_ratio
+    );
+}
+
+#[test]
+fn fallible_predictors_wedge_without_eviction_relaxation() {
+    // An emergent interaction the paper never had to face: its policy
+    // never evicts prefetched-but-unused blocks because the oracle never
+    // errs. A fallible predictor's wrong guesses (e.g. OBL predicting past
+    // an lfp portion boundary) then accumulate as permanently protected
+    // buffers until prefetching wedges entirely.
+    let mk = |evict_unused: bool| {
+        let mut cfg = ExperimentConfig::paper_default(
+            AccessPattern::LocalFixedPortions,
+            SyncStyle::BlocksPerProc(10),
+        );
+        cfg.prefetch = PrefetchConfig {
+            policy: rapid_transit::core::PolicyKind::Obl { depth: 3 },
+            evict_unused,
+            ..PrefetchConfig::paper()
+        };
+        run_experiment(&cfg)
+    };
+    let wedged = mk(false);
+    let relaxed = mk(true);
+    assert!(
+        wedged.prefetches < 200,
+        "protected junk should throttle prefetching ({} prefetches)",
+        wedged.prefetches
+    );
+    assert!(
+        relaxed.prefetches > wedged.prefetches * 3,
+        "the relaxation should revive prefetching ({} vs {})",
+        relaxed.prefetches,
+        wedged.prefetches
+    );
+    assert!(relaxed.hit_ratio > wedged.hit_ratio);
+}

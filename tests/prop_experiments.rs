@@ -1,0 +1,141 @@
+//! Property tests over randomly drawn experiment configurations: any
+//! machine shape × pattern × synchronization × prefetch setting must
+//! complete, balance its accounting, and stay within physical bounds.
+
+use proptest::prelude::*;
+
+use rapid_transit::core::experiment::run_experiment;
+use rapid_transit::core::{ExperimentConfig, PolicyKind, PrefetchConfig};
+use rapid_transit::patterns::{AccessPattern, SyncStyle, WorkloadParams};
+use rapid_transit::sim::SimDuration;
+
+fn pattern_strategy() -> impl Strategy<Value = AccessPattern> {
+    prop::sample::select(AccessPattern::ALL.to_vec())
+}
+
+fn sync_strategy() -> impl Strategy<Value = SyncStyle> {
+    prop_oneof![
+        Just(SyncStyle::None),
+        (2u32..20).prop_map(SyncStyle::BlocksPerProc),
+        (10u32..100).prop_map(SyncStyle::BlocksTotal),
+        Just(SyncStyle::EachPortion),
+    ]
+}
+
+fn policy_strategy() -> impl Strategy<Value = PolicyKind> {
+    prop_oneof![
+        Just(PolicyKind::Oracle),
+        (1u32..5).prop_map(|depth| PolicyKind::Obl { depth }),
+        (1u32..4).prop_map(|confidence| PolicyKind::PortionLearner { confidence }),
+    ]
+}
+
+prop_compose! {
+    fn config_strategy()(
+        procs in 2u16..8,
+        blocks_per_proc in 10u32..60,
+        pattern in pattern_strategy(),
+        sync in sync_strategy(),
+        compute_ms in 0u64..20,
+        prefetch_on in any::<bool>(),
+        bufs in 1u16..5,
+        lead in 0u32..30,
+        policy in policy_strategy(),
+        seed in any::<u64>(),
+    ) -> ExperimentConfig {
+        let sync = if sync.valid_for(pattern) { sync } else { SyncStyle::None };
+        // Keep the portion geometry consistent with the machine size:
+        // lfp needs reads_per_proc to be whole portions; gfp needs the
+        // file to be a whole number of 2L stretches.
+        let len = 5;
+        let total = procs as u32 * (blocks_per_proc - blocks_per_proc % len).max(len);
+        let global_len = total / 10 / (2 * len) * len + len; // small but valid
+        let file = total;
+        let mut cfg = ExperimentConfig::paper_default(pattern, sync);
+        cfg.procs = procs;
+        cfg.disks = procs;
+        cfg.workload = WorkloadParams {
+            procs,
+            file_blocks: file,
+            total_reads: total,
+            fixed_portion_len: len,
+            global_fixed_portion_len: global_len,
+            rand_portion_min: 1,
+            rand_portion_max: 8.min(file),
+            global_rand_portion_min: 2,
+            global_rand_portion_max: 16.min(file),
+        };
+        cfg.compute_mean = SimDuration::from_millis(compute_ms);
+        cfg.seed = seed;
+        if prefetch_on {
+            cfg.prefetch = PrefetchConfig {
+                buffers_per_proc: bufs,
+                global_cap_per_proc: bufs,
+                min_lead: lead,
+                policy,
+                ..PrefetchConfig::paper()
+            };
+        }
+        cfg
+    }
+}
+
+/// gfp requires `file % 2L == 0`; fix up configs that drew a bad geometry.
+fn fixup(mut cfg: ExperimentConfig) -> ExperimentConfig {
+    if cfg.pattern == AccessPattern::GlobalFixedPortions {
+        let l = cfg.workload.global_fixed_portion_len.max(1);
+        let stretch = 2 * l;
+        let file = (cfg.workload.file_blocks / stretch).max(1) * stretch;
+        cfg.workload.file_blocks = file;
+        cfg.workload.total_reads = file;
+        // total_reads must divide evenly among procs.
+        let per = (file / cfg.procs as u32).max(1);
+        cfg.workload.total_reads = per * cfg.procs as u32;
+        if cfg.workload.total_reads != file {
+            // Fall back to a geometry that satisfies both constraints.
+            let per_proc = stretch;
+            cfg.workload.file_blocks = per_proc * cfg.procs as u32;
+            cfg.workload.total_reads = cfg.workload.file_blocks;
+        }
+    }
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    #[test]
+    fn any_config_completes_and_balances(cfg in config_strategy()) {
+        let cfg = fixup(cfg);
+        let m = run_experiment(&cfg);
+        prop_assert_eq!(m.total_reads(), cfg.workload.total_reads as u64);
+        prop_assert_eq!(m.ready_hits + m.unready_hits + m.misses, m.total_reads());
+        // A miss whose allocation spun on pinned buffers can be rescued by
+        // another process's fetch, so fetches may lag misses by at most the
+        // number of retries.
+        prop_assert!(m.demand_fetches <= m.misses);
+        prop_assert!(m.misses - m.demand_fetches <= m.alloc_retries);
+        prop_assert_eq!(m.disk_ops, m.demand_fetches + m.prefetches);
+        prop_assert!(m.hit_ratio >= 0.0 && m.hit_ratio <= 1.0);
+        prop_assert_eq!(m.proc_finish.len(), cfg.procs as usize);
+        // Physical bound: the run cannot beat perfect disk parallelism.
+        let min_ms = (m.disk_ops as f64 * 30.0) / cfg.disks as f64;
+        prop_assert!(
+            m.total_time.as_millis_f64() >= min_ms * 0.99,
+            "total {} ms beats the disk bound {} ms",
+            m.total_time.as_millis_f64(), min_ms
+        );
+    }
+
+    #[test]
+    fn runs_are_reproducible(cfg in config_strategy()) {
+        let cfg = fixup(cfg);
+        let a = run_experiment(&cfg);
+        let b = run_experiment(&cfg);
+        prop_assert_eq!(a.total_time, b.total_time);
+        prop_assert_eq!(a.ready_hits, b.ready_hits);
+        prop_assert_eq!(a.unready_hits, b.unready_hits);
+        prop_assert_eq!(a.misses, b.misses);
+        prop_assert_eq!(a.disk_ops, b.disk_ops);
+    }
+}
