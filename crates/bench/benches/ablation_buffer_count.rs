@@ -15,7 +15,9 @@ fn main() {
         "prefetch buffers per process vs total-time improvement",
     );
     let sync = SyncStyle::BlocksPerProc(10);
-    let mut t = Table::new(&["pattern", "1 buf %", "2 buf %", "3 buf %", "4 buf %", "5 buf %"]);
+    let mut t = Table::new(&[
+        "pattern", "1 buf %", "2 buf %", "3 buf %", "4 buf %", "5 buf %",
+    ]);
     for pattern in AccessPattern::ALL {
         // The no-prefetch base for this pattern.
         let base = run_pair(&ExperimentConfig::paper_default(pattern, sync)).base;

@@ -72,7 +72,10 @@ fn main() {
         "FCFS demand-resp ms",
         "prio demand-resp ms",
     ]);
-    for pattern in [AccessPattern::GlobalWholeFile, AccessPattern::GlobalFixedPortions] {
+    for pattern in [
+        AccessPattern::GlobalWholeFile,
+        AccessPattern::GlobalFixedPortions,
+    ] {
         for lead in [30u32, 60] {
             let run = |discipline: Discipline| {
                 let mut cfg = ExperimentConfig::paper_lead(pattern, lead);

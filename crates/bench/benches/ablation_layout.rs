@@ -25,7 +25,10 @@ fn main() {
         "disk resp ms",
         "mean disk util",
     ]);
-    for pattern in [AccessPattern::GlobalWholeFile, AccessPattern::LocalWholeFile] {
+    for pattern in [
+        AccessPattern::GlobalWholeFile,
+        AccessPattern::LocalWholeFile,
+    ] {
         for &striping in &[Striping::Interleaved, Striping::OnDisk(0)] {
             for &prefetch in &[false, true] {
                 let mut cfg =

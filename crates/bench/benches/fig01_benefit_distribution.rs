@@ -47,10 +47,7 @@ fn main() {
     // The paper's causal claim: among the *local* patterns (which prefetch
     // only for themselves), higher benefit imbalance should go with worse
     // total-time outcomes.
-    let locals: Vec<_> = pairs
-        .iter()
-        .filter(|p| p.label.starts_with('l'))
-        .collect();
+    let locals: Vec<_> = pairs.iter().filter(|p| p.label.starts_with('l')).collect();
     let mut cvs: Vec<f64> = locals
         .iter()
         .map(|p| p.prefetch.read_time_imbalance())

@@ -5,9 +5,7 @@
 //! or more beats even its non-prefetching time — but no lead value helps
 //! all patterns at once.
 
-use rt_bench::{
-    figure_header, lead_baselines, lead_sweep, lead_time_scale, LEADS, LEAD_PATTERNS,
-};
+use rt_bench::{figure_header, lead_baselines, lead_sweep, lead_time_scale, LEADS, LEAD_PATTERNS};
 use rt_core::report::Table;
 
 fn main() {
@@ -62,7 +60,11 @@ fn main() {
             at(0),
             at(90),
             base,
-            if at(90) > at(0) { "slows with lead" } else { "improves with lead" },
+            if at(90) > at(0) {
+                "slows with lead"
+            } else {
+                "improves with lead"
+            },
         );
     }
     println!(

@@ -21,6 +21,9 @@ use rt_core::sweeps;
 use rt_core::{ExperimentConfig, RunMetrics, RunPair};
 use rt_patterns::{AccessPattern, SyncStyle};
 
+pub mod json;
+pub mod perf;
+
 pub use rt_core::sweeps::{ComputePoint, LeadPoint};
 
 /// Threads used by the sweep runners.
@@ -40,7 +43,11 @@ pub fn compute_sweep() -> Vec<ComputePoint> {
         AccessPattern::GlobalWholeFile,
         SyncStyle::BlocksPerProc(10),
     );
-    sweeps::compute_sweep_over(&base, &[0, 5, 10, 20, 30, 45, 60, 80, 100, 150, 200], threads())
+    sweeps::compute_sweep_over(
+        &base,
+        &[0, 5, 10, 20, 30, 45, 60, 80, 100, 150, 200],
+        threads(),
+    )
 }
 
 /// The §V-E patterns: the lead restriction only matters where prefetching

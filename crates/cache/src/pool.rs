@@ -12,8 +12,6 @@
 //! The pool is *passive*: rt-core drives it with explicit timestamps and
 //! models the lock and memory contention around each call.
 
-use std::collections::HashMap;
-
 use rt_disk::{BlockId, FetchKind, ProcId};
 use rt_sim::{Ratio, SimTime};
 
@@ -143,18 +141,33 @@ pub struct CacheStats {
     pub wasted_prefetches: u64,
 }
 
+/// Sentinel in the dense block index: no buffer holds this block.
+const NO_BUFFER: u32 = u32::MAX;
+
 /// The shared block cache.
 pub struct BufferPool {
     config: PoolConfig,
     buffers: Vec<Buffer>,
-    /// block -> buffer holding or filling it.
-    index: HashMap<BlockId, BufferId>,
+    /// block -> buffer holding or filling it: a dense table indexed by
+    /// block number ([`NO_BUFFER`] = absent), grown on first touch of a
+    /// block. File sizes are tens of thousands of 4-byte slots, so the
+    /// table is small, and lookups — the hottest pool operation — are one
+    /// bounds-checked load instead of a hash probe.
+    index: Vec<u32>,
     /// Buffer ids of each node's demand partition.
     demand_sets: Vec<Vec<BufferId>>,
     /// Buffer ids of each node's prefetch partition.
     prefetch_sets: Vec<Vec<BufferId>>,
+    /// All demand buffers in node order — the GlobalLru candidate list,
+    /// flattened once at construction (partitions never change size).
+    all_demand: Vec<BufferId>,
     /// Count of unused-prefetch buffers (pending-prefetch or ready-unused).
     prefetched_unused: u32,
+    /// Monotonic count of unused-prefetch evictions. An unused prefetch is
+    /// the only kind of cached block that can sit *ahead* of a demand
+    /// frontier and later disappear, so this counter is the invalidation
+    /// epoch for oracle scan hints (see `rt_core`'s policy module).
+    unused_evictions: u64,
     stats: CacheStats,
 }
 
@@ -185,15 +198,50 @@ impl BufferPool {
             }
             prefetch_sets.push(pset);
         }
+        let all_demand: Vec<BufferId> = demand_sets.iter().flatten().copied().collect();
         BufferPool {
             config,
             buffers,
-            index: HashMap::new(),
+            index: Vec::new(),
             demand_sets,
             prefetch_sets,
+            all_demand,
             prefetched_unused: 0,
+            unused_evictions: 0,
             stats: CacheStats::default(),
         }
+    }
+
+    /// The buffer indexed for `block`, if any — one dense-table load.
+    #[inline]
+    fn index_get(&self, block: BlockId) -> Option<BufferId> {
+        match self.index.get(block.index()) {
+            Some(&buf) if buf != NO_BUFFER => Some(BufferId(buf)),
+            _ => None,
+        }
+    }
+
+    /// Point the index at `buf` for `block`, growing the table on first
+    /// touch of a block number beyond its current extent.
+    #[inline]
+    fn index_insert(&mut self, block: BlockId, buf: BufferId) {
+        if block.index() >= self.index.len() {
+            self.index.resize(block.index() + 1, NO_BUFFER);
+        }
+        debug_assert_eq!(self.index[block.index()], NO_BUFFER);
+        self.index[block.index()] = buf.0;
+    }
+
+    #[inline]
+    fn index_remove(&mut self, block: BlockId) {
+        self.index[block.index()] = NO_BUFFER;
+    }
+
+    /// Run the full invariant sweep in debug builds; free in release.
+    #[inline]
+    fn debug_check(&self) {
+        #[cfg(debug_assertions)]
+        self.assert_invariants();
     }
 
     /// The pool geometry.
@@ -207,25 +255,37 @@ impl BufferPool {
     }
 
     /// Number of prefetched-but-unused blocks currently held.
+    #[inline]
     pub fn prefetched_unused(&self) -> u32 {
         self.prefetched_unused
     }
 
+    /// Total unused-prefetch evictions so far. While this is unchanged, no
+    /// block that was cached ahead of a demand frontier has become
+    /// uncached — the validity condition for oracle scan hints.
+    #[inline]
+    pub fn unused_evictions(&self) -> u64 {
+        self.unused_evictions
+    }
+
     /// Inspect a buffer.
+    #[inline]
     pub fn buffer(&self, id: BufferId) -> &Buffer {
         &self.buffers[id.index()]
     }
 
     /// Is `block` cached or in flight (without touching statistics)?
     /// Used by prefetch policies to skip already-covered blocks.
+    #[inline]
     pub fn contains(&self, block: BlockId) -> bool {
-        self.index.contains_key(&block)
+        self.index_get(block).is_some()
     }
 
     /// The buffer currently holding or filling `block`, without touching
     /// statistics.
+    #[inline]
     pub fn buffer_for(&self, block: BlockId) -> Option<BufferId> {
-        self.index.get(&block).copied()
+        self.index_get(block)
     }
 
     /// Look up `block` on behalf of a user read at time `now`, updating the
@@ -233,14 +293,15 @@ impl BufferPool {
     /// [`BufferPool::alloc_demand`]. Hit-wait *times* are accounted by the
     /// caller (who knows when the data actually arrives); the pool tracks
     /// the ready/unready/miss classification.
+    #[inline]
     pub fn lookup_for_read(&mut self, block: BlockId, _now: SimTime) -> Lookup {
-        match self.index.get(&block) {
+        match self.index_get(block) {
             None => {
                 self.stats.hit_ratio.record(false);
                 self.stats.misses += 1;
                 Lookup::Miss
             }
-            Some(&buf) => match self.buffers[buf.index()].state {
+            Some(buf) => match self.buffers[buf.index()].state {
                 BufState::Ready { .. } => {
                     self.stats.hit_ratio.record(true);
                     self.stats.ready_hits += 1;
@@ -259,6 +320,7 @@ impl BufferPool {
     /// Update the expected completion time of a pending buffer. Used when a
     /// buffer is reserved before its disk request has been enqueued (the
     /// miss work runs in its own critical section).
+    #[inline]
     pub fn set_ready_at(&mut self, buf: BufferId, ready_at: SimTime) {
         match &mut self.buffers[buf.index()].state {
             BufState::Pending { ready_at: r, .. } => *r = ready_at,
@@ -269,6 +331,7 @@ impl BufferPool {
     /// Pin `buf` for a copy-out: the buffer cannot be evicted until the
     /// matching [`BufferPool::unpin`]. Pins nest (several processes may
     /// copy the same block concurrently).
+    #[inline]
     pub fn pin(&mut self, buf: BufferId) {
         let b = &mut self.buffers[buf.index()];
         debug_assert!(
@@ -279,6 +342,7 @@ impl BufferPool {
     }
 
     /// Release one pin on `buf`.
+    #[inline]
     pub fn unpin(&mut self, buf: BufferId) {
         let b = &mut self.buffers[buf.index()];
         assert!(b.pins > 0, "unpin without a matching pin");
@@ -288,6 +352,7 @@ impl BufferPool {
     /// Record that `proc` consumed the data in `buf` at `now`. Marks the
     /// buffer used (releasing it from the prefetch cap if applicable) and
     /// refreshes its recency.
+    #[inline]
     pub fn record_use(&mut self, buf: BufferId, _proc: ProcId, now: SimTime) {
         let b = &mut self.buffers[buf.index()];
         match &mut b.state {
@@ -321,16 +386,14 @@ impl BufferPool {
         ready_at: SimTime,
     ) -> Option<BufferId> {
         debug_assert!(
-            !self.index.contains_key(&block),
+            !self.contains(block),
             "alloc_demand for an already-indexed block"
         );
         let victim = match self.config.replacement {
             Replacement::RuSet => self.pick_victim(&self.demand_sets[proc.index()]),
-            Replacement::GlobalLru => {
-                // One LRU list over every node's demand buffers.
-                let all: Vec<BufferId> = self.demand_sets.iter().flatten().copied().collect();
-                self.pick_victim(&all)
-            }
+            // One LRU list over every node's demand buffers, flattened
+            // once at construction.
+            Replacement::GlobalLru => self.pick_victim(&self.all_demand),
         }?;
         self.evict(victim);
         self.buffers[victim.index()].state = BufState::Pending {
@@ -338,8 +401,9 @@ impl BufferPool {
             ready_at,
             kind: FetchKind::Demand,
         };
-        self.index.insert(block, victim);
+        self.index_insert(block, victim);
         self.stats.demand_fetches += 1;
+        self.debug_check();
         Some(victim)
     }
 
@@ -360,7 +424,7 @@ impl BufferPool {
         proc: ProcId,
         block: BlockId,
     ) -> Result<BufferId, PrefetchBlocked> {
-        if self.index.contains_key(&block) {
+        if self.contains(block) {
             return Err(PrefetchBlocked::AlreadyCached);
         }
         if self.prefetched_unused >= self.config.global_prefetch_cap {
@@ -393,15 +457,16 @@ impl BufferPool {
     /// I/O for `block` has been submitted and completes at `ready_at`.
     pub fn commit_prefetch(&mut self, buf: BufferId, block: BlockId, ready_at: SimTime) {
         debug_assert_eq!(self.buffers[buf.index()].state, BufState::Free);
-        debug_assert!(!self.index.contains_key(&block));
+        debug_assert!(!self.contains(block));
         self.buffers[buf.index()].state = BufState::Pending {
             block,
             ready_at,
             kind: FetchKind::Prefetch,
         };
-        self.index.insert(block, buf);
+        self.index_insert(block, buf);
         self.prefetched_unused += 1;
         self.stats.prefetches += 1;
+        self.debug_check();
     }
 
     /// Mark the I/O filling `buf` complete at `now`. The buffer becomes
@@ -442,10 +507,11 @@ impl BufferPool {
         for &id in set {
             match self.buffers[id.index()].state {
                 BufState::Free => return Some(id),
-                BufState::Ready { last_use, .. } if self.can_evict(id)
-                    && best.is_none_or(|(_, t)| last_use < t) => {
-                        best = Some((id, last_use));
-                    }
+                BufState::Ready { last_use, .. }
+                    if self.can_evict(id) && best.is_none_or(|(_, t)| last_use < t) =>
+                {
+                    best = Some((id, last_use));
+                }
                 _ => {}
             }
         }
@@ -454,28 +520,34 @@ impl BufferPool {
 
     /// Drop a buffer's contents and unindex its block.
     fn evict(&mut self, buf: BufferId) {
-        let b = &mut self.buffers[buf.index()];
+        let b = &self.buffers[buf.index()];
         if let Some(block) = b.block() {
             if b.is_unused_prefetch() {
                 // Only reachable with the unused-prefetch relaxation: a
                 // prefetched block nobody wanted was pushed out.
                 self.stats.wasted_prefetches += 1;
                 self.prefetched_unused = self.prefetched_unused.saturating_sub(1);
+                self.unused_evictions += 1;
             }
-            self.index.remove(&block);
+            self.index_remove(block);
         }
-        b.state = BufState::Free;
+        self.buffers[buf.index()].state = BufState::Free;
     }
 
-    /// Verify internal invariants; used by tests and property tests.
+    /// Verify internal invariants; used by tests and property tests, and
+    /// run after every pool mutation in debug builds (see
+    /// [`BufferPool::debug_check`] — release builds pay nothing).
     ///
     /// Panics with a description if an invariant is violated.
     pub fn assert_invariants(&self) {
         // 1. Every indexed block maps to a buffer that holds/fills it.
-        for (&block, &buf) in &self.index {
+        for (slot, &buf) in self.index.iter().enumerate() {
+            if buf == NO_BUFFER {
+                continue;
+            }
             assert_eq!(
-                self.buffers[buf.index()].block(),
-                Some(block),
+                self.buffers[buf as usize].block(),
+                Some(BlockId(slot as u32)),
                 "index points at a buffer with different contents"
             );
         }
@@ -485,7 +557,7 @@ impl BufferPool {
             if let Some(block) = b.block() {
                 assert!(held.insert(block), "block {block:?} cached twice");
                 assert!(
-                    self.index.contains_key(&block),
+                    self.contains(block),
                     "buffer holds unindexed block {block:?}"
                 );
             }
@@ -513,7 +585,10 @@ impl BufferPool {
         }
         // 5. Partition sizes never change.
         for p in 0..self.config.procs as usize {
-            assert_eq!(self.demand_sets[p].len(), self.config.demand_per_proc as usize);
+            assert_eq!(
+                self.demand_sets[p].len(),
+                self.config.demand_per_proc as usize
+            );
             assert_eq!(
                 self.prefetch_sets[p].len(),
                 self.config.prefetch_per_proc as usize
@@ -830,7 +905,9 @@ mod tests {
         let mut p = pool();
         for i in 0..4u32 {
             if p.lookup_for_read(BlockId(i), t(i as u64)) == Lookup::Miss {
-                let b = p.alloc_demand(ProcId(0), BlockId(i), t(30 + i as u64)).unwrap();
+                let b = p
+                    .alloc_demand(ProcId(0), BlockId(i), t(30 + i as u64))
+                    .unwrap();
                 p.complete_io(b, t(30 + i as u64));
                 p.record_use(b, ProcId(0), t(31 + i as u64));
             }

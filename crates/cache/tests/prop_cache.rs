@@ -98,7 +98,11 @@ fn drive(ops: Vec<Op>, replacement: Replacement) -> Result<(), TestCaseError> {
         s.hit_ratio.total(),
         s.ready_hits + s.unready_hits + s.misses
     );
-    prop_assert_eq!(s.wasted_prefetches, 0, "paper policy never wastes prefetches");
+    prop_assert_eq!(
+        s.wasted_prefetches,
+        0,
+        "paper policy never wastes prefetches"
+    );
     Ok(())
 }
 

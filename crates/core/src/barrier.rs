@@ -62,9 +62,7 @@ impl Barrier {
     }
 
     fn try_open(&mut self, now: SimTime, completer: Option<ProcId>) -> Option<BarrierOpen> {
-        if self.waiting.is_empty()
-            || (self.waiting.len() as u16) + self.departed < self.members
-        {
+        if self.waiting.is_empty() || (self.waiting.len() as u16) + self.departed < self.members {
             return None;
         }
         let mut released = Vec::with_capacity(self.waiting.len());

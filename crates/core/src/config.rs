@@ -295,8 +295,7 @@ mod tests {
 
     #[test]
     fn io_bound_has_zero_compute() {
-        let c =
-            ExperimentConfig::paper_io_bound(AccessPattern::GlobalWholeFile, SyncStyle::None);
+        let c = ExperimentConfig::paper_io_bound(AccessPattern::GlobalWholeFile, SyncStyle::None);
         assert_eq!(c.compute_mean, SimDuration::ZERO);
     }
 

@@ -2,7 +2,7 @@
 //! full grid, and a thread-parallel sweep runner.
 
 use rt_patterns::{AccessPattern, SyncStyle};
-use rt_sim::{run, Scheduler};
+use rt_sim::{run, run_with_stats, Scheduler};
 
 pub use crate::config::ExperimentConfig;
 
@@ -15,28 +15,81 @@ const MAX_EVENTS: u64 = 500_000_000;
 
 /// Run one experiment to completion and collect its metrics.
 pub fn run_experiment(cfg: &ExperimentConfig) -> RunMetrics {
-    let (metrics, _) = run_with_world(cfg, false);
+    let (metrics, _, _) = run_with_world(cfg, false, false);
     metrics
 }
 
 /// Run one experiment with access tracing enabled, returning the metrics
 /// and the exact access pattern for off-line analysis (§IV-C).
 pub fn run_experiment_traced(cfg: &ExperimentConfig) -> (RunMetrics, crate::trace::Trace) {
-    let (metrics, trace) = run_with_world(cfg, true);
+    let (metrics, trace, _) = run_with_world(cfg, true, false);
     (metrics, trace.expect("tracing was enabled"))
+}
+
+/// Host-side performance counters for one experiment run.
+#[derive(Clone, Copy, Debug)]
+pub struct RunPerf {
+    /// Events the engine dispatched.
+    pub events: u64,
+    /// Host wall-clock time spent in the event loop.
+    pub wall: std::time::Duration,
+    /// Largest number of simultaneously pending events.
+    pub peak_pending: usize,
+}
+
+impl RunPerf {
+    /// Events dispatched per host-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.events as f64 / secs
+        }
+    }
+}
+
+/// Run one experiment and report how fast the host simulated it alongside
+/// the simulated metrics. The metrics are identical to [`run_experiment`]'s.
+pub fn run_experiment_instrumented(cfg: &ExperimentConfig) -> (RunMetrics, RunPerf) {
+    let (metrics, _, perf) = run_with_world(cfg, false, true);
+    (metrics, perf.expect("instrumentation was enabled"))
 }
 
 fn run_with_world(
     cfg: &ExperimentConfig,
     traced: bool,
-) -> (RunMetrics, Option<crate::trace::Trace>) {
-    let mut world = World::new(cfg.clone());
+    instrumented: bool,
+) -> (RunMetrics, Option<crate::trace::Trace>, Option<RunPerf>) {
+    let workload = std::sync::Arc::new(crate::world::generate_workload(cfg));
+    run_shared_world(cfg, workload, traced, instrumented)
+}
+
+fn run_shared_world(
+    cfg: &ExperimentConfig,
+    workload: std::sync::Arc<rt_patterns::Workload>,
+    traced: bool,
+    instrumented: bool,
+) -> (RunMetrics, Option<crate::trace::Trace>, Option<RunPerf>) {
+    let mut world = World::with_workload(cfg.clone(), workload);
     if traced {
         world.enable_tracing();
     }
     let mut sched = Scheduler::new();
     world.bootstrap(&mut sched);
-    let outcome = run(&mut world, &mut sched, MAX_EVENTS);
+    let (outcome, perf) = if instrumented {
+        let stats = run_with_stats(&mut world, &mut sched, MAX_EVENTS);
+        (
+            stats.outcome,
+            Some(RunPerf {
+                events: stats.outcome.events,
+                wall: stats.wall,
+                peak_pending: stats.peak_pending,
+            }),
+        )
+    } else {
+        (run(&mut world, &mut sched, MAX_EVENTS), None)
+    };
     assert!(
         !outcome.budget_exhausted,
         "simulation exceeded the event budget: {}",
@@ -90,12 +143,13 @@ fn run_with_world(
         tl_outstanding_io: world.rec.tl_outstanding_io.clone(),
     };
     let trace = world.take_trace();
-    (metrics, trace)
+    (metrics, trace, perf)
 }
 
 /// Run the same configuration with prefetching off and on (the paper's
 /// base/prefetch comparison). The base run uses the identical seed and
-/// workload; only the cache partitioning and daemon differ.
+/// workload; only the cache partitioning and daemon differ — so the
+/// reference string is generated once and shared between the two runs.
 pub fn run_pair(cfg: &ExperimentConfig) -> RunPair {
     let mut base_cfg = cfg.clone();
     base_cfg.prefetch = PrefetchConfig::disabled();
@@ -103,10 +157,15 @@ pub fn run_pair(cfg: &ExperimentConfig) -> RunPair {
     if !pf_cfg.prefetch.enabled {
         pf_cfg.prefetch = PrefetchConfig::paper();
     }
+    // The workload depends only on seed/pattern/geometry, which the two
+    // halves share.
+    let workload = std::sync::Arc::new(crate::world::generate_workload(cfg));
+    let (base, _, _) = run_shared_world(&base_cfg, workload.clone(), false, false);
+    let (prefetch, _, _) = run_shared_world(&pf_cfg, workload, false, false);
     RunPair {
         label: cfg.label(),
-        base: run_experiment(&base_cfg),
-        prefetch: run_experiment(&pf_cfg),
+        base,
+        prefetch,
     }
 }
 
@@ -129,28 +188,11 @@ pub fn paper_grid() -> Vec<ExperimentConfig> {
 
 /// Run `configs` as base/prefetch pairs across `threads` worker threads.
 /// Results return in input order; each run is internally deterministic so
-/// the parallelism never affects the numbers.
+/// the parallelism never affects the numbers. A panic in any run resurfaces
+/// on the caller.
 pub fn run_pairs_parallel(configs: &[ExperimentConfig], threads: usize) -> Vec<RunPair> {
     assert!(threads > 0);
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let results: Vec<parking_lot::Mutex<Option<RunPair>>> =
-        configs.iter().map(|_| parking_lot::Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(configs.len().max(1)) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= configs.len() {
-                    break;
-                }
-                let pair = run_pair(&configs[i]);
-                *results[i].lock() = Some(pair);
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|m| m.into_inner().expect("worker skipped a config"))
-        .collect()
+    crate::sweeps::parallel_map(configs, threads, run_pair)
 }
 
 #[cfg(test)]

@@ -48,9 +48,14 @@ pub mod trace;
 pub mod world;
 
 pub use config::{CostModel, ExperimentConfig, PolicyKind, PrefetchConfig};
-pub use experiment::{paper_grid, run_experiment, run_experiment_traced, run_pair, run_pairs_parallel};
+pub use experiment::{
+    paper_grid, run_experiment, run_experiment_traced, run_pair, run_pairs_parallel,
+};
 pub use metrics::{coefficient_of_variation, improvement, ProcMetrics, RunMetrics, RunPair};
-pub use sweeps::{buffer_sweep_over, compute_sweep_over, lead_baselines_for, lead_sweep_over, BufferPoint, ComputePoint, LeadPoint};
+pub use sweeps::{
+    buffer_sweep_over, compute_sweep_over, lead_baselines_for, lead_sweep_over, BufferPoint,
+    ComputePoint, LeadPoint,
+};
 pub use trace::{replay_obl, ReadOutcome, Trace, TraceEvent};
 pub use world::{Ev, World};
 

@@ -36,48 +36,117 @@ pub struct OracleView<'a> {
 /// lead), skipping blocks already cached or in flight. Near the end of the
 /// string the lead restriction is relaxed, exactly as in §V-E.
 pub fn select_oracle(view: &OracleView<'_>, pool: &BufferPool) -> Option<BlockId> {
+    let start = scan_start(view)?;
+    match scan(view, pool, start, established(view)) {
+        ScanStop::Uncached(_, block) => Some(block),
+        ScanStop::Fence(_) | ScanStop::End => None,
+    }
+}
+
+/// Memo for repeated oracle scans over a single reference string: the span
+/// `base..pos` was verified all-cached when the pool's unused-eviction
+/// count was `epoch`. While that count is unchanged, no block cached ahead
+/// of the demand frontier can have become uncached, so a later scan
+/// starting inside the span may resume at `pos` instead of re-checking it.
+///
+/// Soundness requires that every block appear **at most once** in the
+/// string (otherwise a copy *behind* the frontier could be evicted while
+/// the hinted span silently relied on it) and that the same string and
+/// pool are used for every call. Callers gate on that — see
+/// `World::select_block`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ScanHint {
+    base: usize,
+    pos: usize,
+    epoch: u64,
+}
+
+/// [`select_oracle`] with a scan memo: identical selections, but repeat
+/// scans over a still-cached prefix are skipped. This is the hot path for
+/// the sequential global patterns, where each prefetch action would
+/// otherwise re-walk the whole cached span ahead of the frontier.
+pub fn select_oracle_hinted(
+    view: &OracleView<'_>,
+    pool: &BufferPool,
+    hint: &mut ScanHint,
+) -> Option<BlockId> {
+    let start = scan_start(view)?;
+    let epoch = pool.unused_evictions();
+    let from = if hint.epoch == epoch && start >= hint.base && start <= hint.pos {
+        hint.pos
+    } else {
+        // Stale epoch or a start outside the verified span: rebuild.
+        hint.base = start;
+        hint.epoch = epoch;
+        start
+    };
+    debug_assert!(
+        view.string.accesses()[start..from]
+            .iter()
+            .all(|a| pool.contains(a.block)),
+        "scan hint skipped an uncached entry"
+    );
+    let (pos, selected) = match scan(view, pool, from, established(view)) {
+        ScanStop::Uncached(i, block) => (i, Some(block)),
+        ScanStop::Fence(i) => (i, None),
+        ScanStop::End => (view.string.len(), None),
+    };
+    hint.pos = pos;
+    selected
+}
+
+/// Where a forward scan stopped.
+enum ScanStop {
+    /// The first feasible uncached entry, at this string index.
+    Uncached(usize, BlockId),
+    /// An unestablished portion begins at this index (random patterns).
+    Fence(usize),
+    /// Every remaining entry was cached.
+    End,
+}
+
+/// The first string index a scan may select from, or `None` when the
+/// string is exhausted. Near the end of the string the lead restriction is
+/// relaxed, exactly as in §V-E.
+#[inline]
+fn scan_start(view: &OracleView<'_>) -> Option<usize> {
     let len = view.string.len();
     if view.frontier >= len {
         return None;
     }
-    // The portion the demand stream has most recently established: that of
-    // the last taken access (or the first access before any are taken).
-    let established = view
-        .string
-        .get(view.frontier.saturating_sub(1))
-        .map(|a| a.portion)
-        .unwrap_or(0);
-
     let lead_start = view.frontier + view.min_lead as usize;
-    let start = if lead_start < len {
+    Some(if lead_start < len {
         lead_start
     } else {
         // End-of-string relaxation: fewer than `lead` accesses remain.
         view.frontier
-    };
-    scan(view, pool, start, established)
-        // If the lead window found nothing but the tail was never examined
-        // (all candidates cached), there is nothing more to do; but when
-        // the relaxation kicked in we already scanned from the frontier.
+    })
 }
 
-fn scan(
-    view: &OracleView<'_>,
-    pool: &BufferPool,
-    start: usize,
-    established: u32,
-) -> Option<BlockId> {
-    for i in start..view.string.len() {
-        let access = view.string.get(i).expect("index in range");
+/// The portion the demand stream has most recently established: that of
+/// the last taken access (or the first access before any are taken).
+#[inline]
+fn established(view: &OracleView<'_>) -> u32 {
+    view.string
+        .get(view.frontier.saturating_sub(1))
+        .map(|a| a.portion)
+        .unwrap_or(0)
+}
+
+fn scan(view: &OracleView<'_>, pool: &BufferPool, start: usize, established: u32) -> ScanStop {
+    // Slice iteration: this scan runs once per prefetch action — tens of
+    // thousands of times per run, walking the cached span ahead of the
+    // frontier — so it must not pay a bounds check and Option per entry.
+    for (off, access) in view.string.accesses()[start..].iter().enumerate() {
         if !view.cross_portions && access.portion > established {
             // Random portions: never predict into an unestablished portion.
-            return None;
+            return ScanStop::Fence(start + off);
         }
         if !pool.contains(access.block) {
-            return Some(access.block);
+            return ScanStop::Uncached(start + off, access.block);
         }
     }
-    None
+    ScanStop::End
 }
 
 /// Choose a block from an on-line predictor's candidate list: the first
@@ -218,6 +287,79 @@ mod tests {
         // Index 1,2 cached; index 3 is block 1 again (cached); index 4 is
         // block 2 (cached); index 5 is block 3.
         assert_eq!(select_oracle(&view, &pool), Some(BlockId(3)));
+    }
+
+    #[test]
+    fn hinted_oracle_matches_plain_selection() {
+        // A duplicate-free sequential string (the gw shape). Drive both
+        // selectors in lockstep while the cached span grows and the
+        // frontier advances; they must agree at every step.
+        let s = whole_file(64);
+        let mut pool = pool_with(&[]);
+        let mut hint = ScanHint::default();
+        let mut frontier = 0usize;
+        for step in 0..200 {
+            let view = OracleView {
+                string: &s,
+                frontier,
+                cross_portions: true,
+                min_lead: 0,
+            };
+            let plain = select_oracle(&view, &pool);
+            let hinted = select_oracle_hinted(&view, &pool, &mut hint);
+            assert_eq!(plain, hinted, "selectors diverged at step {step}");
+            if let Some(block) = hinted {
+                let buf = pool.try_reserve_prefetch(ProcId(0), block).unwrap();
+                pool.commit_prefetch(buf, block, SimTime::ZERO);
+            }
+            if step % 3 == 0 && frontier < s.len() {
+                frontier += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn hinted_oracle_resets_after_unused_prefetch_eviction() {
+        // With the unused-prefetch relaxation, a block inside the verified
+        // span can be pushed out; the eviction epoch must force a rescan.
+        let mut pool = BufferPool::new(PoolConfig {
+            procs: 1,
+            demand_per_proc: 1,
+            prefetch_per_proc: 4,
+            global_prefetch_cap: 64,
+            replacement: rt_cache::Replacement::RuSet,
+            evict_unused_prefetch: true,
+        });
+        let s = whole_file(32);
+        for b in 0..4u32 {
+            let buf = pool.try_reserve_prefetch(ProcId(0), BlockId(b)).unwrap();
+            pool.commit_prefetch(buf, BlockId(b), SimTime::ZERO);
+            pool.complete_io(buf, SimTime::ZERO);
+        }
+        let view = OracleView {
+            string: &s,
+            frontier: 0,
+            cross_portions: true,
+            min_lead: 0,
+        };
+        let mut hint = ScanHint::default();
+        // First scan verifies 0..=3 cached and selects block 4.
+        assert_eq!(
+            select_oracle_hinted(&view, &pool, &mut hint),
+            Some(BlockId(4))
+        );
+        // The partition is full, so committing block 4 evicts one of the
+        // unused prefetches inside the verified span.
+        let buf = pool.try_reserve_prefetch(ProcId(0), BlockId(4)).unwrap();
+        pool.commit_prefetch(buf, BlockId(4), SimTime::ZERO);
+        assert_eq!(pool.unused_evictions(), 1, "eviction must bump the epoch");
+        let evicted = (0..4u32)
+            .map(BlockId)
+            .find(|&b| !pool.contains(b))
+            .expect("one early block was pushed out");
+        // The hint is stale; both selectors must re-find the evicted block.
+        assert_eq!(select_oracle(&view, &pool), Some(evicted));
+        assert_eq!(select_oracle_hinted(&view, &pool, &mut hint), Some(evicted));
     }
 
     #[test]

@@ -99,7 +99,11 @@ pub fn scatter_table(
     for p in pairs {
         let base = base_of(p);
         let with = with_of(p);
-        let imp = if base != 0.0 { (base - with) / base * 100.0 } else { 0.0 };
+        let imp = if base != 0.0 {
+            (base - with) / base * 100.0
+        } else {
+            0.0
+        };
         t.row(&[
             p.label.clone(),
             format!("{base:.2}"),

@@ -3,7 +3,16 @@
 //!
 //! Each sweep is a thread-parallel map over configurations derived from a
 //! base; the workers run whole experiments, which are internally
-//! deterministic, so parallelism never changes a number.
+//! deterministic, so parallelism never changes a number. All sweeps (and
+//! [`run_pairs_parallel`]) share the [`parallel_map`] scheduler: workers
+//! claim *chunks* of the remaining work — large while the queue is full,
+//! shrinking toward single jobs near the end — which amortizes the shared
+//! counter while still balancing uneven run times, and each worker
+//! accumulates results in thread-local scratch merged once at exit instead
+//! of locking a shared slot per job.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use rt_patterns::AccessPattern;
 use rt_sim::SimDuration;
@@ -17,6 +26,73 @@ pub fn default_threads() -> usize {
     std::thread::available_parallelism().map_or(4, |n| n.get())
 }
 
+/// Chunked self-scheduling parallel map: apply `f` to every item, return
+/// results in input order. A panic inside `f` is re-raised on the caller
+/// with its original payload once the other workers drain.
+pub fn parallel_map<In, Out, F>(items: &[In], threads: usize, f: F) -> Vec<Out>
+where
+    In: Sync,
+    Out: Send,
+    F: Fn(&In) -> Out + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = threads.max(1).min(n);
+    let next = AtomicUsize::new(0);
+    let merged: Mutex<Vec<(usize, Out)>> = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    // Thread-local scratch: results pile up here and merge
+                    // under one lock at exit.
+                    let mut local: Vec<(usize, Out)> = Vec::new();
+                    loop {
+                        // Guided chunking: claim about a quarter of an even
+                        // share of what remains, at least one job. The size
+                        // estimate races with other claims, which only makes
+                        // a chunk slightly conservative.
+                        let claimed = next.load(Ordering::Relaxed);
+                        let remaining = n.saturating_sub(claimed);
+                        let chunk = (remaining / (workers * 4)).max(1);
+                        let start = next.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        let end = (start + chunk).min(n);
+                        for (i, item) in items.iter().enumerate().take(end).skip(start) {
+                            local.push((i, f(item)));
+                        }
+                    }
+                    if !local.is_empty() {
+                        merged
+                            .lock()
+                            .unwrap_or_else(|poison| poison.into_inner())
+                            .append(&mut local);
+                    }
+                })
+            })
+            .collect();
+        // Join explicitly so a worker panic propagates with its payload
+        // instead of aborting via an implicit-join double panic.
+        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for h in handles {
+            if let Err(payload) = h.join() {
+                panic.get_or_insert(payload);
+            }
+        }
+        if let Some(payload) = panic {
+            std::panic::resume_unwind(payload);
+        }
+    });
+    let mut merged = merged.into_inner().expect("workers finished cleanly");
+    merged.sort_unstable_by_key(|&(i, _)| i);
+    debug_assert!(merged.iter().enumerate().all(|(k, &(i, _))| k == i));
+    merged.into_iter().map(|(_, out)| out).collect()
+}
+
 /// Generic parallel map over derived configurations.
 pub fn sweep<T: Send>(
     jobs: Vec<ExperimentConfig>,
@@ -24,24 +100,8 @@ pub fn sweep<T: Send>(
     threads: usize,
 ) -> Vec<(T, RunMetrics)> {
     assert_eq!(jobs.len(), tags.len());
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots: Vec<std::sync::Mutex<Option<RunMetrics>>> =
-        jobs.iter().map(|_| std::sync::Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads.max(1).min(jobs.len().max(1)) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= jobs.len() {
-                    break;
-                }
-                *slots[i].lock().unwrap() = Some(run_experiment(&jobs[i]));
-            });
-        }
-    });
-    tags.into_iter()
-        .zip(slots)
-        .map(|(tag, slot)| (tag, slot.into_inner().unwrap().expect("job skipped")))
-        .collect()
+    let metrics = parallel_map(&jobs, threads, run_experiment);
+    tags.into_iter().zip(metrics).collect()
 }
 
 /// One point of a computation sweep.
@@ -213,5 +273,39 @@ mod tests {
     #[should_panic]
     fn mismatched_tags_rejected() {
         let _ = sweep(vec![small()], Vec::<u32>::new(), 1);
+    }
+
+    #[test]
+    fn parallel_map_returns_input_order() {
+        let items: Vec<u64> = (0..97).collect();
+        for threads in [1, 3, 8, 200] {
+            let out = parallel_map(&items, threads, |&x| x * x);
+            assert_eq!(out, items.iter().map(|x| x * x).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_input() {
+        let out: Vec<u32> = parallel_map(&[] as &[u32], 4, |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn parallel_map_propagates_worker_panic_payload() {
+        let items: Vec<u32> = (0..16).collect();
+        let result = std::panic::catch_unwind(|| {
+            parallel_map(&items, 4, |&x| {
+                if x == 7 {
+                    panic!("job 7 exploded");
+                }
+                x
+            })
+        });
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .expect("original payload preserved");
+        assert_eq!(msg, "job 7 exploded");
     }
 }

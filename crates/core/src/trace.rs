@@ -214,9 +214,7 @@ pub fn replay_obl(trace: &Trace, bufs: usize, window: usize, shared: bool) -> f6
         let is_predicted = if shared {
             predicted.values().any(|q| q.contains(&e.block))
         } else {
-            predicted
-                .get(&e.proc)
-                .is_some_and(|q| q.contains(&e.block))
+            predicted.get(&e.proc).is_some_and(|q| q.contains(&e.block))
         };
         let is_recent = recent.contains(&e.block);
         if is_predicted || is_recent {
@@ -264,8 +262,14 @@ mod tests {
 
     #[test]
     fn sequentiality_measures() {
-        assert_eq!(Trace::sequentiality(&[BlockId(0), BlockId(1), BlockId(2)]), 1.0);
-        assert_eq!(Trace::sequentiality(&[BlockId(0), BlockId(5), BlockId(6)]), 0.5);
+        assert_eq!(
+            Trace::sequentiality(&[BlockId(0), BlockId(1), BlockId(2)]),
+            1.0
+        );
+        assert_eq!(
+            Trace::sequentiality(&[BlockId(0), BlockId(5), BlockId(6)]),
+            0.5
+        );
         assert_eq!(Trace::sequentiality(&[BlockId(9)]), 1.0);
     }
 
@@ -296,7 +300,14 @@ mod tests {
 
     #[test]
     fn run_lengths_split_at_jumps() {
-        let s = [BlockId(0), BlockId(1), BlockId(5), BlockId(6), BlockId(7), BlockId(20)];
+        let s = [
+            BlockId(0),
+            BlockId(1),
+            BlockId(5),
+            BlockId(6),
+            BlockId(7),
+            BlockId(20),
+        ];
         assert_eq!(Trace::run_lengths(&s), vec![2, 3, 1]);
         assert_eq!(Trace::run_lengths(&[]), Vec::<u32>::new());
     }

@@ -14,22 +14,25 @@
 //! the cache's internal data structures emerges the way it did on the
 //! Butterfly's remote shared memory.
 
-use std::collections::HashMap;
+use std::sync::Arc;
 
 use rt_cache::{BufferPool, Lookup, PoolConfig};
 use rt_disk::{BlockId, DiskId, FetchKind, ProcId};
 use rt_fs::{FileId, FileSystem, FsStarted};
 use rt_patterns::{Access, Cursor, Predictor, SyncStyle, Workload};
-use rt_sim::{Model, Rng, Scheduler, Sampled, SimDuration, SimLock, SimTime, Tally, Timeline};
+use rt_sim::{Model, Rng, Sampled, Scheduler, SimDuration, SimLock, SimTime, Tally, Timeline};
 
 use crate::barrier::Barrier;
 use crate::config::{ExperimentConfig, PolicyKind};
-use crate::policy::{select_oracle, select_predicted, OracleView};
+use crate::policy::{select_oracle, select_oracle_hinted, select_predicted, OracleView, ScanHint};
 use crate::trace::{ReadOutcome, Trace, TraceEvent};
 
 mod control;
 mod daemon;
 mod readpath;
+mod waiters;
+
+use waiters::WaiterTable;
 
 /// Simulation events.
 #[derive(Clone, Copy, Debug)]
@@ -185,12 +188,28 @@ pub struct World {
     fs: FileSystem,
     file: FileId,
     lock: SimLock,
-    workload: Workload,
+    /// Shared with the other half of a base/prefetch pair — the reference
+    /// string is identical, so pairs generate it once (see
+    /// [`generate_workload`]).
+    workload: Arc<Workload>,
+    /// True when no block appears twice across the whole workload — the
+    /// soundness condition for the oracle scan memo (see [`ScanHint`]).
+    /// With sharing, a block ahead of one frontier may be cached as
+    /// another process's evictable demand buffer, which the memo's
+    /// eviction epoch does not observe.
+    oracle_hint_sound: bool,
+    /// Oracle scan memos: one per process for local workloads, entry 0
+    /// for the global cursor. Unused unless `oracle_hint_sound`.
+    oracle_hints: Vec<ScanHint>,
     global_cursor: Cursor,
     /// Highest globally opened portion (EachPortion + global patterns).
     global_portion_open: u32,
     procs: Vec<Proc>,
-    waiters: HashMap<BlockId, Vec<ProcId>>,
+    /// Per-block lists of processes blocked on an in-flight I/O.
+    waiters: WaiterTable,
+    /// Reusable buffer for draining a waiter list ([`World::block_ready`]);
+    /// keeps the wake path allocation-free.
+    wake_scratch: Vec<ProcId>,
     barrier: Barrier,
     total_reads_done: u64,
     finished: u16,
@@ -201,13 +220,29 @@ pub struct World {
     pub(crate) rec: Recorder,
 }
 
+/// Generate the reference string `cfg` describes — exactly what
+/// [`World::new`] would build internally. Pair and sweep runners that run
+/// several experiments over the same string (e.g. base vs prefetch)
+/// generate it once and share it via [`World::with_workload`].
+pub fn generate_workload(cfg: &ExperimentConfig) -> Workload {
+    let root = Rng::seeded(cfg.seed);
+    let mut wl_rng = root.split(0x776f726b);
+    Workload::generate(cfg.pattern, &cfg.workload, &mut wl_rng)
+}
+
 impl World {
     /// Build the machine and workload described by `cfg`.
     pub fn new(cfg: ExperimentConfig) -> Self {
+        let workload = Arc::new(generate_workload(&cfg));
+        Self::with_workload(cfg, workload)
+    }
+
+    /// Build the machine described by `cfg` around an already-generated
+    /// workload. `workload` must equal [`generate_workload`]`(&cfg)` —
+    /// the point is to share one generation across the runs of a pair.
+    pub fn with_workload(cfg: ExperimentConfig, workload: Arc<Workload>) -> Self {
         cfg.validate();
         let root = Rng::seeded(cfg.seed);
-        let mut wl_rng = root.split(0x776f726b);
-        let workload = Workload::generate(cfg.pattern, &cfg.workload, &mut wl_rng);
 
         let file_blocks = cfg.workload.file_blocks;
         if let Some(max) = workload.max_block() {
@@ -256,18 +291,28 @@ impl World {
         let predictors: Vec<Option<Box<dyn Predictor>>> = (0..cfg.procs)
             .map(|_| match cfg.prefetch.policy {
                 PolicyKind::Oracle => None,
-                PolicyKind::Obl { depth } => Some(Box::new(rt_patterns::Obl::new(
-                    depth,
-                    file_blocks,
-                )) as Box<dyn Predictor>),
-                PolicyKind::PortionLearner { confidence } => {
-                    Some(Box::new(rt_patterns::PortionLearner::new(
-                        confidence as usize,
-                        file_blocks,
-                    )) as Box<dyn Predictor>)
+                PolicyKind::Obl { depth } => {
+                    Some(Box::new(rt_patterns::Obl::new(depth, file_blocks)) as Box<dyn Predictor>)
                 }
+                PolicyKind::PortionLearner { confidence } => Some(Box::new(
+                    rt_patterns::PortionLearner::new(confidence as usize, file_blocks),
+                )
+                    as Box<dyn Predictor>),
             })
             .collect();
+
+        let oracle_hint_sound = {
+            let mut seen = vec![false; file_blocks as usize];
+            let mut mark = |s: &rt_patterns::RefString| {
+                s.accesses()
+                    .iter()
+                    .all(|a| !std::mem::replace(&mut seen[a.block.index()], true))
+            };
+            match &*workload {
+                Workload::Global(s) => mark(s),
+                Workload::Local(strings) => strings.iter().all(&mut mark),
+            }
+        };
 
         let barrier = Barrier::new(cfg.procs);
         World {
@@ -276,10 +321,13 @@ impl World {
             file,
             lock: SimLock::new(),
             workload,
+            oracle_hint_sound,
+            oracle_hints: vec![ScanHint::default(); cfg.procs as usize],
             global_cursor: Cursor::new(),
             global_portion_open: 0,
             procs,
-            waiters: HashMap::new(),
+            waiters: WaiterTable::new(file_blocks),
+            wake_scratch: Vec::new(),
             barrier,
             total_reads_done: 0,
             finished: 0,
@@ -360,9 +408,7 @@ impl World {
     pub fn reads_done(&self) -> u64 {
         self.total_reads_done
     }
-
 }
-
 
 impl Model for World {
     type Event = Ev;
@@ -456,7 +502,10 @@ mod tests {
         let base_hit = base.pool().stats().hit_ratio.value();
         let pf_hit = pf.pool().stats().hit_ratio.value();
         assert!(pf_hit > 0.5, "prefetch hit ratio too low: {pf_hit}");
-        assert!(base_hit < 0.05, "base hit ratio unexpectedly high: {base_hit}");
+        assert!(
+            base_hit < 0.05,
+            "base hit ratio unexpectedly high: {base_hit}"
+        );
         assert!(
             pf.rec.reads.mean() < base.rec.reads.mean(),
             "prefetching should lower the mean read time ({} vs {})",
@@ -480,7 +529,11 @@ mod tests {
         let s = pf.pool().stats();
         assert_eq!(s.demand_fetches + s.prefetches, pf.disks().total_ops());
         assert_eq!(s.wasted_prefetches, 0);
-        assert_eq!(pf.disks().total_ops(), 200, "each block fetched exactly once");
+        assert_eq!(
+            pf.disks().total_ops(),
+            200,
+            "each block fetched exactly once"
+        );
     }
 
     #[test]
@@ -522,7 +575,11 @@ mod tests {
             false,
         ));
         // 200 reads, boundary every 50: 3 boundaries hit before the end.
-        assert!(w.barrier().episodes() >= 3, "episodes: {}", w.barrier().episodes());
+        assert!(
+            w.barrier().episodes() >= 3,
+            "episodes: {}",
+            w.barrier().episodes()
+        );
     }
 
     #[test]
@@ -549,7 +606,11 @@ mod tests {
 
     #[test]
     fn deterministic_across_runs() {
-        let cfg = small_cfg(AccessPattern::GlobalRandomPortions, SyncStyle::BlocksPerProc(10), true);
+        let cfg = small_cfg(
+            AccessPattern::GlobalRandomPortions,
+            SyncStyle::BlocksPerProc(10),
+            true,
+        );
         let (a, ta) = run_world(cfg.clone());
         let (b, tb) = run_world(cfg);
         assert_eq!(ta, tb);
@@ -627,7 +688,11 @@ mod tests {
 
     #[test]
     fn global_lru_replacement_runs_clean() {
-        let mut cfg = small_cfg(AccessPattern::LocalWholeFile, SyncStyle::BlocksPerProc(10), true);
+        let mut cfg = small_cfg(
+            AccessPattern::LocalWholeFile,
+            SyncStyle::BlocksPerProc(10),
+            true,
+        );
         cfg.replacement = rt_cache::Replacement::GlobalLru;
         let (w, _) = run_world(cfg);
         assert_eq!(w.reads_done(), 200);
@@ -637,9 +702,8 @@ mod tests {
     #[test]
     fn portion_learner_policy_prefetches_on_lfp() {
         let mut cfg = small_cfg(AccessPattern::LocalFixedPortions, SyncStyle::None, true);
-        cfg.prefetch = crate::config::PrefetchConfig::online(PolicyKind::PortionLearner {
-            confidence: 2,
-        });
+        cfg.prefetch =
+            crate::config::PrefetchConfig::online(PolicyKind::PortionLearner { confidence: 2 });
         let (w, _) = run_world(cfg);
         assert_eq!(w.reads_done(), 200);
         assert!(
@@ -650,7 +714,11 @@ mod tests {
 
     #[test]
     fn tracing_records_every_read_in_world() {
-        let cfg = small_cfg(AccessPattern::GlobalFixedPortions, SyncStyle::BlocksPerProc(10), true);
+        let cfg = small_cfg(
+            AccessPattern::GlobalFixedPortions,
+            SyncStyle::BlocksPerProc(10),
+            true,
+        );
         let mut world = World::new(cfg);
         world.enable_tracing();
         let mut sched = Scheduler::new();
@@ -697,8 +765,6 @@ mod tests {
             hw_near.as_millis_f64()
         );
         // And the miss ratio rises, as in Fig. 14.
-        assert!(
-            w_led.pool().stats().hit_ratio.value() <= w_near.pool().stats().hit_ratio.value()
-        );
+        assert!(w_led.pool().stats().hit_ratio.value() <= w_near.pool().stats().hit_ratio.value());
     }
 }

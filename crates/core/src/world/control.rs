@@ -36,14 +36,14 @@ impl World {
 
     /// The next access this process would take, without consuming it.
     pub(super) fn peek_access(&self, p: usize) -> Option<Access> {
-        match &self.workload {
+        match &*self.workload {
             Workload::Local(strings) => strings[p].get(self.procs[p].cursor.position()),
             Workload::Global(s) => s.get(self.global_cursor.position()),
         }
     }
 
     pub(super) fn take_access(&mut self, p: usize) -> Option<Access> {
-        match &self.workload {
+        match &*self.workload {
             Workload::Local(strings) => self.procs[p].cursor.take(&strings[p]),
             Workload::Global(s) => self.global_cursor.take(s),
         }
@@ -75,8 +75,7 @@ impl World {
             SyncStyle::EachPortion => {
                 let next = self.peek_access(p)?;
                 if self.workload.is_global() {
-                    (next.portion > self.global_portion_open)
-                        .then_some(SyncReason::PortionBoundary)
+                    (next.portion > self.global_portion_open).then_some(SyncReason::PortionBoundary)
                 } else {
                     match proc.cur_portion {
                         Some(cur) if next.portion != cur => Some(SyncReason::PortionBoundary),
@@ -91,7 +90,12 @@ impl World {
     /// Arrive at the barrier. Returns `true` if the process blocked (it
     /// will be resumed on release), `false` if its own arrival opened the
     /// barrier and it may continue immediately.
-    pub(super) fn arrive_barrier(&mut self, p: usize, reason: SyncReason, sched: &mut Scheduler<Ev>) -> bool {
+    pub(super) fn arrive_barrier(
+        &mut self,
+        p: usize,
+        reason: SyncReason,
+        sched: &mut Scheduler<Ev>,
+    ) -> bool {
         let now = sched.now();
         // Mark the gate as passed *at arrival* so release re-checks don't
         // re-trigger the same gate.
@@ -135,17 +139,21 @@ impl World {
 
     /// Bookkeeping when a barrier episode opens (run once, by the
     /// completing arrival or departure).
-    pub(super) fn after_barrier_open(&mut self, _completer: usize, reason: SyncReason, sched: &mut Scheduler<Ev>) {
+    pub(super) fn after_barrier_open(
+        &mut self,
+        _completer: usize,
+        reason: SyncReason,
+        sched: &mut Scheduler<Ev>,
+    ) {
         let _ = sched;
         if reason == SyncReason::PortionBoundary && self.workload.is_global() {
-            if let Workload::Global(s) = &self.workload {
+            if let Workload::Global(s) = &*self.workload {
                 if let Some(next) = s.get(self.global_cursor.position()) {
                     self.global_portion_open = next.portion;
                 }
             }
         }
     }
-
 
     /// The read returned: account it, then compute or continue.
     pub(super) fn read_finished(&mut self, p: usize, sched: &mut Scheduler<Ev>) {
@@ -202,7 +210,7 @@ impl World {
             // A departing straggler can complete an episode; the portion
             // gate, if any, advances with the released processes' rechecks.
             if self.workload.is_global() {
-                if let Workload::Global(s) = &self.workload {
+                if let Workload::Global(s) = &*self.workload {
                     if let Some(next) = s.get(self.global_cursor.position()) {
                         self.global_portion_open = self.global_portion_open.max(next.portion);
                     }
@@ -213,5 +221,4 @@ impl World {
             }
         }
     }
-
 }

@@ -72,7 +72,9 @@ impl World {
                             .read(now, self.file, block, FetchKind::Prefetch, ProcId(p as u16))
                             .expect("policy blocks are in range");
                         self.outstanding_io += 1;
-                        self.rec.tl_outstanding_io.record(now, self.outstanding_io as f64);
+                        self.rec
+                            .tl_outstanding_io
+                            .record(now, self.outstanding_io as f64);
                         self.note_started(block, started, sched);
                     }
                     Err(_) => {
@@ -97,9 +99,9 @@ impl World {
     pub(super) fn select_block(&mut self, p: usize) -> Option<BlockId> {
         match self.cfg.prefetch.policy {
             PolicyKind::Oracle => {
-                let (string, frontier) = match &self.workload {
-                    Workload::Local(strings) => (&strings[p], self.procs[p].cursor.position()),
-                    Workload::Global(s) => (s, self.global_cursor.position()),
+                let (string, frontier, hint) = match &*self.workload {
+                    Workload::Local(strings) => (&strings[p], self.procs[p].cursor.position(), p),
+                    Workload::Global(s) => (s, self.global_cursor.position(), 0),
                 };
                 let view = OracleView {
                     string,
@@ -107,7 +109,14 @@ impl World {
                     cross_portions: self.cfg.pattern.may_prefetch_across_portions(),
                     min_lead: self.cfg.prefetch.min_lead,
                 };
-                select_oracle(&view, &self.pool)
+                if self.oracle_hint_sound {
+                    // Duplicate-free workload: the scan memo is sound and
+                    // turns the per-action re-walk of the cached span into
+                    // an amortized O(1) resume.
+                    select_oracle_hinted(&view, &self.pool, &mut self.oracle_hints[hint])
+                } else {
+                    select_oracle(&view, &self.pool)
+                }
             }
             PolicyKind::Obl { .. } | PolicyKind::PortionLearner { .. } => {
                 let preds = self.predictors[p]

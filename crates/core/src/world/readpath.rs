@@ -31,7 +31,7 @@ impl World {
             }
             Lookup::UnreadyHit { ready_at, .. } => {
                 self.procs[p].cur_outcome = Some(ReadOutcome::UnreadyHit);
-                self.waiters.entry(block).or_default().push(ProcId(p as u16));
+                self.waiters.push(block, ProcId(p as u16));
                 let proc = &mut self.procs[p];
                 proc.state = PState::WaitBlock;
                 proc.wait_since = now;
@@ -48,7 +48,12 @@ impl World {
 
     /// Begin the copy of a ready block: pin it so it cannot be evicted
     /// mid-copy, refresh its recency, and schedule the read's completion.
-    pub(super) fn begin_copy(&mut self, p: usize, buf: rt_cache::BufferId, sched: &mut Scheduler<Ev>) {
+    pub(super) fn begin_copy(
+        &mut self,
+        p: usize,
+        buf: rt_cache::BufferId,
+        sched: &mut Scheduler<Ev>,
+    ) {
         let now = sched.now();
         self.pool.record_use(buf, ProcId(p as u16), now);
         self.rec
@@ -76,7 +81,7 @@ impl World {
             .alloc_demand(ProcId(p as u16), block, SimTime::MAX)
         {
             Some(_) => {
-                self.waiters.entry(block).or_default().push(ProcId(p as u16));
+                self.waiters.push(block, ProcId(p as u16));
                 let done = self
                     .lock
                     .acquire_until_done(now, self.cfg.costs.miss_overhead);
@@ -111,7 +116,7 @@ impl World {
                 _ => {
                     // In flight on someone else's behalf: wait like an
                     // unready hit (but keep the original miss accounting).
-                    self.waiters.entry(block).or_default().push(ProcId(p as u16));
+                    self.waiters.push(block, ProcId(p as u16));
                     let proc = &mut self.procs[p];
                     proc.state = PState::WaitBlock;
                     proc.wait_since = now;
@@ -137,7 +142,9 @@ impl World {
             .read(now, self.file, block, FetchKind::Demand, ProcId(p as u16))
             .expect("workload blocks are in range");
         self.outstanding_io += 1;
-        self.rec.tl_outstanding_io.record(now, self.outstanding_io as f64);
+        self.rec
+            .tl_outstanding_io
+            .record(now, self.outstanding_io as f64);
         self.procs[p].expected_wake = self.note_started(block, started, sched);
         self.idle_begin(p, sched);
     }
@@ -179,7 +186,9 @@ impl World {
         let (done, next) = self.fs.complete(disk, now);
         debug_assert_eq!(done.file, self.file);
         self.outstanding_io -= 1;
-        self.rec.tl_outstanding_io.record(now, self.outstanding_io as f64);
+        self.rec
+            .tl_outstanding_io
+            .record(now, self.outstanding_io as f64);
         if let Some(s) = next {
             // The newly started request's pending buffer learns its
             // completion time.
@@ -200,23 +209,27 @@ impl World {
             .buffer_for(block)
             .expect("I/O completed for an unindexed block");
         self.pool.complete_io(buf, now);
-        if let Some(list) = self.waiters.remove(&block) {
-            for w in list {
-                let (is_hit, since) = {
-                    let proc = &mut self.procs[w.index()];
-                    proc.logical_wake = Some(now);
-                    (proc.wait_is_hit, proc.wait_since)
-                };
-                if is_hit {
-                    self.rec.hit_wait.record(now.saturating_since(since));
-                }
-                // Pin on behalf of each waiter: the data must survive until
-                // its (possibly overrun-delayed) copy completes.
-                let buf = self.pool.buffer_for(block).expect("ready block indexed");
-                self.pool.pin(buf);
-                self.wake(w.index(), sched);
+        // Drain the waiter list through the reusable scratch (wake() needs
+        // `&mut self`, so the list cannot be borrowed while iterating).
+        let mut woken = std::mem::take(&mut self.wake_scratch);
+        self.waiters.drain_into(block, &mut woken);
+        for &w in &woken {
+            let (is_hit, since) = {
+                let proc = &mut self.procs[w.index()];
+                proc.logical_wake = Some(now);
+                (proc.wait_is_hit, proc.wait_since)
+            };
+            if is_hit {
+                self.rec.hit_wait.record(now.saturating_since(since));
             }
+            // Pin on behalf of each waiter: the data must survive until
+            // its (possibly overrun-delayed) copy completes.
+            let buf = self.pool.buffer_for(block).expect("ready block indexed");
+            self.pool.pin(buf);
+            self.wake(w.index(), sched);
         }
+        woken.clear();
+        self.wake_scratch = woken;
     }
 
     /// Resume a process whose wake condition fired, unless a prefetch
@@ -242,8 +255,12 @@ impl World {
             let idle_since = proc.idle_since.take().expect("resume without idle start");
             (wake, idle_since)
         };
-        self.rec.idle_necessary.record(wake.saturating_since(idle_since));
-        self.rec.idle_actual.record(now.saturating_since(idle_since));
+        self.rec
+            .idle_necessary
+            .record(wake.saturating_since(idle_since));
+        self.rec
+            .idle_actual
+            .record(now.saturating_since(idle_since));
         if now > wake {
             self.rec.overrun.record(now - wake);
         }
@@ -276,5 +293,4 @@ impl World {
             other => panic!("resume in unexpected state {other:?}"),
         }
     }
-
 }

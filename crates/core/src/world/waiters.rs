@@ -1,0 +1,112 @@
+//! Per-block waiter lists, stored densely.
+//!
+//! Every read that blocks on an in-flight I/O registers here; the disk
+//! completion drains the block's list and wakes everyone. The table is a
+//! flat `Vec` indexed by block number — the file size is fixed at
+//! construction — and each list holds its first few waiters inline, so the
+//! steady-state wait/wake cycle touches no allocator and no hash: almost
+//! every block has at most a handful of concurrent readers, and the rare
+//! pile-up spills to a heap vector that keeps its capacity for the rest of
+//! the run.
+
+use rt_disk::{BlockId, ProcId};
+
+/// Waiters held inline per block before spilling to the heap.
+const INLINE: usize = 4;
+
+#[derive(Clone)]
+struct WaiterList {
+    inline: [ProcId; INLINE],
+    len: u8,
+    spill: Vec<ProcId>,
+}
+
+impl WaiterList {
+    const EMPTY: WaiterList = WaiterList {
+        inline: [ProcId(0); INLINE],
+        len: 0,
+        spill: Vec::new(),
+    };
+}
+
+/// Dense block-number → waiting-processes table.
+pub(crate) struct WaiterTable {
+    lists: Vec<WaiterList>,
+}
+
+impl WaiterTable {
+    /// A table covering blocks `0..file_blocks`, all lists empty.
+    pub fn new(file_blocks: u32) -> Self {
+        WaiterTable {
+            lists: vec![WaiterList::EMPTY; file_blocks as usize],
+        }
+    }
+
+    /// Register `proc` as waiting for `block`. Wake order is registration
+    /// order (inline entries first, then the spill — which is exactly
+    /// arrival order).
+    pub fn push(&mut self, block: BlockId, proc: ProcId) {
+        let list = &mut self.lists[block.index()];
+        if (list.len as usize) < INLINE {
+            list.inline[list.len as usize] = proc;
+            list.len += 1;
+        } else {
+            list.spill.push(proc);
+        }
+    }
+
+    /// Move every waiter for `block` into `out` (appended in registration
+    /// order), leaving the list empty. The spill vector keeps its capacity
+    /// for the block's next pile-up.
+    pub fn drain_into(&mut self, block: BlockId, out: &mut Vec<ProcId>) {
+        let list = &mut self.lists[block.index()];
+        out.extend_from_slice(&list.inline[..list.len as usize]);
+        list.len = 0;
+        out.append(&mut list.spill);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drain_preserves_registration_order_across_spill() {
+        let mut t = WaiterTable::new(8);
+        for p in 0..7u16 {
+            t.push(BlockId(3), ProcId(p));
+        }
+        let mut out = Vec::new();
+        t.drain_into(BlockId(3), &mut out);
+        assert_eq!(out, (0..7).map(ProcId).collect::<Vec<_>>());
+        out.clear();
+        t.drain_into(BlockId(3), &mut out);
+        assert!(out.is_empty(), "drain leaves the list empty");
+    }
+
+    #[test]
+    fn lists_are_independent() {
+        let mut t = WaiterTable::new(4);
+        t.push(BlockId(0), ProcId(9));
+        t.push(BlockId(2), ProcId(1));
+        let mut out = Vec::new();
+        t.drain_into(BlockId(2), &mut out);
+        assert_eq!(out, vec![ProcId(1)]);
+        out.clear();
+        t.drain_into(BlockId(0), &mut out);
+        assert_eq!(out, vec![ProcId(9)]);
+    }
+
+    #[test]
+    fn reuse_after_drain() {
+        let mut t = WaiterTable::new(1);
+        for round in 0..3 {
+            for p in 0..6u16 {
+                t.push(BlockId(0), ProcId(p));
+            }
+            let mut out = Vec::new();
+            t.drain_into(BlockId(0), &mut out);
+            assert_eq!(out.len(), 6, "round {round}");
+        }
+    }
+}

@@ -93,10 +93,7 @@ impl Disk {
     /// with its completion time (the caller schedules the next completion
     /// event).
     pub fn complete(&mut self, now: SimTime) -> (DiskRequest, Option<(DiskRequest, SimTime)>) {
-        let done = self
-            .in_service
-            .take()
-            .expect("complete on an idle disk");
+        let done = self.in_service.take().expect("complete on an idle disk");
         debug_assert_eq!(done.completion, now, "completion fired at the wrong time");
         self.completed += 1;
         let response = now.saturating_since(done.req.submitted);

@@ -155,19 +155,31 @@ mod tests {
         let l = Interleaved::new(4, 0);
         assert_eq!(
             l.place(BlockId(0)),
-            Placement { disk: DiskId(0), physical: 0 }
+            Placement {
+                disk: DiskId(0),
+                physical: 0
+            }
         );
         assert_eq!(
             l.place(BlockId(1)),
-            Placement { disk: DiskId(1), physical: 0 }
+            Placement {
+                disk: DiskId(1),
+                physical: 0
+            }
         );
         assert_eq!(
             l.place(BlockId(4)),
-            Placement { disk: DiskId(0), physical: 1 }
+            Placement {
+                disk: DiskId(0),
+                physical: 1
+            }
         );
         assert_eq!(
             l.place(BlockId(7)),
-            Placement { disk: DiskId(3), physical: 1 }
+            Placement {
+                disk: DiskId(3),
+                physical: 1
+            }
         );
     }
 
@@ -202,7 +214,10 @@ mod tests {
         let l = Contiguous::new(DiskId(5), 10);
         assert_eq!(
             l.place(BlockId(7)),
-            Placement { disk: DiskId(5), physical: 17 }
+            Placement {
+                disk: DiskId(5),
+                physical: 17
+            }
         );
         assert_eq!(l.disk_count(), 1);
     }

@@ -36,7 +36,11 @@ fn drive(discipline: Discipline, jobs: &[(u64, bool)]) -> Vec<(u32, FetchKind)> 
         match (next_sub, next_completion) {
             (Some(at), Some(done)) if SimTime::from_nanos(at) <= done => {
                 let (i, &(at, demand)) = iter.next().unwrap();
-                let kind = if demand { FetchKind::Demand } else { FetchKind::Prefetch };
+                let kind = if demand {
+                    FetchKind::Demand
+                } else {
+                    FetchKind::Prefetch
+                };
                 if let Some(c) = disk.submit(req(at, kind, i as u32)) {
                     assert!(next_completion.is_none());
                     next_completion = Some(c);
@@ -45,7 +49,11 @@ fn drive(discipline: Discipline, jobs: &[(u64, bool)]) -> Vec<(u32, FetchKind)> 
             }
             (Some(at), None) => {
                 let (i, &(_, demand)) = iter.next().unwrap();
-                let kind = if demand { FetchKind::Demand } else { FetchKind::Prefetch };
+                let kind = if demand {
+                    FetchKind::Demand
+                } else {
+                    FetchKind::Prefetch
+                };
                 if let Some(c) = disk.submit(req(at, kind, i as u32)) {
                     next_completion = Some(c);
                 }

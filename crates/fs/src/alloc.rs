@@ -118,7 +118,10 @@ mod tests {
     fn errors() {
         let mut a = Allocator::new(2);
         assert_eq!(a.alloc_interleaved(0), Err(AllocError::EmptyFile));
-        assert_eq!(a.alloc_contiguous(DiskId(9), 1), Err(AllocError::NoSuchDisk));
+        assert_eq!(
+            a.alloc_contiguous(DiskId(9), 1),
+            Err(AllocError::NoSuchDisk)
+        );
         assert_eq!(a.alloc_contiguous(DiskId(0), 0), Err(AllocError::EmptyFile));
     }
 

@@ -205,11 +205,7 @@ impl FileSystem {
     /// The in-flight request on `disk` finished at `now`. Returns the
     /// finished `(file, block)` and, if queued work started, the next
     /// request's completion time.
-    pub fn complete(
-        &mut self,
-        disk: DiskId,
-        now: SimTime,
-    ) -> (FsCompleted, Option<FsStarted>) {
+    pub fn complete(&mut self, disk: DiskId, now: SimTime) -> (FsCompleted, Option<FsStarted>) {
         let (global, next) = self.disks.complete(disk, now);
         let completed = self.attribute(global);
         (
@@ -326,14 +322,31 @@ mod tests {
         let b = f.create("b", 4, Striping::Interleaved).unwrap();
         // One block from each file on disk 0 (block 0 of each; b's stripes
         // start above a's).
-        let s1 = f.read(t(0), a, BlockId(0), FetchKind::Demand, ProcId(0)).unwrap().unwrap();
+        let s1 = f
+            .read(t(0), a, BlockId(0), FetchKind::Demand, ProcId(0))
+            .unwrap()
+            .unwrap();
         assert_eq!(s1.disk, DiskId(0));
-        let s2 = f.read(t(0), b, BlockId(0), FetchKind::Demand, ProcId(1)).unwrap();
+        let s2 = f
+            .read(t(0), b, BlockId(0), FetchKind::Demand, ProcId(1))
+            .unwrap();
         assert!(s2.is_none(), "same disk: queues");
         let (done, next) = f.complete(DiskId(0), t(30));
-        assert_eq!(done, FsCompleted { file: a, block: BlockId(0) });
+        assert_eq!(
+            done,
+            FsCompleted {
+                file: a,
+                block: BlockId(0)
+            }
+        );
         let (done, _) = f.complete(DiskId(0), next.unwrap().completion);
-        assert_eq!(done, FsCompleted { file: b, block: BlockId(0) });
+        assert_eq!(
+            done,
+            FsCompleted {
+                file: b,
+                block: BlockId(0)
+            }
+        );
     }
 
     #[test]
@@ -346,10 +359,7 @@ mod tests {
             let meta = f.meta(id).unwrap().clone();
             for blk in 0..len {
                 let p = meta.layout.place(BlockId(blk));
-                assert!(
-                    slots.insert((p.disk, p.physical)),
-                    "files overlap at {p:?}"
-                );
+                assert!(slots.insert((p.disk, p.physical)), "files overlap at {p:?}");
             }
         }
     }

@@ -345,7 +345,10 @@ mod tests {
                 seen[a.block.index()] += 1;
             }
         }
-        assert!(seen.iter().all(|&c| c == 1), "every block read exactly once");
+        assert!(
+            seen.iter().all(|&c| c == 1),
+            "every block read exactly once"
+        );
     }
 
     #[test]
@@ -460,7 +463,11 @@ mod tests {
     #[test]
     fn gfp_two_pass_coverage() {
         let params = paper(); // global portions of 50 at stride 100
-        let w = Workload::generate(AccessPattern::GlobalFixedPortions, &params, &mut Rng::seeded(4));
+        let w = Workload::generate(
+            AccessPattern::GlobalFixedPortions,
+            &params,
+            &mut Rng::seeded(4),
+        );
         let s = w.global_string();
         assert_eq!(s.len(), 2000);
         assert_eq!(s.portion_count(), 40);
@@ -492,7 +499,11 @@ mod tests {
 
     #[test]
     fn gw_is_one_sequential_sweep() {
-        let w = Workload::generate(AccessPattern::GlobalWholeFile, &paper(), &mut Rng::seeded(6));
+        let w = Workload::generate(
+            AccessPattern::GlobalWholeFile,
+            &paper(),
+            &mut Rng::seeded(6),
+        );
         let s = w.global_string();
         assert_eq!(s.len(), 2000);
         assert_eq!(s.portion_count(), 1);
@@ -503,7 +514,11 @@ mod tests {
 
     #[test]
     fn workload_accessors() {
-        let w = Workload::generate(AccessPattern::GlobalWholeFile, &paper(), &mut Rng::seeded(6));
+        let w = Workload::generate(
+            AccessPattern::GlobalWholeFile,
+            &paper(),
+            &mut Rng::seeded(6),
+        );
         assert!(w.is_global());
         assert_eq!(w.total_reads(), 2000);
         assert_eq!(w.max_block(), Some(BlockId(1999)));
@@ -515,7 +530,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "local_string on a global workload")]
     fn local_accessor_panics_on_global() {
-        let w = Workload::generate(AccessPattern::GlobalWholeFile, &paper(), &mut Rng::seeded(6));
+        let w = Workload::generate(
+            AccessPattern::GlobalWholeFile,
+            &paper(),
+            &mut Rng::seeded(6),
+        );
         let _ = w.local_string(0);
     }
 }

@@ -266,7 +266,10 @@ mod tests {
         assert_eq!(p.learned(), Some((5, 100)));
         let preds = p.predict(20);
         assert!(preds.iter().all(|b| b.0 < 210));
-        assert_eq!(preds, vec![BlockId(201), BlockId(202), BlockId(203), BlockId(204)]);
+        assert_eq!(
+            preds,
+            vec![BlockId(201), BlockId(202), BlockId(203), BlockId(204)]
+        );
     }
 
     #[test]

@@ -54,21 +54,25 @@ impl RefString {
     }
 
     /// Number of accesses.
+    #[inline]
     pub fn len(&self) -> usize {
         self.accesses.len()
     }
 
     /// True when the string is empty.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.accesses.is_empty()
     }
 
     /// The access at position `i`.
+    #[inline]
     pub fn get(&self, i: usize) -> Option<Access> {
         self.accesses.get(i).copied()
     }
 
     /// All accesses in order.
+    #[inline]
     pub fn accesses(&self) -> &[Access] {
         &self.accesses
     }

@@ -168,10 +168,7 @@ mod tests {
 
     #[test]
     fn locality_split() {
-        let locals: Vec<_> = AccessPattern::ALL
-            .iter()
-            .filter(|p| p.is_local())
-            .collect();
+        let locals: Vec<_> = AccessPattern::ALL.iter().filter(|p| p.is_local()).collect();
         assert_eq!(locals.len(), 3);
         for p in AccessPattern::ALL {
             assert_ne!(p.is_local(), p.is_global());

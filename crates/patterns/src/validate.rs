@@ -127,10 +127,8 @@ pub fn validate(pattern: AccessPattern, workload: &Workload) -> Vec<Violation> {
                 }
             }
         }
-        AccessPattern::GlobalWholeFile => {
-            if !is_whole_prefix(strings[0]) {
-                violations.push(Violation::IncompleteCoverage { proc: 0 });
-            }
+        AccessPattern::GlobalWholeFile if !is_whole_prefix(strings[0]) => {
+            violations.push(Violation::IncompleteCoverage { proc: 0 });
         }
         _ => {}
     }
@@ -162,7 +160,9 @@ pub fn validate(pattern: AccessPattern, workload: &Workload) -> Vec<Violation> {
                 .iter()
                 .enumerate()
                 .flat_map(|(i, set)| {
-                    sets[..i].iter().flat_map(move |prev| set.intersection(prev))
+                    sets[..i]
+                        .iter()
+                        .flat_map(move |prev| set.intersection(prev))
                 })
                 .next()
                 .copied()
@@ -211,8 +211,16 @@ mod tests {
     #[test]
     fn nonsequential_portion_detected() {
         let s = RefString::new(vec![
-            Access { block: BlockId(0), portion: 0, last_of_portion: false },
-            Access { block: BlockId(7), portion: 0, last_of_portion: true },
+            Access {
+                block: BlockId(0),
+                portion: 0,
+                last_of_portion: false,
+            },
+            Access {
+                block: BlockId(7),
+                portion: 0,
+                last_of_portion: true,
+            },
         ]);
         let w = Workload::Global(s);
         let v = validate(AccessPattern::GlobalWholeFile, &w);

@@ -1,0 +1,660 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The workspace builds in environments with no crates.io access, so this
+//! path crate provides the subset of proptest's API that the test suites
+//! use: the [`Strategy`] trait with `prop_map`/`boxed`, integer-range and
+//! tuple strategies, `any::<T>()`, `Just`, `prop::collection::vec`,
+//! `prop::option::of`, `prop::sample::select`, and the `proptest!`,
+//! `prop_compose!`, `prop_oneof!`, `prop_assert!`, and `prop_assert_eq!`
+//! macros.
+//!
+//! Semantics differ from upstream in two deliberate ways:
+//!
+//! - **Deterministic inputs.** Each test case's RNG is seeded from the test
+//!   function's path and the case index, so a failing case reproduces on
+//!   every run with no regression file needed (`.proptest-regressions`
+//!   files are ignored).
+//! - **No shrinking.** A failure reports the generated inputs' case number;
+//!   inputs are small by construction (the suites bound their own sizes).
+
+pub mod test_runner {
+    //! Test configuration, error type, and the per-case RNG.
+
+    use std::fmt;
+
+    /// Runner configuration. Only `cases` is honored; `max_shrink_iters`
+    /// exists for source compatibility with upstream struct-update syntax.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per `proptest!` test function.
+        pub cases: u32,
+        /// Ignored: this shim does not shrink failing inputs.
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 256,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+
+    /// Why a single test case failed.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// An assertion failed with the contained message.
+        Fail(String),
+        /// The input was rejected (treated as a failure by this shim).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A failed-assertion error.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// A rejected-input error.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "{m}"),
+                TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
+            }
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+
+    /// Result type for a single test case body.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// SplitMix64 generator seeded from the test's path and case index.
+    /// The same (test, case) pair always sees the same input stream.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// RNG for case number `case` of the test named `name`.
+        pub fn for_case(name: &str, case: u32) -> Self {
+            // FNV-1a over the test path gives a stable per-test stream.
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng {
+                state: h ^ (u64::from(case) + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `0..n`. `n` must be non-zero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0, "below(0)");
+            // Multiply-shift rejection-free mapping; bias is < 2^-64 per
+            // draw, irrelevant for test-input generation.
+            ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and the concrete strategies the macros build.
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value` from a [`TestRng`].
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erase the strategy's type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(move |rng| self.generate(rng)))
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<T>(Box<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Picks uniformly among its branches; built by `prop_oneof!`.
+    pub struct Union<T> {
+        branches: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// A union over the given branches. Must be non-empty.
+        pub fn new(branches: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!branches.is_empty(), "prop_oneof! needs at least one arm");
+            Union { branches }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let idx = rng.below(self.branches.len() as u64) as usize;
+            self.branches[idx].generate(rng)
+        }
+    }
+
+    /// Wraps a generation closure; used by `prop_compose!`.
+    pub struct FnStrategy<F>(F);
+
+    impl<T, F: Fn(&mut TestRng) -> T> Strategy for FnStrategy<F> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// A strategy from a raw generation function.
+    pub fn generator<T, F: Fn(&mut TestRng) -> T>(f: F) -> FnStrategy<F> {
+        FnStrategy(f)
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($ty:ty),*) => {$(
+            impl Strategy for std::ops::Range<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let width = (self.end as u64) - (self.start as u64);
+                    self.start + rng.below(width) as $ty
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let width = (hi as u64) - (lo as u64);
+                    if width == u64::MAX {
+                        return rng.next_u64() as $ty;
+                    }
+                    lo + rng.below(width + 1) as $ty
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.generate(rng), self.1.generate(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (
+                self.0.generate(rng),
+                self.1.generate(rng),
+                self.2.generate(rng),
+            )
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` for the primitive types the suites draw directly.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary {
+        /// Draw an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_uint {
+        ($($ty:ty),*) => {$(
+            impl Arbitrary for $ty {
+                fn arbitrary(rng: &mut TestRng) -> $ty {
+                    rng.next_u64() as $ty
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+    /// Strategy over `A`'s whole domain.
+    pub struct Any<A>(PhantomData<fn() -> A>);
+
+    impl<A: Arbitrary> Strategy for Any<A> {
+        type Value = A;
+        fn generate(&self, rng: &mut TestRng) -> A {
+            A::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `A`.
+    pub fn any<A: Arbitrary>() -> Any<A> {
+        Any(PhantomData)
+    }
+}
+
+pub mod prop {
+    //! The `prop::` namespace: collection, option, and sample strategies.
+
+    pub mod collection {
+        //! Strategies for collections.
+
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// Element-count bounds for [`vec`]; built from `usize` (exact) or
+        /// `Range<usize>` (half-open).
+        #[derive(Clone, Copy, Debug)]
+        pub struct SizeRange {
+            min: usize,
+            max_exclusive: usize,
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                SizeRange {
+                    min: n,
+                    max_exclusive: n + 1,
+                }
+            }
+        }
+
+        impl From<std::ops::Range<usize>> for SizeRange {
+            fn from(r: std::ops::Range<usize>) -> Self {
+                assert!(r.start < r.end, "empty vec size range");
+                SizeRange {
+                    min: r.start,
+                    max_exclusive: r.end,
+                }
+            }
+        }
+
+        /// Output of [`vec`].
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = (self.size.max_exclusive - self.size.min) as u64;
+                let len = self.size.min + rng.below(span.max(1)) as usize;
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// A `Vec` whose length is drawn from `size` and whose elements are
+        /// drawn from `element`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+    }
+
+    pub mod option {
+        //! Strategies for `Option`.
+
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// Output of [`of`].
+        pub struct OptionStrategy<S>(S);
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+                // Match upstream's default: None about a quarter of the time.
+                if rng.below(4) == 0 {
+                    None
+                } else {
+                    Some(self.0.generate(rng))
+                }
+            }
+        }
+
+        /// `Some` of the inner strategy most of the time, `None` otherwise.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy(inner)
+        }
+    }
+
+    pub mod sample {
+        //! Strategies that sample from explicit value sets.
+
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// Output of [`select`].
+        pub struct Select<T: Clone>(Vec<T>);
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn generate(&self, rng: &mut TestRng) -> T {
+                let idx = rng.below(self.0.len() as u64) as usize;
+                self.0[idx].clone()
+            }
+        }
+
+        /// Picks uniformly from `values`. Must be non-empty.
+        pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+            assert!(!values.is_empty(), "select from empty set");
+            Select(values)
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a test file needs from `use proptest::prelude::*`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, prop_oneof, proptest,
+    };
+}
+
+/// Defines test functions whose arguments are drawn from strategies.
+///
+/// Supports an optional `#![proptest_config(expr)]` header followed by any
+/// number of `fn name(arg in strategy, ...) { body }` items carrying outer
+/// attributes (typically `#[test]`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident(
+        $($arg:pat in $strat:expr),* $(,)?
+    ) $body:block)*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)*
+                let __result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body;
+                        ::core::result::Result::Ok(())
+                    })();
+                if let ::core::result::Result::Err(__e) = __result {
+                    panic!(
+                        "proptest case {}/{} of {} failed: {}",
+                        __case + 1,
+                        __config.cases,
+                        stringify!($name),
+                        __e,
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Defines a named strategy function from component strategies and a body
+/// that combines the drawn values.
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident($($param:tt)*)(
+            $($field:pat in $strat:expr),* $(,)?
+        ) -> $out:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($param)*) -> impl $crate::strategy::Strategy<Value = $out> {
+            $crate::strategy::generator(move |__rng: &mut $crate::test_runner::TestRng| {
+                $(let $field = $crate::strategy::Strategy::generate(&($strat), __rng);)*
+                $body
+            })
+        }
+    };
+}
+
+/// A strategy that picks uniformly among the listed strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Fails the current test case (returns `Err(TestCaseError)`) unless the
+/// condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the current test case unless the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            __l,
+            __r,
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)+),
+            __l,
+            __r,
+        );
+    }};
+}
+
+/// Fails the current test case unless the two values compare unequal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            __l,
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::for_case("ranges", 0);
+        for _ in 0..1000 {
+            let v = (3u32..17).generate(&mut rng);
+            assert!((3..17).contains(&v));
+            let w = (0u64..1).generate(&mut rng);
+            assert_eq!(w, 0);
+        }
+    }
+
+    #[test]
+    fn same_case_same_values() {
+        let mut a = TestRng::for_case("x", 7);
+        let mut b = TestRng::for_case("x", 7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn distinct_cases_differ() {
+        let mut a = TestRng::for_case("x", 0);
+        let mut b = TestRng::for_case("x", 1);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn vec_sizes_respect_bounds() {
+        let mut rng = TestRng::for_case("vec", 0);
+        let strat = prop::collection::vec(0u64..10, 1..5);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((1..5).contains(&v.len()));
+        }
+        let fixed = prop::collection::vec(any::<bool>(), 100);
+        assert_eq!(fixed.generate(&mut rng).len(), 100);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn macro_draws_compose(x in 1u32..10, (a, b) in (0u64..5, 0u64..5)) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!(a < 5 && b < 5);
+            prop_assert_eq!(a + b, b + a);
+            prop_assert_ne!(x, 0);
+        }
+    }
+
+    prop_compose! {
+        fn pair()(hi in 10u64..20, lo in 0u64..10) -> (u64, u64) {
+            (hi, lo)
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        #[test]
+        fn composed_strategy_holds_invariant((hi, lo) in pair()) {
+            prop_assert!(hi > lo);
+        }
+
+        #[test]
+        fn oneof_and_select(v in prop_oneof![Just(1u8), Just(2u8)],
+                            s in prop::sample::select(vec![10u8, 20u8]),
+                            o in prop::option::of(0u32..3)) {
+            prop_assert!(v == 1 || v == 2);
+            prop_assert!(s == 10 || s == 20);
+            if let Some(x) = o {
+                prop_assert!(x < 3);
+            }
+        }
+    }
+}

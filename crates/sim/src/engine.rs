@@ -90,6 +90,72 @@ pub struct RunOutcome {
     pub budget_exhausted: bool,
 }
 
+/// Host-side statistics from [`run_with_stats`]: the outcome plus the
+/// wall-clock cost of producing it.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineStats {
+    /// The simulation outcome, identical to what [`run`] would return.
+    pub outcome: RunOutcome,
+    /// Host wall-clock time spent inside the event loop.
+    pub wall: std::time::Duration,
+    /// Largest number of simultaneously pending events observed.
+    pub peak_pending: usize,
+}
+
+impl EngineStats {
+    /// Events dispatched per host-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.outcome.events as f64 / secs
+        }
+    }
+}
+
+/// Like [`run`], but measures host wall-clock time and tracks the peak
+/// pending-event count. The dispatch order — and therefore every simulated
+/// number — is identical to [`run`]; the instrumentation only reads the
+/// host clock and the queue length.
+pub fn run_with_stats<M: Model>(
+    model: &mut M,
+    sched: &mut Scheduler<M::Event>,
+    max_events: u64,
+) -> EngineStats {
+    let start = std::time::Instant::now();
+    let mut peak_pending = sched.pending();
+    let outcome = loop {
+        let Some((time, event)) = sched.queue.pop() else {
+            break RunOutcome {
+                end_time: sched.now,
+                events: sched.fired,
+                budget_exhausted: false,
+            };
+        };
+        assert!(
+            time >= sched.now,
+            "event queue returned an event from the past"
+        );
+        sched.now = time;
+        sched.fired += 1;
+        model.handle(event, sched);
+        peak_pending = peak_pending.max(sched.pending());
+        if sched.fired >= max_events {
+            break RunOutcome {
+                end_time: sched.now,
+                events: sched.fired,
+                budget_exhausted: true,
+            };
+        }
+    };
+    EngineStats {
+        outcome,
+        wall: start.elapsed(),
+        peak_pending,
+    }
+}
+
 /// Drive `model` until no events remain, or until `max_events` have fired
 /// (a runaway-model backstop; pass `u64::MAX` for "no limit").
 pub fn run<M: Model>(
@@ -213,6 +279,40 @@ mod tests {
     }
 
     #[test]
+    fn run_with_stats_matches_run() {
+        let mut a = Countdown { log: Vec::new() };
+        let mut sa = Scheduler::new();
+        sa.schedule_at(SimTime::ZERO, 5u32);
+        let plain = run(&mut a, &mut sa, u64::MAX);
+
+        let mut b = Countdown { log: Vec::new() };
+        let mut sb = Scheduler::new();
+        sb.schedule_at(SimTime::ZERO, 5u32);
+        let stats = run_with_stats(&mut b, &mut sb, u64::MAX);
+
+        assert_eq!(stats.outcome, plain);
+        assert_eq!(a.log, b.log);
+        assert!(stats.peak_pending >= 1);
+        assert!(stats.events_per_sec() >= 0.0);
+    }
+
+    #[test]
+    fn run_with_stats_respects_budget() {
+        struct Forever;
+        impl Model for Forever {
+            type Event = ();
+            fn handle(&mut self, _: (), sched: &mut Scheduler<()>) {
+                sched.schedule_in(SimDuration::from_nanos(1), ());
+            }
+        }
+        let mut sched = Scheduler::new();
+        sched.schedule_at(SimTime::ZERO, ());
+        let stats = run_with_stats(&mut Forever, &mut sched, 100);
+        assert!(stats.outcome.budget_exhausted);
+        assert_eq!(stats.outcome.events, 100);
+    }
+
+    #[test]
     fn clock_is_monotone() {
         // Two interleaved self-rescheduling chains with co-prime periods:
         // events arrive out of schedule order, the clock must not regress.
@@ -230,7 +330,9 @@ mod tests {
                 }
             }
         }
-        let mut model = Recorder { last: SimTime::ZERO };
+        let mut model = Recorder {
+            last: SimTime::ZERO,
+        };
         let mut sched = Scheduler::new();
         sched.schedule_at(SimTime::ZERO, 0);
         sched.schedule_at(SimTime::from_nanos(1), 1);

@@ -43,10 +43,10 @@ pub mod stats;
 pub mod time;
 pub mod timeline;
 
-pub use engine::{run, Model, RunOutcome, Scheduler};
+pub use engine::{run, run_with_stats, EngineStats, Model, RunOutcome, Scheduler};
 pub use event::{EventId, EventQueue};
 pub use resource::{Admission, FifoServer, SimLock};
 pub use rng::Rng;
 pub use stats::{Ratio, Sampled, Tally, TimeWeighted};
-pub use timeline::Timeline;
 pub use time::{SimDuration, SimTime};
+pub use timeline::Timeline;

@@ -286,7 +286,7 @@ mod tests {
         let mut s = FifoServer::new();
         s.submit(at(0), ms(10));
         s.submit(at(0), ms(10)); // waits 10ms in queue
-        // Over [0, 20]: one request queued for 10ms -> average 0.5.
+                                 // Over [0, 20]: one request queued for 10ms -> average 0.5.
         assert!((s.avg_queue_len(at(20)) - 0.5).abs() < 1e-9);
     }
 }

@@ -52,7 +52,8 @@ impl Rng {
     pub fn split(&self, stream: u64) -> Rng {
         // Mix the parent state with the stream key through SplitMix64 so
         // that child streams decorrelate even for adjacent keys.
-        let mut sm = self.s[0] ^ self.s[2].rotate_left(17) ^ stream.wrapping_mul(0xA24B_AED4_963E_E407);
+        let mut sm =
+            self.s[0] ^ self.s[2].rotate_left(17) ^ stream.wrapping_mul(0xA24B_AED4_963E_E407);
         Rng {
             s: [
                 splitmix64(&mut sm),

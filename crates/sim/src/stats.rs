@@ -353,7 +353,7 @@ mod tests {
         let mut w = TimeWeighted::new(SimTime::ZERO, 0.0);
         w.set(SimTime::from_nanos(10), 2.0); // 0 for 10ns
         w.set(SimTime::from_nanos(30), 4.0); // 2 for 20ns
-        // 4 for 10ns -> integral = 0 + 40 + 40 = 80 over 40ns
+                                             // 4 for 10ns -> integral = 0 + 40 + 40 = 80 over 40ns
         assert!((w.average(SimTime::from_nanos(40)) - 2.0).abs() < 1e-9);
         assert_eq!(w.max(), 4.0);
         assert_eq!(w.current(), 4.0);

@@ -285,7 +285,10 @@ mod tests {
 
     #[test]
     fn construction_round_trips() {
-        assert_eq!(SimDuration::from_millis(30).as_nanos(), 30 * NANOS_PER_MILLI);
+        assert_eq!(
+            SimDuration::from_millis(30).as_nanos(),
+            30 * NANOS_PER_MILLI
+        );
         assert_eq!(SimDuration::from_micros(5).as_nanos(), 5_000);
         assert_eq!(SimDuration::from_secs(2).as_nanos(), 2 * NANOS_PER_SEC);
         assert_eq!(SimTime::from_nanos(42).as_nanos(), 42);

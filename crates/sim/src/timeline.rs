@@ -79,7 +79,8 @@ impl Timeline {
         let span = end.saturating_since(start).as_nanos();
         (1..=buckets)
             .map(|i| {
-                let t = start + crate::time::SimDuration::from_nanos(span * i as u64 / buckets as u64);
+                let t =
+                    start + crate::time::SimDuration::from_nanos(span * i as u64 / buckets as u64);
                 self.value_at(t)
             })
             .collect()

@@ -5,6 +5,68 @@ use proptest::prelude::*;
 
 use rt_sim::{EventQueue, FifoServer, Rng, SimDuration, SimLock, SimTime};
 
+/// One step of the event-queue model comparison.
+#[derive(Clone, Debug)]
+enum QueueOp {
+    /// Schedule an event at this time; the payload is its issue index.
+    Schedule(u64),
+    /// Cancel the id issued at (this value modulo the issued count) —
+    /// which may be live, already cancelled, or long since popped.
+    Cancel(usize),
+    /// Pop the earliest live event, if any.
+    Pop,
+}
+
+/// The seed queue, restated: every scheduled event is kept in issue order
+/// and flagged rather than removed, and pop scans for the earliest
+/// still-live entry. Quadratic, but an unambiguous specification.
+#[derive(Default)]
+struct TombstoneModel {
+    /// (time, payload, dead) per issued event; issue order is tie order.
+    events: Vec<(u64, usize, bool)>,
+    live: usize,
+}
+
+impl TombstoneModel {
+    fn schedule(&mut self, time: u64, payload: usize) {
+        self.events.push((time, payload, false));
+        self.live += 1;
+    }
+
+    fn cancel(&mut self, k: usize) -> bool {
+        if self.events[k].2 {
+            return false;
+        }
+        self.events[k].2 = true;
+        self.live -= 1;
+        true
+    }
+
+    fn earliest(&self) -> Option<usize> {
+        self.events
+            .iter()
+            .enumerate()
+            .filter(|(_, &(_, _, dead))| !dead)
+            .min_by_key(|&(i, &(t, _, _))| (t, i))
+            .map(|(i, _)| i)
+    }
+
+    fn pop(&mut self) -> Option<(u64, usize)> {
+        let i = self.earliest()?;
+        self.events[i].2 = true;
+        self.live -= 1;
+        Some((self.events[i].0, self.events[i].1))
+    }
+
+    fn peek_time(&self) -> Option<u64> {
+        self.earliest().map(|i| self.events[i].0)
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+}
+
 proptest! {
     /// The event queue is a stable priority queue: popping returns events
     /// in time order, and schedule order within equal times.
@@ -116,6 +178,64 @@ proptest! {
         let mut c = parent.split(key.wrapping_add(1));
         let divergent = (0..8).any(|_| a.next_u64() != c.next_u64());
         prop_assert!(divergent);
+    }
+
+    /// The slab-and-generation queue is observably identical to the seed
+    /// implementation (a sorted list with tombstones scanned on pop) under
+    /// arbitrary interleavings of schedule, cancel, and pop — including
+    /// cancelling ids that already popped (must report `false` and leave
+    /// the queue untouched) and cancelling stale ids whose slot has since
+    /// been recycled for a newer event.
+    #[test]
+    fn event_queue_matches_tombstone_model(
+        ops in prop::collection::vec(
+            prop_oneof![
+                (0u64..50).prop_map(QueueOp::Schedule),
+                (0usize..256).prop_map(QueueOp::Cancel),
+                Just(QueueOp::Pop),
+            ],
+            1..300,
+        )
+    ) {
+        let mut q = EventQueue::new();
+        let mut model = TombstoneModel::default();
+        let mut ids = Vec::new();
+        for op in &ops {
+            match *op {
+                QueueOp::Schedule(t) => {
+                    let payload = ids.len();
+                    ids.push(q.schedule(SimTime::from_nanos(t), payload));
+                    model.schedule(t, payload);
+                }
+                QueueOp::Cancel(pick) => {
+                    if ids.is_empty() {
+                        continue;
+                    }
+                    let k = pick % ids.len();
+                    prop_assert_eq!(
+                        q.cancel(ids[k]),
+                        model.cancel(k),
+                        "cancel of event {} disagreed", k
+                    );
+                }
+                QueueOp::Pop => {
+                    let got = q.pop().map(|(t, p)| (t.as_nanos(), p));
+                    prop_assert_eq!(got, model.pop());
+                }
+            }
+            prop_assert_eq!(q.len(), model.len());
+            prop_assert_eq!(q.is_empty(), model.len() == 0);
+            prop_assert_eq!(q.peek_time().map(SimTime::as_nanos), model.peek_time());
+        }
+        // Drain both to the end: the full pop orders must agree.
+        loop {
+            let got = q.pop().map(|(t, p)| (t.as_nanos(), p));
+            let want = model.pop();
+            prop_assert_eq!(got, want);
+            if want.is_none() {
+                break;
+            }
+        }
     }
 
     /// Exponential sampling is non-negative and zero-mean gives zero.

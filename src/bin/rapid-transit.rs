@@ -6,6 +6,7 @@
 //! rapid-transit lead  <pattern>     the §V-E minimum-lead sweep
 //! rapid-transit sweep-compute       the §V-C computation sweep (Fig. 12)
 //! rapid-transit trace <pattern>     record a run and analyze its trace
+//! rapid-transit perf                measure the fixed perf slice
 //! ```
 //!
 //! Run options:
@@ -17,12 +18,12 @@
 
 use std::process::ExitCode;
 
+use rapid_transit::cli::{build_config, has_flag, parse_pattern};
 use rapid_transit::core::experiment::{
     paper_grid, run_experiment, run_experiment_traced, run_pair, run_pairs_parallel,
 };
 use rapid_transit::core::report::Table;
 use rapid_transit::core::trace::{replay_obl, Trace};
-use rapid_transit::cli::{build_config, has_flag, parse_pattern};
 use rapid_transit::core::{ExperimentConfig, PrefetchConfig, RunMetrics};
 use rapid_transit::patterns::{AccessPattern, SyncStyle};
 use rapid_transit::sim::SimDuration;
@@ -40,6 +41,7 @@ fn main() -> ExitCode {
         "lead" => cmd_lead(rest),
         "sweep-compute" => cmd_sweep_compute(rest),
         "trace" => cmd_trace(rest),
+        "perf" => cmd_perf(rest),
         "help" | "--help" | "-h" => {
             println!("{}", USAGE);
             Ok(())
@@ -65,6 +67,8 @@ commands:
   lead <pat>     the minimum-prefetch-lead sweep for lfp|gfp|lw|gw
   sweep-compute  the computation sweep of Fig. 12
   trace <pat>    record one run's access trace and analyze it off-line
+  perf           measure the fixed perf slice, update BENCH_core.json
+                 (--label L, --out FILE, --quick, --check)
 
 run options:
   --pattern P    lfp|lrp|lw|gfp|grp|gw          (default gw)
@@ -81,20 +85,35 @@ run options:
 
 fn metric_rows(m: &RunMetrics) -> Vec<(&'static str, String)> {
     vec![
-        ("total time (ms)", format!("{:.1}", m.total_time.as_millis_f64())),
+        (
+            "total time (ms)",
+            format!("{:.1}", m.total_time.as_millis_f64()),
+        ),
         ("avg read time (ms)", format!("{:.2}", m.mean_read_ms())),
         ("hit ratio", format!("{:.3}", m.hit_ratio)),
         ("ready hits", m.ready_hits.to_string()),
         ("unready hits", m.unready_hits.to_string()),
         ("misses", m.misses.to_string()),
         ("avg hit-wait (ms)", format!("{:.2}", m.mean_hit_wait_ms())),
-        ("disk response (ms)", format!("{:.2}", m.mean_disk_response_ms())),
+        (
+            "disk response (ms)",
+            format!("{:.2}", m.mean_disk_response_ms()),
+        ),
         ("disk ops", m.disk_ops.to_string()),
         ("prefetches", m.prefetches.to_string()),
         ("failed actions", m.failed_actions.to_string()),
-        ("avg action (ms)", format!("{:.2}", m.action_time.mean_millis())),
-        ("avg overrun (ms)", format!("{:.2}", m.overrun.mean_millis())),
-        ("avg sync wait (ms)", format!("{:.2}", m.sync_wait.mean_millis())),
+        (
+            "avg action (ms)",
+            format!("{:.2}", m.action_time.mean_millis()),
+        ),
+        (
+            "avg overrun (ms)",
+            format!("{:.2}", m.overrun.mean_millis()),
+        ),
+        (
+            "avg sync wait (ms)",
+            format!("{:.2}", m.sync_wait.mean_millis()),
+        ),
         ("barriers", m.barriers.to_string()),
         (
             "finish skew (ms)",
@@ -195,6 +214,56 @@ fn cmd_sweep_compute(_args: &[String]) -> Result<(), String> {
             pair.prefetch.action_time.mean_millis(),
         );
     }
+    Ok(())
+}
+
+fn cmd_perf(args: &[String]) -> Result<(), String> {
+    use rapid_transit::bench::json::Json;
+    use rapid_transit::bench::perf;
+    use rapid_transit::cli::flag_value;
+
+    let out = flag_value(args, "--out")?
+        .unwrap_or("BENCH_core.json")
+        .to_string();
+    let label = flag_value(args, "--label")?
+        .unwrap_or("optimized")
+        .to_string();
+    let quick = has_flag(args, "--quick");
+
+    if has_flag(args, "--check") {
+        let text = std::fs::read_to_string(&out).map_err(|e| format!("cannot read {out}: {e}"))?;
+        let doc = Json::parse(&text).map_err(|e| format!("{out}: {e}"))?;
+        perf::validate_report(&doc).map_err(|e| format!("{out}: {e}"))?;
+        let entries = doc.get("entries").and_then(Json::as_array).unwrap_or(&[]);
+        println!("{out}: valid perf report, {} entries", entries.len());
+        return Ok(());
+    }
+
+    println!(
+        "measuring perf slice ({} ...)",
+        if quick { "quick" } else { "full" }
+    );
+    let entry = perf::measure(&label, quick);
+    println!(
+        "{label}: {:.0} events/sec ({} events, {:.0} ms), \
+         {:.2} runs/sec ({} runs on {} threads, {:.0} ms), peak {} live events",
+        entry.events_per_sec,
+        entry.events,
+        entry.wall_ms,
+        entry.runs_per_sec,
+        entry.sweep_runs,
+        entry.threads,
+        entry.sweep_wall_ms,
+        entry.peak_live_events,
+    );
+    let existing = match std::fs::read_to_string(&out) {
+        Ok(text) => Some(Json::parse(&text).map_err(|e| format!("{out}: {e}"))?),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+        Err(e) => return Err(format!("cannot read {out}: {e}")),
+    };
+    let doc = perf::merge_report(existing.as_ref(), &entry);
+    std::fs::write(&out, doc.pretty()).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("wrote {out}");
     Ok(())
 }
 

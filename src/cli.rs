@@ -156,15 +156,22 @@ mod tests {
 
     #[test]
     fn machine_shape_flags() {
-        let cfg =
-            build_config(&args(&["--procs", "8", "--blocks", "800", "--compute", "5"])).unwrap();
+        let cfg = build_config(&args(&[
+            "--procs",
+            "8",
+            "--blocks",
+            "800",
+            "--compute",
+            "5",
+        ]))
+        .unwrap();
         assert_eq!(cfg.procs, 8);
         assert_eq!(cfg.disks, 8);
         assert_eq!(cfg.workload.total_reads, 800);
         assert_eq!(cfg.compute_mean, SimDuration::from_millis(5));
         // Explicit --disks overrides the procs default.
-        let cfg = build_config(&args(&["--procs", "4", "--disks", "2", "--blocks", "100"]))
-            .unwrap();
+        let cfg =
+            build_config(&args(&["--procs", "4", "--disks", "2", "--blocks", "100"])).unwrap();
         assert_eq!(cfg.disks, 2);
     }
 

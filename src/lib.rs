@@ -32,6 +32,7 @@
 
 pub mod cli;
 
+pub use rt_bench as bench;
 pub use rt_cache as cache;
 pub use rt_core as core;
 pub use rt_disk as disk;

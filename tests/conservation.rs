@@ -23,7 +23,9 @@ fn check(m: &RunMetrics, label: &str) {
     assert!(
         m.misses - m.demand_fetches <= m.alloc_retries,
         "{label}: unexplained miss/fetch gap ({} misses, {} fetches, {} retries)",
-        m.misses, m.demand_fetches, m.alloc_retries
+        m.misses,
+        m.demand_fetches,
+        m.alloc_retries
     );
     // The disks served exactly the issued fetches.
     assert_eq!(
@@ -85,16 +87,21 @@ fn balances_for_every_grid_cell() {
 fn oracle_prefetching_never_fetches_unneeded_blocks_in_gw() {
     // gw reads each of 2000 blocks exactly once and nothing is ever reused,
     // so with a mistake-free oracle the disks serve exactly 2000 requests.
-    let mut cfg =
-        ExperimentConfig::paper_default(AccessPattern::GlobalWholeFile, SyncStyle::None);
+    let mut cfg = ExperimentConfig::paper_default(AccessPattern::GlobalWholeFile, SyncStyle::None);
     cfg.prefetch = PrefetchConfig::paper();
     let m = run_experiment(&cfg);
-    assert_eq!(m.disk_ops, 2000, "oracle must fetch each block exactly once");
+    assert_eq!(
+        m.disk_ops, 2000,
+        "oracle must fetch each block exactly once"
+    );
 }
 
 #[test]
 fn io_bound_runs_balance_too() {
-    for pattern in [AccessPattern::GlobalWholeFile, AccessPattern::LocalRandomPortions] {
+    for pattern in [
+        AccessPattern::GlobalWholeFile,
+        AccessPattern::LocalRandomPortions,
+    ] {
         let mut cfg = ExperimentConfig::paper_io_bound(pattern, SyncStyle::BlocksTotal(200));
         cfg.prefetch = PrefetchConfig::paper();
         let m = run_experiment(&cfg);
@@ -104,7 +111,10 @@ fn io_bound_runs_balance_too() {
 
 #[test]
 fn lead_runs_balance() {
-    for pattern in [AccessPattern::LocalFixedPortions, AccessPattern::GlobalWholeFile] {
+    for pattern in [
+        AccessPattern::LocalFixedPortions,
+        AccessPattern::GlobalWholeFile,
+    ] {
         let cfg = ExperimentConfig::paper_lead(pattern, 45);
         let m = run_experiment(&cfg);
         let expected = if pattern.is_local() { 40_000 } else { 2000 };

@@ -8,8 +8,7 @@ use rapid_transit::sim::SimDuration;
 
 fn tiny(procs: u16, blocks_per_proc: u32) -> ExperimentConfig {
     let total = procs as u32 * blocks_per_proc;
-    let mut cfg =
-        ExperimentConfig::paper_default(AccessPattern::GlobalWholeFile, SyncStyle::None);
+    let mut cfg = ExperimentConfig::paper_default(AccessPattern::GlobalWholeFile, SyncStyle::None);
     cfg.procs = procs;
     cfg.disks = procs;
     cfg.workload = WorkloadParams {
@@ -91,7 +90,10 @@ fn zero_compute_with_sync_everywhere() {
     cfg.prefetch = PrefetchConfig::paper();
     let m = run_experiment(&cfg);
     assert_eq!(m.total_reads(), 100);
-    assert_eq!(m.barriers, 4, "barrier every 5 reads, last coincides with exit");
+    assert_eq!(
+        m.barriers, 4,
+        "barrier every 5 reads, last coincides with exit"
+    );
 }
 
 #[test]

@@ -3,7 +3,7 @@
 //! result in §V; the benchmark harness prints the full tables, these tests
 //! pin the *shape* so regressions are caught by `cargo test`.
 
-use rapid_transit::core::experiment::{run_pair, run_experiment};
+use rapid_transit::core::experiment::{run_experiment, run_pair};
 use rapid_transit::core::{ExperimentConfig, PrefetchConfig};
 use rapid_transit::patterns::{AccessPattern, SyncStyle};
 use rapid_transit::sim::SimDuration;
@@ -25,7 +25,10 @@ fn fig3_prefetching_reduces_read_time_for_gw() {
 #[test]
 fn fig4_hit_ratio_transformed_by_prefetching() {
     let pair = paper_pair(AccessPattern::GlobalWholeFile, SyncStyle::BlocksPerProc(10));
-    assert!(pair.base.hit_ratio < 0.05, "gw base should miss nearly always");
+    assert!(
+        pair.base.hit_ratio < 0.05,
+        "gw base should miss nearly always"
+    );
     assert!(
         pair.prefetch.hit_ratio > 0.69,
         "paper: every prefetch run exceeds 0.69, got {:.3}",
@@ -63,7 +66,10 @@ fn fig5_unready_hits_are_significant() {
 
 #[test]
 fn fig7_disk_response_worsens_under_prefetching() {
-    for pattern in [AccessPattern::GlobalWholeFile, AccessPattern::LocalFixedPortions] {
+    for pattern in [
+        AccessPattern::GlobalWholeFile,
+        AccessPattern::LocalFixedPortions,
+    ] {
         let pair = paper_pair(pattern, SyncStyle::BlocksPerProc(10));
         assert!(
             pair.prefetch.mean_disk_response_ms() >= pair.base.mean_disk_response_ms(),
@@ -99,7 +105,10 @@ fn fig9_sync_wait_grows_under_prefetching_somewhere() {
     .iter()
     .map(|&p| paper_pair(p, SyncStyle::BlocksPerProc(10)))
     .any(|pair| pair.prefetch.sync_wait.mean_millis() > pair.base.sync_wait.mean_millis());
-    assert!(increased, "no pattern converted I/O savings into sync waits");
+    assert!(
+        increased,
+        "no pattern converted I/O savings into sync waits"
+    );
 }
 
 #[test]
@@ -120,8 +129,14 @@ fn fig12_balanced_runs_benefit_more_than_io_bound() {
 
 #[test]
 fn fig13_lead_raises_lw_hit_wait() {
-    let near = run_experiment(&ExperimentConfig::paper_lead(AccessPattern::LocalWholeFile, 0));
-    let led = run_experiment(&ExperimentConfig::paper_lead(AccessPattern::LocalWholeFile, 60));
+    let near = run_experiment(&ExperimentConfig::paper_lead(
+        AccessPattern::LocalWholeFile,
+        0,
+    ));
+    let led = run_experiment(&ExperimentConfig::paper_lead(
+        AccessPattern::LocalWholeFile,
+        60,
+    ));
     assert!(
         led.mean_hit_wait_ms() > near.mean_hit_wait_ms(),
         "paper: lw hit-wait increases with lead ({:.2} vs {:.2})",
@@ -132,8 +147,14 @@ fn fig13_lead_raises_lw_hit_wait() {
 
 #[test]
 fn fig14_lead_raises_global_miss_ratio() {
-    let near = run_experiment(&ExperimentConfig::paper_lead(AccessPattern::GlobalWholeFile, 0));
-    let led = run_experiment(&ExperimentConfig::paper_lead(AccessPattern::GlobalWholeFile, 60));
+    let near = run_experiment(&ExperimentConfig::paper_lead(
+        AccessPattern::GlobalWholeFile,
+        0,
+    ));
+    let led = run_experiment(&ExperimentConfig::paper_lead(
+        AccessPattern::GlobalWholeFile,
+        60,
+    ));
     assert!(
         led.miss_ratio() > near.miss_ratio() + 0.1,
         "paper: the miss ratio climbs drastically with lead ({:.3} vs {:.3})",
@@ -144,7 +165,10 @@ fn fig14_lead_raises_global_miss_ratio() {
 
 #[test]
 fn fig16_lead_slows_gw_and_lw() {
-    for pattern in [AccessPattern::GlobalWholeFile, AccessPattern::LocalWholeFile] {
+    for pattern in [
+        AccessPattern::GlobalWholeFile,
+        AccessPattern::LocalWholeFile,
+    ] {
         let near = run_experiment(&ExperimentConfig::paper_lead(pattern, 0));
         let led = run_experiment(&ExperimentConfig::paper_lead(pattern, 90));
         assert!(
