@@ -1,0 +1,300 @@
+//! The `rapid-transit faults` harness: a fixed set of fault-injection
+//! scenarios run base-vs-prefetch, emitted as `BENCH_faults.json`.
+//!
+//! Each scenario injects one failure mode into the paper's `lfp`
+//! configuration — a straggling device, a flaky device, a repairing
+//! outage, and a permanent outage absorbed by a replica — plus the
+//! fault-free control. The report records both halves of each pair along
+//! with the fault-path counters, so a regression in retry/degradation
+//! behaviour shows up as a counter or completion-time shift between
+//! builds. The `--smoke` variant shrinks the machine for CI.
+
+use rt_core::experiment::run_pair;
+use rt_core::faults::parse_fault_specs;
+use rt_core::{ExperimentConfig, RunMetrics, RunPair};
+use rt_patterns::{AccessPattern, SyncStyle, WorkloadParams};
+use rt_sim::SimDuration;
+
+use crate::json::Json;
+
+/// Report format version.
+pub const SCHEMA: u64 = 1;
+
+/// One named fault scenario over the base `lfp` configuration.
+pub struct FaultScenario {
+    /// Stable scenario name (report key).
+    pub name: &'static str,
+    /// The full experiment configuration, faults included.
+    pub cfg: ExperimentConfig,
+}
+
+/// The fixed scenario set. `quick` shrinks the machine (4 nodes, 200
+/// blocks) and the fault windows for smoke tests.
+pub fn scenarios(quick: bool) -> Vec<FaultScenario> {
+    let base = |specs: &str, replicas: u16, timeout_ms: u64| {
+        let mut cfg = ExperimentConfig::paper_default(
+            AccessPattern::LocalFixedPortions,
+            SyncStyle::BlocksPerProc(10),
+        );
+        if quick {
+            cfg.procs = 4;
+            cfg.disks = 4;
+            cfg.workload = WorkloadParams {
+                procs: 4,
+                file_blocks: 200,
+                total_reads: 200,
+                ..WorkloadParams::paper()
+            };
+        }
+        cfg.faults.plan = parse_fault_specs(specs).expect("scenario specs are well-formed");
+        cfg.faults.replicas = replicas;
+        if timeout_ms > 0 {
+            cfg.faults.retry.timeout = Some(SimDuration::from_millis(timeout_ms));
+        }
+        cfg
+    };
+    // Disk indices and windows scale with the machine: the smoke machine
+    // has 4 disks and finishes in roughly a second of simulated time.
+    if quick {
+        vec![
+            FaultScenario {
+                name: "none",
+                cfg: base("", 0, 0),
+            },
+            FaultScenario {
+                name: "straggler-x4",
+                cfg: base("straggler:2:x4", 0, 0),
+            },
+            FaultScenario {
+                name: "flaky-p30",
+                cfg: base("flaky:1:p0.3", 0, 0),
+            },
+            FaultScenario {
+                name: "outage-repair",
+                cfg: base("fail:3@100ms-400ms", 0, 0),
+            },
+            FaultScenario {
+                name: "outage-replica",
+                cfg: base("fail:3@100ms", 1, 500),
+            },
+            FaultScenario {
+                name: "straggler-timeout",
+                cfg: base("straggler:2:x25", 1, 500),
+            },
+        ]
+    } else {
+        vec![
+            FaultScenario {
+                name: "none",
+                cfg: base("", 0, 0),
+            },
+            FaultScenario {
+                name: "straggler-x4",
+                cfg: base("straggler:7:x4", 0, 0),
+            },
+            FaultScenario {
+                name: "flaky-p30",
+                cfg: base("flaky:3:p0.3", 0, 0),
+            },
+            FaultScenario {
+                name: "outage-repair",
+                cfg: base("fail:5@1s-4s", 0, 0),
+            },
+            FaultScenario {
+                name: "outage-replica",
+                cfg: base("fail:5@1s", 1, 500),
+            },
+            FaultScenario {
+                name: "straggler-timeout",
+                cfg: base("straggler:7:x25", 1, 500),
+            },
+        ]
+    }
+}
+
+/// Run every scenario base-vs-prefetch.
+pub fn run_sweep(quick: bool) -> Vec<(&'static str, RunPair)> {
+    scenarios(quick)
+        .into_iter()
+        .map(|s| (s.name, run_pair(&s.cfg)))
+        .collect()
+}
+
+fn run_json(m: &RunMetrics) -> Json {
+    let f = &m.faults;
+    Json::Obj(vec![
+        ("total_ms".into(), Json::Num(m.total_time.as_millis_f64())),
+        ("read_ms".into(), Json::Num(m.mean_read_ms())),
+        ("hit_ratio".into(), Json::Num(m.hit_ratio)),
+        ("io_errors".into(), Json::Num(f.io_errors as f64)),
+        ("retries".into(), Json::Num(f.retries as f64)),
+        (
+            "retries_exhausted".into(),
+            Json::Num(f.retries_exhausted as f64),
+        ),
+        ("timeouts".into(), Json::Num(f.timeouts as f64)),
+        ("redirects".into(), Json::Num(f.redirects as f64)),
+        (
+            "aborted_prefetches".into(),
+            Json::Num(f.aborted_prefetches as f64),
+        ),
+        ("degraded_skips".into(), Json::Num(f.degraded_skips as f64)),
+        (
+            "degraded_intervals".into(),
+            Json::Num(f.degraded_intervals as f64),
+        ),
+        (
+            "degraded_time_ms".into(),
+            Json::Num(f.degraded_time.as_millis_f64()),
+        ),
+    ])
+}
+
+/// Build the report document from a sweep's results. The report is
+/// regenerated wholesale on each run (scenarios are deterministic, so
+/// entries only change when the code does).
+pub fn report(results: &[(&'static str, RunPair)], quick: bool) -> Json {
+    Json::Obj(vec![
+        ("schema".into(), Json::Num(SCHEMA as f64)),
+        ("smoke".into(), Json::Bool(quick)),
+        (
+            "scenarios".into(),
+            Json::Arr(
+                results
+                    .iter()
+                    .map(|(name, pair)| {
+                        Json::Obj(vec![
+                            ("name".into(), Json::Str((*name).to_string())),
+                            ("base".into(), run_json(&pair.base)),
+                            ("prefetch".into(), run_json(&pair.prefetch)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Fields every per-run object in the report must carry.
+const RUN_FIELDS: [&str; 12] = [
+    "total_ms",
+    "read_ms",
+    "hit_ratio",
+    "io_errors",
+    "retries",
+    "retries_exhausted",
+    "timeouts",
+    "redirects",
+    "aborted_prefetches",
+    "degraded_skips",
+    "degraded_intervals",
+    "degraded_time_ms",
+];
+
+/// Check that `doc` is a structurally valid faults report: correct
+/// schema, a non-empty scenario array including the fault-free control,
+/// and every run object carrying all counters.
+pub fn validate_report(doc: &Json) -> Result<(), String> {
+    if doc.get("schema").and_then(Json::as_f64) != Some(SCHEMA as f64) {
+        return Err(format!("missing or unexpected schema (want {SCHEMA})"));
+    }
+    let scenarios = doc
+        .get("scenarios")
+        .and_then(Json::as_array)
+        .ok_or("missing scenarios array")?;
+    if scenarios.is_empty() {
+        return Err("scenarios array is empty".into());
+    }
+    let mut saw_control = false;
+    for (i, s) in scenarios.iter().enumerate() {
+        let name = s
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or(format!("scenario {i}: missing name"))?;
+        saw_control |= name == "none";
+        for half in ["base", "prefetch"] {
+            let run = s
+                .get(half)
+                .ok_or(format!("scenario {name}: missing {half} run"))?;
+            for field in RUN_FIELDS {
+                let v = run
+                    .get(field)
+                    .and_then(Json::as_f64)
+                    .ok_or(format!("scenario {name}/{half}: missing {field}"))?;
+                if v < 0.0 {
+                    return Err(format!("scenario {name}/{half}: negative {field}"));
+                }
+            }
+        }
+        if name == "none" {
+            for half in ["base", "prefetch"] {
+                let errs = s
+                    .get(half)
+                    .and_then(|r| r.get("io_errors"))
+                    .and_then(Json::as_f64)
+                    .unwrap_or(f64::NAN);
+                if errs != 0.0 {
+                    return Err(format!(
+                        "control scenario reports {errs} io_errors in its {half} run"
+                    ));
+                }
+            }
+        }
+    }
+    if !saw_control {
+        return Err("missing the fault-free control scenario `none`".into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_set_shape() {
+        for quick in [false, true] {
+            let set = scenarios(quick);
+            assert_eq!(set.len(), 6);
+            assert_eq!(set[0].name, "none");
+            assert!(!set[0].cfg.faults.is_active());
+            for s in &set {
+                s.cfg.validate().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn smoke_sweep_produces_valid_report() {
+        let results = run_sweep(true);
+        let doc = report(&results, true);
+        validate_report(&doc).unwrap();
+        // Reparse what we would write to disk.
+        let parsed = Json::parse(&doc.pretty()).unwrap();
+        validate_report(&parsed).unwrap();
+        // Injected scenarios actually exercised the fault path.
+        let straggler = &results[1];
+        assert!(
+            straggler.1.prefetch.faults.degraded_intervals > 0
+                || straggler.1.prefetch.faults.degraded_skips > 0,
+            "straggler scenario never degraded the device"
+        );
+        let flaky = &results[2];
+        assert!(flaky.1.base.faults.io_errors > 0);
+        assert!(flaky.1.base.faults.retries > 0);
+        // The extreme straggler outlasts the 500 ms timeout, forcing
+        // timeout-driven redirects to the replica.
+        let timeouty = &results[5];
+        assert!(timeouty.1.base.faults.timeouts > 0);
+        assert!(timeouty.1.base.faults.redirects > 0);
+    }
+
+    #[test]
+    fn validation_rejects_broken_reports() {
+        assert!(validate_report(&Json::parse("{}").unwrap()).is_err());
+        let doc = Json::parse(r#"{"schema":1,"smoke":true,"scenarios":[]}"#).unwrap();
+        assert!(validate_report(&doc).unwrap_err().contains("empty"));
+        let doc = Json::parse(r#"{"schema":1,"scenarios":[{"name":"straggler-x4"}]}"#).unwrap();
+        assert!(validate_report(&doc).is_err());
+    }
+}

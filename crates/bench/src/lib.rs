@@ -21,6 +21,7 @@ use rt_core::sweeps;
 use rt_core::{ExperimentConfig, RunMetrics, RunPair};
 use rt_patterns::{AccessPattern, SyncStyle};
 
+pub mod faults;
 pub mod json;
 pub mod perf;
 

@@ -258,7 +258,7 @@ mod tests {
         for cfg in slice_configs(true) {
             assert_eq!(cfg.procs, 4);
             assert_eq!(cfg.workload.total_reads, 200);
-            cfg.validate();
+            cfg.validate().unwrap();
         }
     }
 

@@ -487,6 +487,31 @@ impl BufferPool {
         }
     }
 
+    /// Abandon an in-flight fill: the I/O for this buffer failed and will
+    /// not be retried. The block is unindexed and the buffer freed, as if
+    /// the fetch had never been issued. Panics if the buffer is not
+    /// [`BufState::Pending`] or is pinned (a pinned pending buffer has a
+    /// waiter, and waiters must be retried, not abandoned).
+    pub fn discard_pending(&mut self, buf: BufferId) {
+        let b = &self.buffers[buf.index()];
+        assert!(
+            matches!(b.state, BufState::Pending { .. }),
+            "discard_pending on non-pending buffer: {:?}",
+            b.state
+        );
+        assert_eq!(b.pins, 0, "discard_pending on pinned buffer");
+        if b.is_unused_prefetch() {
+            self.prefetched_unused = self.prefetched_unused.saturating_sub(1);
+            // A cached-ahead block vanished: bump the epoch so scan memos
+            // that assumed it was coming are invalidated.
+            self.unused_evictions += 1;
+        }
+        let block = b.block().expect("pending buffer always holds a block");
+        self.index_remove(block);
+        self.buffers[buf.index()].state = BufState::Free;
+        self.debug_check();
+    }
+
     /// May the replacement policy reclaim this buffer, given the pool's
     /// configuration? Extends [`Buffer::is_evictable`] with the optional
     /// unused-prefetch relaxation.

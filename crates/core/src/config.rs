@@ -1,11 +1,13 @@
 //! Experiment configuration: machine geometry, cost model, workload, and
 //! prefetching parameters (§IV-D of the paper).
 
+use crate::faults::FaultConfig;
 use rt_cache::Replacement;
-use rt_disk::{Discipline, Service};
+use rt_disk::{Discipline, FaultKind, Service};
 use rt_fs::Striping;
 use rt_patterns::{AccessPattern, SyncStyle, WorkloadParams};
 use rt_sim::SimDuration;
+use std::fmt;
 
 /// Time costs of file-system operations on the simulated NUMA machine.
 ///
@@ -179,9 +181,106 @@ pub struct ExperimentConfig {
     pub prefetch: PrefetchConfig,
     /// Cost model.
     pub costs: CostModel,
+    /// Fault-injection scenario ([`FaultConfig::none`] by default — with
+    /// an empty plan the run is event-for-event identical to a build
+    /// without the fault subsystem).
+    pub faults: FaultConfig,
     /// Master random seed.
     pub seed: u64,
 }
+
+/// An inconsistency in an [`ExperimentConfig`], found by
+/// [`ExperimentConfig::validate`].
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// `procs == 0`.
+    NoProcessors,
+    /// `disks == 0`.
+    NoDisks,
+    /// The workload's processor count differs from the machine's.
+    WorkloadProcMismatch {
+        /// Machine processor count.
+        machine: u16,
+        /// Workload processor count.
+        workload: u16,
+    },
+    /// `ru_set_size == 0`.
+    NoRuSet,
+    /// The synchronization style cannot be used with the access pattern
+    /// (the paper's `lw` pattern has no portion boundaries to sync on).
+    InvalidSync {
+        /// The offending pattern.
+        pattern: AccessPattern,
+        /// The offending style.
+        sync: SyncStyle,
+    },
+    /// Prefetching is enabled but no prefetch buffers are configured.
+    NoPrefetchBuffers,
+    /// A fault plan entry names a disk the machine does not have.
+    FaultDiskOutOfRange {
+        /// The disk named by the plan entry.
+        disk: u16,
+        /// The machine's disk count.
+        disks: u16,
+    },
+    /// A flaky-fault probability is outside `[0, 1)`.
+    InvalidFaultProbability(f64),
+    /// A straggler slowdown factor is not positive.
+    InvalidSlowdownFactor(f64),
+    /// An outage never repairs and the file has no replicas to redirect
+    /// to: every read of the dead device's blocks would retry forever.
+    UnrecoverableOutage {
+        /// The permanently dead disk.
+        disk: u16,
+    },
+    /// Replication requires the interleaved layout (replicas are rotated
+    /// interleaves).
+    ReplicasNeedInterleaving,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NoProcessors => write!(f, "need at least one processor"),
+            ConfigError::NoDisks => write!(f, "need at least one disk"),
+            ConfigError::WorkloadProcMismatch { machine, workload } => write!(
+                f,
+                "workload and machine disagree on processor count \
+                 (machine {machine}, workload {workload})"
+            ),
+            ConfigError::NoRuSet => write!(f, "each node needs an RU set"),
+            ConfigError::InvalidSync { pattern, sync } => write!(
+                f,
+                "synchronization style invalid for this pattern (lw + portion): \
+                 {pattern} with {sync}"
+            ),
+            ConfigError::NoPrefetchBuffers => {
+                write!(f, "prefetching enabled without prefetch buffers")
+            }
+            ConfigError::FaultDiskOutOfRange { disk, disks } => write!(
+                f,
+                "fault plan names disk {disk} but the machine has {disks} disks"
+            ),
+            ConfigError::InvalidFaultProbability(p) => {
+                write!(f, "flaky fault probability {p} outside [0, 1)")
+            }
+            ConfigError::InvalidSlowdownFactor(x) => {
+                write!(f, "straggler slowdown factor {x} must be > 0")
+            }
+            ConfigError::UnrecoverableOutage { disk } => write!(
+                f,
+                "disk {disk} fails forever and the file has no replicas: \
+                 reads of its blocks could never complete"
+            ),
+            ConfigError::ReplicasNeedInterleaving => {
+                write!(f, "file replication requires interleaved striping")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 impl ExperimentConfig {
     /// The paper's configuration for a given pattern and synchronization
@@ -208,6 +307,7 @@ impl ExperimentConfig {
             replacement: Replacement::RuSet,
             prefetch: PrefetchConfig::disabled(),
             costs: CostModel::paper(),
+            faults: FaultConfig::none(),
             seed: 0x5241_5049_4454,
         }
     }
@@ -247,25 +347,56 @@ impl ExperimentConfig {
         )
     }
 
-    /// Sanity-check the configuration, panicking on inconsistencies.
-    pub fn validate(&self) {
-        assert!(self.procs > 0, "need at least one processor");
-        assert!(self.disks > 0, "need at least one disk");
-        assert_eq!(
-            self.workload.procs, self.procs,
-            "workload and machine disagree on processor count"
-        );
-        assert!(self.ru_set_size > 0, "each node needs an RU set");
-        assert!(
-            self.sync.valid_for(self.pattern),
-            "synchronization style invalid for this pattern (lw + portion)"
-        );
-        if self.prefetch.enabled {
-            assert!(
-                self.prefetch.buffers_per_proc > 0,
-                "prefetching enabled without prefetch buffers"
-            );
+    /// Sanity-check the configuration.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.procs == 0 {
+            return Err(ConfigError::NoProcessors);
         }
+        if self.disks == 0 {
+            return Err(ConfigError::NoDisks);
+        }
+        if self.workload.procs != self.procs {
+            return Err(ConfigError::WorkloadProcMismatch {
+                machine: self.procs,
+                workload: self.workload.procs,
+            });
+        }
+        if self.ru_set_size == 0 {
+            return Err(ConfigError::NoRuSet);
+        }
+        if !self.sync.valid_for(self.pattern) {
+            return Err(ConfigError::InvalidSync {
+                pattern: self.pattern,
+                sync: self.sync,
+            });
+        }
+        if self.prefetch.enabled && self.prefetch.buffers_per_proc == 0 {
+            return Err(ConfigError::NoPrefetchBuffers);
+        }
+        if self.faults.replicas > 0 && self.striping != Striping::Interleaved {
+            return Err(ConfigError::ReplicasNeedInterleaving);
+        }
+        for entry in self.faults.plan.entries() {
+            if entry.disk.0 >= self.disks {
+                return Err(ConfigError::FaultDiskOutOfRange {
+                    disk: entry.disk.0,
+                    disks: self.disks,
+                });
+            }
+            match entry.kind {
+                FaultKind::Flaky { probability } if !(0.0..1.0).contains(&probability) => {
+                    return Err(ConfigError::InvalidFaultProbability(probability));
+                }
+                FaultKind::Slowdown { factor } if !(factor.is_finite() && factor > 0.0) => {
+                    return Err(ConfigError::InvalidSlowdownFactor(factor));
+                }
+                FaultKind::Outage if entry.until.is_none() && self.faults.replicas == 0 => {
+                    return Err(ConfigError::UnrecoverableOutage { disk: entry.disk.0 });
+                }
+                _ => {}
+            }
+        }
+        Ok(())
     }
 }
 
@@ -284,7 +415,7 @@ mod tests {
         assert_eq!(c.workload.total_reads, 2000);
         assert_eq!(c.compute_mean, SimDuration::from_millis(30));
         assert!(!c.prefetch.enabled);
-        c.validate();
+        c.validate().unwrap();
     }
 
     #[test]
@@ -310,20 +441,79 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "lw + portion")]
     fn validate_rejects_lw_portion_sync() {
-        ExperimentConfig::paper_default(AccessPattern::LocalWholeFile, SyncStyle::EachPortion)
-            .validate();
+        let err =
+            ExperimentConfig::paper_default(AccessPattern::LocalWholeFile, SyncStyle::EachPortion)
+                .validate()
+                .unwrap_err();
+        assert!(matches!(err, ConfigError::InvalidSync { .. }));
+        assert!(err.to_string().contains("lw + portion"));
     }
 
     #[test]
-    #[should_panic(expected = "without prefetch buffers")]
     fn validate_rejects_bufferless_prefetch() {
         let mut c =
             ExperimentConfig::paper_default(AccessPattern::GlobalWholeFile, SyncStyle::None);
         c.prefetch.enabled = true;
         c.prefetch.buffers_per_proc = 0;
-        c.validate();
+        let err = c.validate().unwrap_err();
+        assert_eq!(err, ConfigError::NoPrefetchBuffers);
+        assert!(err.to_string().contains("without prefetch buffers"));
+    }
+
+    #[test]
+    fn validate_rejects_mismatched_workload() {
+        let mut c =
+            ExperimentConfig::paper_default(AccessPattern::GlobalWholeFile, SyncStyle::None);
+        c.procs = 16;
+        let err = c.validate().unwrap_err();
+        assert!(matches!(
+            err,
+            ConfigError::WorkloadProcMismatch {
+                machine: 16,
+                workload: 20
+            }
+        ));
+    }
+
+    #[test]
+    fn validate_checks_fault_plan() {
+        use crate::faults::parse_fault_specs;
+        let base = ExperimentConfig::paper_default(AccessPattern::GlobalWholeFile, SyncStyle::None);
+
+        let mut c = base.clone();
+        c.faults.plan = parse_fault_specs("straggler:25:x4").unwrap();
+        assert!(matches!(
+            c.validate().unwrap_err(),
+            ConfigError::FaultDiskOutOfRange {
+                disk: 25,
+                disks: 20
+            }
+        ));
+
+        // A never-repaired outage needs a replica to redirect to.
+        let mut c = base.clone();
+        c.faults.plan = parse_fault_specs("fail:3@5s").unwrap();
+        assert!(matches!(
+            c.validate().unwrap_err(),
+            ConfigError::UnrecoverableOutage { disk: 3 }
+        ));
+        c.faults.replicas = 1;
+        c.validate().unwrap();
+
+        // Replication requires the interleaved layout.
+        let mut c = base.clone();
+        c.faults.replicas = 1;
+        c.striping = Striping::OnDisk(0);
+        assert_eq!(
+            c.validate().unwrap_err(),
+            ConfigError::ReplicasNeedInterleaving
+        );
+
+        // A repairing outage is fine without replicas.
+        let mut c = base;
+        c.faults.plan = parse_fault_specs("fail:3@5s-9s").unwrap();
+        c.validate().unwrap();
     }
 
     #[test]

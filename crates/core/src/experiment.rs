@@ -141,6 +141,7 @@ fn run_shared_world(
         tl_prefetched: world.rec.tl_prefetched.clone(),
         tl_barrier: world.rec.tl_barrier.clone(),
         tl_outstanding_io: world.rec.tl_outstanding_io.clone(),
+        faults: world.fault_metrics(outcome.end_time),
     };
     let trace = world.take_trace();
     (metrics, trace, perf)
@@ -248,7 +249,7 @@ mod tests {
         });
         assert!(!lw_portion);
         for c in &grid {
-            c.validate();
+            c.validate().unwrap();
         }
     }
 

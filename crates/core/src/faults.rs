@@ -1,0 +1,395 @@
+//! Fault-injection configuration for experiments.
+//!
+//! The disk layer ([`rt_disk::fault`]) knows how to corrupt individual
+//! device service: slow it down, fail it transiently, or take it offline.
+//! This module holds the *experiment-level* view: which faults a run
+//! injects ([`FaultConfig::plan`]), how the read path reacts
+//! ([`RetryPolicy`]), when the prefetch daemon backs off a sick device
+//! ([`DegradeConfig`]), and the `--faults` CLI grammar that describes
+//! scenarios compactly (`straggler:7:x4`, `fail:3@5s`).
+//!
+//! Everything here is deterministic: fault decisions draw from dedicated
+//! RNG streams split off the experiment seed, so a given `(config, seed)`
+//! pair is byte-reproducible — and an *empty* plan leaves every RNG
+//! stream and event untouched, producing runs identical to a build
+//! without the fault layer at all.
+
+use rt_disk::FaultPlan;
+use rt_sim::{SimDuration, SimTime};
+use std::fmt;
+
+/// How the read path reacts to failed or stuck I/O.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Resubmissions before a read is counted as exhausted. Demand reads
+    /// are *never* abandoned — past this bound they keep retrying at the
+    /// capped backoff, but each round increments the `retries_exhausted`
+    /// counter so the report shows the pathology.
+    pub max_retries: u32,
+    /// Base delay before the first resubmission; doubles per attempt
+    /// (capped at 64x) to model driver backoff.
+    pub backoff: SimDuration,
+    /// Optional per-request timeout: if a demand fetch has not completed
+    /// this long after issue, the read path declares it stuck and
+    /// redirects to a replica (when one exists). `None` disables timeout
+    /// events entirely — no timer events are ever scheduled, keeping the
+    /// no-fault event stream untouched.
+    pub timeout: Option<SimDuration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 4,
+            backoff: SimDuration::from_millis(5),
+            timeout: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before resubmission number `attempt` (0-based): base
+    /// doubled per attempt, capped at 64x so exhausted reads keep probing
+    /// at a bounded rate rather than stalling geometrically.
+    pub fn backoff_for(&self, attempt: u32) -> SimDuration {
+        let shift = attempt.min(6);
+        SimDuration::from_nanos(self.backoff.as_nanos().saturating_mul(1 << shift))
+    }
+}
+
+/// When the prefetch daemon gives up on a device.
+///
+/// Per-device health is an exponentially weighted moving average of error
+/// outcomes and service times (see `health`). A device whose error EWMA
+/// crosses [`DegradeConfig::error_threshold`], or whose latency EWMA
+/// exceeds [`DegradeConfig::latency_factor`] times the fleet mean, is
+/// *degraded*: the daemon skips prefetches that would land on it, leaving
+/// its queue to demand fetches only. Recovery uses a tighter bound
+/// (scaled by [`DegradeConfig::recover_margin`]) for hysteresis.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DegradeConfig {
+    /// Master switch: when false, health is still tracked (for the
+    /// report) but the daemon never skips a device.
+    pub enabled: bool,
+    /// EWMA smoothing factor in (0, 1]; higher reacts faster.
+    pub alpha: f64,
+    /// Error-rate EWMA above this marks the device degraded.
+    pub error_threshold: f64,
+    /// Latency EWMA beyond this multiple of the fleet mean marks the
+    /// device degraded.
+    pub latency_factor: f64,
+    /// Recovery hysteresis in (0, 1]: a degraded device recovers only
+    /// once its error EWMA falls below `error_threshold * recover_margin`
+    /// and its latency falls below the proportionally tightened latency
+    /// bound.
+    pub recover_margin: f64,
+}
+
+impl Default for DegradeConfig {
+    fn default() -> Self {
+        DegradeConfig {
+            enabled: true,
+            alpha: 0.3,
+            error_threshold: 0.5,
+            latency_factor: 2.0,
+            recover_margin: 0.5,
+        }
+    }
+}
+
+/// Fault scenario of one experiment: the injected plan plus the
+/// mitigation knobs. [`FaultConfig::none`] (the default) injects nothing
+/// and schedules nothing — runs are event-for-event identical to a build
+/// without the fault subsystem.
+#[derive(Clone, Debug, Default)]
+pub struct FaultConfig {
+    /// Per-device fault schedule, applied at service time in `rt-disk`.
+    pub plan: FaultPlan,
+    /// Retry/backoff/timeout behaviour of the read path.
+    pub retry: RetryPolicy,
+    /// Prefetch-daemon degradation thresholds.
+    pub degrade: DegradeConfig,
+    /// Extra rotated-interleave copies of the workload file. With
+    /// `replicas = r`, every block has `r` extra copies, each shifted one
+    /// disk further, so retries and timeouts can redirect around a dead
+    /// or slow device.
+    pub replicas: u16,
+}
+
+impl FaultConfig {
+    /// No faults, no timeouts, no replicas: the identity scenario.
+    pub fn none() -> Self {
+        FaultConfig::default()
+    }
+
+    /// Does this scenario require the world's fault machinery at all?
+    /// When false, the world allocates no fault state and the event
+    /// stream is untouched.
+    pub fn is_active(&self) -> bool {
+        !self.plan.is_empty() || self.retry.timeout.is_some()
+    }
+}
+
+/// A `--faults` spec that could not be parsed, with the offending spec
+/// and the reason.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultSpecError {
+    /// The spec text as given.
+    pub spec: String,
+    /// Why it was rejected.
+    pub reason: String,
+}
+
+impl fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad fault spec `{}`: {}", self.spec, self.reason)
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
+
+fn spec_err(spec: &str, reason: impl Into<String>) -> FaultSpecError {
+    FaultSpecError {
+        spec: spec.to_string(),
+        reason: reason.into(),
+    }
+}
+
+/// Parse a duration literal: `5s`, `200ms`, or a bare number meaning
+/// milliseconds.
+fn parse_duration(text: &str, spec: &str) -> Result<SimDuration, FaultSpecError> {
+    let (digits, scale) = if let Some(d) = text.strip_suffix("ms") {
+        (d, SimDuration::from_millis(1))
+    } else if let Some(d) = text.strip_suffix('s') {
+        (d, SimDuration::from_secs(1))
+    } else {
+        (text, SimDuration::from_millis(1))
+    };
+    let value: f64 = digits.parse().map_err(|_| {
+        spec_err(
+            spec,
+            format!("`{text}` is not a duration (try 5s or 200ms)"),
+        )
+    })?;
+    if !(value.is_finite() && value >= 0.0) {
+        return Err(spec_err(spec, format!("duration `{text}` must be >= 0")));
+    }
+    Ok(SimDuration::from_nanos(
+        (value * scale.as_nanos() as f64).round() as u64,
+    ))
+}
+
+/// Parse the optional `@from[-until]` window suffix. Returns
+/// `(from, until)`; a missing window means "from t=0, forever".
+fn parse_window(
+    window: Option<&str>,
+    spec: &str,
+) -> Result<(SimTime, Option<SimTime>), FaultSpecError> {
+    let Some(w) = window else {
+        return Ok((SimTime::ZERO, None));
+    };
+    let (from_text, until_text) = match w.split_once('-') {
+        Some((f, u)) => (f, Some(u)),
+        None => (w, None),
+    };
+    let from = SimTime::ZERO + parse_duration(from_text, spec)?;
+    let until = match until_text {
+        Some(u) => {
+            let end = SimTime::ZERO + parse_duration(u, spec)?;
+            if end <= from {
+                return Err(spec_err(spec, "window end must be after its start"));
+            }
+            Some(end)
+        }
+        None => None,
+    };
+    Ok((from, until))
+}
+
+fn parse_disk(text: &str, spec: &str) -> Result<u16, FaultSpecError> {
+    text.parse()
+        .map_err(|_| spec_err(spec, format!("`{text}` is not a disk number")))
+}
+
+/// Parse one `--faults` spec into `plan`.
+///
+/// Grammar (durations are `5s`, `200ms`, or bare milliseconds):
+///
+/// * `straggler:<disk>:x<factor>[@<from>[-<until>]]` — multiply the
+///   device's service time.
+/// * `flaky:<disk>:p<prob>[@<from>[-<until>]]` — each request fails
+///   transiently with probability `prob`.
+/// * `fail:<disk>@<from>[-<until>]` — hard outage; requests fail
+///   immediately. With `-<until>` the device repairs itself then.
+pub fn parse_fault_spec(plan: &mut FaultPlan, spec: &str) -> Result<(), FaultSpecError> {
+    use rt_disk::{DeviceFault, DiskId, FaultKind};
+    let (body, window) = match spec.split_once('@') {
+        Some((b, w)) => (b, Some(w)),
+        None => (spec, None),
+    };
+    let (from, until) = parse_window(window, spec)?;
+    let mut parts = body.split(':');
+    let kind_text = parts.next().unwrap_or("");
+    let fault = match kind_text {
+        "straggler" => {
+            let disk = parse_disk(parts.next().unwrap_or(""), spec)?;
+            let factor_text = parts
+                .next()
+                .and_then(|t| t.strip_prefix('x'))
+                .ok_or_else(|| spec_err(spec, "expected straggler:<disk>:x<factor>"))?;
+            let factor: f64 = factor_text
+                .parse()
+                .map_err(|_| spec_err(spec, format!("`{factor_text}` is not a factor")))?;
+            if !(factor.is_finite() && factor > 0.0) {
+                return Err(spec_err(spec, "straggler factor must be > 0"));
+            }
+            DeviceFault {
+                disk: DiskId(disk),
+                kind: FaultKind::Slowdown { factor },
+                from,
+                until,
+            }
+        }
+        "flaky" => {
+            let disk = parse_disk(parts.next().unwrap_or(""), spec)?;
+            let prob_text = parts
+                .next()
+                .and_then(|t| t.strip_prefix('p'))
+                .ok_or_else(|| spec_err(spec, "expected flaky:<disk>:p<prob>"))?;
+            let probability: f64 = prob_text
+                .parse()
+                .map_err(|_| spec_err(spec, format!("`{prob_text}` is not a probability")))?;
+            if !(probability.is_finite() && (0.0..1.0).contains(&probability)) {
+                return Err(spec_err(spec, "flaky probability must be in [0, 1)"));
+            }
+            DeviceFault {
+                disk: DiskId(disk),
+                kind: FaultKind::Flaky { probability },
+                from,
+                until,
+            }
+        }
+        "fail" => {
+            let disk = parse_disk(parts.next().unwrap_or(""), spec)?;
+            DeviceFault {
+                disk: DiskId(disk),
+                kind: FaultKind::Outage,
+                from,
+                until,
+            }
+        }
+        other => {
+            return Err(spec_err(
+                spec,
+                format!("unknown fault kind `{other}` (straggler, flaky, fail)"),
+            ))
+        }
+    };
+    if parts.next().is_some() {
+        return Err(spec_err(spec, "trailing fields after fault spec"));
+    }
+    plan.push(fault);
+    Ok(())
+}
+
+/// Parse a comma-separated list of fault specs (the `--faults` argument)
+/// into a plan.
+pub fn parse_fault_specs(text: &str) -> Result<FaultPlan, FaultSpecError> {
+    let mut plan = FaultPlan::none();
+    for spec in text.split(',').filter(|s| !s.trim().is_empty()) {
+        parse_fault_spec(&mut plan, spec.trim())?;
+    }
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_disk::FaultKind;
+
+    #[test]
+    fn none_is_inactive() {
+        let f = FaultConfig::none();
+        assert!(!f.is_active());
+        assert!(f.plan.is_empty());
+        assert_eq!(f.replicas, 0);
+    }
+
+    #[test]
+    fn timeout_alone_activates() {
+        let f = FaultConfig {
+            retry: RetryPolicy {
+                timeout: Some(SimDuration::from_millis(500)),
+                ..RetryPolicy::default()
+            },
+            ..FaultConfig::none()
+        };
+        assert!(f.is_active());
+    }
+
+    #[test]
+    fn backoff_doubles_then_caps() {
+        let r = RetryPolicy::default();
+        assert_eq!(r.backoff_for(0), SimDuration::from_millis(5));
+        assert_eq!(r.backoff_for(1), SimDuration::from_millis(10));
+        assert_eq!(r.backoff_for(3), SimDuration::from_millis(40));
+        assert_eq!(r.backoff_for(6), SimDuration::from_millis(320));
+        assert_eq!(r.backoff_for(60), SimDuration::from_millis(320));
+    }
+
+    #[test]
+    fn parses_straggler_with_window() {
+        let plan = parse_fault_specs("straggler:7:x4@1s-2500ms").unwrap();
+        let entries = plan.entries();
+        assert_eq!(entries.len(), 1);
+        let e = &entries[0];
+        assert_eq!(e.disk.0, 7);
+        assert!(matches!(e.kind, FaultKind::Slowdown { factor } if factor == 4.0));
+        assert_eq!(e.from, SimTime::ZERO + SimDuration::from_secs(1));
+        assert_eq!(
+            e.until,
+            Some(SimTime::ZERO + SimDuration::from_millis(2500))
+        );
+    }
+
+    #[test]
+    fn parses_fail_open_ended_and_flaky() {
+        let plan = parse_fault_specs("fail:3@5s,flaky:2:p0.25").unwrap();
+        let entries = plan.entries();
+        assert_eq!(entries.len(), 2);
+        assert!(matches!(entries[0].kind, FaultKind::Outage));
+        assert_eq!(entries[0].from, SimTime::ZERO + SimDuration::from_secs(5));
+        assert_eq!(entries[0].until, None);
+        assert!(matches!(
+            entries[1].kind,
+            FaultKind::Flaky { probability } if probability == 0.25
+        ));
+        assert_eq!(entries[1].from, SimTime::ZERO);
+    }
+
+    #[test]
+    fn bare_number_is_milliseconds() {
+        let plan = parse_fault_specs("fail:0@250-500").unwrap();
+        let e = &plan.entries()[0];
+        assert_eq!(e.from, SimTime::ZERO + SimDuration::from_millis(250));
+        assert_eq!(e.until, Some(SimTime::ZERO + SimDuration::from_millis(500)));
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        assert!(parse_fault_specs("straggler:7").is_err());
+        assert!(parse_fault_specs("straggler:7:4").is_err());
+        assert!(parse_fault_specs("flaky:1:p1.5").is_err());
+        assert!(parse_fault_specs("fail:notadisk@1s").is_err());
+        assert!(parse_fault_specs("meteor:3").is_err());
+        assert!(parse_fault_specs("fail:0@2s-1s").is_err());
+        let err = parse_fault_specs("straggler:7:x0").unwrap_err();
+        assert!(err.to_string().contains("straggler:7:x0"));
+    }
+
+    #[test]
+    fn empty_and_whitespace_specs_are_no_faults() {
+        assert!(parse_fault_specs("").unwrap().is_empty());
+        assert!(parse_fault_specs(" , ").unwrap().is_empty());
+    }
+}

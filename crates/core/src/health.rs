@@ -1,0 +1,239 @@
+//! Per-device health tracking for graceful prefetch degradation.
+//!
+//! Every completed I/O feeds two exponentially weighted moving averages
+//! per disk — error rate and service time — plus a fleet-wide service
+//! EWMA used as the baseline. A disk is **degraded** while its error EWMA
+//! exceeds [`DegradeConfig::error_threshold`] or its latency EWMA exceeds
+//! [`DegradeConfig::latency_factor`] times the fleet mean; recovery uses
+//! bounds tightened by [`DegradeConfig::recover_margin`] so the state
+//! doesn't chatter at the threshold. The prefetch daemon consults
+//! [`HealthTracker::is_degraded`] before committing a prefetch, leaving
+//! sick devices to demand traffic only.
+
+use crate::faults::DegradeConfig;
+use rt_disk::DiskId;
+use rt_sim::{SimDuration, SimTime};
+
+#[derive(Clone, Copy, Debug)]
+struct DiskHealth {
+    /// EWMA of error outcomes (1 per failure, 0 per success).
+    err: f64,
+    /// EWMA of service time, in nanoseconds.
+    lat: f64,
+    samples: u64,
+    degraded: bool,
+    degraded_since: SimTime,
+    degraded_total: SimDuration,
+}
+
+impl DiskHealth {
+    const NEW: DiskHealth = DiskHealth {
+        err: 0.0,
+        lat: 0.0,
+        samples: 0,
+        degraded: false,
+        degraded_since: SimTime::ZERO,
+        degraded_total: SimDuration::ZERO,
+    };
+}
+
+/// Observes per-disk I/O outcomes and classifies devices as healthy or
+/// degraded.
+#[derive(Clone, Debug)]
+pub struct HealthTracker {
+    cfg: DegradeConfig,
+    disks: Vec<DiskHealth>,
+    /// Fleet-wide service-time EWMA (nanoseconds), the latency baseline.
+    fleet_lat: f64,
+    fleet_samples: u64,
+    /// Completed healthy→degraded→healthy cycles plus any still open.
+    intervals: u64,
+}
+
+/// Samples a disk needs before its latency EWMA is trusted against the
+/// fleet baseline (the error EWMA acts immediately — errors are signal,
+/// not noise).
+const MIN_SAMPLES: u64 = 3;
+/// Samples the whole fleet needs before the baseline is trusted.
+const MIN_FLEET_SAMPLES: u64 = 10;
+
+impl HealthTracker {
+    /// A tracker for `disks` devices, all healthy.
+    pub fn new(disks: u16, cfg: DegradeConfig) -> Self {
+        HealthTracker {
+            cfg,
+            disks: vec![DiskHealth::NEW; disks as usize],
+            fleet_lat: 0.0,
+            fleet_samples: 0,
+            intervals: 0,
+        }
+    }
+
+    fn ewma(prev: f64, sample: f64, alpha: f64, first: bool) -> f64 {
+        if first {
+            sample
+        } else {
+            alpha * sample + (1.0 - alpha) * prev
+        }
+    }
+
+    /// Record one completed I/O on `disk`: whether it succeeded and its
+    /// device service time. Updates the disk's classification.
+    pub fn observe(&mut self, disk: DiskId, ok: bool, service: SimDuration, now: SimTime) {
+        let alpha = self.cfg.alpha;
+        let err_sample = if ok { 0.0 } else { 1.0 };
+        let lat_sample = service.as_nanos() as f64;
+        // The fleet baseline absorbs each sample at alpha scaled down by
+        // the fleet size: every disk contributes, so a single sick device
+        // cannot drag the baseline up to meet its own latency.
+        let fleet_alpha = alpha / self.disks.len() as f64;
+        self.fleet_lat = Self::ewma(
+            self.fleet_lat,
+            lat_sample,
+            fleet_alpha,
+            self.fleet_samples == 0,
+        );
+        self.fleet_samples += 1;
+        let d = &mut self.disks[disk.index()];
+        let first = d.samples == 0;
+        d.err = Self::ewma(d.err, err_sample, alpha, first);
+        d.lat = Self::ewma(d.lat, lat_sample, alpha, first);
+        d.samples += 1;
+
+        let lat_trusted = d.samples >= MIN_SAMPLES && self.fleet_samples >= MIN_FLEET_SAMPLES;
+        if !d.degraded {
+            let errs = d.err > self.cfg.error_threshold;
+            let slow = lat_trusted && d.lat > self.cfg.latency_factor * self.fleet_lat;
+            if errs || slow {
+                d.degraded = true;
+                d.degraded_since = now;
+                self.intervals += 1;
+            }
+        } else {
+            // Recover only once safely inside both bounds (hysteresis).
+            let margin = self.cfg.recover_margin;
+            let exit_lat_factor = 1.0 + (self.cfg.latency_factor - 1.0) * margin;
+            let errs_ok = d.err < self.cfg.error_threshold * margin;
+            let lat_ok = !lat_trusted || d.lat < exit_lat_factor * self.fleet_lat;
+            if errs_ok && lat_ok {
+                d.degraded = false;
+                d.degraded_total += now.saturating_since(d.degraded_since);
+            }
+        }
+    }
+
+    /// Should the prefetch daemon avoid this disk right now? Always false
+    /// when degradation is disabled in the config (health is still
+    /// tracked for the report).
+    pub fn is_degraded(&self, disk: DiskId) -> bool {
+        self.cfg.enabled && self.disks[disk.index()].degraded
+    }
+
+    /// Number of healthy→degraded transitions seen so far.
+    pub fn degraded_intervals(&self) -> u64 {
+        self.intervals
+    }
+
+    /// Total simulated time spent degraded across all disks, counting
+    /// still-open intervals up to `now`.
+    pub fn degraded_time(&self, now: SimTime) -> SimDuration {
+        let mut total = SimDuration::ZERO;
+        for d in &self.disks {
+            total += d.degraded_total;
+            if d.degraded {
+                total += now.saturating_since(d.degraded_since);
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> SimDuration {
+        SimDuration::from_millis(n)
+    }
+
+    fn at(n: u64) -> SimTime {
+        SimTime::ZERO + ms(n)
+    }
+
+    #[test]
+    fn repeated_errors_degrade_quickly() {
+        let mut h = HealthTracker::new(4, DegradeConfig::default());
+        for i in 0..3 {
+            h.observe(DiskId(1), false, ms(30), at(i * 30));
+        }
+        assert!(h.is_degraded(DiskId(1)));
+        assert!(!h.is_degraded(DiskId(0)));
+        assert_eq!(h.degraded_intervals(), 1);
+    }
+
+    #[test]
+    fn straggler_latency_degrades_against_fleet() {
+        let mut h = HealthTracker::new(4, DegradeConfig::default());
+        // Healthy fleet baseline: 30 ms on disks 0-2.
+        for i in 0..12 {
+            h.observe(DiskId((i % 3) as u16), true, ms(30), at(i * 30));
+        }
+        // Disk 3 serves at 4x.
+        for i in 0..4 {
+            h.observe(DiskId(3), true, ms(120), at(400 + i * 120));
+        }
+        assert!(h.is_degraded(DiskId(3)));
+        assert!(!h.is_degraded(DiskId(0)));
+    }
+
+    #[test]
+    fn recovery_needs_margin_and_accumulates_time() {
+        let mut h = HealthTracker::new(2, DegradeConfig::default());
+        for i in 0..20 {
+            h.observe(DiskId(0), true, ms(30), at(i * 30));
+        }
+        for i in 0..4 {
+            h.observe(DiskId(1), false, ms(30), at(i * 30));
+        }
+        assert!(h.is_degraded(DiskId(1)));
+        // A single success is not enough to recover (EWMA still high).
+        h.observe(DiskId(1), true, ms(30), at(200));
+        assert!(h.is_degraded(DiskId(1)));
+        // A sustained healthy streak is.
+        let mut t = 300;
+        while h.is_degraded(DiskId(1)) {
+            h.observe(DiskId(1), true, ms(30), at(t));
+            t += 30;
+            assert!(t < 30_000, "disk never recovered");
+        }
+        assert!(h.degraded_time(at(t)) > SimDuration::ZERO);
+        assert_eq!(h.degraded_intervals(), 1);
+    }
+
+    #[test]
+    fn disabled_config_reports_but_never_degrades() {
+        let cfg = DegradeConfig {
+            enabled: false,
+            ..DegradeConfig::default()
+        };
+        let mut h = HealthTracker::new(1, cfg);
+        for i in 0..5 {
+            h.observe(DiskId(0), false, ms(30), at(i * 30));
+        }
+        assert!(!h.is_degraded(DiskId(0)));
+        // Transitions are still tracked for the report.
+        assert_eq!(h.degraded_intervals(), 1);
+    }
+
+    #[test]
+    fn open_degraded_interval_counts_up_to_now() {
+        let mut h = HealthTracker::new(1, DegradeConfig::default());
+        for i in 0..3 {
+            h.observe(DiskId(0), false, ms(30), at(i * 10));
+        }
+        assert!(h.is_degraded(DiskId(0)));
+        let t1 = h.degraded_time(at(100));
+        let t2 = h.degraded_time(at(200));
+        assert!(t2 > t1);
+    }
+}

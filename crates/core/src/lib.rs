@@ -40,6 +40,8 @@
 pub mod barrier;
 pub mod config;
 pub mod experiment;
+pub mod faults;
+pub mod health;
 pub mod metrics;
 pub mod policy;
 pub mod report;
@@ -47,11 +49,17 @@ pub mod sweeps;
 pub mod trace;
 pub mod world;
 
-pub use config::{CostModel, ExperimentConfig, PolicyKind, PrefetchConfig};
+pub use config::{ConfigError, CostModel, ExperimentConfig, PolicyKind, PrefetchConfig};
 pub use experiment::{
     paper_grid, run_experiment, run_experiment_traced, run_pair, run_pairs_parallel,
 };
-pub use metrics::{coefficient_of_variation, improvement, ProcMetrics, RunMetrics, RunPair};
+pub use faults::{
+    parse_fault_spec, parse_fault_specs, DegradeConfig, FaultConfig, FaultSpecError, RetryPolicy,
+};
+pub use health::HealthTracker;
+pub use metrics::{
+    coefficient_of_variation, improvement, FaultMetrics, ProcMetrics, RunMetrics, RunPair,
+};
 pub use sweeps::{
     buffer_sweep_over, compute_sweep_over, lead_baselines_for, lead_sweep_over, BufferPoint,
     ComputePoint, LeadPoint,

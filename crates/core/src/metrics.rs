@@ -82,6 +82,38 @@ pub struct RunMetrics {
     pub tl_barrier: Timeline,
     /// Disk requests in flight, over time.
     pub tl_outstanding_io: Timeline,
+    /// Fault-injection counters; all zero when the run injected nothing.
+    pub faults: FaultMetrics,
+}
+
+/// Counters from the fault-injection subsystem: what went wrong and how
+/// the read path and prefetch daemon coped. All zero in fault-free runs.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultMetrics {
+    /// Disk completions that carried an error.
+    pub io_errors: u64,
+    /// Resubmissions of failed or stuck reads.
+    pub retries: u64,
+    /// Retry rounds past the policy's `max_retries` bound (the read kept
+    /// retrying at the capped backoff; a persistently non-zero count
+    /// means a device never came back and no replica could absorb it).
+    pub retries_exhausted: u64,
+    /// Demand reads whose per-request timeout fired.
+    pub timeouts: u64,
+    /// Resubmissions that targeted a replica instead of the primary.
+    pub redirects: u64,
+    /// Failed prefetches that were dropped rather than retried (nobody
+    /// was waiting for the block).
+    pub aborted_prefetches: u64,
+    /// Prefetch actions skipped because the target device was degraded.
+    pub degraded_skips: u64,
+    /// Completions (or retry timers) that arrived after the block was
+    /// already delivered by a redirected duplicate.
+    pub stale_completions: u64,
+    /// Healthy→degraded transitions across all devices.
+    pub degraded_intervals: u64,
+    /// Total simulated time devices spent classified as degraded.
+    pub degraded_time: SimDuration,
 }
 
 impl RunMetrics {
@@ -263,6 +295,7 @@ mod tests {
             tl_prefetched: Timeline::new(),
             tl_barrier: Timeline::new(),
             tl_outstanding_io: Timeline::new(),
+            faults: FaultMetrics::default(),
         }
     }
 

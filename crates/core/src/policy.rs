@@ -149,6 +149,29 @@ fn scan(view: &OracleView<'_>, pool: &BufferPool, start: usize, established: u32
     ScanStop::End
 }
 
+/// [`select_oracle`] with an exclusion predicate: uncached blocks for
+/// which `avoid` returns true are passed over (left to demand traffic)
+/// and the scan continues behind them. Used by the fault layer to keep
+/// prefetching ahead on healthy devices while a degraded one recovers;
+/// portion fences and the lead restriction apply unchanged.
+pub fn select_oracle_avoiding(
+    view: &OracleView<'_>,
+    pool: &BufferPool,
+    avoid: impl Fn(BlockId) -> bool,
+) -> Option<BlockId> {
+    let start = scan_start(view)?;
+    let established = established(view);
+    for access in &view.string.accesses()[start..] {
+        if !view.cross_portions && access.portion > established {
+            return None;
+        }
+        if !pool.contains(access.block) && !avoid(access.block) {
+            return Some(access.block);
+        }
+    }
+    None
+}
+
 /// Choose a block from an on-line predictor's candidate list: the first
 /// prediction not already cached or in flight.
 pub fn select_predicted(candidates: &[BlockId], pool: &BufferPool) -> Option<BlockId> {
@@ -360,6 +383,47 @@ mod tests {
         // The hint is stale; both selectors must re-find the evicted block.
         assert_eq!(select_oracle(&view, &pool), Some(evicted));
         assert_eq!(select_oracle_hinted(&view, &pool, &mut hint), Some(evicted));
+    }
+
+    #[test]
+    fn avoiding_oracle_scans_past_excluded_blocks() {
+        let s = whole_file(100);
+        let pool = pool_with(&[3]);
+        let view = OracleView {
+            string: &s,
+            frontier: 3,
+            cross_portions: true,
+            min_lead: 0,
+        };
+        // Plain selection picks block 4; with 4 and 5 excluded the scan
+        // continues to 6 instead of stalling.
+        assert_eq!(select_oracle(&view, &pool), Some(BlockId(4)));
+        assert_eq!(
+            select_oracle_avoiding(&view, &pool, |b| b.0 == 4 || b.0 == 5),
+            Some(BlockId(6))
+        );
+        // Nothing avoided: identical to plain selection.
+        assert_eq!(
+            select_oracle_avoiding(&view, &pool, |_| false),
+            Some(BlockId(4))
+        );
+        // Everything avoided: no candidate.
+        assert_eq!(select_oracle_avoiding(&view, &pool, |_| true), None);
+    }
+
+    #[test]
+    fn avoiding_oracle_still_respects_portion_fence() {
+        let s = RefString::from_portions(&[(0, 5), (50, 5)]);
+        let pool = pool_with(&[2, 3]);
+        let view = OracleView {
+            string: &s,
+            frontier: 2,
+            cross_portions: false,
+            min_lead: 0,
+        };
+        // Block 4 is the only feasible candidate; avoiding it must not
+        // leak the scan into the unestablished portion at 50.
+        assert_eq!(select_oracle_avoiding(&view, &pool, |b| b.0 == 4), None);
     }
 
     #[test]

@@ -14,17 +14,26 @@
 //! the cache's internal data structures emerges the way it did on the
 //! Butterfly's remote shared memory.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use rt_cache::{BufferPool, Lookup, PoolConfig};
 use rt_disk::{BlockId, DiskId, FetchKind, ProcId};
 use rt_fs::{FileId, FileSystem, FsStarted};
 use rt_patterns::{Access, Cursor, Predictor, SyncStyle, Workload};
-use rt_sim::{Model, Rng, Sampled, Scheduler, SimDuration, SimLock, SimTime, Tally, Timeline};
+use rt_sim::{
+    EventId, Model, Rng, Sampled, Scheduler, SimDuration, SimLock, SimTime, Tally, Timeline,
+};
 
 use crate::barrier::Barrier;
 use crate::config::{ExperimentConfig, PolicyKind};
-use crate::policy::{select_oracle, select_oracle_hinted, select_predicted, OracleView, ScanHint};
+use crate::faults::RetryPolicy;
+use crate::health::HealthTracker;
+use crate::metrics::FaultMetrics;
+use crate::policy::{
+    select_oracle, select_oracle_avoiding, select_oracle_hinted, select_predicted, OracleView,
+    ScanHint,
+};
 use crate::trace::{ReadOutcome, Trace, TraceEvent};
 
 mod control;
@@ -55,6 +64,12 @@ pub enum Ev {
     ComputeDone(ProcId),
     /// A prefetch action on this node completed.
     ActionEnd(ProcId),
+    /// A failed or stuck read's backoff elapsed; resubmit the fetch.
+    /// Never scheduled unless the run's fault layer is active.
+    RetryIo(BlockId),
+    /// A demand fetch's per-request timeout fired. Never scheduled unless
+    /// the fault layer is active and a timeout is configured.
+    IoTimeout(BlockId),
 }
 
 /// User-process execution state.
@@ -179,6 +194,46 @@ pub(crate) struct Recorder {
     pub empty_actions: u64,
     pub blocked_actions: u64,
     pub alloc_retries: u64,
+    /// Fault-path counters (all zero unless faults are injected).
+    pub io_errors: u64,
+    pub retries: u64,
+    pub retries_exhausted: u64,
+    pub timeouts: u64,
+    pub redirects: u64,
+    pub aborted_prefetches: u64,
+    pub degraded_skips: u64,
+    pub stale_completions: u64,
+}
+
+/// In-flight fault bookkeeping for one block's demand fetch.
+pub(crate) struct PendingIo {
+    /// Resubmissions so far (selects the replica and the backoff).
+    pub attempts: u32,
+    /// The armed timeout event, cancelled on completion.
+    pub timeout: Option<EventId>,
+    /// The node the fetch is charged to, for resubmission.
+    pub initiator: ProcId,
+}
+
+impl Default for PendingIo {
+    fn default() -> Self {
+        PendingIo {
+            attempts: 0,
+            timeout: None,
+            initiator: ProcId(0),
+        }
+    }
+}
+
+/// Fault-layer state of one run; allocated only when the configuration's
+/// fault scenario is active, so fault-free runs pay nothing on the read
+/// path beyond an `Option` check.
+pub(crate) struct FaultState {
+    /// Per-disk error/latency EWMAs driving prefetch degradation.
+    pub health: HealthTracker,
+    pub retry: RetryPolicy,
+    /// Per-block retry/timeout state for fetches the fault layer touched.
+    pub pending: HashMap<BlockId, PendingIo>,
 }
 
 /// One experiment run: the whole machine plus its workload.
@@ -217,6 +272,9 @@ pub struct World {
     trace: Option<Trace>,
     /// Disk requests submitted but not yet completed.
     outstanding_io: u32,
+    /// Fault-layer state; `None` when the run injects nothing, keeping
+    /// the hot path identical to a fault-free build.
+    pub(crate) faults: Option<FaultState>,
     pub(crate) rec: Recorder,
 }
 
@@ -241,7 +299,9 @@ impl World {
     /// workload. `workload` must equal [`generate_workload`]`(&cfg)` —
     /// the point is to share one generation across the runs of a pair.
     pub fn with_workload(cfg: ExperimentConfig, workload: Arc<Workload>) -> Self {
-        cfg.validate();
+        if let Err(e) = cfg.validate() {
+            panic!("invalid experiment config: {e}");
+        }
         let root = Rng::seeded(cfg.seed);
 
         let file_blocks = cfg.workload.file_blocks;
@@ -281,8 +341,16 @@ impl World {
             &root.split(0x6469736b),
         );
         let file = fs
-            .create("workload", file_blocks, cfg.striping)
+            .create_replicated("workload", file_blocks, cfg.striping, cfg.faults.replicas)
             .expect("fresh file system");
+        if !cfg.faults.plan.is_empty() {
+            fs.set_fault_plan(&cfg.faults.plan, &root.split(0x6661_756c));
+        }
+        let faults = cfg.faults.is_active().then(|| FaultState {
+            health: HealthTracker::new(cfg.disks, cfg.faults.degrade),
+            retry: cfg.faults.retry,
+            pending: HashMap::new(),
+        });
 
         let procs: Vec<Proc> = (0..cfg.procs)
             .map(|p| Proc::new(ProcId(p), root.split(0x0070_726f_6300 + p as u64)))
@@ -334,6 +402,7 @@ impl World {
             predictors,
             trace: None,
             outstanding_io: 0,
+            faults,
             rec: Recorder {
                 proc_reads: vec![Tally::new(); cfg.procs as usize],
                 proc_hits: vec![0; cfg.procs as usize],
@@ -408,6 +477,27 @@ impl World {
     pub fn reads_done(&self) -> u64 {
         self.total_reads_done
     }
+
+    /// Fault-path counters of this run, with degraded-interval accounting
+    /// closed off at `end`. All zero for fault-free runs.
+    pub fn fault_metrics(&self, end: SimTime) -> FaultMetrics {
+        let (intervals, time) = match &self.faults {
+            Some(f) => (f.health.degraded_intervals(), f.health.degraded_time(end)),
+            None => (0, SimDuration::ZERO),
+        };
+        FaultMetrics {
+            io_errors: self.rec.io_errors,
+            retries: self.rec.retries,
+            retries_exhausted: self.rec.retries_exhausted,
+            timeouts: self.rec.timeouts,
+            redirects: self.rec.redirects,
+            aborted_prefetches: self.rec.aborted_prefetches,
+            degraded_skips: self.rec.degraded_skips,
+            stale_completions: self.rec.stale_completions,
+            degraded_intervals: intervals,
+            degraded_time: time,
+        }
+    }
 }
 
 impl Model for World {
@@ -426,6 +516,8 @@ impl Model for World {
                 self.proceed_next(p.index(), sched);
             }
             Ev::ActionEnd(p) => self.action_end(p.index(), sched),
+            Ev::RetryIo(b) => self.retry_io(b, sched),
+            Ev::IoTimeout(b) => self.io_timeout(b, sched),
         }
     }
 }

@@ -56,7 +56,17 @@ impl World {
             .action_time
             .record(now - self.procs[p].action_started);
 
-        let candidate = self.select_block(p);
+        let candidate = match self.select_block(p) {
+            Some(block) if self.prefetch_target_degraded(block) => {
+                // Graceful degradation: the device this block lives on is
+                // erroring or lagging. Leave the block to demand traffic,
+                // but keep the frontier moving — re-select skipping every
+                // degraded device so healthy disks still get prefetch.
+                self.rec.degraded_skips += 1;
+                self.select_block_past_degraded(p)
+            }
+            other => other,
+        };
         match candidate {
             Some(block) => {
                 self.procs[p].last_action_empty = false;
@@ -92,6 +102,57 @@ impl World {
             self.resume(p, sched);
         } else if self.procs[p].idle_since.is_some() {
             self.maybe_start_action(p, sched);
+        }
+    }
+
+    /// Would this prefetch land on a device the health tracker currently
+    /// classifies as degraded? Always false without an active fault layer.
+    pub(super) fn prefetch_target_degraded(&self, block: BlockId) -> bool {
+        let Some(fs) = &self.faults else { return false };
+        self.fs
+            .placement_disk(self.file, block, 0)
+            .is_some_and(|d| fs.health.is_degraded(d))
+    }
+
+    /// Second-chance selection once the primary candidate proved degraded:
+    /// the same policy scan, but uncached blocks on degraded devices are
+    /// passed over instead of selected. Runs only while the fault layer is
+    /// active, so the fault-free path never pays for it.
+    fn select_block_past_degraded(&mut self, p: usize) -> Option<BlockId> {
+        let Some(fault_state) = &self.faults else {
+            return None;
+        };
+        let health = &fault_state.health;
+        let fs = &self.fs;
+        let file = self.file;
+        let degraded = |block: BlockId| {
+            fs.placement_disk(file, block, 0)
+                .is_some_and(|d| health.is_degraded(d))
+        };
+        match self.cfg.prefetch.policy {
+            PolicyKind::Oracle => {
+                let (string, frontier) = match &*self.workload {
+                    Workload::Local(strings) => (&strings[p], self.procs[p].cursor.position()),
+                    Workload::Global(s) => (s, self.global_cursor.position()),
+                };
+                let view = OracleView {
+                    string,
+                    frontier,
+                    cross_portions: self.cfg.pattern.may_prefetch_across_portions(),
+                    min_lead: self.cfg.prefetch.min_lead,
+                };
+                select_oracle_avoiding(&view, &self.pool, degraded)
+            }
+            PolicyKind::Obl { .. } | PolicyKind::PortionLearner { .. } => {
+                let preds = self.predictors[p]
+                    .as_ref()
+                    .expect("online policy without predictor")
+                    .predict(16);
+                preds
+                    .iter()
+                    .copied()
+                    .find(|&b| !self.pool.contains(b) && !degraded(b))
+            }
         }
     }
 

@@ -37,6 +37,11 @@ impl World {
                 proc.wait_since = now;
                 proc.wait_is_hit = true;
                 proc.expected_wake = (ready_at != SimTime::MAX).then_some(ready_at);
+                // A demand read now depends on this in-flight fetch, so it
+                // gets the same timeout protection as a direct miss —
+                // otherwise a prefetch stuck on a sick device would turn a
+                // timeout-guarded read into an unbounded wait.
+                self.arm_timeout(block, ProcId(p as u16), sched);
                 self.idle_begin(p, sched);
             }
             Lookup::Miss => {
@@ -122,6 +127,7 @@ impl World {
                     proc.wait_since = now;
                     proc.wait_is_hit = false;
                     proc.expected_wake = None;
+                    self.arm_timeout(block, ProcId(p as u16), sched);
                     self.idle_begin(p, sched);
                 }
             },
@@ -146,7 +152,35 @@ impl World {
             .tl_outstanding_io
             .record(now, self.outstanding_io as f64);
         self.procs[p].expected_wake = self.note_started(block, started, sched);
+        self.arm_timeout(block, ProcId(p as u16), sched);
         self.idle_begin(p, sched);
+    }
+
+    /// Arm the per-request timeout for a demand fetch of `block`, if the
+    /// fault layer is active and a timeout is configured. No-op otherwise,
+    /// so fault-free runs schedule no timer events.
+    pub(super) fn arm_timeout(&mut self, block: BlockId, who: ProcId, sched: &mut Scheduler<Ev>) {
+        let Some(fs) = &mut self.faults else { return };
+        let Some(timeout) = fs.retry.timeout else {
+            return;
+        };
+        let entry = fs.pending.entry(block).or_default();
+        entry.initiator = who;
+        if let Some(id) = entry.timeout.take() {
+            sched.cancel(id);
+        }
+        entry.timeout = Some(sched.schedule_in(timeout, Ev::IoTimeout(block)));
+    }
+
+    /// Drop `block`'s fault bookkeeping, cancelling any armed timeout.
+    pub(super) fn clear_pending(&mut self, block: BlockId, sched: &mut Scheduler<Ev>) {
+        if let Some(fs) = &mut self.faults {
+            if let Some(entry) = fs.pending.remove(&block) {
+                if let Some(id) = entry.timeout {
+                    sched.cancel(id);
+                }
+            }
+        }
     }
 
     /// Record a submission's outcome: when the request started service, its
@@ -191,23 +225,60 @@ impl World {
             .record(now, self.outstanding_io as f64);
         if let Some(s) = next {
             // The newly started request's pending buffer learns its
-            // completion time.
+            // completion time. Under faults a queued duplicate's block may
+            // already be Ready (a replica beat it); its completion is still
+            // tracked and lands as a stale completion.
             debug_assert_eq!(s.file, self.file);
             if let Some(buf) = self.pool.buffer_for(s.block) {
-                self.pool.set_ready_at(buf, s.completion);
+                if matches!(
+                    self.pool.buffer(buf).state,
+                    rt_cache::BufState::Pending { .. }
+                ) {
+                    self.pool.set_ready_at(buf, s.completion);
+                } else {
+                    debug_assert!(
+                        self.faults.is_some(),
+                        "queued request started for a non-pending buffer"
+                    );
+                }
             }
             sched.schedule_at(s.completion, Ev::DiskDone(disk));
         }
-        self.block_ready(done.block, sched);
+        if let Some(fs) = &mut self.faults {
+            fs.health
+                .observe(disk, done.status.is_ok(), done.service, now);
+        }
+        match done.status {
+            Ok(()) => self.block_ready(done.block, sched),
+            Err(_) => self.io_failed(done.block, done.kind, done.initiator, sched),
+        }
     }
 
     /// A disk I/O completed: the buffer becomes ready; wake the waiters.
     pub(super) fn block_ready(&mut self, block: BlockId, sched: &mut Scheduler<Ev>) {
         let now = sched.now();
-        let buf = self
-            .pool
-            .buffer_for(block)
-            .expect("I/O completed for an unindexed block");
+        let Some(buf) = self.pool.buffer_for(block) else {
+            // Only a redirected duplicate can complete after its block was
+            // delivered, consumed, and evicted; without faults this is a
+            // bookkeeping bug.
+            assert!(
+                self.faults.is_some(),
+                "I/O completed for an unindexed block"
+            );
+            self.rec.stale_completions += 1;
+            return;
+        };
+        if self.faults.is_some() {
+            if matches!(
+                self.pool.buffer(buf).state,
+                rt_cache::BufState::Ready { .. }
+            ) {
+                // A redirected duplicate already delivered this block.
+                self.rec.stale_completions += 1;
+                return;
+            }
+            self.clear_pending(block, sched);
+        }
         self.pool.complete_io(buf, now);
         // Drain the waiter list through the reusable scratch (wake() needs
         // `&mut self`, so the list cannot be borrowed while iterating).
@@ -291,6 +362,143 @@ impl World {
                 self.proceed_next(p, sched);
             }
             other => panic!("resume in unexpected state {other:?}"),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault handling: failed completions, retries, timeouts. None of this
+    // runs unless the configuration injects faults or arms timeouts.
+    // ------------------------------------------------------------------
+
+    /// A disk completion carried an error. Demand fetches (and prefetches
+    /// someone is already waiting on) are retried with exponential
+    /// backoff, rotating across replicas when the file has them; idle
+    /// prefetches are dropped.
+    pub(super) fn io_failed(
+        &mut self,
+        block: BlockId,
+        kind: FetchKind,
+        who: ProcId,
+        sched: &mut Scheduler<Ev>,
+    ) {
+        let now = sched.now();
+        self.rec.io_errors += 1;
+        let Some(buf) = self.pool.buffer_for(block) else {
+            // A redirected duplicate failed after the block was already
+            // delivered, consumed, and evicted; nothing to do.
+            self.rec.stale_completions += 1;
+            return;
+        };
+        if matches!(
+            self.pool.buffer(buf).state,
+            rt_cache::BufState::Ready { .. }
+        ) {
+            // A duplicate already delivered the block; the failure is moot.
+            self.rec.stale_completions += 1;
+            return;
+        }
+        if kind == FetchKind::Prefetch && !self.waiters.has_waiters(block) {
+            // Nobody wants the block yet: drop the speculative fetch
+            // rather than spend retries on it. A later demand read
+            // fetches it through the normal miss path.
+            self.pool.discard_pending(buf);
+            self.rec
+                .tl_prefetched
+                .record(now, self.pool.prefetched_unused() as f64);
+            self.rec.aborted_prefetches += 1;
+            self.clear_pending(block, sched);
+            return;
+        }
+        // The ready estimate is void until a resubmission starts service.
+        self.pool.set_ready_at(buf, SimTime::MAX);
+        let fs = self
+            .faults
+            .as_mut()
+            .expect("fault outcome without a fault layer");
+        let entry = fs.pending.entry(block).or_default();
+        entry.initiator = who;
+        let attempt = entry.attempts;
+        entry.attempts += 1;
+        if attempt >= fs.retry.max_retries {
+            // Past the retry budget: keep probing at the capped backoff
+            // (demand reads are never abandoned) but record the overflow.
+            self.rec.retries_exhausted += 1;
+        }
+        let delay = fs.retry.backoff_for(attempt);
+        sched.schedule_in(delay, Ev::RetryIo(block));
+    }
+
+    /// A backoff elapsed: resubmit the fetch, rotating to the next
+    /// replica when the file has copies.
+    pub(super) fn retry_io(&mut self, block: BlockId, sched: &mut Scheduler<Ev>) {
+        let now = sched.now();
+        let Some(buf) = self.pool.buffer_for(block) else {
+            self.rec.stale_completions += 1;
+            return;
+        };
+        if matches!(
+            self.pool.buffer(buf).state,
+            rt_cache::BufState::Ready { .. }
+        ) {
+            // A duplicate delivered the block while we backed off.
+            return;
+        }
+        let copies = 1 + self.fs.replica_count(self.file) as u32;
+        let (replica, who) = {
+            let fs = self.faults.as_mut().expect("retry without a fault layer");
+            let entry = fs.pending.entry(block).or_default();
+            ((entry.attempts % copies) as u16, entry.initiator)
+        };
+        self.rec.retries += 1;
+        if replica != 0 {
+            self.rec.redirects += 1;
+        }
+        let started = self
+            .fs
+            .read_replica(now, self.file, block, replica, FetchKind::Demand, who)
+            .expect("retry of an in-range block");
+        self.outstanding_io += 1;
+        self.rec
+            .tl_outstanding_io
+            .record(now, self.outstanding_io as f64);
+        self.note_started(block, started, sched);
+        self.arm_timeout(block, who, sched);
+    }
+
+    /// A demand fetch's timeout fired: if the block is still in flight,
+    /// race a duplicate on the next replica (when one exists — otherwise
+    /// just count the stall and keep waiting).
+    pub(super) fn io_timeout(&mut self, block: BlockId, sched: &mut Scheduler<Ev>) {
+        let copies = 1 + self.fs.replica_count(self.file) as u32;
+        let still_pending = self.pool.buffer_for(block).is_some_and(|b| {
+            matches!(
+                self.pool.buffer(b).state,
+                rt_cache::BufState::Pending { .. }
+            )
+        });
+        let Some(fs) = &mut self.faults else { return };
+        let Some(entry) = fs.pending.get_mut(&block) else {
+            return;
+        };
+        entry.timeout = None;
+        if !still_pending {
+            // Delivered (or dropped) while the timer was in flight.
+            fs.pending.remove(&block);
+            return;
+        }
+        let redirect = copies > 1;
+        if redirect {
+            entry.attempts += 1;
+        } else {
+            let timeout = fs
+                .retry
+                .timeout
+                .expect("timeout event without a timeout policy");
+            entry.timeout = Some(sched.schedule_in(timeout, Ev::IoTimeout(block)));
+        }
+        self.rec.timeouts += 1;
+        if redirect {
+            self.retry_io(block, sched);
         }
     }
 }

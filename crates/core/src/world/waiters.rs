@@ -55,6 +55,12 @@ impl WaiterTable {
         }
     }
 
+    /// Is anyone waiting for `block`?
+    pub fn has_waiters(&self, block: BlockId) -> bool {
+        let list = &self.lists[block.index()];
+        list.len > 0 || !list.spill.is_empty()
+    }
+
     /// Move every waiter for `block` into `out` (appended in registration
     /// order), leaving the list empty. The spill vector keeps its capacity
     /// for the block's next pile-up.

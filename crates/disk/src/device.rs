@@ -12,6 +12,7 @@ use std::collections::VecDeque;
 
 use rt_sim::{Rng, SimDuration, SimTime, Tally, TimeWeighted};
 
+use crate::fault::{DeviceFaults, DiskFault};
 use crate::request::{DiskRequest, FetchKind};
 use crate::service::{Service, ServiceModel};
 
@@ -26,11 +27,27 @@ pub enum Discipline {
     DemandPriority,
 }
 
-/// A request actively being serviced.
+/// A request actively being serviced. The completion status is decided
+/// when service starts (the fault schedule is a function of the start
+/// time) and reported when the completion event fires.
 #[derive(Clone, Copy, Debug)]
 struct InService {
     req: DiskRequest,
     completion: SimTime,
+    status: Result<(), DiskFault>,
+    service: SimDuration,
+}
+
+/// A finished I/O as reported by [`Disk::complete`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Finished {
+    /// The request that finished.
+    pub req: DiskRequest,
+    /// `Ok` on success; `Err` carries the injected fault.
+    pub status: Result<(), DiskFault>,
+    /// The service time this request occupied the device for (excludes
+    /// queueing).
+    pub service: SimDuration,
 }
 
 /// One disk: a queue, a head, and the response-time accounting the paper
@@ -42,10 +59,12 @@ pub struct Disk {
     service: Service,
     rng: Rng,
     discipline: Discipline,
+    faults: Option<DeviceFaults>,
     queue: VecDeque<DiskRequest>,
     in_service: Option<InService>,
     busy: SimDuration,
     completed: u64,
+    errors: u64,
     demand_response: Tally,
     prefetch_response: Tally,
     response: Tally,
@@ -61,10 +80,12 @@ impl Disk {
             service,
             rng,
             discipline,
+            faults: None,
             queue: VecDeque::new(),
             in_service: None,
             busy: SimDuration::ZERO,
             completed: 0,
+            errors: 0,
             demand_response: Tally::new(),
             prefetch_response: Tally::new(),
             response: Tally::new(),
@@ -89,13 +110,16 @@ impl Disk {
     }
 
     /// The in-flight request finished at `now`. Returns the finished
-    /// request and, if the queue was non-empty, the next request together
-    /// with its completion time (the caller schedules the next completion
-    /// event).
-    pub fn complete(&mut self, now: SimTime) -> (DiskRequest, Option<(DiskRequest, SimTime)>) {
+    /// request (with its completion status) and, if the queue was
+    /// non-empty, the next request together with its completion time (the
+    /// caller schedules the next completion event).
+    pub fn complete(&mut self, now: SimTime) -> (Finished, Option<(DiskRequest, SimTime)>) {
         let done = self.in_service.take().expect("complete on an idle disk");
         debug_assert_eq!(done.completion, now, "completion fired at the wrong time");
         self.completed += 1;
+        if done.status.is_err() {
+            self.errors += 1;
+        }
         let response = now.saturating_since(done.req.submitted);
         self.response.record(response);
         match done.req.kind {
@@ -108,7 +132,14 @@ impl Disk {
             let completion = self.start(req, now);
             (req, completion)
         });
-        (done.req, next)
+        (
+            Finished {
+                req: done.req,
+                status: done.status,
+                service: done.service,
+            },
+            next,
+        )
     }
 
     /// Pick the next queued request per the discipline.
@@ -131,12 +162,31 @@ impl Disk {
     }
 
     /// Begin servicing `req` at `start`; returns its completion time.
+    ///
+    /// The fault-free service time is drawn first, then the fault
+    /// schedule (if any) adjusts it and decides the outcome — so a disk
+    /// with no faults attached draws exactly the baseline sequence.
     fn start(&mut self, req: DiskRequest, start: SimTime) -> SimTime {
-        let service = self.service.service_time(req.physical, &mut self.rng);
+        let base = self.service.service_time(req.physical, &mut self.rng);
+        let (service, status) = match &mut self.faults {
+            Some(f) => f.apply(start, base),
+            None => (base, Ok(())),
+        };
         self.busy += service;
         let completion = start + service;
-        self.in_service = Some(InService { req, completion });
+        self.in_service = Some(InService {
+            req,
+            completion,
+            status,
+            service,
+        });
         completion
+    }
+
+    /// Attach a fault schedule. Replaces any previous schedule; a disk
+    /// without one behaves exactly as before the fault layer existed.
+    pub fn set_faults(&mut self, faults: DeviceFaults) {
+        self.faults = Some(faults);
     }
 
     /// True when a request is in service.
@@ -147,6 +197,11 @@ impl Disk {
     /// Requests completed so far.
     pub fn ops(&self) -> u64 {
         self.completed
+    }
+
+    /// Requests that completed with an injected fault.
+    pub fn errors(&self) -> u64 {
+        self.errors
     }
 
     /// Requests waiting in queue (excluding the one in service).
@@ -226,10 +281,13 @@ mod tests {
         assert_eq!(completion, t(30));
         assert!(d.busy_now());
         let (done, next) = d.complete(t(30));
-        assert_eq!(done.block, BlockId(0));
+        assert_eq!(done.req.block, BlockId(0));
+        assert_eq!(done.status, Ok(()));
+        assert_eq!(done.service, SimDuration::from_millis(30));
         assert!(next.is_none());
         assert!(!d.busy_now());
         assert_eq!(d.ops(), 1);
+        assert_eq!(d.errors(), 0);
     }
 
     #[test]
@@ -240,12 +298,12 @@ mod tests {
         assert_eq!(d.submit(req(6, FetchKind::Demand, 2)), None);
         assert_eq!(d.queued(), 2);
         let (done, next) = d.complete(t(30));
-        assert_eq!(done.block, BlockId(0));
+        assert_eq!(done.req.block, BlockId(0));
         let (nreq, ncomp) = next.unwrap();
         assert_eq!(nreq.block, BlockId(1));
         assert_eq!(ncomp, t(60));
         let (done, next) = d.complete(t(60));
-        assert_eq!(done.block, BlockId(1));
+        assert_eq!(done.req.block, BlockId(1));
         assert_eq!(next.unwrap().0.block, BlockId(2));
         // Response of block 1: submitted at 5, done at 60 -> 55ms.
         assert!((d.response().mean_millis() - (30.0 + 55.0) / 2.0).abs() < 1e-9);
@@ -315,5 +373,69 @@ mod tests {
     fn complete_when_idle_panics() {
         let mut d = disk(Discipline::Fifo);
         d.complete(t(0));
+    }
+
+    /// Regression: a request arriving exactly at a prior completion time
+    /// must not be double-delayed by stale busy accounting — both the
+    /// complete-then-submit and the submit-then-complete ordering at the
+    /// same instant must start service at that instant.
+    #[test]
+    fn arrival_at_completion_instant_not_double_delayed() {
+        // Ordering A: completion processed first, then the new arrival
+        // finds an idle device and starts immediately.
+        let mut d = disk(Discipline::Fifo);
+        d.submit(req(0, FetchKind::Demand, 0));
+        let (_, next) = d.complete(t(30));
+        assert!(next.is_none());
+        let completion = d.submit(req(30, FetchKind::Demand, 1)).unwrap();
+        assert_eq!(completion, t(60), "idle restart at t must finish at t+30");
+
+        // Ordering B: the arrival is submitted while the prior request is
+        // still in service (its completion is also at t=30); it queues,
+        // and the completion must start it at 30 — not at 60.
+        let mut d = disk(Discipline::Fifo);
+        d.submit(req(0, FetchKind::Demand, 0));
+        assert!(d.submit(req(30, FetchKind::Demand, 1)).is_none());
+        let (_, next) = d.complete(t(30));
+        let (nreq, ncomp) = next.unwrap();
+        assert_eq!(nreq.block, BlockId(1));
+        assert_eq!(ncomp, t(60), "queued same-instant arrival double-delayed");
+        // It never actually waited, so its queue delay is zero.
+        assert!((d.queue_delay().mean_millis() - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn straggler_window_slows_service_and_flags_nothing() {
+        use crate::fault::{DeviceFaults, FaultPlan};
+        use crate::request::DiskId;
+        let mut d = disk(Discipline::Fifo);
+        let plan = FaultPlan::none().straggler(DiskId(0), 4.0, t(0), Some(t(100)));
+        d.set_faults(DeviceFaults::new(plan.for_disk(DiskId(0)), Rng::seeded(3)));
+        assert_eq!(d.submit(req(0, FetchKind::Demand, 0)), Some(t(120)));
+        let (done, _) = d.complete(t(120));
+        assert_eq!(done.status, Ok(()));
+        assert_eq!(done.service, SimDuration::from_millis(120));
+        // Outside the window, service is back to the 30 ms baseline.
+        assert_eq!(d.submit(req(120, FetchKind::Demand, 1)), Some(t(150)));
+        assert_eq!(d.errors(), 0);
+    }
+
+    #[test]
+    fn outage_fails_fast_and_counts_errors() {
+        use crate::fault::{DeviceFaults, DiskFault, FaultPlan, OUTAGE_ERROR_LATENCY};
+        use crate::request::DiskId;
+        let mut d = disk(Discipline::Fifo);
+        let plan = FaultPlan::none().outage(DiskId(0), t(0), Some(t(50)));
+        d.set_faults(DeviceFaults::new(plan.for_disk(DiskId(0)), Rng::seeded(3)));
+        let completion = d.submit(req(0, FetchKind::Demand, 0)).unwrap();
+        assert_eq!(completion, SimTime::ZERO + OUTAGE_ERROR_LATENCY);
+        let (done, _) = d.complete(completion);
+        assert_eq!(done.status, Err(DiskFault::DeviceDown));
+        assert_eq!(d.errors(), 1);
+        // After the repair time the device serves normally again.
+        assert_eq!(d.submit(req(50, FetchKind::Demand, 1)), Some(t(80)));
+        let (done, _) = d.complete(t(80));
+        assert_eq!(done.status, Ok(()));
+        assert_eq!(d.errors(), 1);
     }
 }

@@ -1,0 +1,306 @@
+//! Deterministic fault injection for the disk subsystem.
+//!
+//! A [`FaultPlan`] is a per-device schedule of misbehavior windows —
+//! stragglers (service-time multipliers), transient error rates, and hard
+//! outages with optional repair times. The plan is declarative and
+//! immutable; each device that appears in it gets a [`DeviceFaults`]
+//! instance holding its own split random stream, so fault decisions never
+//! perturb the service-time stream and an *empty* plan is byte-identical
+//! to no fault layer at all.
+//!
+//! Faults are applied at service-start time: the device first draws its
+//! normal service time, then the active windows adjust it and decide the
+//! completion status. A failed request still occupies the device (briefly,
+//! for outages — the controller rejects fast) and completes with an
+//! `Err`, which the upper layers translate into retries, redirects, and
+//! prefetch back-off.
+
+use rt_sim::{Rng, SimDuration, SimTime};
+
+use crate::request::DiskId;
+
+/// Why an I/O completed unsuccessfully.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DiskFault {
+    /// A transient error: the same request may well succeed if retried.
+    Transient,
+    /// The device is down (hard failure window); retries against it fail
+    /// until the repair time, if any.
+    DeviceDown,
+}
+
+impl std::fmt::Display for DiskFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiskFault::Transient => write!(f, "transient I/O error"),
+            DiskFault::DeviceDown => write!(f, "device down"),
+        }
+    }
+}
+
+/// The kind of misbehavior a fault window injects.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultKind {
+    /// Every service time in the window is multiplied by `factor`
+    /// (a straggler device; `factor` may be < 1 to model a fast outlier).
+    Slowdown {
+        /// Service-time multiplier, must be positive.
+        factor: f64,
+    },
+    /// The device is hard-down: every request fails fast with
+    /// [`DiskFault::DeviceDown`] until the window ends (the repair time).
+    Outage,
+    /// Each request in the window independently fails with
+    /// [`DiskFault::Transient`] at this probability (after full service —
+    /// the head moved, the transfer failed).
+    Flaky {
+        /// Per-request failure probability in `[0, 1]`.
+        probability: f64,
+    },
+}
+
+/// One scheduled fault window on one device.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DeviceFault {
+    /// The device this window applies to.
+    pub disk: DiskId,
+    /// What goes wrong.
+    pub kind: FaultKind,
+    /// Window start (inclusive).
+    pub from: SimTime,
+    /// Window end (exclusive); `None` means the fault lasts forever
+    /// (e.g. an unrepaired outage).
+    pub until: Option<SimTime>,
+}
+
+impl DeviceFault {
+    /// Is this window active for a request starting service at `now`?
+    pub fn active_at(&self, now: SimTime) -> bool {
+        now >= self.from && self.until.is_none_or(|end| now < end)
+    }
+}
+
+/// A declarative, per-device schedule of fault windows.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    entries: Vec<DeviceFault>,
+}
+
+impl FaultPlan {
+    /// An empty plan: no faults, provably identical to no fault layer.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All scheduled windows.
+    pub fn entries(&self) -> &[DeviceFault] {
+        &self.entries
+    }
+
+    /// Add an arbitrary window.
+    pub fn push(&mut self, fault: DeviceFault) {
+        self.entries.push(fault);
+    }
+
+    /// Add a straggler window: `disk` serves `factor`× slower in
+    /// `[from, until)`.
+    pub fn straggler(
+        mut self,
+        disk: DiskId,
+        factor: f64,
+        from: SimTime,
+        until: Option<SimTime>,
+    ) -> Self {
+        self.push(DeviceFault {
+            disk,
+            kind: FaultKind::Slowdown { factor },
+            from,
+            until,
+        });
+        self
+    }
+
+    /// Add a hard outage starting at `from`, repaired at `until` (or
+    /// never, when `None`).
+    pub fn outage(mut self, disk: DiskId, from: SimTime, until: Option<SimTime>) -> Self {
+        self.push(DeviceFault {
+            disk,
+            kind: FaultKind::Outage,
+            from,
+            until,
+        });
+        self
+    }
+
+    /// Add a transient-error window with the given per-request failure
+    /// probability.
+    pub fn flaky(
+        mut self,
+        disk: DiskId,
+        probability: f64,
+        from: SimTime,
+        until: Option<SimTime>,
+    ) -> Self {
+        self.push(DeviceFault {
+            disk,
+            kind: FaultKind::Flaky { probability },
+            from,
+            until,
+        });
+        self
+    }
+
+    /// The windows that apply to one device, in schedule order.
+    pub fn for_disk(&self, disk: DiskId) -> Vec<DeviceFault> {
+        self.entries
+            .iter()
+            .filter(|e| e.disk == disk)
+            .copied()
+            .collect()
+    }
+}
+
+/// How long a request "occupies" a hard-down device before the controller
+/// reports the failure. Small but nonzero: error detection is fast but
+/// not free, and a zero-length service would let one process spin through
+/// unbounded retries at a single instant.
+pub const OUTAGE_ERROR_LATENCY: SimDuration = SimDuration::from_millis(1);
+
+/// The instantiated fault state attached to one device: its windows plus
+/// a private random stream for transient-error draws.
+///
+/// The stream is consumed *only* inside active flaky windows, so devices
+/// outside their windows — and every device under an empty plan — draw
+/// exactly the same service-time sequence as a fault-free run.
+#[derive(Clone, Debug)]
+pub struct DeviceFaults {
+    windows: Vec<DeviceFault>,
+    rng: Rng,
+}
+
+impl DeviceFaults {
+    /// Attach `windows` (already filtered to one device) with a dedicated
+    /// random stream.
+    pub fn new(windows: Vec<DeviceFault>, rng: Rng) -> Self {
+        DeviceFaults { windows, rng }
+    }
+
+    /// Apply the schedule to a request starting service at `start` whose
+    /// fault-free service time is `base`. Returns the adjusted service
+    /// time and the completion status.
+    pub fn apply(
+        &mut self,
+        start: SimTime,
+        base: SimDuration,
+    ) -> (SimDuration, Result<(), DiskFault>) {
+        let mut factor = 1.0f64;
+        let mut fail_p = 0.0f64;
+        for w in &self.windows {
+            if !w.active_at(start) {
+                continue;
+            }
+            match w.kind {
+                FaultKind::Outage => {
+                    // Hard-down wins over everything: fail fast.
+                    return (OUTAGE_ERROR_LATENCY, Err(DiskFault::DeviceDown));
+                }
+                FaultKind::Slowdown { factor: f } => factor *= f,
+                FaultKind::Flaky { probability } => {
+                    // Overlapping flaky windows fail independently.
+                    fail_p = 1.0 - (1.0 - fail_p) * (1.0 - probability);
+                }
+            }
+        }
+        let service = if factor == 1.0 {
+            base
+        } else {
+            SimDuration::from_nanos((base.as_nanos() as f64 * factor).round() as u64)
+        };
+        if fail_p > 0.0 && self.rng.chance(fail_p) {
+            (service, Err(DiskFault::Transient))
+        } else {
+            (service, Ok(()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn slowdown_scales_only_inside_window() {
+        let plan = FaultPlan::none().straggler(DiskId(0), 4.0, t(100), Some(t(200)));
+        let mut f = DeviceFaults::new(plan.for_disk(DiskId(0)), Rng::seeded(1));
+        assert_eq!(f.apply(t(0), ms(30)), (ms(30), Ok(())));
+        assert_eq!(f.apply(t(100), ms(30)), (ms(120), Ok(())));
+        assert_eq!(f.apply(t(199), ms(30)), (ms(120), Ok(())));
+        assert_eq!(f.apply(t(200), ms(30)), (ms(30), Ok(())));
+    }
+
+    #[test]
+    fn outage_fails_fast_until_repair() {
+        let plan = FaultPlan::none().outage(DiskId(2), t(50), Some(t(80)));
+        let mut f = DeviceFaults::new(plan.for_disk(DiskId(2)), Rng::seeded(1));
+        assert_eq!(
+            f.apply(t(60), ms(30)),
+            (OUTAGE_ERROR_LATENCY, Err(DiskFault::DeviceDown))
+        );
+        assert_eq!(f.apply(t(80), ms(30)), (ms(30), Ok(())));
+    }
+
+    #[test]
+    fn unrepaired_outage_never_ends() {
+        let plan = FaultPlan::none().outage(DiskId(0), t(10), None);
+        let mut f = DeviceFaults::new(plan.for_disk(DiskId(0)), Rng::seeded(1));
+        assert!(f.apply(t(1_000_000), ms(30)).1.is_err());
+    }
+
+    #[test]
+    fn flaky_fails_at_roughly_the_given_rate() {
+        let plan = FaultPlan::none().flaky(DiskId(0), 0.3, SimTime::ZERO, None);
+        let mut f = DeviceFaults::new(plan.for_disk(DiskId(0)), Rng::seeded(42));
+        let fails = (0..10_000)
+            .filter(|_| f.apply(t(0), ms(30)).1.is_err())
+            .count();
+        let rate = fails as f64 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "observed failure rate {rate}");
+        // Transient failures still take full service time.
+        assert_eq!(f.apply(t(0), ms(30)).0, ms(30));
+    }
+
+    #[test]
+    fn plans_filter_by_device() {
+        let plan = FaultPlan::none()
+            .straggler(DiskId(1), 2.0, t(0), None)
+            .outage(DiskId(3), t(0), None);
+        assert_eq!(plan.for_disk(DiskId(1)).len(), 1);
+        assert_eq!(plan.for_disk(DiskId(3)).len(), 1);
+        assert!(plan.for_disk(DiskId(0)).is_empty());
+        assert!(!plan.is_empty());
+        assert!(FaultPlan::none().is_empty());
+    }
+
+    #[test]
+    fn deterministic_across_instances_with_same_seed() {
+        let plan = FaultPlan::none().flaky(DiskId(0), 0.5, SimTime::ZERO, None);
+        let mut a = DeviceFaults::new(plan.for_disk(DiskId(0)), Rng::seeded(9));
+        let mut b = DeviceFaults::new(plan.for_disk(DiskId(0)), Rng::seeded(9));
+        for i in 0..100 {
+            assert_eq!(a.apply(t(i), ms(30)), b.apply(t(i), ms(30)));
+        }
+    }
+}

@@ -23,13 +23,15 @@
 #![warn(missing_docs)]
 
 pub mod device;
+pub mod fault;
 pub mod request;
 pub mod service;
 pub mod striping;
 pub mod subsystem;
 
-pub use device::{Discipline, Disk};
+pub use device::{Discipline, Disk, Finished};
+pub use fault::{DeviceFault, DeviceFaults, DiskFault, FaultKind, FaultPlan};
 pub use request::{BlockId, DiskId, DiskRequest, FetchKind, ProcId};
 pub use service::{DiskGeometry, FixedLatency, SeekRotate, Service, ServiceModel};
 pub use striping::{Contiguous, FileLayout, Interleaved, Layout, Placement};
-pub use subsystem::{DiskSubsystem, Started};
+pub use subsystem::{Completed, DiskSubsystem, Started};

@@ -50,7 +50,7 @@ pub enum FetchKind {
 }
 
 /// One read request as seen by a disk device.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct DiskRequest {
     /// The file block being fetched.
     pub block: BlockId,

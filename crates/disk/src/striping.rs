@@ -37,14 +37,29 @@ pub struct Interleaved {
     disks: u16,
     /// Physical offset of the file's first stripe on every disk.
     base: u32,
+    /// Rotation applied to the disk assignment: block *i* lands on disk
+    /// *(i + shift) mod D*. Replicated files give each copy a different
+    /// shift so a replica read targets a different device.
+    shift: u16,
 }
 
 impl Interleaved {
     /// Interleave over `disks` devices starting at physical offset `base`.
     /// Panics if `disks == 0`.
     pub fn new(disks: u16, base: u32) -> Self {
+        Interleaved::with_shift(disks, base, 0)
+    }
+
+    /// Interleave with the disk assignment rotated by `shift` — the layout
+    /// a rotated replica uses so every block lives on a different device
+    /// than its primary. Panics if `disks == 0`.
+    pub fn with_shift(disks: u16, base: u32, shift: u16) -> Self {
         assert!(disks > 0, "cannot interleave over zero disks");
-        Interleaved { disks, base }
+        Interleaved {
+            disks,
+            base,
+            shift: shift % disks,
+        }
     }
 
     /// The paper's layout: interleaved over 20 disks from offset 0.
@@ -57,7 +72,7 @@ impl Layout for Interleaved {
     fn place(&self, block: BlockId) -> Placement {
         let d = self.disks as u32;
         Placement {
-            disk: DiskId((block.0 % d) as u16),
+            disk: DiskId(((block.0 + self.shift as u32) % d) as u16),
             physical: self.base + block.0 / d,
         }
     }
@@ -226,6 +241,22 @@ mod tests {
     #[should_panic(expected = "zero disks")]
     fn zero_disks_rejected() {
         let _ = Interleaved::new(0, 0);
+    }
+
+    #[test]
+    fn shifted_replica_avoids_primary_disk() {
+        let primary = Interleaved::new(4, 0);
+        let replica = Interleaved::with_shift(4, 100, 1);
+        for i in 0..16u32 {
+            let p = primary.place(BlockId(i));
+            let r = replica.place(BlockId(i));
+            assert_ne!(p.disk, r.disk, "block {i} replica on primary's disk");
+            // Same stripe depth, different base.
+            assert_eq!(r.physical, 100 + p.physical);
+        }
+        // A shift of D is the identity rotation.
+        let full = Interleaved::with_shift(4, 0, 4);
+        assert_eq!(full.place(BlockId(3)), primary.place(BlockId(3)));
     }
 
     #[test]

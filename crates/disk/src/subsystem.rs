@@ -4,6 +4,7 @@
 use rt_sim::{Rng, SimDuration, SimTime, Tally};
 
 use crate::device::{Discipline, Disk};
+use crate::fault::{DeviceFaults, DiskFault, FaultPlan};
 use crate::request::{BlockId, DiskId, DiskRequest, FetchKind, ProcId};
 use crate::service::Service;
 use crate::striping::{FileLayout, Layout};
@@ -18,6 +19,21 @@ pub struct Started {
     /// When the I/O completes; call
     /// [`DiskSubsystem::complete`] at this instant.
     pub completion: SimTime,
+}
+
+/// A finished I/O as reported by [`DiskSubsystem::complete`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Completed {
+    /// The block whose fetch finished.
+    pub block: BlockId,
+    /// Demand fetch or prefetch.
+    pub kind: FetchKind,
+    /// The process that requested it.
+    pub initiator: ProcId,
+    /// `Ok` on success; `Err` carries the injected fault.
+    pub status: Result<(), DiskFault>,
+    /// Device service time of this request (excludes queueing).
+    pub service: SimDuration,
 }
 
 /// All disks of the machine plus the (single) file's layout across them.
@@ -112,18 +128,40 @@ impl DiskSubsystem {
     }
 
     /// The in-flight request on `disk` finished at `now`. Returns the
-    /// finished block and, if more work was queued, the next started
-    /// request (schedule its completion).
-    pub fn complete(&mut self, disk: DiskId, now: SimTime) -> (BlockId, Option<Started>) {
+    /// finished request (with its completion status) and, if more work was
+    /// queued, the next started request (schedule its completion).
+    pub fn complete(&mut self, disk: DiskId, now: SimTime) -> (Completed, Option<Started>) {
         let (done, next) = self.disks[disk.index()].complete(now);
         (
-            done.block,
+            Completed {
+                block: done.req.block,
+                kind: done.req.kind,
+                initiator: done.req.initiator,
+                status: done.status,
+                service: done.service,
+            },
             next.map(|(req, completion)| Started {
                 disk,
                 block: req.block,
                 completion,
             }),
         )
+    }
+
+    /// Install a fault schedule: each device named in `plan` gets its
+    /// windows plus a private random stream split from `rng`. Devices the
+    /// plan never mentions keep running with no fault layer at all, so an
+    /// empty plan changes nothing.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan, rng: &Rng) {
+        for (i, disk) in self.disks.iter_mut().enumerate() {
+            let windows = plan.for_disk(DiskId(i as u16));
+            if !windows.is_empty() {
+                disk.set_faults(DeviceFaults::new(
+                    windows,
+                    rng.split(0xfa17_0000 + i as u64),
+                ));
+            }
+        }
     }
 
     /// Number of devices.
@@ -139,6 +177,11 @@ impl DiskSubsystem {
     /// Total requests completed across all devices.
     pub fn total_ops(&self) -> u64 {
         self.disks.iter().map(|d| d.ops()).sum()
+    }
+
+    /// Total requests that completed with an injected fault.
+    pub fn total_errors(&self) -> u64 {
+        self.disks.iter().map(|d| d.errors()).sum()
     }
 
     /// Merged response-time distribution across devices — the paper's
@@ -214,14 +257,39 @@ mod tests {
         let b = s.read(SimTime::ZERO, BlockId(4), FetchKind::Demand, ProcId(1));
         assert!(b.is_none());
         let (done, next) = s.complete(DiskId(0), t(30));
-        assert_eq!(done, BlockId(0));
+        assert_eq!(done.block, BlockId(0));
+        assert_eq!(done.kind, FetchKind::Demand);
+        assert_eq!(done.initiator, ProcId(0));
+        assert_eq!(done.status, Ok(()));
         let next = next.unwrap();
         assert_eq!(next.block, BlockId(4));
         assert_eq!(next.completion, t(60));
         let (done, next) = s.complete(DiskId(0), t(60));
-        assert_eq!(done, BlockId(4));
+        assert_eq!(done.block, BlockId(4));
         assert!(next.is_none());
         assert_eq!(s.total_ops(), 2);
+        assert_eq!(s.total_errors(), 0);
+    }
+
+    #[test]
+    fn fault_plan_applies_only_to_named_devices() {
+        use crate::fault::{DiskFault, FaultPlan};
+        let mut s = subsystem(4);
+        let plan = FaultPlan::none().outage(DiskId(1), SimTime::ZERO, None);
+        s.set_fault_plan(&plan, &Rng::seeded(11));
+        let ok = s
+            .read(SimTime::ZERO, BlockId(0), FetchKind::Demand, ProcId(0))
+            .unwrap();
+        assert_eq!(ok.completion, t(30));
+        let bad = s
+            .read(SimTime::ZERO, BlockId(1), FetchKind::Demand, ProcId(0))
+            .unwrap();
+        assert!(bad.completion < t(30), "outage fails fast");
+        let (done, _) = s.complete(DiskId(1), bad.completion);
+        assert_eq!(done.status, Err(DiskFault::DeviceDown));
+        let (done, _) = s.complete(DiskId(0), t(30));
+        assert_eq!(done.status, Ok(()));
+        assert_eq!(s.total_errors(), 1);
     }
 
     #[test]

@@ -61,7 +61,7 @@ fn drive(discipline: Discipline, jobs: &[(u64, bool)]) -> Vec<(u32, FetchKind)> 
             }
             (_, Some(done)) => {
                 let (finished, next) = disk.complete(done);
-                completions.push((finished.block.0, finished.kind));
+                completions.push((finished.req.block.0, finished.req.kind));
                 next_completion = next.map(|(_, c)| c);
             }
             (None, None) => break,

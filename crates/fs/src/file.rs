@@ -36,6 +36,10 @@ pub struct FileMeta {
     pub striping: Striping,
     /// Resolved physical layout (block → disk/offset mapping).
     pub layout: FileLayout,
+    /// Replica layouts, one per extra copy: rotated interleaves so each
+    /// block's copies live on different devices. Empty for unreplicated
+    /// files.
+    pub replicas: Vec<FileLayout>,
     /// First block of this file in the global block namespace.
     pub base: u32,
 }
@@ -64,6 +68,7 @@ mod tests {
             blocks: 10,
             striping: Striping::OnDisk(0),
             layout: FileLayout::Contiguous(Contiguous::new(DiskId(0), 0)),
+            replicas: Vec::new(),
             base: 0,
         };
         assert!(meta.contains_block(0));

@@ -12,10 +12,10 @@
 use std::collections::HashMap;
 
 use rt_disk::{
-    BlockId, Contiguous, Discipline, DiskId, DiskSubsystem, FetchKind, FileLayout, Interleaved,
-    Layout, ProcId, Service,
+    BlockId, Contiguous, Discipline, DiskFault, DiskId, DiskSubsystem, FaultPlan, FetchKind,
+    FileLayout, Interleaved, Layout, ProcId, Service,
 };
-use rt_sim::{Rng, SimTime};
+use rt_sim::{Rng, SimDuration, SimTime};
 
 use crate::alloc::{AllocError, Allocator};
 use crate::file::{FileId, FileMeta, Striping};
@@ -38,6 +38,15 @@ pub enum FsError {
     },
     /// Allocation failed.
     Alloc(AllocError),
+    /// Replication requires an interleaved layout.
+    ReplicaUnsupported,
+    /// The requested replica index exceeds the file's copy count.
+    NoReplica {
+        /// The offending replica index (0 = primary).
+        replica: u16,
+        /// Copies the file actually has beyond the primary.
+        available: u16,
+    },
 }
 
 /// A read that started service (immediately at submit, or later when a
@@ -61,6 +70,14 @@ pub struct FsCompleted {
     pub file: FileId,
     /// The logical block within that file.
     pub block: BlockId,
+    /// Demand fetch or prefetch.
+    pub kind: FetchKind,
+    /// The node that issued the request.
+    pub initiator: ProcId,
+    /// `Ok` on success; `Err` carries the injected fault.
+    pub status: Result<(), DiskFault>,
+    /// Device service time of the request (excludes queueing).
+    pub service: SimDuration,
 }
 
 /// The interleaved file system over parallel independent disks.
@@ -114,8 +131,26 @@ impl FileSystem {
         blocks: u32,
         striping: Striping,
     ) -> Result<FileId, FsError> {
+        self.create_replicated(name, blocks, striping, 0)
+    }
+
+    /// Create a file with `replicas` extra copies beyond the primary.
+    /// Each copy is a *rotated* interleave over its own extent: block `i`
+    /// of replica `r` lives on disk `(i + r) mod D`, so every copy of a
+    /// block sits on a different device and a redirected read dodges the
+    /// failed one. Replication requires interleaved striping.
+    pub fn create_replicated(
+        &mut self,
+        name: &str,
+        blocks: u32,
+        striping: Striping,
+        replicas: u16,
+    ) -> Result<FileId, FsError> {
         if self.names.contains_key(name) {
             return Err(FsError::Exists(name.to_string()));
+        }
+        if replicas > 0 && striping != Striping::Interleaved {
+            return Err(FsError::ReplicaUnsupported);
         }
         let layout = match striping {
             Striping::Interleaved => {
@@ -133,12 +168,26 @@ impl FileSystem {
                 FileLayout::Contiguous(Contiguous::new(DiskId(d), base))
             }
         };
+        let replica_layouts = (1..=replicas)
+            .map(|r| {
+                let base = self
+                    .allocator
+                    .alloc_interleaved(blocks)
+                    .map_err(FsError::Alloc)?;
+                Ok(FileLayout::Interleaved(Interleaved::with_shift(
+                    self.allocator.disks(),
+                    base,
+                    r,
+                )))
+            })
+            .collect::<Result<Vec<_>, FsError>>()?;
         let id = FileId(self.files.len() as u32);
         self.files.push(FileMeta {
             name: name.to_string(),
             blocks,
             striping,
             layout,
+            replicas: replica_layouts,
             base: self.next_base,
         });
         self.names.insert(name.to_string(), id);
@@ -179,6 +228,22 @@ impl FileSystem {
         kind: FetchKind,
         initiator: ProcId,
     ) -> Result<Option<FsStarted>, FsError> {
+        self.read_replica(now, file, block, 0, kind, initiator)
+    }
+
+    /// Submit a read against a specific copy: `replica` 0 is the primary
+    /// layout, `1..` the rotated copies. All copies share the block's
+    /// global number, so completions attribute identically regardless of
+    /// which copy served them.
+    pub fn read_replica(
+        &mut self,
+        now: SimTime,
+        file: FileId,
+        block: BlockId,
+        replica: u16,
+        kind: FetchKind,
+        initiator: ProcId,
+    ) -> Result<Option<FsStarted>, FsError> {
         let meta = self.files.get(file.index()).ok_or(FsError::BadFile)?;
         if !meta.contains_block(block.0) {
             return Err(FsError::OutOfRange {
@@ -186,11 +251,21 @@ impl FileSystem {
                 len: meta.blocks,
             });
         }
+        let layout = if replica == 0 {
+            &meta.layout
+        } else {
+            meta.replicas
+                .get(replica as usize - 1)
+                .ok_or(FsError::NoReplica {
+                    replica,
+                    available: meta.replicas.len() as u16,
+                })?
+        };
         // Submit under the file's global block number so completions can be
         // attributed; pre-place here so the subsystem's own layout is
         // irrelevant.
         let global = BlockId(meta.base + block.0);
-        let placement = meta.layout.place(block);
+        let placement = layout.place(block);
         let started = self
             .disks
             .read_placed(now, global, placement, kind, initiator);
@@ -202,38 +277,69 @@ impl FileSystem {
         }))
     }
 
+    /// Copies of `file` beyond the primary.
+    pub fn replica_count(&self, file: FileId) -> u16 {
+        self.files
+            .get(file.index())
+            .map_or(0, |m| m.replicas.len() as u16)
+    }
+
+    /// Which device serves `block` of `file` through copy `replica`
+    /// (0 = primary). Used by upper layers to steer around degraded
+    /// devices without submitting anything.
+    pub fn placement_disk(&self, file: FileId, block: BlockId, replica: u16) -> Option<DiskId> {
+        let meta = self.files.get(file.index())?;
+        let layout = if replica == 0 {
+            &meta.layout
+        } else {
+            meta.replicas.get(replica as usize - 1)?
+        };
+        Some(layout.place(block).disk)
+    }
+
+    /// Install a fault schedule on the underlying devices (see
+    /// [`DiskSubsystem::set_fault_plan`]).
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan, rng: &Rng) {
+        self.disks.set_fault_plan(plan, rng);
+    }
+
     /// The in-flight request on `disk` finished at `now`. Returns the
     /// finished `(file, block)` and, if queued work started, the next
     /// request's completion time.
     pub fn complete(&mut self, disk: DiskId, now: SimTime) -> (FsCompleted, Option<FsStarted>) {
-        let (global, next) = self.disks.complete(disk, now);
-        let completed = self.attribute(global);
+        let (done, next) = self.disks.complete(disk, now);
+        let (file, block) = self.attribute(done.block);
+        let completed = FsCompleted {
+            file,
+            block,
+            kind: done.kind,
+            initiator: done.initiator,
+            status: done.status,
+            service: done.service,
+        };
         (
             completed,
             next.map(|s| {
-                let attributed = self.attribute(s.block);
+                let (file, block) = self.attribute(s.block);
                 FsStarted {
                     disk: s.disk,
-                    file: attributed.file,
-                    block: attributed.block,
+                    file,
+                    block,
                     completion: s.completion,
                 }
             }),
         )
     }
 
-    /// Map a global block number back to its file.
-    fn attribute(&self, global: BlockId) -> FsCompleted {
+    /// Map a global block number back to its file and logical block.
+    fn attribute(&self, global: BlockId) -> (FileId, BlockId) {
         let pos = self
             .bases
             .partition_point(|&(base, _)| base <= global.0)
             .checked_sub(1)
             .expect("completion for an unallocated block");
         let (base, file) = self.bases[pos];
-        FsCompleted {
-            file,
-            block: BlockId(global.0 - base),
-        }
+        (file, BlockId(global.0 - base))
     }
 
     /// The underlying disk subsystem (statistics).
@@ -332,21 +438,71 @@ mod tests {
             .unwrap();
         assert!(s2.is_none(), "same disk: queues");
         let (done, next) = f.complete(DiskId(0), t(30));
-        assert_eq!(
-            done,
-            FsCompleted {
-                file: a,
-                block: BlockId(0)
-            }
-        );
+        assert_eq!((done.file, done.block), (a, BlockId(0)));
+        assert_eq!(done.status, Ok(()));
+        assert_eq!(done.kind, FetchKind::Demand);
         let (done, _) = f.complete(DiskId(0), next.unwrap().completion);
+        assert_eq!((done.file, done.block), (b, BlockId(0)));
+    }
+
+    #[test]
+    fn replicas_rotate_and_never_collide() {
+        let mut f = fs(4);
+        let id = f
+            .create_replicated("x", 8, Striping::Interleaved, 2)
+            .unwrap();
+        assert_eq!(f.replica_count(id), 2);
+        for blk in 0..8u32 {
+            let primary = f.placement_disk(id, BlockId(blk), 0).unwrap();
+            let r1 = f.placement_disk(id, BlockId(blk), 1).unwrap();
+            let r2 = f.placement_disk(id, BlockId(blk), 2).unwrap();
+            assert_ne!(primary, r1);
+            assert_ne!(primary, r2);
+            assert_ne!(r1, r2);
+        }
+        // A replica read attributes to the same (file, block) as the
+        // primary and lands on the rotated device.
+        let s = f
+            .read_replica(t(0), id, BlockId(0), 1, FetchKind::Demand, ProcId(0))
+            .unwrap()
+            .unwrap();
+        assert_eq!(s.disk, DiskId(1));
+        let (done, _) = f.complete(s.disk, s.completion);
+        assert_eq!((done.file, done.block), (id, BlockId(0)));
+        // Out-of-range replica indexes are rejected.
         assert_eq!(
-            done,
-            FsCompleted {
-                file: b,
-                block: BlockId(0)
-            }
+            f.read_replica(t(0), id, BlockId(0), 3, FetchKind::Demand, ProcId(0)),
+            Err(FsError::NoReplica {
+                replica: 3,
+                available: 2
+            })
         );
+    }
+
+    #[test]
+    fn replication_requires_interleaving() {
+        let mut f = fs(4);
+        assert_eq!(
+            f.create_replicated("x", 8, Striping::OnDisk(1), 1),
+            Err(FsError::ReplicaUnsupported)
+        );
+    }
+
+    #[test]
+    fn fault_plan_surfaces_in_completions() {
+        use rt_disk::FaultPlan;
+        let mut f = fs(2);
+        let id = f.create("x", 4, Striping::Interleaved).unwrap();
+        let plan = FaultPlan::none().outage(DiskId(1), t(0), None);
+        f.set_fault_plan(&plan, &Rng::seeded(5));
+        let s = f
+            .read(t(0), id, BlockId(1), FetchKind::Demand, ProcId(0))
+            .unwrap()
+            .unwrap();
+        let (done, _) = f.complete(s.disk, s.completion);
+        assert!(done.status.is_err());
+        assert_eq!((done.file, done.block), (id, BlockId(1)));
+        assert_eq!(f.disks().total_errors(), 1);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! rapid-transit sweep-compute       the §V-C computation sweep (Fig. 12)
 //! rapid-transit trace <pattern>     record a run and analyze its trace
 //! rapid-transit perf                measure the fixed perf slice
+//! rapid-transit faults              run the fault-injection sweep
 //! ```
 //!
 //! Run options:
@@ -14,7 +15,8 @@
 //! `--sync none|portion|per-proc:N|total:N` (default per-proc:10),
 //! `--compute MS` (default 30; lw defaults to 10), `--procs N`,
 //! `--disks N`, `--blocks N`, `--prefetch`, `--lead N`,
-//! `--policy oracle|obl|learner`, `--seed N`, `--csv`.
+//! `--policy oracle|obl|learner`, `--seed N`, `--csv`,
+//! `--faults SPECS`, `--replicas N`, `--io-timeout MS`.
 
 use std::process::ExitCode;
 
@@ -42,6 +44,7 @@ fn main() -> ExitCode {
         "sweep-compute" => cmd_sweep_compute(rest),
         "trace" => cmd_trace(rest),
         "perf" => cmd_perf(rest),
+        "faults" => cmd_faults(rest),
         "help" | "--help" | "-h" => {
             println!("{}", USAGE);
             Ok(())
@@ -69,6 +72,8 @@ commands:
   trace <pat>    record one run's access trace and analyze it off-line
   perf           measure the fixed perf slice, update BENCH_core.json
                  (--label L, --out FILE, --quick, --check)
+  faults         run the fault-injection sweep, write BENCH_faults.json
+                 (--out FILE, --smoke, --check)
 
 run options:
   --pattern P    lfp|lrp|lw|gfp|grp|gw          (default gw)
@@ -81,7 +86,16 @@ run options:
   --lead N       minimum prefetch lead
   --policy K     oracle|obl|learner              (default oracle)
   --seed N       random seed
-  --csv          machine-readable output where applicable";
+  --csv          machine-readable output where applicable
+
+fault options (run):
+  --faults SPECS comma-separated fault specs, repeatable:
+                   straggler:<disk>:x<factor>[@<from>[-<until>]]
+                   flaky:<disk>:p<prob>[@<from>[-<until>]]
+                   fail:<disk>@<from>[-<until>]
+                 durations: 5s, 200ms, or bare milliseconds
+  --replicas N   rotated-interleave file copies for redirects
+  --io-timeout MS demand-read timeout (redirects when replicas exist)";
 
 fn metric_rows(m: &RunMetrics) -> Vec<(&'static str, String)> {
     vec![
@@ -122,19 +136,43 @@ fn metric_rows(m: &RunMetrics) -> Vec<(&'static str, String)> {
     ]
 }
 
+/// Fault-path rows, shown only when the run injected faults.
+fn fault_rows(m: &RunMetrics) -> Vec<(&'static str, String)> {
+    let f = &m.faults;
+    vec![
+        ("io errors", f.io_errors.to_string()),
+        ("retries", f.retries.to_string()),
+        ("retries exhausted", f.retries_exhausted.to_string()),
+        ("timeouts", f.timeouts.to_string()),
+        ("redirects", f.redirects.to_string()),
+        ("aborted prefetches", f.aborted_prefetches.to_string()),
+        ("degraded skips", f.degraded_skips.to_string()),
+        ("degraded intervals", f.degraded_intervals.to_string()),
+        (
+            "degraded time (ms)",
+            format!("{:.1}", f.degraded_time.as_millis_f64()),
+        ),
+    ]
+}
+
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let cfg = build_config(args)?;
     println!("running {} ...", cfg.label());
+    let show_faults = cfg.faults.is_active();
     let m = run_experiment(&cfg);
+    let mut rows = metric_rows(&m);
+    if show_faults {
+        rows.extend(fault_rows(&m));
+    }
     if has_flag(args, "--csv") {
         println!("metric,value");
-        for (k, v) in metric_rows(&m) {
+        for (k, v) in rows {
             println!("{k},{v}");
         }
         return Ok(());
     }
     let mut t = Table::new(&["metric", "value"]);
-    for (k, v) in metric_rows(&m) {
+    for (k, v) in rows {
         t.row(&[k.to_string(), v]);
     }
     print!("{}", t.render());
@@ -262,6 +300,56 @@ fn cmd_perf(args: &[String]) -> Result<(), String> {
         Err(e) => return Err(format!("cannot read {out}: {e}")),
     };
     let doc = perf::merge_report(existing.as_ref(), &entry);
+    std::fs::write(&out, doc.pretty()).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+fn cmd_faults(args: &[String]) -> Result<(), String> {
+    use rapid_transit::bench::faults;
+    use rapid_transit::bench::json::Json;
+    use rapid_transit::cli::flag_value;
+
+    let out = flag_value(args, "--out")?
+        .unwrap_or("BENCH_faults.json")
+        .to_string();
+    let smoke = has_flag(args, "--smoke");
+
+    if has_flag(args, "--check") {
+        let text = std::fs::read_to_string(&out).map_err(|e| format!("cannot read {out}: {e}"))?;
+        let doc = Json::parse(&text).map_err(|e| format!("{out}: {e}"))?;
+        faults::validate_report(&doc).map_err(|e| format!("{out}: {e}"))?;
+        let n = doc
+            .get("scenarios")
+            .and_then(Json::as_array)
+            .map_or(0, <[Json]>::len);
+        println!("{out}: valid faults report, {n} scenarios");
+        return Ok(());
+    }
+
+    println!(
+        "running fault sweep ({} ...)",
+        if smoke { "smoke" } else { "full" }
+    );
+    let results = faults::run_sweep(smoke);
+    println!(
+        "{:<16} {:>10} {:>10} {:>8} {:>8} {:>9} {:>10}",
+        "scenario", "base ms", "pf ms", "errors", "retries", "timeouts", "degr ms"
+    );
+    for (name, pair) in &results {
+        let f = &pair.prefetch.faults;
+        println!(
+            "{:<16} {:>10.0} {:>10.0} {:>8} {:>8} {:>9} {:>10.0}",
+            name,
+            pair.base.total_time.as_millis_f64(),
+            pair.prefetch.total_time.as_millis_f64(),
+            f.io_errors,
+            f.retries,
+            f.timeouts,
+            f.degraded_time.as_millis_f64(),
+        );
+    }
+    let doc = faults::report(&results, smoke);
     std::fs::write(&out, doc.pretty()).map_err(|e| format!("cannot write {out}: {e}"))?;
     println!("wrote {out}");
     Ok(())

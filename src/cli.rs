@@ -1,6 +1,7 @@
 //! Argument parsing for the `rapid-transit` command-line tool, kept in the
 //! library so it can be unit-tested.
 
+use rt_core::faults::parse_fault_spec;
 use rt_core::{ExperimentConfig, PolicyKind, PrefetchConfig};
 use rt_patterns::{AccessPattern, SyncStyle};
 use rt_sim::SimDuration;
@@ -16,6 +17,21 @@ pub fn flag_value<'a>(args: &'a [String], name: &str) -> Result<Option<&'a str>,
         }
     }
     Ok(None)
+}
+
+/// Return every value following an occurrence of `--name` (the flag is
+/// repeatable).
+pub fn flag_values<'a>(args: &'a [String], name: &str) -> Result<Vec<&'a str>, String> {
+    let mut values = Vec::new();
+    for (i, a) in args.iter().enumerate() {
+        if a == name {
+            match args.get(i + 1) {
+                Some(v) => values.push(v.as_str()),
+                None => return Err(format!("{name} requires a value")),
+            }
+        }
+    }
+    Ok(values)
 }
 
 /// True when the bare flag `--name` is present.
@@ -118,6 +134,26 @@ pub fn build_config(args: &[String]) -> Result<ExperimentConfig, String> {
             cfg.prefetch.min_lead = v.parse().map_err(|_| "bad --lead")?;
         }
     }
+
+    // Fault injection: each --faults value is a comma-separated list of
+    // specs (straggler:7:x4, flaky:3:p0.2@1s-4s, fail:5@2s); the flag is
+    // repeatable.
+    for list in flag_values(args, "--faults")? {
+        for spec in list.split(',').filter(|s| !s.trim().is_empty()) {
+            parse_fault_spec(&mut cfg.faults.plan, spec.trim()).map_err(|e| e.to_string())?;
+        }
+    }
+    if let Some(v) = flag_value(args, "--replicas")? {
+        cfg.faults.replicas = v.parse().map_err(|_| "bad --replicas")?;
+    }
+    if let Some(v) = flag_value(args, "--io-timeout")? {
+        let ms: u64 = v.parse().map_err(|_| "bad --io-timeout (milliseconds)")?;
+        if ms == 0 {
+            return Err("--io-timeout must be positive".into());
+        }
+        cfg.faults.retry.timeout = Some(SimDuration::from_millis(ms));
+    }
+    cfg.validate().map_err(|e| e.to_string())?;
     Ok(cfg)
 }
 
@@ -207,6 +243,43 @@ mod tests {
         assert!(build_config(&args(&["--procs", "0"])).is_err());
         assert!(build_config(&args(&["--blocks", "0"])).is_err());
         assert!(build_config(&args(&["--disks", "0"])).is_err());
+    }
+
+    #[test]
+    fn fault_flags_parse() {
+        let cfg = build_config(&args(&[
+            "--faults",
+            "straggler:7:x4,flaky:3:p0.2@1s-4s",
+            "--faults",
+            "fail:5@2s-6s",
+            "--io-timeout",
+            "500",
+            "--replicas",
+            "1",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.faults.plan.entries().len(), 3);
+        assert_eq!(cfg.faults.replicas, 1);
+        assert_eq!(
+            cfg.faults.retry.timeout,
+            Some(SimDuration::from_millis(500))
+        );
+        assert!(cfg.faults.is_active());
+    }
+
+    #[test]
+    fn fault_flags_validated() {
+        // Disk 25 does not exist on the default 20-disk machine.
+        let err = build_config(&args(&["--faults", "straggler:25:x4"])).unwrap_err();
+        assert!(err.contains("disk 25"), "{err}");
+        // A permanent outage needs a replica to redirect to.
+        let err = build_config(&args(&["--faults", "fail:3@5s"])).unwrap_err();
+        assert!(err.contains("replicas"), "{err}");
+        assert!(build_config(&args(&["--faults", "fail:3@5s", "--replicas", "1"])).is_ok());
+        // Malformed specs are reported with the offending text.
+        let err = build_config(&args(&["--faults", "meteor:3"])).unwrap_err();
+        assert!(err.contains("meteor"), "{err}");
+        assert!(build_config(&args(&["--io-timeout", "0"])).is_err());
     }
 
     #[test]

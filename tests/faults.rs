@@ -1,0 +1,230 @@
+//! Integration tests for the fault-injection subsystem: determinism of
+//! faulty runs, the empty-plan identity (a zero-fault configuration must
+//! be indistinguishable from no fault layer at all, down to the engine's
+//! event count), and the graceful-degradation acceptance bound on the
+//! paper's `lfp` pattern.
+
+use proptest::prelude::*;
+
+use rapid_transit::core::experiment::{run_experiment, run_experiment_instrumented, run_pair};
+use rapid_transit::core::faults::{parse_fault_specs, FaultConfig};
+use rapid_transit::core::{ExperimentConfig, PrefetchConfig, RunMetrics};
+use rapid_transit::disk::{DiskId, FaultPlan};
+use rapid_transit::patterns::{AccessPattern, SyncStyle, WorkloadParams};
+use rapid_transit::sim::{SimDuration, SimTime};
+
+/// A small machine the fault proptests can afford to run repeatedly.
+fn small_cfg(pattern: AccessPattern, prefetch: bool) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::paper_default(pattern, SyncStyle::BlocksPerProc(10));
+    cfg.procs = 4;
+    cfg.disks = 4;
+    cfg.workload = WorkloadParams {
+        procs: 4,
+        file_blocks: 200,
+        total_reads: 200,
+        ..WorkloadParams::paper()
+    };
+    if prefetch {
+        cfg.prefetch = PrefetchConfig::paper();
+    } else {
+        cfg.prefetch = PrefetchConfig::disabled();
+    }
+    cfg
+}
+
+/// Everything observable a run produced, as a comparable value.
+fn fingerprint(m: &RunMetrics) -> (u64, u64, u64, u64, u64, u64, Vec<u64>) {
+    (
+        m.total_time.as_nanos(),
+        m.reads.mean().as_nanos(),
+        m.ready_hits,
+        m.unready_hits,
+        m.misses,
+        m.disk_ops,
+        vec![
+            m.faults.io_errors,
+            m.faults.retries,
+            m.faults.retries_exhausted,
+            m.faults.timeouts,
+            m.faults.redirects,
+            m.faults.aborted_prefetches,
+            m.faults.degraded_skips,
+            m.faults.stale_completions,
+            m.faults.degraded_intervals,
+            m.faults.degraded_time.as_nanos(),
+        ],
+    )
+}
+
+fn ms(n: u64) -> SimDuration {
+    SimDuration::from_millis(n)
+}
+
+fn at(n: u64) -> SimTime {
+    SimTime::ZERO + ms(n)
+}
+
+/// One random fault window on the 4-disk test machine:
+/// (disk, kind selector, magnitude, window start ms, window length ms).
+fn fault_strategy() -> impl Strategy<Value = (u16, u8, u32, u64, u64)> {
+    ((0u16..4, 0u8..3, 1u32..80), (0u64..1500, 50u64..2000))
+        .prop_map(|((disk, kind, mag), (from, len))| (disk, kind, mag, from, len))
+}
+
+fn plan_from(faults: &[(u16, u8, u32, u64, u64)]) -> FaultPlan {
+    let mut plan = FaultPlan::none();
+    for &(disk, kind, magnitude, from, len) in faults {
+        let disk = DiskId(disk);
+        let from = at(from);
+        // Open-endedness derived from the drawn length so both shapes are
+        // exercised (outages stay repaired: open-ended ones need replicas).
+        let until = (len % 5 != 0).then(|| from + ms(len));
+        plan = match kind {
+            0 => plan.straggler(disk, 1.0 + magnitude as f64 / 10.0, from, until),
+            1 => plan.flaky(disk, (magnitude as f64 / 100.0).min(0.8), from, until),
+            _ => plan.outage(disk, from, Some(from + ms(len))),
+        };
+    }
+    plan
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    /// Any fault plan, same seed: byte-identical results, fault counters
+    /// included.
+    #[test]
+    fn faulty_runs_are_deterministic(
+        faults in prop::collection::vec(fault_strategy(), 1..4),
+        prefetch in any::<bool>(),
+        timeout in prop::option::of(200u64..2000),
+        seed in any::<u64>(),
+    ) {
+        let mut cfg = small_cfg(AccessPattern::LocalFixedPortions, prefetch);
+        cfg.seed = seed;
+        cfg.faults.plan = plan_from(&faults);
+        cfg.faults.retry.timeout = timeout.map(ms);
+        cfg.validate().unwrap();
+        let a = run_experiment(&cfg);
+        let b = run_experiment(&cfg);
+        prop_assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+
+    /// A configuration whose plan is empty must match the no-fault
+    /// baseline exactly, whatever the rest of the fault config says.
+    #[test]
+    fn empty_plan_matches_baseline(
+        pattern in prop::sample::select(AccessPattern::ALL.to_vec()),
+        prefetch in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let mut base = small_cfg(pattern, prefetch);
+        base.seed = seed;
+        base.faults = FaultConfig::none();
+        let mut empty = base.clone();
+        empty.faults.plan = FaultPlan::none();
+        empty.faults.degrade.alpha = 0.7; // irrelevant without faults
+        let a = run_experiment(&base);
+        let b = run_experiment(&empty);
+        prop_assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+}
+
+/// The empty-plan identity down to the engine itself: an inactive fault
+/// layer must not schedule a single extra event on any paper-default
+/// pattern, with or without prefetching.
+#[test]
+fn inactive_fault_layer_adds_no_events() {
+    for pattern in AccessPattern::ALL {
+        for prefetch in [false, true] {
+            let mut cfg = ExperimentConfig::paper_default(pattern, SyncStyle::BlocksPerProc(10));
+            if prefetch {
+                cfg.prefetch = PrefetchConfig::paper();
+            }
+            let (m_base, perf_base) = run_experiment_instrumented(&cfg);
+            cfg.faults = FaultConfig::none();
+            let (m_none, perf_none) = run_experiment_instrumented(&cfg);
+            assert_eq!(
+                fingerprint(&m_base),
+                fingerprint(&m_none),
+                "{pattern}/pf={prefetch}: explicit empty fault config changed the run"
+            );
+            assert_eq!(
+                perf_base.events, perf_none.events,
+                "{pattern}/pf={prefetch}: inactive fault layer changed the event count"
+            );
+            assert_eq!(m_none.faults.io_errors, 0);
+            assert_eq!(m_none.faults.retries, 0);
+            assert_eq!(m_none.faults.timeouts, 0);
+        }
+    }
+}
+
+/// An armed timeout policy with no faults must change no outcome: every
+/// timer is cancelled or lands after delivery, and the metrics fingerprint
+/// (event counts aside) stays identical to the fault-free run.
+#[test]
+fn unfired_timeouts_change_nothing() {
+    for prefetch in [false, true] {
+        let mut cfg = ExperimentConfig::paper_default(
+            AccessPattern::LocalFixedPortions,
+            SyncStyle::BlocksPerProc(10),
+        );
+        if prefetch {
+            cfg.prefetch = PrefetchConfig::paper();
+        }
+        let baseline = run_experiment(&cfg);
+        // A 10-second timeout can never fire on a healthy 30 ms disk.
+        cfg.faults.retry.timeout = Some(ms(10_000));
+        let timed = run_experiment(&cfg);
+        assert_eq!(
+            fingerprint(&baseline),
+            fingerprint(&timed),
+            "pf={prefetch}: a never-firing timeout perturbed the run"
+        );
+    }
+}
+
+/// Acceptance bound (§ISSUE 2): with a straggler plan on the paper's
+/// `lfp` pattern, degradation engages and prefetching never loses more
+/// than the no-fault gap against the non-prefetching run.
+#[test]
+fn lfp_straggler_degrades_gracefully() {
+    let cfg = |faulty: bool| {
+        let mut c = ExperimentConfig::paper_default(
+            AccessPattern::LocalFixedPortions,
+            SyncStyle::BlocksPerProc(10),
+        );
+        if faulty {
+            c.faults.plan = parse_fault_specs("straggler:7:x4").unwrap();
+        }
+        c
+    };
+    let healthy = run_pair(&cfg(false));
+    let faulty = run_pair(&cfg(true));
+
+    // The daemon noticed the sick device and backed off.
+    let f = &faulty.prefetch.faults;
+    assert!(f.degraded_intervals > 0, "device never classified degraded");
+    assert!(f.degraded_skips > 0, "daemon never skipped the sick device");
+    assert!(
+        f.degraded_time > SimDuration::ZERO,
+        "no degraded time recorded"
+    );
+
+    // Prefetching may lose its edge under the straggler, but it must not
+    // fall behind demand-only by more than it was ahead without faults.
+    let healthy_gap =
+        healthy.base.total_time.as_nanos() as i128 - healthy.prefetch.total_time.as_nanos() as i128;
+    let faulty_loss =
+        faulty.prefetch.total_time.as_nanos() as i128 - faulty.base.total_time.as_nanos() as i128;
+    assert!(
+        faulty_loss <= healthy_gap,
+        "prefetch under a straggler lost {faulty_loss} ns, more than the \
+         no-fault gap of {healthy_gap} ns"
+    );
+
+    // The straggler slows everything down; sanity-check the fault actually
+    // bit, so this test cannot silently pass on a no-op plan.
+    assert!(faulty.base.total_time > healthy.base.total_time);
+}
