@@ -24,6 +24,7 @@ use rt_patterns::{AccessPattern, SyncStyle};
 pub mod faults;
 pub mod json;
 pub mod perf;
+pub mod soak;
 
 pub use rt_core::sweeps::{ComputePoint, LeadPoint};
 

@@ -36,4 +36,6 @@ pub mod buffer;
 pub mod pool;
 
 pub use buffer::{BufState, Buffer, BufferClass, BufferId};
-pub use pool::{BufferPool, CacheStats, Lookup, PoolConfig, PrefetchBlocked, Replacement};
+pub use pool::{
+    BufferPool, CacheStats, Lookup, PoolConfig, PoolPressure, PrefetchBlocked, Replacement,
+};

@@ -115,6 +115,34 @@ pub enum PrefetchBlocked {
     NoBuffer,
 }
 
+/// Snapshot of how full the prefetch partition is — the backpressure
+/// signal the admission layer reads before reserving more buffers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PoolPressure {
+    /// Prefetch buffers with no contents.
+    pub free: u32,
+    /// Prefetch buffers with an I/O in flight.
+    pub pending: u32,
+    /// Prefetch buffers holding data nobody has read yet.
+    pub unused_ready: u32,
+    /// Buffers (any class) pinned by an in-flight copy.
+    pub pinned: u32,
+    /// Total prefetch buffers in the pool.
+    pub prefetch_total: u32,
+}
+
+impl PoolPressure {
+    /// Fraction of the prefetch partition that is committed (pending or
+    /// holding unused data). 0.0 when there are no prefetch buffers.
+    pub fn occupancy(&self) -> f64 {
+        if self.prefetch_total == 0 {
+            0.0
+        } else {
+            (self.pending + self.unused_ready) as f64 / self.prefetch_total as f64
+        }
+    }
+}
+
 /// Cache-level counters for one run.
 #[derive(Clone, Debug, Default)]
 pub struct CacheStats {
@@ -559,6 +587,35 @@ impl BufferPool {
         self.buffers[buf.index()].state = BufState::Free;
     }
 
+    /// Snapshot the prefetch partition's fullness. A scan over the pool —
+    /// called only when the admission layer is enabled, never on the
+    /// default paths.
+    pub fn pressure(&self) -> PoolPressure {
+        let mut p = PoolPressure {
+            free: 0,
+            pending: 0,
+            unused_ready: 0,
+            pinned: 0,
+            prefetch_total: 0,
+        };
+        for b in &self.buffers {
+            if b.pins > 0 {
+                p.pinned += 1;
+            }
+            if b.class != BufferClass::Prefetch {
+                continue;
+            }
+            p.prefetch_total += 1;
+            match b.state {
+                BufState::Free => p.free += 1,
+                BufState::Pending { .. } => p.pending += 1,
+                BufState::Ready { used, .. } if !used => p.unused_ready += 1,
+                BufState::Ready { .. } => {}
+            }
+        }
+        p
+    }
+
     /// Verify internal invariants; used by tests and property tests, and
     /// run after every pool mutation in debug builds (see
     /// [`BufferPool::debug_check`] — release builds pay nothing).
@@ -922,6 +979,46 @@ mod tests {
         let b3 = p.alloc_demand(ProcId(1), BlockId(3), t(90)).unwrap();
         assert_eq!(b3, b2);
         assert!(p.contains(BlockId(1)));
+        p.assert_invariants();
+    }
+
+    #[test]
+    fn pressure_tracks_prefetch_partition() {
+        let mut p = pool(); // 2 procs × 3 prefetch buffers
+        let empty = p.pressure();
+        assert_eq!(empty.prefetch_total, 6);
+        assert_eq!(empty.free, 6);
+        assert!((empty.occupancy() - 0.0).abs() < 1e-9);
+
+        // Three in flight: half the partition is committed.
+        for i in 0..3u32 {
+            let buf = p.try_reserve_prefetch(ProcId(0), BlockId(i)).unwrap();
+            p.commit_prefetch(buf, BlockId(i), t(30));
+        }
+        let mid = p.pressure();
+        assert_eq!(mid.pending, 3);
+        assert_eq!(mid.free, 3);
+        assert!((mid.occupancy() - 0.5).abs() < 1e-9);
+
+        // Completion moves them to unused-ready; occupancy is unchanged
+        // until someone reads the data.
+        for i in 0..3u32 {
+            let buf = p.buffer_for(BlockId(i)).unwrap();
+            p.complete_io(buf, t(30));
+        }
+        let ready = p.pressure();
+        assert_eq!(ready.pending, 0);
+        assert_eq!(ready.unused_ready, 3);
+        assert!((ready.occupancy() - 0.5).abs() < 1e-9);
+
+        // Consuming a block releases its share of the pressure.
+        let buf = p.buffer_for(BlockId(0)).unwrap();
+        p.record_use(buf, ProcId(1), t(40));
+        assert_eq!(p.pressure().unused_ready, 2);
+        // A pinned copy-out shows up in the pinned count.
+        p.pin(buf);
+        assert_eq!(p.pressure().pinned, 1);
+        p.unpin(buf);
         p.assert_invariants();
     }
 

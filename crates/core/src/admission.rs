@@ -1,0 +1,155 @@
+//! Admission control for overload robustness: demand reads keep strict
+//! priority while the prefetch daemon is throttled by a token/credit
+//! scheme fed by per-disk queue depth and cache pressure.
+//!
+//! The paper's testbed lets the daemon race demand traffic onto unbounded
+//! FCFS disk queues — a deliberate property for studying contention
+//! (Fig. 7), but a liability under overload: a burst of prefetches can
+//! bury every demand fetch behind speculative work. This module is the
+//! opt-in backpressure layer:
+//!
+//! * **Credits** — at most [`AdmissionConfig::prefetch_credits`] prefetch
+//!   I/Os may be in flight (queued or in service) at once. A credit is
+//!   consumed when the daemon submits a prefetch and refunded exactly once
+//!   when that prefetch completes at the disk or is shed from a queue.
+//! * **Queue high water** — the daemon never submits a prefetch to a
+//!   device whose queue already holds
+//!   [`AdmissionConfig::queue_high_water`] waiting requests.
+//! * **Cache high water** — the daemon stops reserving prefetch buffers
+//!   while the prefetch partition's occupancy (pending + unused-ready
+//!   fraction) is at or above [`AdmissionConfig::cache_high_water`].
+//! * **Demand QoS** — with admission enabled the disk queues dispatch
+//!   demand fetches first ([`rt_disk::Discipline::DemandPriority`]), and
+//!   when a *bounded* queue rejects a demand read, a queued prefetch
+//!   nobody waits on is cancelled to make room; only if none exists does
+//!   the demand park until the device drains.
+//!
+//! Everything here is off by default ([`AdmissionConfig::off`]): a run
+//! with admission disabled and no queue bound is event-for-event identical
+//! to a build without this module.
+
+use std::collections::VecDeque;
+
+use rt_disk::{BlockId, ProcId};
+
+/// Tuning for the prefetch admission controller. Disabled by default;
+/// see [`AdmissionConfig::off`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AdmissionConfig {
+    /// Master switch. When off, the daemon submits prefetches exactly as
+    /// the paper's testbed does and none of the other fields are read.
+    pub enabled: bool,
+    /// Maximum prefetch I/Os in flight at once (the credit pool size).
+    pub prefetch_credits: u32,
+    /// Deny prefetch to a device whose queue already holds this many
+    /// waiting requests.
+    pub queue_high_water: u32,
+    /// Deny prefetch-buffer reservation while the prefetch partition's
+    /// occupancy is at or above this fraction (see
+    /// [`rt_cache::PoolPressure::occupancy`]).
+    pub cache_high_water: f64,
+}
+
+impl AdmissionConfig {
+    /// Admission control disabled — the default for every stock
+    /// configuration, preserving the paper's unthrottled daemon.
+    pub fn off() -> Self {
+        AdmissionConfig {
+            enabled: false,
+            prefetch_credits: 0,
+            queue_high_water: 0,
+            cache_high_water: 1.0,
+        }
+    }
+
+    /// Admission control enabled with `prefetch_credits` credits and
+    /// default watermarks: queue high water 2, cache high water 0.9.
+    pub fn on(prefetch_credits: u32) -> Self {
+        AdmissionConfig {
+            enabled: true,
+            prefetch_credits,
+            queue_high_water: 2,
+            cache_high_water: 0.9,
+        }
+    }
+}
+
+/// A demand fetch a bounded device queue rejected, waiting for the
+/// device to drain. Replayed FIFO by the device's completion handler.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ParkedDemand {
+    /// The file-level block the demand read wants.
+    pub block: BlockId,
+    /// The process charged with the fetch.
+    pub who: ProcId,
+    /// Which copy the rejected submission targeted (0 = primary).
+    pub replica: u16,
+}
+
+/// Mutable admission/backpressure state of one run. Allocated only when
+/// the configuration bounds queues or enables admission, so default runs
+/// pay nothing beyond an `Option` check (the same discipline as the
+/// fault layer's `FaultState`).
+pub(crate) struct AdmissionState {
+    pub cfg: AdmissionConfig,
+    /// Prefetch credits currently available (`cfg.prefetch_credits` at
+    /// rest; one consumed per in-flight prefetch).
+    pub credits: u32,
+    /// Per-device FIFO of demand fetches a full queue turned away.
+    pub parked: Vec<VecDeque<ParkedDemand>>,
+}
+
+impl AdmissionState {
+    pub fn new(cfg: AdmissionConfig, disks: u16) -> Self {
+        AdmissionState {
+            credits: cfg.prefetch_credits,
+            parked: vec![VecDeque::new(); disks as usize],
+            cfg,
+        }
+    }
+
+    /// Demand fetches currently parked across all devices.
+    pub fn parked_total(&self) -> usize {
+        self.parked.iter().map(VecDeque::len).sum()
+    }
+}
+
+/// Why the admission controller denied a prefetch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Deny {
+    /// No prefetch credits left.
+    Credits,
+    /// The target device's queue is at or past the high-water mark.
+    QueueDepth,
+    /// The prefetch partition is at or past the cache high-water mark.
+    CachePressure,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_config_reads_as_disabled() {
+        let c = AdmissionConfig::off();
+        assert!(!c.enabled);
+        assert_eq!(c.prefetch_credits, 0);
+    }
+
+    #[test]
+    fn on_config_carries_credits_and_watermarks() {
+        let c = AdmissionConfig::on(8);
+        assert!(c.enabled);
+        assert_eq!(c.prefetch_credits, 8);
+        assert!(c.queue_high_water > 0);
+        assert!(c.cache_high_water > 0.0 && c.cache_high_water <= 1.0);
+    }
+
+    #[test]
+    fn state_starts_full_and_empty() {
+        let s = AdmissionState::new(AdmissionConfig::on(4), 3);
+        assert_eq!(s.credits, 4);
+        assert_eq!(s.parked.len(), 3);
+        assert_eq!(s.parked_total(), 0);
+    }
+}

@@ -1,6 +1,7 @@
 //! Experiment configuration: machine geometry, cost model, workload, and
 //! prefetching parameters (§IV-D of the paper).
 
+use crate::admission::AdmissionConfig;
 use crate::faults::FaultConfig;
 use rt_cache::Replacement;
 use rt_disk::{Discipline, FaultKind, Service};
@@ -185,6 +186,16 @@ pub struct ExperimentConfig {
     /// an empty plan the run is event-for-event identical to a build
     /// without the fault subsystem).
     pub faults: FaultConfig,
+    /// Bound on each device queue's waiting requests (`None` — the
+    /// default — keeps the paper's unbounded queues). When set,
+    /// submissions past the bound are rejected: a rejected demand read
+    /// sheds a queued prefetch or parks until the device drains; a
+    /// rejected prefetch is dropped.
+    pub queue_depth: Option<u32>,
+    /// Prefetch admission controller ([`AdmissionConfig::off`] by
+    /// default — a disabled controller is event-for-event identical to a
+    /// build without the admission subsystem).
+    pub admission: AdmissionConfig,
     /// Master random seed.
     pub seed: u64,
 }
@@ -237,6 +248,15 @@ pub enum ConfigError {
     /// Replication requires the interleaved layout (replicas are rotated
     /// interleaves).
     ReplicasNeedInterleaving,
+    /// `queue_depth` is `Some(0)`: a zero-depth queue could never accept
+    /// a second request while one is in service.
+    ZeroQueueDepth,
+    /// Admission is enabled with zero prefetch credits: the daemon could
+    /// never prefetch at all (disable prefetching instead).
+    ZeroPrefetchCredits,
+    /// Admission is enabled with a cache high-water mark that is not a
+    /// positive finite fraction.
+    InvalidCacheHighWater(f64),
 }
 
 impl fmt::Display for ConfigError {
@@ -276,6 +296,18 @@ impl fmt::Display for ConfigError {
             ConfigError::ReplicasNeedInterleaving => {
                 write!(f, "file replication requires interleaved striping")
             }
+            ConfigError::ZeroQueueDepth => {
+                write!(f, "queue depth bound must be at least 1")
+            }
+            ConfigError::ZeroPrefetchCredits => {
+                write!(f, "admission enabled with zero prefetch credits")
+            }
+            ConfigError::InvalidCacheHighWater(x) => {
+                write!(
+                    f,
+                    "cache high-water mark {x} must be a positive finite fraction"
+                )
+            }
         }
     }
 }
@@ -308,6 +340,8 @@ impl ExperimentConfig {
             prefetch: PrefetchConfig::disabled(),
             costs: CostModel::paper(),
             faults: FaultConfig::none(),
+            queue_depth: None,
+            admission: AdmissionConfig::off(),
             seed: 0x5241_5049_4454,
         }
     }
@@ -375,6 +409,18 @@ impl ExperimentConfig {
         }
         if self.faults.replicas > 0 && self.striping != Striping::Interleaved {
             return Err(ConfigError::ReplicasNeedInterleaving);
+        }
+        if self.queue_depth == Some(0) {
+            return Err(ConfigError::ZeroQueueDepth);
+        }
+        if self.admission.enabled {
+            if self.admission.prefetch_credits == 0 {
+                return Err(ConfigError::ZeroPrefetchCredits);
+            }
+            let hw = self.admission.cache_high_water;
+            if !(hw.is_finite() && hw > 0.0) {
+                return Err(ConfigError::InvalidCacheHighWater(hw));
+            }
         }
         for entry in self.faults.plan.entries() {
             if entry.disk.0 >= self.disks {
@@ -513,6 +559,33 @@ mod tests {
         // A repairing outage is fine without replicas.
         let mut c = base;
         c.faults.plan = parse_fault_specs("fail:3@5s-9s").unwrap();
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_checks_overload_knobs() {
+        let base = ExperimentConfig::paper_default(AccessPattern::GlobalWholeFile, SyncStyle::None);
+        assert!(base.queue_depth.is_none());
+        assert!(!base.admission.enabled);
+
+        let mut c = base.clone();
+        c.queue_depth = Some(0);
+        assert_eq!(c.validate().unwrap_err(), ConfigError::ZeroQueueDepth);
+        c.queue_depth = Some(1);
+        c.validate().unwrap();
+
+        let mut c = base.clone();
+        c.admission = crate::admission::AdmissionConfig::on(0);
+        assert_eq!(c.validate().unwrap_err(), ConfigError::ZeroPrefetchCredits);
+
+        let mut c = base;
+        c.admission = crate::admission::AdmissionConfig::on(8);
+        c.admission.cache_high_water = f64::NAN;
+        assert!(matches!(
+            c.validate().unwrap_err(),
+            ConfigError::InvalidCacheHighWater(_)
+        ));
+        c.admission.cache_high_water = 0.9;
         c.validate().unwrap();
     }
 

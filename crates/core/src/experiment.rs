@@ -142,6 +142,7 @@ fn run_shared_world(
         tl_barrier: world.rec.tl_barrier.clone(),
         tl_outstanding_io: world.rec.tl_outstanding_io.clone(),
         faults: world.fault_metrics(outcome.end_time),
+        overload: world.overload_metrics(),
     };
     let trace = world.take_trace();
     (metrics, trace, perf)

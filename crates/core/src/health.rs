@@ -78,8 +78,14 @@ impl HealthTracker {
     }
 
     /// Record one completed I/O on `disk`: whether it succeeded and its
-    /// device service time. Updates the disk's classification.
+    /// device service time. Updates the disk's classification. Samples for
+    /// disks the tracker does not know (out-of-range ids, or a tracker
+    /// built over zero disks) are ignored rather than panicking — the
+    /// tracker is advisory and must not take the run down.
     pub fn observe(&mut self, disk: DiskId, ok: bool, service: SimDuration, now: SimTime) {
+        if disk.index() >= self.disks.len() {
+            return;
+        }
         let alpha = self.cfg.alpha;
         let err_sample = if ok { 0.0 } else { 1.0 };
         let lat_sample = service.as_nanos() as f64;
@@ -124,9 +130,9 @@ impl HealthTracker {
 
     /// Should the prefetch daemon avoid this disk right now? Always false
     /// when degradation is disabled in the config (health is still
-    /// tracked for the report).
+    /// tracked for the report), and for disks the tracker does not know.
     pub fn is_degraded(&self, disk: DiskId) -> bool {
-        self.cfg.enabled && self.disks[disk.index()].degraded
+        self.cfg.enabled && self.disks.get(disk.index()).is_some_and(|d| d.degraded)
     }
 
     /// Number of healthy→degraded transitions seen so far.
@@ -223,6 +229,31 @@ mod tests {
         assert!(!h.is_degraded(DiskId(0)));
         // Transitions are still tracked for the report.
         assert_eq!(h.degraded_intervals(), 1);
+    }
+
+    #[test]
+    fn zero_disk_tracker_ignores_samples() {
+        let mut h = HealthTracker::new(0, DegradeConfig::default());
+        // Must neither divide by zero nor index out of bounds.
+        h.observe(DiskId(0), false, ms(30), at(0));
+        assert!(!h.is_degraded(DiskId(0)));
+        assert_eq!(h.degraded_intervals(), 0);
+        assert_eq!(h.degraded_time(at(100)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn out_of_range_disk_ignored() {
+        let mut h = HealthTracker::new(2, DegradeConfig::default());
+        for i in 0..5 {
+            h.observe(DiskId(7), false, ms(30), at(i * 30));
+        }
+        assert!(!h.is_degraded(DiskId(7)));
+        assert_eq!(h.degraded_intervals(), 0);
+        // In-range observations still work after the stray ones.
+        for i in 0..3 {
+            h.observe(DiskId(1), false, ms(30), at(i * 30));
+        }
+        assert!(h.is_degraded(DiskId(1)));
     }
 
     #[test]

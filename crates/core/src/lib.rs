@@ -37,6 +37,7 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod barrier;
 pub mod config;
 pub mod experiment;
@@ -49,6 +50,7 @@ pub mod sweeps;
 pub mod trace;
 pub mod world;
 
+pub use admission::AdmissionConfig;
 pub use config::{ConfigError, CostModel, ExperimentConfig, PolicyKind, PrefetchConfig};
 pub use experiment::{
     paper_grid, run_experiment, run_experiment_traced, run_pair, run_pairs_parallel,
@@ -58,7 +60,8 @@ pub use faults::{
 };
 pub use health::HealthTracker;
 pub use metrics::{
-    coefficient_of_variation, improvement, FaultMetrics, ProcMetrics, RunMetrics, RunPair,
+    coefficient_of_variation, improvement, FaultMetrics, OverloadMetrics, ProcMetrics, RunMetrics,
+    RunPair,
 };
 pub use sweeps::{
     buffer_sweep_over, compute_sweep_over, lead_baselines_for, lead_sweep_over, BufferPoint,

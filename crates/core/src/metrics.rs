@@ -84,6 +84,10 @@ pub struct RunMetrics {
     pub tl_outstanding_io: Timeline,
     /// Fault-injection counters; all zero when the run injected nothing.
     pub faults: FaultMetrics,
+    /// Overload/backpressure counters; all zero (except the always-
+    /// observed `max_queue_depth`) when queues are unbounded and
+    /// admission is disabled.
+    pub overload: OverloadMetrics,
 }
 
 /// Counters from the fault-injection subsystem: what went wrong and how
@@ -114,6 +118,30 @@ pub struct FaultMetrics {
     pub degraded_intervals: u64,
     /// Total simulated time devices spent classified as degraded.
     pub degraded_time: SimDuration,
+}
+
+/// Counters from the overload/backpressure subsystem: how bounded device
+/// queues and the prefetch admission controller shaped traffic. All zero
+/// (except `max_queue_depth`) for runs with unbounded queues and
+/// admission disabled.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct OverloadMetrics {
+    /// Queued prefetches cancelled to make room for demand reads, plus
+    /// prefetch submissions a full queue rejected outright.
+    pub prefetches_shed: u64,
+    /// Prefetches the admission controller refused to issue (no credits,
+    /// queue high water, or cache pressure).
+    pub prefetches_throttled: u64,
+    /// Demand reads a full queue turned away that had to wait for the
+    /// device to drain (no queued prefetch could be shed for them).
+    pub demand_parked: u64,
+    /// Demand reads that queued behind at least one prefetch (priority
+    /// inversion; only counted while the overload layer is active).
+    pub demand_behind_prefetch: u64,
+    /// Prefetch denials due specifically to the cache high-water mark.
+    pub cache_high_water_hits: u64,
+    /// Deepest any device queue ever got (waiting requests only).
+    pub max_queue_depth: u64,
 }
 
 impl RunMetrics {
@@ -296,6 +324,7 @@ mod tests {
             tl_barrier: Timeline::new(),
             tl_outstanding_io: Timeline::new(),
             faults: FaultMetrics::default(),
+            overload: OverloadMetrics::default(),
         }
     }
 

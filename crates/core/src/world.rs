@@ -19,17 +19,18 @@ use std::sync::Arc;
 
 use rt_cache::{BufferPool, Lookup, PoolConfig};
 use rt_disk::{BlockId, DiskId, FetchKind, ProcId};
-use rt_fs::{FileId, FileSystem, FsStarted};
+use rt_fs::{FileId, FileSystem, FsError, FsStarted};
 use rt_patterns::{Access, Cursor, Predictor, SyncStyle, Workload};
 use rt_sim::{
     EventId, Model, Rng, Sampled, Scheduler, SimDuration, SimLock, SimTime, Tally, Timeline,
 };
 
+use crate::admission::{AdmissionState, Deny, ParkedDemand};
 use crate::barrier::Barrier;
 use crate::config::{ExperimentConfig, PolicyKind};
 use crate::faults::RetryPolicy;
 use crate::health::HealthTracker;
-use crate::metrics::FaultMetrics;
+use crate::metrics::{FaultMetrics, OverloadMetrics};
 use crate::policy::{
     select_oracle, select_oracle_avoiding, select_oracle_hinted, select_predicted, OracleView,
     ScanHint,
@@ -203,6 +204,13 @@ pub(crate) struct Recorder {
     pub aborted_prefetches: u64,
     pub degraded_skips: u64,
     pub stale_completions: u64,
+    /// Overload counters (all zero unless queues are bounded or
+    /// admission is enabled).
+    pub prefetches_shed: u64,
+    pub prefetches_throttled: u64,
+    pub demand_parked: u64,
+    pub demand_behind_prefetch: u64,
+    pub cache_high_water_hits: u64,
 }
 
 /// In-flight fault bookkeeping for one block's demand fetch.
@@ -275,6 +283,9 @@ pub struct World {
     /// Fault-layer state; `None` when the run injects nothing, keeping
     /// the hot path identical to a fault-free build.
     pub(crate) faults: Option<FaultState>,
+    /// Admission/backpressure state; `None` unless the configuration
+    /// bounds queues or enables admission (same discipline as `faults`).
+    pub(crate) admission: Option<AdmissionState>,
     pub(crate) rec: Recorder,
 }
 
@@ -334,10 +345,17 @@ impl World {
             }
         };
 
+        // Enabling admission is an explicit opt into demand QoS: queued
+        // prefetches are downgraded behind demand fetches at dispatch.
+        let discipline = if cfg.admission.enabled {
+            rt_disk::Discipline::DemandPriority
+        } else {
+            cfg.discipline
+        };
         let mut fs = FileSystem::new(
             cfg.disks,
             cfg.service.clone(),
-            cfg.discipline,
+            discipline,
             &root.split(0x6469736b),
         );
         let file = fs
@@ -351,6 +369,11 @@ impl World {
             retry: cfg.faults.retry,
             pending: HashMap::new(),
         });
+        if let Some(depth) = cfg.queue_depth {
+            fs.set_queue_limit(Some(depth as usize));
+        }
+        let admission = (cfg.queue_depth.is_some() || cfg.admission.enabled)
+            .then(|| AdmissionState::new(cfg.admission, cfg.disks));
 
         let procs: Vec<Proc> = (0..cfg.procs)
             .map(|p| Proc::new(ProcId(p), root.split(0x0070_726f_6300 + p as u64)))
@@ -403,6 +426,7 @@ impl World {
             trace: None,
             outstanding_io: 0,
             faults,
+            admission,
             rec: Recorder {
                 proc_reads: vec![Tally::new(); cfg.procs as usize],
                 proc_hits: vec![0; cfg.procs as usize],
@@ -497,6 +521,61 @@ impl World {
             degraded_intervals: intervals,
             degraded_time: time,
         }
+    }
+
+    /// Overload/backpressure counters of this run. All zero for runs with
+    /// unbounded queues and admission disabled (except `max_queue_depth`,
+    /// which is always observed).
+    pub fn overload_metrics(&self) -> OverloadMetrics {
+        OverloadMetrics {
+            prefetches_shed: self.rec.prefetches_shed,
+            prefetches_throttled: self.rec.prefetches_throttled,
+            demand_parked: self.rec.demand_parked,
+            demand_behind_prefetch: self.rec.demand_behind_prefetch,
+            cache_high_water_hits: self.rec.cache_high_water_hits,
+            max_queue_depth: self.disks().max_queue_depth() as u64,
+        }
+    }
+
+    /// Structural invariants the chaos soak harness checks after every
+    /// event: bounded queues never exceed their bound, the in-flight
+    /// counter matches the devices' queued + busy totals, the credit pool
+    /// never overflows, and demand reads only park under a queue bound.
+    /// Cheap — O(disks) — so it can run per event.
+    pub fn check_soak_invariants(&self) -> Result<(), String> {
+        let mut in_flight = 0usize;
+        for (i, d) in self.disks().disks().iter().enumerate() {
+            let queued = d.queued();
+            if let Some(limit) = self.cfg.queue_depth {
+                if queued > limit as usize {
+                    return Err(format!(
+                        "disk {i}: queue depth {queued} exceeds bound {limit}"
+                    ));
+                }
+            }
+            in_flight += queued + d.busy_now() as usize;
+        }
+        if in_flight != self.outstanding_io as usize {
+            return Err(format!(
+                "conservation: outstanding_io {} != queued+busy {in_flight}",
+                self.outstanding_io
+            ));
+        }
+        if let Some(adm) = &self.admission {
+            if adm.credits > adm.cfg.prefetch_credits {
+                return Err(format!(
+                    "credit pool overflow: {} > {}",
+                    adm.credits, adm.cfg.prefetch_credits
+                ));
+            }
+            if self.cfg.queue_depth.is_none() && adm.parked_total() != 0 {
+                return Err(format!(
+                    "{} demand reads parked with unbounded queues",
+                    adm.parked_total()
+                ));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -858,5 +937,81 @@ mod tests {
         );
         // And the miss ratio rises, as in Fig. 14.
         assert!(w_led.pool().stats().hit_ratio.value() <= w_near.pool().stats().hit_ratio.value());
+    }
+
+    /// A config that actually stresses device queues: four processes
+    /// hammering two disks with little compute between reads.
+    fn overload_cfg(prefetch: bool) -> ExperimentConfig {
+        let mut cfg = small_cfg(AccessPattern::GlobalWholeFile, SyncStyle::None, prefetch);
+        cfg.disks = 2;
+        cfg.compute_mean = SimDuration::from_micros(500);
+        cfg
+    }
+
+    #[test]
+    fn defaults_leave_overload_layer_inert() {
+        let (w, _) = run_world(small_cfg(
+            AccessPattern::GlobalWholeFile,
+            SyncStyle::None,
+            true,
+        ));
+        assert!(w.admission.is_none(), "no admission state by default");
+        let m = w.overload_metrics();
+        assert_eq!(m.prefetches_shed, 0);
+        assert_eq!(m.prefetches_throttled, 0);
+        assert_eq!(m.demand_parked, 0);
+        assert_eq!(m.demand_behind_prefetch, 0);
+        assert_eq!(m.cache_high_water_hits, 0);
+        w.check_soak_invariants().unwrap();
+    }
+
+    #[test]
+    fn bounded_queue_respects_depth_and_still_finishes() {
+        let mut cfg = overload_cfg(true);
+        cfg.queue_depth = Some(1);
+        let (w, _) = run_world(cfg);
+        assert_eq!(w.reads_done(), 200);
+        assert!(w.overload_metrics().max_queue_depth <= 1);
+        // Contention on two disks with a depth-1 queue must have pushed
+        // back somewhere: a shed prefetch or a parked demand read.
+        let m = w.overload_metrics();
+        assert!(
+            m.prefetches_shed + m.demand_parked > 0,
+            "expected backpressure under a depth-1 bound: {m:?}"
+        );
+        w.check_soak_invariants().unwrap();
+        w.pool().assert_invariants();
+    }
+
+    #[test]
+    fn admission_throttles_prefetch_and_finishes() {
+        let mut cfg = overload_cfg(true);
+        cfg.queue_depth = Some(2);
+        cfg.admission = crate::admission::AdmissionConfig::on(2);
+        let (w, _) = run_world(cfg);
+        assert_eq!(w.reads_done(), 200);
+        let m = w.overload_metrics();
+        assert!(
+            m.prefetches_throttled > 0,
+            "a 2-credit pool over 2 hot disks should throttle: {m:?}"
+        );
+        let adm = w.admission.as_ref().unwrap();
+        assert!(adm.credits <= 2, "credit pool overflowed: {}", adm.credits);
+        w.check_soak_invariants().unwrap();
+        w.pool().assert_invariants();
+    }
+
+    #[test]
+    fn bounded_base_run_parks_without_admission_state_confusion() {
+        // queue_depth alone (admission disabled) must still complete and
+        // never issue credits-path accounting.
+        let mut cfg = overload_cfg(false);
+        cfg.queue_depth = Some(1);
+        let (w, _) = run_world(cfg);
+        assert_eq!(w.reads_done(), 200);
+        let m = w.overload_metrics();
+        assert_eq!(m.prefetches_shed, 0, "no prefetches exist to shed");
+        assert_eq!(m.prefetches_throttled, 0);
+        w.check_soak_invariants().unwrap();
     }
 }

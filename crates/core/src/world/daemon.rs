@@ -68,24 +68,53 @@ impl World {
             other => other,
         };
         match candidate {
+            Some(block) if self.admission_denies(block).is_some() => {
+                // The admission controller refused the prefetch: out of
+                // credits, the target queue is past its high-water mark,
+                // or the prefetch partition is under pressure. Back off
+                // like an empty action (cheap re-spins while idle).
+                let deny = self.admission_denies(block).expect("checked in guard");
+                self.rec.prefetches_throttled += 1;
+                if deny == Deny::CachePressure {
+                    self.rec.cache_high_water_hits += 1;
+                }
+                self.procs[p].last_action_empty = true;
+            }
             Some(block) => {
                 self.procs[p].last_action_empty = false;
                 match self.pool.try_reserve_prefetch(ProcId(p as u16), block) {
                     Ok(buf) => {
-                        self.pool.commit_prefetch(buf, block, SimTime::MAX);
-                        self.rec.proc_prefetches[p] += 1;
-                        self.rec
-                            .tl_prefetched
-                            .record(now, self.pool.prefetched_unused() as f64);
-                        let started = self
-                            .fs
-                            .read(now, self.file, block, FetchKind::Prefetch, ProcId(p as u16))
-                            .expect("policy blocks are in range");
-                        self.outstanding_io += 1;
-                        self.rec
-                            .tl_outstanding_io
-                            .record(now, self.outstanding_io as f64);
-                        self.note_started(block, started, sched);
+                        match self.fs.read(
+                            now,
+                            self.file,
+                            block,
+                            FetchKind::Prefetch,
+                            ProcId(p as u16),
+                        ) {
+                            Ok(started) => {
+                                self.pool.commit_prefetch(buf, block, SimTime::MAX);
+                                self.consume_prefetch_credit();
+                                self.rec.proc_prefetches[p] += 1;
+                                self.rec
+                                    .tl_prefetched
+                                    .record(now, self.pool.prefetched_unused() as f64);
+                                self.outstanding_io += 1;
+                                self.rec
+                                    .tl_outstanding_io
+                                    .record(now, self.outstanding_io as f64);
+                                self.note_started(block, started, sched);
+                            }
+                            Err(FsError::QueueFull { .. }) => {
+                                // A bounded queue turned the prefetch
+                                // away: drop it rather than displace
+                                // demand traffic. The reservation was
+                                // never committed, so the buffer is
+                                // simply free again.
+                                self.rec.prefetches_shed += 1;
+                                self.procs[p].last_action_empty = true;
+                            }
+                            Err(e) => panic!("policy block rejected by file system: {e:?}"),
+                        }
                     }
                     Err(_) => {
                         self.rec.blocked_actions += 1;
@@ -102,6 +131,43 @@ impl World {
             self.resume(p, sched);
         } else if self.procs[p].idle_since.is_some() {
             self.maybe_start_action(p, sched);
+        }
+    }
+
+    /// Does the admission controller refuse a prefetch of `block` right
+    /// now? Always `None` unless admission is enabled. Device health is
+    /// handled upstream: degraded devices are already skipped by
+    /// re-selection ([`World::prefetch_target_degraded`]), so the
+    /// controller adds the credit, queue-depth, and cache-pressure gates.
+    fn admission_denies(&self, block: BlockId) -> Option<Deny> {
+        let adm = self.admission.as_ref()?;
+        if !adm.cfg.enabled {
+            return None;
+        }
+        if adm.credits == 0 {
+            return Some(Deny::Credits);
+        }
+        if let Some(disk) = self.fs.placement_disk(self.file, block, 0) {
+            let d = &self.fs.disks().disks()[disk.index()];
+            if d.queued() as u32 >= adm.cfg.queue_high_water {
+                return Some(Deny::QueueDepth);
+            }
+        }
+        if self.pool.pressure().occupancy() >= adm.cfg.cache_high_water {
+            return Some(Deny::CachePressure);
+        }
+        None
+    }
+
+    /// Take one prefetch credit from the pool (no-op unless admission is
+    /// enabled). The admission gate runs first, so a credit is always
+    /// available here.
+    fn consume_prefetch_credit(&mut self) {
+        if let Some(adm) = &mut self.admission {
+            if adm.cfg.enabled {
+                debug_assert!(adm.credits > 0, "prefetch issued without a credit");
+                adm.credits = adm.credits.saturating_sub(1);
+            }
         }
     }
 

@@ -143,17 +143,182 @@ impl World {
             .cur_access
             .expect("miss work without access")
             .block;
-        let started = self
+        let who = ProcId(p as u16);
+        let (started, parked) = self.submit_demand(now, block, 0, who);
+        self.procs[p].expected_wake = self.note_started(block, started, sched);
+        if !parked {
+            self.arm_timeout(block, who, sched);
+        }
+        self.idle_begin(p, sched);
+    }
+
+    /// Submit a demand fetch of `block` via `replica`, absorbing a
+    /// bounded queue's rejection: first shed a queued prefetch nobody
+    /// waits on from the full device; failing that, park the demand until
+    /// the device drains ([`World::drain_parked`] replays it). Returns the
+    /// started request (None when queued or parked) and whether the fetch
+    /// parked.
+    fn submit_demand(
+        &mut self,
+        now: SimTime,
+        block: BlockId,
+        replica: u16,
+        who: ProcId,
+    ) -> (Option<FsStarted>, bool) {
+        for attempt in 0..2 {
+            match self
+                .fs
+                .read_replica(now, self.file, block, replica, FetchKind::Demand, who)
+            {
+                Ok(started) => {
+                    self.outstanding_io += 1;
+                    self.rec
+                        .tl_outstanding_io
+                        .record(now, self.outstanding_io as f64);
+                    if started.is_none() {
+                        self.note_demand_queued(block, replica);
+                    }
+                    return (started, false);
+                }
+                Err(FsError::QueueFull { disk, .. }) => {
+                    if attempt == 0 && self.shed_queued_prefetch(disk, now) {
+                        // A slot was freed; resubmit (the retry must now
+                        // be accepted — the shed emptied one queue slot).
+                        continue;
+                    }
+                    let adm = self
+                        .admission
+                        .as_mut()
+                        .expect("bounded queue without admission state");
+                    let q = &mut adm.parked[disk.index()];
+                    // A block parks at most once: a fault-layer timeout
+                    // may re-drive the same fetch while it is parked, and
+                    // a duplicate park would later double-submit it.
+                    if !q.iter().any(|e| e.block == block) {
+                        q.push_back(ParkedDemand {
+                            block,
+                            who,
+                            replica,
+                        });
+                    }
+                    self.rec.demand_parked += 1;
+                    return (None, true);
+                }
+                Err(e) => panic!("demand read of an in-range block rejected: {e:?}"),
+            }
+        }
+        unreachable!("second submission after a shed cannot be rejected");
+    }
+
+    /// A demand fetch just queued behind other work: if the overload
+    /// layer is active and the device holds queued prefetches, count the
+    /// inversion (demand waiting behind speculative work).
+    fn note_demand_queued(&mut self, block: BlockId, replica: u16) {
+        if self.admission.is_none() {
+            return;
+        }
+        if let Some(disk) = self.fs.placement_disk(self.file, block, replica) {
+            if self.fs.disks().disks()[disk.index()].queued_of_kind(FetchKind::Prefetch) > 0 {
+                self.rec.demand_behind_prefetch += 1;
+            }
+        }
+    }
+
+    /// Cancel one queued prefetch on `disk` that no reader waits on,
+    /// releasing its buffer and refunding its credit. Returns whether a
+    /// queue slot was freed.
+    fn shed_queued_prefetch(&mut self, disk: DiskId, now: SimTime) -> bool {
+        let waiters = &self.waiters;
+        let Some((file, block, _owner)) = self
             .fs
-            .read(now, self.file, block, FetchKind::Demand, ProcId(p as u16))
-            .expect("workload blocks are in range");
-        self.outstanding_io += 1;
+            .cancel_queued_prefetch(disk, now, |_, b| waiters.has_waiters(b))
+        else {
+            return false;
+        };
+        debug_assert_eq!(file, self.file);
+        // The cancelled request will never complete: release its
+        // submission accounting and its buffer.
+        self.outstanding_io -= 1;
         self.rec
             .tl_outstanding_io
             .record(now, self.outstanding_io as f64);
-        self.procs[p].expected_wake = self.note_started(block, started, sched);
-        self.arm_timeout(block, ProcId(p as u16), sched);
-        self.idle_begin(p, sched);
+        let buf = self
+            .pool
+            .buffer_for(block)
+            .expect("queued prefetch without a pending buffer");
+        self.pool.discard_pending(buf);
+        self.rec
+            .tl_prefetched
+            .record(now, self.pool.prefetched_unused() as f64);
+        self.rec.prefetches_shed += 1;
+        self.refund_prefetch_credit();
+        true
+    }
+
+    /// Return one prefetch credit to the pool (no-op unless admission is
+    /// enabled). Called exactly once per issued prefetch: when it
+    /// completes at the device, or when it is shed from a queue.
+    pub(super) fn refund_prefetch_credit(&mut self) {
+        if let Some(adm) = &mut self.admission {
+            if adm.cfg.enabled {
+                adm.credits = (adm.credits + 1).min(adm.cfg.prefetch_credits);
+            }
+        }
+    }
+
+    /// Replay parked demand fetches on `disk` now that a completion freed
+    /// queue room. Runs only while the overload layer is active.
+    fn drain_parked(&mut self, disk: DiskId, sched: &mut Scheduler<Ev>) {
+        loop {
+            let Some(adm) = &mut self.admission else {
+                return;
+            };
+            let Some(&ParkedDemand {
+                block,
+                who,
+                replica,
+            }) = adm.parked[disk.index()].front()
+            else {
+                return;
+            };
+            // Under faults a timeout-driven duplicate may have delivered
+            // the block while it was parked; drop the stale entry.
+            let delivered = self.pool.buffer_for(block).is_none_or(|b| {
+                matches!(self.pool.buffer(b).state, rt_cache::BufState::Ready { .. })
+            });
+            if delivered {
+                self.admission
+                    .as_mut()
+                    .expect("parked entries only exist with an admission state")
+                    .parked[disk.index()]
+                .pop_front();
+                continue;
+            }
+            let now = sched.now();
+            match self
+                .fs
+                .read_replica(now, self.file, block, replica, FetchKind::Demand, who)
+            {
+                Ok(started) => {
+                    self.admission
+                        .as_mut()
+                        .expect("parked entries only exist with an admission state")
+                        .parked[disk.index()]
+                    .pop_front();
+                    self.outstanding_io += 1;
+                    self.rec
+                        .tl_outstanding_io
+                        .record(now, self.outstanding_io as f64);
+                    if started.is_none() {
+                        self.note_demand_queued(block, replica);
+                    }
+                    self.note_started(block, started, sched);
+                    self.arm_timeout(block, who, sched);
+                }
+                Err(FsError::QueueFull { .. }) => return,
+                Err(e) => panic!("parked demand resubmission rejected: {e:?}"),
+            }
+        }
     }
 
     /// Arm the per-request timeout for a demand fetch of `block`, if the
@@ -247,6 +412,15 @@ impl World {
         if let Some(fs) = &mut self.faults {
             fs.health
                 .observe(disk, done.status.is_ok(), done.service, now);
+        }
+        if self.admission.is_some() {
+            // The overload layer settles its books at completion: a
+            // finished prefetch returns its credit, and the freed queue
+            // room replays parked demand fetches.
+            if done.kind == FetchKind::Prefetch {
+                self.refund_prefetch_credit();
+            }
+            self.drain_parked(disk, sched);
         }
         match done.status {
             Ok(()) => self.block_ready(done.block, sched),
@@ -453,16 +627,13 @@ impl World {
         if replica != 0 {
             self.rec.redirects += 1;
         }
-        let started = self
-            .fs
-            .read_replica(now, self.file, block, replica, FetchKind::Demand, who)
-            .expect("retry of an in-range block");
-        self.outstanding_io += 1;
-        self.rec
-            .tl_outstanding_io
-            .record(now, self.outstanding_io as f64);
+        // A bounded queue may also reject the resubmission; it then sheds
+        // a queued prefetch or parks like any other demand fetch.
+        let (started, parked) = self.submit_demand(now, block, replica, who);
         self.note_started(block, started, sched);
-        self.arm_timeout(block, who, sched);
+        if !parked {
+            self.arm_timeout(block, who, sched);
+        }
     }
 
     /// A demand fetch's timeout fired: if the block is still in flight,

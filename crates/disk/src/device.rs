@@ -27,6 +27,15 @@ pub enum Discipline {
     DemandPriority,
 }
 
+/// Typed rejection from a bounded device queue: the disk was busy and its
+/// queue already held `depth` requests, the configured limit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueueFull {
+    /// Requests waiting in queue (excluding the one in service) at the
+    /// moment of rejection.
+    pub depth: usize,
+}
+
 /// A request actively being serviced. The completion status is decided
 /// when service starts (the fault schedule is a function of the start
 /// time) and reported when the completion event fires.
@@ -60,6 +69,8 @@ pub struct Disk {
     rng: Rng,
     discipline: Discipline,
     faults: Option<DeviceFaults>,
+    queue_limit: Option<usize>,
+    max_depth: usize,
     queue: VecDeque<DiskRequest>,
     in_service: Option<InService>,
     busy: SimDuration,
@@ -81,6 +92,8 @@ impl Disk {
             rng,
             discipline,
             faults: None,
+            queue_limit: None,
+            max_depth: 0,
             queue: VecDeque::new(),
             in_service: None,
             busy: SimDuration::ZERO,
@@ -97,16 +110,44 @@ impl Disk {
     /// Submit `req` at `req.submitted`. If the disk is idle the request
     /// starts at once and its completion time is returned — the caller
     /// must schedule a completion event and call [`Disk::complete`] then.
-    /// Otherwise the request queues and `None` is returned.
-    pub fn submit(&mut self, req: DiskRequest) -> Option<SimTime> {
+    /// Otherwise the request queues and `Ok(None)` is returned — unless a
+    /// queue limit is configured and already reached, in which case the
+    /// request is rejected with [`QueueFull`] and the device is untouched.
+    pub fn submit(&mut self, req: DiskRequest) -> Result<Option<SimTime>, QueueFull> {
         if self.in_service.is_none() {
             debug_assert!(self.queue.is_empty(), "idle disk with queued work");
-            Some(self.start(req, req.submitted))
+            Ok(Some(self.start(req, req.submitted)))
         } else {
+            if let Some(limit) = self.queue_limit {
+                if self.queue.len() >= limit {
+                    return Err(QueueFull {
+                        depth: self.queue.len(),
+                    });
+                }
+            }
             self.queue_len.add(req.submitted, 1.0);
             self.queue.push_back(req);
-            None
+            self.max_depth = self.max_depth.max(self.queue.len());
+            Ok(None)
         }
+    }
+
+    /// Remove the first queued request matching `pred` (in queue order),
+    /// keeping the time-weighted queue-length accounting consistent.
+    /// The in-service request is never cancelled. Returns the removed
+    /// request, if any.
+    pub fn cancel_queued(
+        &mut self,
+        now: SimTime,
+        pred: impl Fn(&DiskRequest) -> bool,
+    ) -> Option<DiskRequest> {
+        let pos = self.queue.iter().position(pred)?;
+        let req = self
+            .queue
+            .remove(pos)
+            .expect("cancel position within queue bounds");
+        self.queue_len.add(now, -1.0);
+        Some(req)
     }
 
     /// The in-flight request finished at `now`. Returns the finished
@@ -187,6 +228,28 @@ impl Disk {
     /// without one behaves exactly as before the fault layer existed.
     pub fn set_faults(&mut self, faults: DeviceFaults) {
         self.faults = Some(faults);
+    }
+
+    /// Bound the request queue to `limit` waiting requests (excluding the
+    /// one in service); `None` restores the unbounded default. Submissions
+    /// beyond the bound are rejected with [`QueueFull`].
+    pub fn set_queue_limit(&mut self, limit: Option<usize>) {
+        self.queue_limit = limit;
+    }
+
+    /// The configured queue bound, if any.
+    pub fn queue_limit(&self) -> Option<usize> {
+        self.queue_limit
+    }
+
+    /// Deepest the queue has ever been (waiting requests only).
+    pub fn max_queue_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// Queued requests of the given kind (excluding the one in service).
+    pub fn queued_of_kind(&self, kind: FetchKind) -> usize {
+        self.queue.iter().filter(|r| r.kind == kind).count()
     }
 
     /// True when a request is in service.
@@ -277,7 +340,7 @@ mod tests {
     #[test]
     fn idle_disk_starts_immediately() {
         let mut d = disk(Discipline::Fifo);
-        let completion = d.submit(req(0, FetchKind::Demand, 0)).unwrap();
+        let completion = d.submit(req(0, FetchKind::Demand, 0)).unwrap().unwrap();
         assert_eq!(completion, t(30));
         assert!(d.busy_now());
         let (done, next) = d.complete(t(30));
@@ -293,9 +356,9 @@ mod tests {
     #[test]
     fn busy_disk_queues_fifo() {
         let mut d = disk(Discipline::Fifo);
-        assert_eq!(d.submit(req(0, FetchKind::Demand, 0)), Some(t(30)));
-        assert_eq!(d.submit(req(5, FetchKind::Demand, 1)), None);
-        assert_eq!(d.submit(req(6, FetchKind::Demand, 2)), None);
+        assert_eq!(d.submit(req(0, FetchKind::Demand, 0)), Ok(Some(t(30))));
+        assert_eq!(d.submit(req(5, FetchKind::Demand, 1)), Ok(None));
+        assert_eq!(d.submit(req(6, FetchKind::Demand, 2)), Ok(None));
         assert_eq!(d.queued(), 2);
         let (done, next) = d.complete(t(30));
         assert_eq!(done.req.block, BlockId(0));
@@ -312,10 +375,10 @@ mod tests {
     #[test]
     fn demand_priority_jumps_prefetches() {
         let mut d = disk(Discipline::DemandPriority);
-        d.submit(req(0, FetchKind::Demand, 0));
-        d.submit(req(1, FetchKind::Prefetch, 1));
-        d.submit(req(2, FetchKind::Prefetch, 2));
-        d.submit(req(3, FetchKind::Demand, 3));
+        d.submit(req(0, FetchKind::Demand, 0)).unwrap();
+        d.submit(req(1, FetchKind::Prefetch, 1)).unwrap();
+        d.submit(req(2, FetchKind::Prefetch, 2)).unwrap();
+        d.submit(req(3, FetchKind::Demand, 3)).unwrap();
         let (_, next) = d.complete(t(30));
         // The demand fetch (block 3) overtakes both queued prefetches.
         assert_eq!(next.unwrap().0.block, BlockId(3));
@@ -326,9 +389,9 @@ mod tests {
     #[test]
     fn fifo_never_reorders() {
         let mut d = disk(Discipline::Fifo);
-        d.submit(req(0, FetchKind::Prefetch, 0));
-        d.submit(req(1, FetchKind::Prefetch, 1));
-        d.submit(req(2, FetchKind::Demand, 2));
+        d.submit(req(0, FetchKind::Prefetch, 0)).unwrap();
+        d.submit(req(1, FetchKind::Prefetch, 1)).unwrap();
+        d.submit(req(2, FetchKind::Demand, 2)).unwrap();
         let (_, next) = d.complete(t(30));
         assert_eq!(next.unwrap().0.block, BlockId(1));
     }
@@ -336,9 +399,9 @@ mod tests {
     #[test]
     fn kinds_tracked_separately() {
         let mut d = disk(Discipline::Fifo);
-        d.submit(req(0, FetchKind::Demand, 0));
+        d.submit(req(0, FetchKind::Demand, 0)).unwrap();
         d.complete(t(30));
-        d.submit(req(100, FetchKind::Prefetch, 1));
+        d.submit(req(100, FetchKind::Prefetch, 1)).unwrap();
         d.complete(t(130));
         assert_eq!(d.demand_response().count(), 1);
         assert_eq!(d.prefetch_response().count(), 1);
@@ -348,9 +411,9 @@ mod tests {
     #[test]
     fn utilization_accumulates() {
         let mut d = disk(Discipline::Fifo);
-        d.submit(req(0, FetchKind::Demand, 0));
+        d.submit(req(0, FetchKind::Demand, 0)).unwrap();
         d.complete(t(30));
-        d.submit(req(70, FetchKind::Demand, 1));
+        d.submit(req(70, FetchKind::Demand, 1)).unwrap();
         d.complete(t(100));
         // Busy 60ms out of 100ms.
         assert!((d.utilization(t(100)) - 0.6).abs() < 1e-9);
@@ -360,8 +423,8 @@ mod tests {
     #[test]
     fn queue_delay_recorded_for_waiters_only() {
         let mut d = disk(Discipline::Fifo);
-        d.submit(req(0, FetchKind::Demand, 0));
-        d.submit(req(10, FetchKind::Demand, 1));
+        d.submit(req(0, FetchKind::Demand, 0)).unwrap();
+        d.submit(req(10, FetchKind::Demand, 1)).unwrap();
         d.complete(t(30));
         // Block 1 waited from 10 to 30.
         assert_eq!(d.queue_delay().count(), 1);
@@ -384,18 +447,18 @@ mod tests {
         // Ordering A: completion processed first, then the new arrival
         // finds an idle device and starts immediately.
         let mut d = disk(Discipline::Fifo);
-        d.submit(req(0, FetchKind::Demand, 0));
+        d.submit(req(0, FetchKind::Demand, 0)).unwrap();
         let (_, next) = d.complete(t(30));
         assert!(next.is_none());
-        let completion = d.submit(req(30, FetchKind::Demand, 1)).unwrap();
+        let completion = d.submit(req(30, FetchKind::Demand, 1)).unwrap().unwrap();
         assert_eq!(completion, t(60), "idle restart at t must finish at t+30");
 
         // Ordering B: the arrival is submitted while the prior request is
         // still in service (its completion is also at t=30); it queues,
         // and the completion must start it at 30 — not at 60.
         let mut d = disk(Discipline::Fifo);
-        d.submit(req(0, FetchKind::Demand, 0));
-        assert!(d.submit(req(30, FetchKind::Demand, 1)).is_none());
+        d.submit(req(0, FetchKind::Demand, 0)).unwrap();
+        assert!(d.submit(req(30, FetchKind::Demand, 1)).unwrap().is_none());
         let (_, next) = d.complete(t(30));
         let (nreq, ncomp) = next.unwrap();
         assert_eq!(nreq.block, BlockId(1));
@@ -405,18 +468,77 @@ mod tests {
     }
 
     #[test]
+    fn bounded_queue_rejects_past_limit() {
+        let mut d = disk(Discipline::Fifo);
+        d.set_queue_limit(Some(2));
+        assert_eq!(d.queue_limit(), Some(2));
+        d.submit(req(0, FetchKind::Demand, 0)).unwrap();
+        assert_eq!(d.submit(req(1, FetchKind::Demand, 1)), Ok(None));
+        assert_eq!(d.submit(req(2, FetchKind::Prefetch, 2)), Ok(None));
+        // Third waiter exceeds the bound: rejected, device untouched.
+        assert_eq!(
+            d.submit(req(3, FetchKind::Demand, 3)),
+            Err(QueueFull { depth: 2 })
+        );
+        assert_eq!(d.queued(), 2);
+        assert_eq!(d.max_queue_depth(), 2);
+        // Draining frees a slot again.
+        let (_, next) = d.complete(t(30));
+        assert!(next.is_some());
+        assert_eq!(d.submit(req(31, FetchKind::Demand, 4)), Ok(None));
+    }
+
+    #[test]
+    fn cancel_queued_removes_first_match_only() {
+        let mut d = disk(Discipline::Fifo);
+        d.submit(req(0, FetchKind::Demand, 0)).unwrap();
+        d.submit(req(1, FetchKind::Prefetch, 1)).unwrap();
+        d.submit(req(2, FetchKind::Prefetch, 2)).unwrap();
+        assert_eq!(d.queued_of_kind(FetchKind::Prefetch), 2);
+        let cancelled = d
+            .cancel_queued(t(5), |r| r.kind == FetchKind::Prefetch)
+            .unwrap();
+        assert_eq!(cancelled.block, BlockId(1));
+        assert_eq!(d.queued(), 1);
+        assert_eq!(d.queued_of_kind(FetchKind::Prefetch), 1);
+        // The in-service demand request is never a cancellation target.
+        assert!(d
+            .cancel_queued(t(5), |r| r.kind == FetchKind::Demand)
+            .is_none());
+        assert!(d.busy_now());
+        // Queue accounting stays consistent: the remaining prefetch drains.
+        let (_, next) = d.complete(t(30));
+        assert_eq!(next.unwrap().0.block, BlockId(2));
+    }
+
+    #[test]
+    fn max_depth_tracks_high_water_mark() {
+        let mut d = disk(Discipline::Fifo);
+        assert_eq!(d.max_queue_depth(), 0);
+        d.submit(req(0, FetchKind::Demand, 0)).unwrap();
+        assert_eq!(d.max_queue_depth(), 0, "in-service request is not depth");
+        d.submit(req(1, FetchKind::Demand, 1)).unwrap();
+        d.submit(req(2, FetchKind::Demand, 2)).unwrap();
+        assert_eq!(d.max_queue_depth(), 2);
+        d.complete(t(30));
+        d.complete(t(60));
+        // Draining never lowers the high-water mark.
+        assert_eq!(d.max_queue_depth(), 2);
+    }
+
+    #[test]
     fn straggler_window_slows_service_and_flags_nothing() {
         use crate::fault::{DeviceFaults, FaultPlan};
         use crate::request::DiskId;
         let mut d = disk(Discipline::Fifo);
         let plan = FaultPlan::none().straggler(DiskId(0), 4.0, t(0), Some(t(100)));
         d.set_faults(DeviceFaults::new(plan.for_disk(DiskId(0)), Rng::seeded(3)));
-        assert_eq!(d.submit(req(0, FetchKind::Demand, 0)), Some(t(120)));
+        assert_eq!(d.submit(req(0, FetchKind::Demand, 0)), Ok(Some(t(120))));
         let (done, _) = d.complete(t(120));
         assert_eq!(done.status, Ok(()));
         assert_eq!(done.service, SimDuration::from_millis(120));
         // Outside the window, service is back to the 30 ms baseline.
-        assert_eq!(d.submit(req(120, FetchKind::Demand, 1)), Some(t(150)));
+        assert_eq!(d.submit(req(120, FetchKind::Demand, 1)), Ok(Some(t(150))));
         assert_eq!(d.errors(), 0);
     }
 
@@ -427,13 +549,13 @@ mod tests {
         let mut d = disk(Discipline::Fifo);
         let plan = FaultPlan::none().outage(DiskId(0), t(0), Some(t(50)));
         d.set_faults(DeviceFaults::new(plan.for_disk(DiskId(0)), Rng::seeded(3)));
-        let completion = d.submit(req(0, FetchKind::Demand, 0)).unwrap();
+        let completion = d.submit(req(0, FetchKind::Demand, 0)).unwrap().unwrap();
         assert_eq!(completion, SimTime::ZERO + OUTAGE_ERROR_LATENCY);
         let (done, _) = d.complete(completion);
         assert_eq!(done.status, Err(DiskFault::DeviceDown));
         assert_eq!(d.errors(), 1);
         // After the repair time the device serves normally again.
-        assert_eq!(d.submit(req(50, FetchKind::Demand, 1)), Some(t(80)));
+        assert_eq!(d.submit(req(50, FetchKind::Demand, 1)), Ok(Some(t(80))));
         let (done, _) = d.complete(t(80));
         assert_eq!(done.status, Ok(()));
         assert_eq!(d.errors(), 1);

@@ -15,6 +15,7 @@
 //! // reads start at once and complete after a single 30 ms access time.
 //! for b in 0..20 {
 //!     let started = io.read(SimTime::ZERO, BlockId(b), FetchKind::Demand, ProcId(0))
+//!         .expect("queues are unbounded by default")
 //!         .expect("idle disk starts immediately");
 //!     assert_eq!(started.completion, SimTime::ZERO + SimDuration::from_millis(30));
 //! }
@@ -29,7 +30,7 @@ pub mod service;
 pub mod striping;
 pub mod subsystem;
 
-pub use device::{Discipline, Disk, Finished};
+pub use device::{Discipline, Disk, Finished, QueueFull};
 pub use fault::{DeviceFault, DeviceFaults, DiskFault, FaultKind, FaultPlan};
 pub use request::{BlockId, DiskId, DiskRequest, FetchKind, ProcId};
 pub use service::{DiskGeometry, FixedLatency, SeekRotate, Service, ServiceModel};

@@ -3,7 +3,7 @@
 
 use rt_sim::{Rng, SimDuration, SimTime, Tally};
 
-use crate::device::{Discipline, Disk};
+use crate::device::{Discipline, Disk, QueueFull};
 use crate::fault::{DeviceFaults, DiskFault, FaultPlan};
 use crate::request::{BlockId, DiskId, DiskRequest, FetchKind, ProcId};
 use crate::service::Service;
@@ -86,16 +86,17 @@ impl DiskSubsystem {
         )
     }
 
-    /// Submit a read of `block` at time `now`. Returns `Some` when the
+    /// Submit a read of `block` at time `now`. Returns `Ok(Some)` when the
     /// request starts service immediately (schedule its completion);
-    /// `None` when it queued behind other work on its disk.
+    /// `Ok(None)` when it queued behind other work on its disk; `Err` when
+    /// the disk's bounded queue rejected it.
     pub fn read(
         &mut self,
         now: SimTime,
         block: BlockId,
         kind: FetchKind,
         initiator: ProcId,
-    ) -> Option<Started> {
+    ) -> Result<Option<Started>, QueueFull> {
         let placement = self.layout.place(block);
         self.read_placed(now, block, placement, kind, initiator)
     }
@@ -110,7 +111,7 @@ impl DiskSubsystem {
         placement: crate::striping::Placement,
         kind: FetchKind,
         initiator: ProcId,
-    ) -> Option<Started> {
+    ) -> Result<Option<Started>, QueueFull> {
         let req = DiskRequest {
             block,
             physical: placement.physical,
@@ -118,13 +119,41 @@ impl DiskSubsystem {
             initiator,
             submitted: now,
         };
-        self.disks[placement.disk.index()]
-            .submit(req)
+        Ok(self.disks[placement.disk.index()]
+            .submit(req)?
             .map(|completion| Started {
                 disk: placement.disk,
                 block,
                 completion,
-            })
+            }))
+    }
+
+    /// Remove the first queued request on `disk` matching `pred`, if any.
+    /// The in-service request is never cancelled.
+    pub fn cancel_queued(
+        &mut self,
+        disk: DiskId,
+        now: SimTime,
+        pred: impl Fn(&DiskRequest) -> bool,
+    ) -> Option<DiskRequest> {
+        self.disks[disk.index()].cancel_queued(now, pred)
+    }
+
+    /// Bound every device's queue to `limit` waiting requests (`None`
+    /// restores the unbounded default).
+    pub fn set_queue_limit(&mut self, limit: Option<usize>) {
+        for d in &mut self.disks {
+            d.set_queue_limit(limit);
+        }
+    }
+
+    /// Deepest any device's queue has ever been.
+    pub fn max_queue_depth(&self) -> usize {
+        self.disks
+            .iter()
+            .map(Disk::max_queue_depth)
+            .max()
+            .unwrap_or(0)
     }
 
     /// The in-flight request on `disk` finished at `now`. Returns the
@@ -242,6 +271,7 @@ mod tests {
         for b in 0..4 {
             let started = s
                 .read(SimTime::ZERO, BlockId(b), FetchKind::Demand, ProcId(0))
+                .unwrap()
                 .expect("idle disk starts at once");
             assert_eq!(started.completion, t(30));
             assert_eq!(started.disk, DiskId(b as u16));
@@ -251,10 +281,14 @@ mod tests {
     #[test]
     fn same_disk_blocks_serialize() {
         let mut s = subsystem(4);
-        let a = s.read(SimTime::ZERO, BlockId(0), FetchKind::Demand, ProcId(0));
+        let a = s
+            .read(SimTime::ZERO, BlockId(0), FetchKind::Demand, ProcId(0))
+            .unwrap();
         assert!(a.is_some());
         // Block 4 maps to the same disk: it queues.
-        let b = s.read(SimTime::ZERO, BlockId(4), FetchKind::Demand, ProcId(1));
+        let b = s
+            .read(SimTime::ZERO, BlockId(4), FetchKind::Demand, ProcId(1))
+            .unwrap();
         assert!(b.is_none());
         let (done, next) = s.complete(DiskId(0), t(30));
         assert_eq!(done.block, BlockId(0));
@@ -279,10 +313,12 @@ mod tests {
         s.set_fault_plan(&plan, &Rng::seeded(11));
         let ok = s
             .read(SimTime::ZERO, BlockId(0), FetchKind::Demand, ProcId(0))
+            .unwrap()
             .unwrap();
         assert_eq!(ok.completion, t(30));
         let bad = s
             .read(SimTime::ZERO, BlockId(1), FetchKind::Demand, ProcId(0))
+            .unwrap()
             .unwrap();
         assert!(bad.completion < t(30), "outage fails fast");
         let (done, _) = s.complete(DiskId(1), bad.completion);
@@ -295,9 +331,12 @@ mod tests {
     #[test]
     fn response_merges_devices() {
         let mut s = subsystem(2);
-        s.read(SimTime::ZERO, BlockId(0), FetchKind::Demand, ProcId(0));
-        s.read(SimTime::ZERO, BlockId(1), FetchKind::Demand, ProcId(1));
-        s.read(SimTime::ZERO, BlockId(2), FetchKind::Prefetch, ProcId(0));
+        s.read(SimTime::ZERO, BlockId(0), FetchKind::Demand, ProcId(0))
+            .unwrap();
+        s.read(SimTime::ZERO, BlockId(1), FetchKind::Demand, ProcId(1))
+            .unwrap();
+        s.read(SimTime::ZERO, BlockId(2), FetchKind::Prefetch, ProcId(0))
+            .unwrap();
         s.complete(DiskId(0), t(30));
         s.complete(DiskId(1), t(30));
         s.complete(DiskId(0), t(60));
@@ -305,6 +344,36 @@ mod tests {
         assert_eq!(r.count(), 3);
         // Two immediate (30) + one queued (60).
         assert!((r.mean_millis() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn queue_limit_and_cancel_apply_per_device() {
+        let mut s = subsystem(2);
+        s.set_queue_limit(Some(1));
+        // Disk 0: one in service, one queued, then full.
+        s.read(SimTime::ZERO, BlockId(0), FetchKind::Demand, ProcId(0))
+            .unwrap();
+        s.read(SimTime::ZERO, BlockId(2), FetchKind::Prefetch, ProcId(0))
+            .unwrap();
+        assert_eq!(
+            s.read(SimTime::ZERO, BlockId(4), FetchKind::Demand, ProcId(1)),
+            Err(QueueFull { depth: 1 })
+        );
+        // Disk 1 is unaffected by disk 0's backlog.
+        assert!(s
+            .read(SimTime::ZERO, BlockId(1), FetchKind::Demand, ProcId(1))
+            .unwrap()
+            .is_some());
+        // Cancelling the queued prefetch frees the slot.
+        let cancelled = s
+            .cancel_queued(DiskId(0), SimTime::ZERO, |r| r.kind == FetchKind::Prefetch)
+            .unwrap();
+        assert_eq!(cancelled.block, BlockId(2));
+        assert!(s
+            .read(SimTime::ZERO, BlockId(4), FetchKind::Demand, ProcId(1))
+            .unwrap()
+            .is_none());
+        assert_eq!(s.max_queue_depth(), 1);
     }
 
     #[test]
@@ -328,7 +397,8 @@ mod tests {
     #[test]
     fn utilization_and_busy_aggregate() {
         let mut s = subsystem(2);
-        s.read(SimTime::ZERO, BlockId(0), FetchKind::Demand, ProcId(0));
+        s.read(SimTime::ZERO, BlockId(0), FetchKind::Demand, ProcId(0))
+            .unwrap();
         s.complete(DiskId(0), t(30));
         let now = t(60);
         // Disk 0 busy 30/60, disk 1 idle -> mean 0.25.

@@ -41,7 +41,7 @@ fn drive(discipline: Discipline, jobs: &[(u64, bool)]) -> Vec<(u32, FetchKind)> 
                 } else {
                     FetchKind::Prefetch
                 };
-                if let Some(c) = disk.submit(req(at, kind, i as u32)) {
+                if let Ok(Some(c)) = disk.submit(req(at, kind, i as u32)) {
                     assert!(next_completion.is_none());
                     next_completion = Some(c);
                 }
@@ -54,7 +54,7 @@ fn drive(discipline: Discipline, jobs: &[(u64, bool)]) -> Vec<(u32, FetchKind)> 
                 } else {
                     FetchKind::Prefetch
                 };
-                if let Some(c) = disk.submit(req(at, kind, i as u32)) {
+                if let Ok(Some(c)) = disk.submit(req(at, kind, i as u32)) {
                     next_completion = Some(c);
                 }
                 submitted += 1;

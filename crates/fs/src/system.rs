@@ -47,6 +47,13 @@ pub enum FsError {
         /// Copies the file actually has beyond the primary.
         available: u16,
     },
+    /// The target device's bounded queue rejected the request.
+    QueueFull {
+        /// The device that shed the request.
+        disk: DiskId,
+        /// Requests already waiting on that device.
+        depth: usize,
+    },
 }
 
 /// A read that started service (immediately at submit, or later when a
@@ -268,13 +275,54 @@ impl FileSystem {
         let placement = layout.place(block);
         let started = self
             .disks
-            .read_placed(now, global, placement, kind, initiator);
+            .read_placed(now, global, placement, kind, initiator)
+            .map_err(|full| FsError::QueueFull {
+                disk: placement.disk,
+                depth: full.depth,
+            })?;
         Ok(started.map(|s| FsStarted {
             disk: s.disk,
             file,
             block,
             completion: s.completion,
         }))
+    }
+
+    /// Remove the first *queued* prefetch on `disk` whose attributed
+    /// `(file, block)` the `keep` predicate does not protect, and attribute
+    /// it back to its file. The in-service request is never cancelled.
+    /// Used by the admission layer to make room for a demand read while
+    /// sparing prefetches a reader already waits on.
+    pub fn cancel_queued_prefetch(
+        &mut self,
+        disk: DiskId,
+        now: SimTime,
+        keep: impl Fn(FileId, BlockId) -> bool,
+    ) -> Option<(FileId, BlockId, ProcId)> {
+        let bases = &self.bases;
+        let attribute = |global: BlockId| {
+            let pos = bases
+                .partition_point(|&(base, _)| base <= global.0)
+                .checked_sub(1)
+                .expect("queued request for an unallocated block");
+            let (base, file) = bases[pos];
+            (file, BlockId(global.0 - base))
+        };
+        let req = self.disks.cancel_queued(disk, now, |r| {
+            if r.kind != FetchKind::Prefetch {
+                return false;
+            }
+            let (file, block) = attribute(r.block);
+            !keep(file, block)
+        })?;
+        let (file, block) = attribute(req.block);
+        Some((file, block, req.initiator))
+    }
+
+    /// Bound every device's queue to `limit` waiting requests (`None`
+    /// restores the unbounded default).
+    pub fn set_queue_limit(&mut self, limit: Option<usize>) {
+        self.disks.set_queue_limit(limit);
     }
 
     /// Copies of `file` beyond the primary.
@@ -518,6 +566,41 @@ mod tests {
                 assert!(slots.insert((p.disk, p.physical)), "files overlap at {p:?}");
             }
         }
+    }
+
+    #[test]
+    fn bounded_queue_surfaces_and_cancel_frees_room() {
+        let mut f = fs(2);
+        let id = f.create("x", 8, Striping::OnDisk(0)).unwrap();
+        f.set_queue_limit(Some(1));
+        // One in service, one queued prefetch, then the queue is full.
+        f.read(t(0), id, BlockId(0), FetchKind::Demand, ProcId(0))
+            .unwrap();
+        f.read(t(0), id, BlockId(1), FetchKind::Prefetch, ProcId(0))
+            .unwrap();
+        assert_eq!(
+            f.read(t(0), id, BlockId(2), FetchKind::Demand, ProcId(1)),
+            Err(FsError::QueueFull {
+                disk: DiskId(0),
+                depth: 1
+            })
+        );
+        // A protected prefetch is spared; an unprotected one is shed,
+        // attributed back to the file, and makes room for the demand read.
+        assert!(f
+            .cancel_queued_prefetch(DiskId(0), t(0), |_, b| b == BlockId(1))
+            .is_none());
+        let (file, block, initiator) = f
+            .cancel_queued_prefetch(DiskId(0), t(0), |_, _| false)
+            .unwrap();
+        assert_eq!((file, block, initiator), (id, BlockId(1), ProcId(0)));
+        assert!(f
+            .cancel_queued_prefetch(DiskId(0), t(0), |_, _| false)
+            .is_none());
+        assert!(f
+            .read(t(0), id, BlockId(2), FetchKind::Demand, ProcId(1))
+            .unwrap()
+            .is_none());
     }
 
     #[test]

@@ -156,6 +156,64 @@ pub fn run_with_stats<M: Model>(
     }
 }
 
+/// Why [`run_observed`] stopped.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ObservedEnd {
+    /// The queue drained or the event budget ran out; carries the same
+    /// outcome [`run`] would report.
+    Finished(RunOutcome),
+    /// The observer rejected the model's state after an event, halting the
+    /// run. Carries the observer's message and the halt time.
+    Violation {
+        /// The observer's description of the violated invariant.
+        message: String,
+        /// Simulated time at the halt.
+        at: SimTime,
+        /// Events dispatched up to and including the offending one.
+        events: u64,
+    },
+}
+
+/// Like [`run`], but calls `observe(model, events_fired)` after every
+/// dispatched event; the run halts at the first `Err`. The dispatch order
+/// — and every simulated number — is identical to [`run`]; the observer
+/// only reads state. Built for invariant-checked soak runs.
+pub fn run_observed<M: Model>(
+    model: &mut M,
+    sched: &mut Scheduler<M::Event>,
+    max_events: u64,
+    mut observe: impl FnMut(&M, u64) -> Result<(), String>,
+) -> ObservedEnd {
+    while let Some((time, event)) = sched.queue.pop() {
+        assert!(
+            time >= sched.now,
+            "event queue returned an event from the past"
+        );
+        sched.now = time;
+        sched.fired += 1;
+        model.handle(event, sched);
+        if let Err(message) = observe(model, sched.fired) {
+            return ObservedEnd::Violation {
+                message,
+                at: sched.now,
+                events: sched.fired,
+            };
+        }
+        if sched.fired >= max_events {
+            return ObservedEnd::Finished(RunOutcome {
+                end_time: sched.now,
+                events: sched.fired,
+                budget_exhausted: true,
+            });
+        }
+    }
+    ObservedEnd::Finished(RunOutcome {
+        end_time: sched.now,
+        events: sched.fired,
+        budget_exhausted: false,
+    })
+}
+
 /// Drive `model` until no events remain, or until `max_events` have fired
 /// (a runaway-model backstop; pass `u64::MAX` for "no limit").
 pub fn run<M: Model>(
@@ -310,6 +368,44 @@ mod tests {
         let stats = run_with_stats(&mut Forever, &mut sched, 100);
         assert!(stats.outcome.budget_exhausted);
         assert_eq!(stats.outcome.events, 100);
+    }
+
+    #[test]
+    fn run_observed_matches_run_and_halts_on_violation() {
+        // Clean pass: identical trajectory to `run`.
+        let mut a = Countdown { log: Vec::new() };
+        let mut sa = Scheduler::new();
+        sa.schedule_at(SimTime::ZERO, 5u32);
+        let plain = run(&mut a, &mut sa, u64::MAX);
+
+        let mut b = Countdown { log: Vec::new() };
+        let mut sb = Scheduler::new();
+        sb.schedule_at(SimTime::ZERO, 5u32);
+        let end = run_observed(&mut b, &mut sb, u64::MAX, |_, _| Ok(()));
+        assert_eq!(end, ObservedEnd::Finished(plain));
+        assert_eq!(a.log, b.log);
+
+        // Violation: halts at the first failing observation.
+        let mut c = Countdown { log: Vec::new() };
+        let mut sc = Scheduler::new();
+        sc.schedule_at(SimTime::ZERO, 5u32);
+        let end = run_observed(&mut c, &mut sc, u64::MAX, |m, _| {
+            if m.log.len() >= 3 {
+                Err("three events is plenty".into())
+            } else {
+                Ok(())
+            }
+        });
+        match end {
+            ObservedEnd::Violation {
+                message, events, ..
+            } => {
+                assert_eq!(message, "three events is plenty");
+                assert_eq!(events, 3);
+            }
+            other => panic!("expected a violation, got {other:?}"),
+        }
+        assert_eq!(c.log.len(), 3);
     }
 
     #[test]

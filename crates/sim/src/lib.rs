@@ -43,7 +43,9 @@ pub mod stats;
 pub mod time;
 pub mod timeline;
 
-pub use engine::{run, run_with_stats, EngineStats, Model, RunOutcome, Scheduler};
+pub use engine::{
+    run, run_observed, run_with_stats, EngineStats, Model, ObservedEnd, RunOutcome, Scheduler,
+};
 pub use event::{EventId, EventQueue};
 pub use resource::{Admission, FifoServer, SimLock};
 pub use rng::Rng;

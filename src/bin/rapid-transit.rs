@@ -8,6 +8,7 @@
 //! rapid-transit trace <pattern>     record a run and analyze its trace
 //! rapid-transit perf                measure the fixed perf slice
 //! rapid-transit faults              run the fault-injection sweep
+//! rapid-transit soak                run the overload/chaos soak
 //! ```
 //!
 //! Run options:
@@ -16,7 +17,8 @@
 //! `--compute MS` (default 30; lw defaults to 10), `--procs N`,
 //! `--disks N`, `--blocks N`, `--prefetch`, `--lead N`,
 //! `--policy oracle|obl|learner`, `--seed N`, `--csv`,
-//! `--faults SPECS`, `--replicas N`, `--io-timeout MS`.
+//! `--faults SPECS`, `--replicas N`, `--io-timeout MS`,
+//! `--queue-depth N`, `--prefetch-credits N`.
 
 use std::process::ExitCode;
 
@@ -45,6 +47,7 @@ fn main() -> ExitCode {
         "trace" => cmd_trace(rest),
         "perf" => cmd_perf(rest),
         "faults" => cmd_faults(rest),
+        "soak" => cmd_soak(rest),
         "help" | "--help" | "-h" => {
             println!("{}", USAGE);
             Ok(())
@@ -74,6 +77,8 @@ commands:
                  (--label L, --out FILE, --quick, --check)
   faults         run the fault-injection sweep, write BENCH_faults.json
                  (--out FILE, --smoke, --check)
+  soak           run the overload/chaos soak, write BENCH_overload.json
+                 (--out FILE, --smoke, --check)
 
 run options:
   --pattern P    lfp|lrp|lw|gfp|grp|gw          (default gw)
@@ -95,7 +100,12 @@ fault options (run):
                    fail:<disk>@<from>[-<until>]
                  durations: 5s, 200ms, or bare milliseconds
   --replicas N   rotated-interleave file copies for redirects
-  --io-timeout MS demand-read timeout (redirects when replicas exist)";
+  --io-timeout MS demand-read timeout (redirects when replicas exist)
+
+overload options (run):
+  --queue-depth N     bound each device queue at N waiting requests
+  --prefetch-credits N enable the prefetch admission controller with an
+                 N-credit pool (throttles the daemon under pressure)";
 
 fn metric_rows(m: &RunMetrics) -> Vec<(&'static str, String)> {
     vec![
@@ -155,14 +165,34 @@ fn fault_rows(m: &RunMetrics) -> Vec<(&'static str, String)> {
     ]
 }
 
+/// Overload rows, shown only when queues are bounded or admission is on.
+fn overload_rows(m: &RunMetrics) -> Vec<(&'static str, String)> {
+    let o = &m.overload;
+    vec![
+        ("prefetches shed", o.prefetches_shed.to_string()),
+        ("prefetches throttled", o.prefetches_throttled.to_string()),
+        ("demand parked", o.demand_parked.to_string()),
+        (
+            "demand behind prefetch",
+            o.demand_behind_prefetch.to_string(),
+        ),
+        ("cache high-water hits", o.cache_high_water_hits.to_string()),
+        ("max queue depth", o.max_queue_depth.to_string()),
+    ]
+}
+
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let cfg = build_config(args)?;
     println!("running {} ...", cfg.label());
     let show_faults = cfg.faults.is_active();
+    let show_overload = cfg.queue_depth.is_some() || cfg.admission.enabled;
     let m = run_experiment(&cfg);
     let mut rows = metric_rows(&m);
     if show_faults {
         rows.extend(fault_rows(&m));
+    }
+    if show_overload {
+        rows.extend(overload_rows(&m));
     }
     if has_flag(args, "--csv") {
         println!("metric,value");
@@ -350,6 +380,65 @@ fn cmd_faults(args: &[String]) -> Result<(), String> {
         );
     }
     let doc = faults::report(&results, smoke);
+    std::fs::write(&out, doc.pretty()).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+fn cmd_soak(args: &[String]) -> Result<(), String> {
+    use rapid_transit::bench::json::Json;
+    use rapid_transit::bench::soak;
+    use rapid_transit::cli::flag_value;
+
+    let out = flag_value(args, "--out")?
+        .unwrap_or("BENCH_overload.json")
+        .to_string();
+    let smoke = has_flag(args, "--smoke");
+
+    if has_flag(args, "--check") {
+        let text = std::fs::read_to_string(&out).map_err(|e| format!("cannot read {out}: {e}"))?;
+        let doc = Json::parse(&text).map_err(|e| format!("{out}: {e}"))?;
+        soak::validate_report(&doc).map_err(|e| format!("{out}: {e}"))?;
+        let n = doc
+            .get("scenarios")
+            .and_then(Json::as_array)
+            .map_or(0, <[Json]>::len);
+        println!("{out}: valid overload report, {n} scenarios");
+        return Ok(());
+    }
+
+    println!(
+        "running overload soak ({} ...)",
+        if smoke { "smoke" } else { "full" }
+    );
+    let results = soak::run_sweep(smoke);
+    println!(
+        "{:<16} {:>10} {:>10} {:>6} {:>9} {:>7} {:>10} {:>6}",
+        "scenario", "base ms", "pf ms", "shed", "throttled", "parked", "soak ev", "runs"
+    );
+    let mut violation = None;
+    for (name, pair, soak) in &results {
+        let o = &pair.prefetch.overload;
+        println!(
+            "{:<16} {:>10.0} {:>10.0} {:>6} {:>9} {:>7} {:>10} {:>6}",
+            name,
+            pair.base.total_time.as_millis_f64(),
+            pair.prefetch.total_time.as_millis_f64(),
+            o.prefetches_shed,
+            o.prefetches_throttled,
+            o.demand_parked,
+            soak.events,
+            soak.runs,
+        );
+        if let Some(v) = &soak.violation {
+            violation = Some(format!("{name}: {v}"));
+        }
+    }
+    if let Some(v) = violation {
+        return Err(format!("soak invariant violation — {v}"));
+    }
+    let doc = soak::report(&results, smoke);
+    soak::validate_report(&doc).map_err(|e| format!("refusing to write {out}: {e}"))?;
     std::fs::write(&out, doc.pretty()).map_err(|e| format!("cannot write {out}: {e}"))?;
     println!("wrote {out}");
     Ok(())

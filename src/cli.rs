@@ -2,7 +2,7 @@
 //! library so it can be unit-tested.
 
 use rt_core::faults::parse_fault_spec;
-use rt_core::{ExperimentConfig, PolicyKind, PrefetchConfig};
+use rt_core::{AdmissionConfig, ExperimentConfig, PolicyKind, PrefetchConfig};
 use rt_patterns::{AccessPattern, SyncStyle};
 use rt_sim::SimDuration;
 
@@ -133,6 +133,24 @@ pub fn build_config(args: &[String]) -> Result<ExperimentConfig, String> {
         if let Some(v) = flag_value(args, "--lead")? {
             cfg.prefetch.min_lead = v.parse().map_err(|_| "bad --lead")?;
         }
+    }
+
+    // Overload knobs: bound the per-device queues, and optionally enable
+    // the prefetch admission controller with a credit pool. Both default
+    // off, which reproduces the paper's unbounded behavior exactly.
+    if let Some(v) = flag_value(args, "--queue-depth")? {
+        let depth: u32 = v.parse().map_err(|_| "bad --queue-depth")?;
+        if depth == 0 {
+            return Err("--queue-depth must be positive".into());
+        }
+        cfg.queue_depth = Some(depth);
+    }
+    if let Some(v) = flag_value(args, "--prefetch-credits")? {
+        let credits: u32 = v.parse().map_err(|_| "bad --prefetch-credits")?;
+        if credits == 0 {
+            return Err("--prefetch-credits must be positive".into());
+        }
+        cfg.admission = AdmissionConfig::on(credits);
     }
 
     // Fault injection: each --faults value is a comma-separated list of
@@ -280,6 +298,21 @@ mod tests {
         let err = build_config(&args(&["--faults", "meteor:3"])).unwrap_err();
         assert!(err.contains("meteor"), "{err}");
         assert!(build_config(&args(&["--io-timeout", "0"])).is_err());
+    }
+
+    #[test]
+    fn overload_flags_parse() {
+        let cfg = build_config(&args(&["--queue-depth", "4", "--prefetch-credits", "8"])).unwrap();
+        assert_eq!(cfg.queue_depth, Some(4));
+        assert!(cfg.admission.enabled);
+        assert_eq!(cfg.admission.prefetch_credits, 8);
+        // Defaults leave the overload layer off entirely.
+        let cfg = build_config(&[]).unwrap();
+        assert_eq!(cfg.queue_depth, None);
+        assert!(!cfg.admission.enabled);
+        // Zero values are rejected at parse time.
+        assert!(build_config(&args(&["--queue-depth", "0"])).is_err());
+        assert!(build_config(&args(&["--prefetch-credits", "0"])).is_err());
     }
 
     #[test]

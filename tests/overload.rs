@@ -1,0 +1,163 @@
+//! Integration tests for the overload-robustness layer: bounded device
+//! queues, demand parking, and the prefetch admission controller.
+//!
+//! The two load-bearing properties:
+//! * **Bound holds universally** — under any random workload shape,
+//!   prefetch setting, admission setting, and fault plan, no device queue
+//!   ever exceeds its configured depth, and every read still completes.
+//! * **Defaults-off identity** — with `queue_depth` unset and admission
+//!   disabled (the defaults), runs are indistinguishable from builds
+//!   without the overload layer, down to the engine's event count, for
+//!   every pattern with and without prefetching.
+
+use proptest::prelude::*;
+
+use rapid_transit::core::experiment::{run_experiment, run_experiment_instrumented};
+use rapid_transit::core::faults::parse_fault_specs;
+use rapid_transit::core::{AdmissionConfig, ExperimentConfig, PrefetchConfig, RunMetrics};
+use rapid_transit::patterns::{AccessPattern, SyncStyle, WorkloadParams};
+use rapid_transit::sim::SimDuration;
+
+/// A small machine the proptests can afford to run repeatedly.
+fn small_cfg(pattern: AccessPattern, sync: SyncStyle, prefetch: bool) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::paper_default(pattern, sync);
+    cfg.procs = 4;
+    cfg.disks = 4;
+    cfg.workload = WorkloadParams {
+        procs: 4,
+        file_blocks: 200,
+        total_reads: 200,
+        ..WorkloadParams::paper()
+    };
+    if prefetch {
+        cfg.prefetch = PrefetchConfig::paper();
+    } else {
+        cfg.prefetch = PrefetchConfig::disabled();
+    }
+    cfg
+}
+
+/// Everything observable a run produced, as a comparable value.
+fn fingerprint(m: &RunMetrics) -> (u64, u64, u64, u64, u64, u64) {
+    (
+        m.total_time.as_nanos(),
+        m.reads.mean().as_nanos(),
+        m.ready_hits,
+        m.unready_hits,
+        m.misses,
+        m.disk_ops,
+    )
+}
+
+fn pattern_strategy() -> impl Strategy<Value = AccessPattern> {
+    prop::sample::select(AccessPattern::ALL.to_vec())
+}
+
+fn fault_strategy() -> impl Strategy<Value = &'static str> {
+    // Only disks 0 and 1 appear, so every spec is valid for any machine
+    // the strategy draws (disks >= 2).
+    prop::sample::select(vec![
+        "",
+        "straggler:1:x6",
+        "flaky:0:p0.2",
+        "straggler:0:x4@20ms-300ms,flaky:1:p0.1",
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    /// Any bounded configuration completes every read, never exceeds the
+    /// queue bound, and keeps its cache/read accounting balanced — with
+    /// or without prefetch, admission, faults, and under disk scarcity.
+    #[test]
+    fn queue_bound_holds_under_random_overload(
+        depth in 1u32..5,
+        disks in 2u16..5,
+        credits in prop::option::of(1u32..8),
+        prefetch in any::<bool>(),
+        compute_us in prop::sample::select(vec![0u64, 500, 2_000, 10_000]),
+        pattern in pattern_strategy(),
+        faults in fault_strategy(),
+        seed in 0u64..1_000,
+    ) {
+        let mut cfg = small_cfg(pattern, SyncStyle::BlocksPerProc(10), prefetch);
+        cfg.disks = disks;
+        cfg.compute_mean = SimDuration::from_micros(compute_us);
+        cfg.queue_depth = Some(depth);
+        if let Some(c) = credits {
+            cfg.admission = AdmissionConfig::on(c);
+        }
+        if !faults.is_empty() {
+            cfg.faults.plan = parse_fault_specs(faults).unwrap();
+        }
+        cfg.seed = seed;
+        cfg.validate().unwrap();
+        let m = run_experiment(&cfg);
+        prop_assert_eq!(m.total_reads(), 200, "every read completes");
+        prop_assert!(
+            m.overload.max_queue_depth <= depth as u64,
+            "queue depth {} exceeded bound {}",
+            m.overload.max_queue_depth, depth
+        );
+        prop_assert_eq!(m.ready_hits + m.unready_hits + m.misses, 200);
+        if !prefetch {
+            prop_assert_eq!(m.overload.prefetches_shed, 0);
+            prop_assert_eq!(m.overload.prefetches_throttled, 0);
+        }
+    }
+}
+
+/// With the overload knobs at their defaults, the layer must not exist:
+/// fingerprints and engine event counts match a run with an effectively
+/// infinite queue bound removed, for every pattern × prefetch setting.
+#[test]
+fn default_config_is_event_identical_to_unbounded() {
+    for pattern in AccessPattern::ALL {
+        for prefetch in [false, true] {
+            let mut cfg = ExperimentConfig::paper_default(pattern, SyncStyle::BlocksPerProc(10));
+            if prefetch {
+                cfg.prefetch = PrefetchConfig::paper();
+            }
+            assert_eq!(cfg.queue_depth, None, "unbounded by default");
+            assert!(!cfg.admission.enabled, "admission off by default");
+            let (m_default, perf_default) = run_experiment_instrumented(&cfg);
+            // A bound deep enough never to reject must not change a
+            // single simulated number or event, only allocate tracking.
+            cfg.queue_depth = Some(1_000_000);
+            let (m_deep, perf_deep) = run_experiment_instrumented(&cfg);
+            assert_eq!(
+                fingerprint(&m_default),
+                fingerprint(&m_deep),
+                "{pattern}/pf={prefetch}: an unreachable queue bound changed the run"
+            );
+            assert_eq!(
+                perf_default.events, perf_deep.events,
+                "{pattern}/pf={prefetch}: an unreachable queue bound changed the event count"
+            );
+            assert_eq!(m_default.overload.demand_parked, 0);
+            assert_eq!(m_deep.overload.demand_parked, 0);
+            assert_eq!(m_deep.overload.prefetches_shed, 0);
+        }
+    }
+}
+
+/// The tightest possible bound (depth 1) with admission, faults, and
+/// prefetch all active at once still finishes and balances accounting.
+#[test]
+fn depth_one_with_admission_and_faults_survives() {
+    let mut cfg = small_cfg(
+        AccessPattern::LocalFixedPortions,
+        SyncStyle::BlocksPerProc(10),
+        true,
+    );
+    cfg.disks = 2;
+    cfg.compute_mean = SimDuration::from_micros(500);
+    cfg.queue_depth = Some(1);
+    cfg.admission = AdmissionConfig::on(2);
+    cfg.faults.plan = parse_fault_specs("straggler:1:x8@10ms-500ms").unwrap();
+    let m = run_experiment(&cfg);
+    assert_eq!(m.total_reads(), 200);
+    assert!(m.overload.max_queue_depth <= 1);
+    assert_eq!(m.ready_hits + m.unready_hits + m.misses, 200);
+}
