@@ -173,6 +173,10 @@ pub struct CacheStats {
 const NO_BUFFER: u32 = u32::MAX;
 
 /// The shared block cache.
+///
+/// `Clone` snapshots the entire pool — buffers, index, partitions, and
+/// statistics — so a warmed-up cache can be forked for base/variant runs.
+#[derive(Clone)]
 pub struct BufferPool {
     config: PoolConfig,
     buffers: Vec<Buffer>,

@@ -90,6 +90,7 @@ pub(crate) struct ParkedDemand {
 /// the configuration bounds queues or enables admission, so default runs
 /// pay nothing beyond an `Option` check (the same discipline as the
 /// fault layer's `FaultState`).
+#[derive(Clone)]
 pub(crate) struct AdmissionState {
     pub cfg: AdmissionConfig,
     /// Prefetch credits currently available (`cfg.prefetch_credits` at

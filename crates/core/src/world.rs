@@ -93,6 +93,7 @@ enum PState {
 }
 
 /// Per-processor state.
+#[derive(Clone)]
 struct Proc {
     id: ProcId,
     state: PState,
@@ -172,7 +173,7 @@ enum SyncReason {
 }
 
 /// Raw measurement accumulators for one run.
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub(crate) struct Recorder {
     pub reads: Tally,
     pub hit_wait: Sampled,
@@ -214,6 +215,7 @@ pub(crate) struct Recorder {
 }
 
 /// In-flight fault bookkeeping for one block's demand fetch.
+#[derive(Clone)]
 pub(crate) struct PendingIo {
     /// Resubmissions so far (selects the replica and the backoff).
     pub attempts: u32,
@@ -236,6 +238,7 @@ impl Default for PendingIo {
 /// Fault-layer state of one run; allocated only when the configuration's
 /// fault scenario is active, so fault-free runs pay nothing on the read
 /// path beyond an `Option` check.
+#[derive(Clone)]
 pub(crate) struct FaultState {
     /// Per-disk error/latency EWMAs driving prefetch degradation.
     pub health: HealthTracker,
@@ -245,6 +248,14 @@ pub(crate) struct FaultState {
 }
 
 /// One experiment run: the whole machine plus its workload.
+///
+/// `Clone` snapshots the entire machine mid-run — cache, file system,
+/// disks, processes, predictors, waiters, and statistics. Pair and sweep
+/// runners use it to warm one world up to a fork point and then branch
+/// independent continuations from the shared prefix (clone the paired
+/// [`rt_sim::Scheduler`] alongside; see `experiment::RunHandle`). The
+/// workload is shared by `Arc`, not copied.
+#[derive(Clone)]
 pub struct World {
     cfg: ExperimentConfig,
     pool: BufferPool,

@@ -30,6 +30,7 @@ impl WaiterList {
 }
 
 /// Dense block-number → waiting-processes table.
+#[derive(Clone)]
 pub(crate) struct WaiterTable {
     lists: Vec<WaiterList>,
 }

@@ -1,0 +1,319 @@
+//! Per-device event streams for conservative parallel simulation.
+//!
+//! The paper's testbed is a farm of independent disks: each device owns
+//! its queue and its 30 ms service clock, and devices influence each other
+//! only through *future* work — a block landing on the next disk of the
+//! stripe cannot need service sooner than one disk access from now. That
+//! structure is exactly what [`rt_sim::shard`] needs: one shard per
+//! device, with the stripe hand-off latency as the lookahead bound.
+//!
+//! [`DeviceStream`] wraps a real [`Disk`] in a [`ShardModel`]: an open
+//! arrival process feeds local demand requests, completions drive the
+//! device state machine, and every `forward_every`-th completion sends a
+//! follow-on prefetch to the next device in the stripe — the cross-shard
+//! traffic. [`FarmConfig::run`] assembles a farm and runs it on any
+//! number of threads with bit-identical results (the engine's guarantee,
+//! re-asserted by the tests here on real device state).
+
+use rt_sim::shard::{run_shards, ShardCtx, ShardModel, ShardRun};
+use rt_sim::{Rng, SimDuration, SimTime, Tally};
+
+use crate::device::{Discipline, Disk};
+use crate::request::{BlockId, DiskRequest, FetchKind, ProcId};
+use crate::service::Service;
+
+/// Parameters of a striped disk-farm run.
+#[derive(Clone, Debug)]
+pub struct FarmConfig {
+    /// Number of disk devices (= shards).
+    pub devices: u16,
+    /// Demand arrivals generated per device before its source dries up.
+    pub requests_per_device: u32,
+    /// Mean of the exponential interarrival time of local demand.
+    pub mean_interarrival: SimDuration,
+    /// Every `forward_every`-th completion forwards a stripe-follow-on
+    /// prefetch to the next device. Zero disables forwarding.
+    pub forward_every: u32,
+    /// Hand-off latency of a forwarded request — the farm's lookahead
+    /// bound. Must be positive.
+    pub forward_delay: SimDuration,
+    /// Service model of every device.
+    pub service: Service,
+    /// Master seed; each device derives its own independent stream.
+    pub seed: u64,
+}
+
+impl Default for FarmConfig {
+    /// Paper-flavored farm: 30 ms fixed service, hand-offs one service
+    /// time out, devices at ~90% utilization.
+    fn default() -> Self {
+        FarmConfig {
+            devices: 20,
+            requests_per_device: 2_000,
+            mean_interarrival: SimDuration::from_micros(33_333),
+            forward_every: 4,
+            forward_delay: SimDuration::from_millis(30),
+            service: Service::paper(),
+            seed: 0x5EED_FA2A,
+        }
+    }
+}
+
+/// Aggregate result of [`FarmConfig::run`], merged from the per-device
+/// streams in fixed device order (merge order is part of the contract:
+/// the same numbers come back at every thread count).
+#[derive(Clone, Debug)]
+pub struct FarmOutcome {
+    /// Engine-level outcome (event counts, windows, end time).
+    pub run: ShardRun,
+    /// Requests completed across all devices.
+    pub completions: u64,
+    /// Stripe follow-ons forwarded between devices.
+    pub forwarded: u64,
+    /// Response-time distribution over all completed requests.
+    pub response: Tally,
+    /// Queue-delay distribution over all queued requests.
+    pub queue_delay: Tally,
+}
+
+/// Events of one device stream.
+#[derive(Clone, Copy, Debug)]
+pub enum StreamEv {
+    /// The local arrival process emits a demand request.
+    Arrival,
+    /// The in-service request completes now.
+    Completion,
+    /// A stripe follow-on handed over from the previous device.
+    Forwarded(BlockId),
+}
+
+/// One disk device as a conservative-simulation shard.
+pub struct DeviceStream {
+    id: u16,
+    disk: Disk,
+    rng: Rng,
+    remaining: u32,
+    next_block: u32,
+    completions: u64,
+    forwarded: u64,
+    forward_every: u32,
+    forward_delay: SimDuration,
+    mean_interarrival: SimDuration,
+}
+
+impl DeviceStream {
+    fn new(id: u16, cfg: &FarmConfig) -> Self {
+        let master = Rng::seeded(cfg.seed);
+        DeviceStream {
+            id,
+            disk: Disk::new(
+                cfg.service.clone(),
+                Discipline::Fifo,
+                master.split(2 * id as u64),
+            ),
+            rng: master.split(2 * id as u64 + 1),
+            remaining: cfg.requests_per_device,
+            next_block: 0,
+            completions: 0,
+            forwarded: 0,
+            forward_every: cfg.forward_every,
+            forward_delay: cfg.forward_delay,
+            mean_interarrival: cfg.mean_interarrival,
+        }
+    }
+
+    /// The wrapped device, for post-run statistics.
+    pub fn disk(&self) -> &Disk {
+        &self.disk
+    }
+
+    /// Requests completed by this device.
+    pub fn completions(&self) -> u64 {
+        self.completions
+    }
+
+    fn submit(
+        &mut self,
+        now: SimTime,
+        block: BlockId,
+        kind: FetchKind,
+        ctx: &mut ShardCtx<'_, StreamEv>,
+    ) {
+        let req = DiskRequest {
+            block,
+            physical: block.0,
+            kind,
+            initiator: ProcId(self.id),
+            submitted: now,
+        };
+        if let Some(completion) = self.disk.submit(req).expect("farm queues are unbounded") {
+            ctx.schedule_at(completion, StreamEv::Completion);
+        }
+    }
+}
+
+impl ShardModel for DeviceStream {
+    type Event = StreamEv;
+
+    fn lookahead(&self) -> SimDuration {
+        self.forward_delay
+    }
+
+    fn handle(&mut self, event: StreamEv, ctx: &mut ShardCtx<'_, StreamEv>) {
+        match event {
+            StreamEv::Arrival => {
+                let block = BlockId(self.next_block);
+                self.next_block += 1;
+                self.submit(ctx.now(), block, FetchKind::Demand, ctx);
+                self.remaining -= 1;
+                if self.remaining > 0 {
+                    let gap = self.rng.exponential(self.mean_interarrival);
+                    ctx.schedule_in(gap, StreamEv::Arrival);
+                }
+            }
+            StreamEv::Completion => {
+                let (_, next) = self.disk.complete(ctx.now());
+                if let Some((_, completion)) = next {
+                    ctx.schedule_at(completion, StreamEv::Completion);
+                }
+                self.completions += 1;
+                if self.forward_every > 0
+                    && self.completions.is_multiple_of(self.forward_every as u64)
+                {
+                    let peer = (ctx.shard() + 1) % ctx.shards();
+                    self.forwarded += 1;
+                    ctx.send(
+                        peer,
+                        self.forward_delay,
+                        StreamEv::Forwarded(BlockId(self.next_block)),
+                    );
+                }
+            }
+            StreamEv::Forwarded(block) => {
+                self.submit(ctx.now(), block, FetchKind::Prefetch, ctx);
+            }
+        }
+    }
+}
+
+impl FarmConfig {
+    /// Build the farm's device streams (one shard per device).
+    pub fn build(&self) -> Vec<DeviceStream> {
+        assert!(self.devices > 0, "farm needs at least one device");
+        assert!(
+            self.forward_delay > SimDuration::ZERO,
+            "forward delay is the lookahead bound and must be positive"
+        );
+        (0..self.devices)
+            .map(|id| DeviceStream::new(id, self))
+            .collect()
+    }
+
+    /// Run the farm on `threads` workers. Statistics are merged in device
+    /// order, so the whole [`FarmOutcome`] — engine counts included — is
+    /// identical for every `threads` value.
+    pub fn run(&self, threads: usize) -> FarmOutcome {
+        let mut streams = self.build();
+        let run = run_shards(&mut streams, threads, u64::MAX, |_, ctx| {
+            ctx.schedule_at(SimTime::ZERO, StreamEv::Arrival);
+        });
+        let mut response = Tally::new();
+        let mut queue_delay = Tally::new();
+        let mut completions = 0;
+        let mut forwarded = 0;
+        for s in &streams {
+            response.merge(s.disk.response());
+            queue_delay.merge(s.disk.queue_delay());
+            completions += s.completions;
+            forwarded += s.forwarded;
+        }
+        FarmOutcome {
+            run,
+            completions,
+            forwarded,
+            response,
+            queue_delay,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> FarmConfig {
+        FarmConfig {
+            devices: 8,
+            requests_per_device: 200,
+            ..FarmConfig::default()
+        }
+    }
+
+    fn fingerprint(o: &FarmOutcome) -> (u64, Vec<u64>, u64, u64, u64, u64, u64) {
+        (
+            o.run.events,
+            o.run.per_shard_events.clone(),
+            o.run.end_time.as_nanos(),
+            o.completions,
+            o.forwarded,
+            o.response.count(),
+            o.response.total().as_nanos(),
+        )
+    }
+
+    #[test]
+    fn farm_is_bit_identical_across_thread_counts() {
+        let cfg = small();
+        let base = cfg.run(1);
+        assert!(base.run.events > 3_000, "farm too small to mean anything");
+        for threads in [2, 4, 8] {
+            let out = cfg.run(threads);
+            assert_eq!(
+                fingerprint(&out),
+                fingerprint(&base),
+                "farm diverged at {threads} threads"
+            );
+            assert!((out.response.mean_millis() - base.response.mean_millis()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn every_arrival_eventually_completes() {
+        let cfg = small();
+        let out = cfg.run(4);
+        // All demand arrivals plus all forwarded prefetches drain.
+        let expected = cfg.devices as u64 * cfg.requests_per_device as u64 + out.forwarded;
+        assert_eq!(out.completions, expected);
+        assert!(!out.run.budget_exhausted);
+    }
+
+    #[test]
+    fn forwarding_crosses_devices() {
+        let out = small().run(2);
+        assert!(out.forwarded > 0, "no cross-shard traffic exercised");
+    }
+
+    #[test]
+    fn seed_changes_the_run() {
+        let a = small().run(1);
+        let cfg_b = FarmConfig {
+            seed: 999,
+            ..small()
+        };
+        let b = cfg_b.run(1);
+        assert_ne!(a.run.end_time, b.run.end_time);
+    }
+
+    #[test]
+    fn windows_are_coarse() {
+        // The whole point of the 30 ms lookahead: windows span a full
+        // service time, so rounds stay far below event counts.
+        let out = small().run(2);
+        assert!(
+            out.run.rounds * 2 < out.run.events,
+            "sync rounds ({}) not amortized over events ({})",
+            out.run.rounds,
+            out.run.events
+        );
+    }
+}

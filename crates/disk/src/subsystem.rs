@@ -41,6 +41,10 @@ pub struct Completed {
 /// The testbed studies one parallel computation reading one interleaved
 /// file, so a single layout suffices; the subsystem still exposes
 /// per-device statistics to observe load imbalance.
+///
+/// `Clone` snapshots every device — queues, in-service requests, fault
+/// state, and statistics — for world forking.
+#[derive(Clone)]
 pub struct DiskSubsystem {
     disks: Vec<Disk>,
     layout: FileLayout,

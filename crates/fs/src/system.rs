@@ -88,6 +88,10 @@ pub struct FsCompleted {
 }
 
 /// The interleaved file system over parallel independent disks.
+///
+/// `Clone` snapshots the whole system — devices, queues, allocator, and
+/// file table — so a mid-run state can be forked and resumed independently.
+#[derive(Clone)]
 pub struct FileSystem {
     disks: DiskSubsystem,
     allocator: Allocator,

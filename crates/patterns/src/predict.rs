@@ -16,7 +16,11 @@ use rt_disk::BlockId;
 
 /// A predictor consumes the observed access stream of one process and
 /// yields candidate blocks to prefetch, nearest-future first.
-pub trait Predictor {
+///
+/// Predictors are `Send` and clonable through [`Predictor::clone_box`], so
+/// a world holding boxed predictors can be snapshotted mid-run and each
+/// fork carries its own independent copy of the learned state.
+pub trait Predictor: Send {
     /// Observe one demand access.
     fn observe(&mut self, block: BlockId);
 
@@ -25,6 +29,15 @@ pub trait Predictor {
 
     /// A short name for reports.
     fn name(&self) -> &'static str;
+
+    /// Clone the predictor, learned state included, into a fresh box.
+    fn clone_box(&self) -> Box<dyn Predictor>;
+}
+
+impl Clone for Box<dyn Predictor> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 /// One-block lookahead, generalized to a run of `depth` successors.
@@ -66,6 +79,10 @@ impl Predictor for Obl {
 
     fn name(&self) -> &'static str {
         "obl"
+    }
+
+    fn clone_box(&self) -> Box<dyn Predictor> {
+        Box::new(self.clone())
     }
 }
 
@@ -178,6 +195,10 @@ impl Predictor for PortionLearner {
 
     fn name(&self) -> &'static str {
         "portion-learner"
+    }
+
+    fn clone_box(&self) -> Box<dyn Predictor> {
+        Box::new(self.clone())
     }
 }
 

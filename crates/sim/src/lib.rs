@@ -39,16 +39,19 @@ pub mod engine;
 pub mod event;
 pub mod resource;
 pub mod rng;
+pub mod shard;
 pub mod stats;
 pub mod time;
 pub mod timeline;
 
 pub use engine::{
-    run, run_observed, run_with_stats, EngineStats, Model, ObservedEnd, RunOutcome, Scheduler,
+    run, run_observed, run_until, run_with_stats, EngineStats, Model, ObservedEnd, RunOutcome,
+    Scheduler,
 };
 pub use event::{EventId, EventQueue};
 pub use resource::{Admission, FifoServer, SimLock};
 pub use rng::Rng;
+pub use shard::{run_shards, run_shards_reference, ShardCtx, ShardKey, ShardModel, ShardRun};
 pub use stats::{Ratio, Sampled, Tally, TimeWeighted};
 pub use time::{SimDuration, SimTime};
 pub use timeline::Timeline;

@@ -1,0 +1,809 @@
+//! Conservative parallel discrete-event simulation.
+//!
+//! The sequential engine ([`crate::run`]) drives one model from one queue.
+//! This module runs **many shards** — independent sub-models that interact
+//! only through timestamped messages — and advances them concurrently
+//! without ever violating causality, using the classic synchronous
+//! conservative window algorithm (Chandy–Misra in its barrier form, à la
+//! YAWNS): every cross-shard message must be sent at least `lookahead`
+//! into the future, so between two barriers each shard can safely process
+//! every event earlier than the global bound
+//!
+//! ```text
+//!   G = min over shards i of (head_i + lookahead_i)
+//! ```
+//!
+//! because no message created this round (or any later round) can arrive
+//! before `G`. The reproduction's fixed 30 ms disk service time is exactly
+//! such a bound: a disk farm shard never affects a peer sooner than one
+//! service time from now, so windows span ~30 ms of simulated time and
+//! barriers stay rare.
+//!
+//! # Bit-exact determinism
+//!
+//! Parallel simulators usually surrender reproducibility at equal
+//! timestamps: whichever worker delivers first wins. Here every event
+//! carries an **intrinsic key** `(time, origin shard, origin counter)`
+//! assigned at *creation*, not at queue insertion. Each shard pops its
+//! pending set in key order, so the per-shard event sequence is a pure
+//! function of the model — identical for the serial reference executor
+//! ([`run_shards_reference`]), the windowed single-thread path, and any
+//! worker count. Tests in this module assert that equivalence event for
+//! event.
+//!
+//! The event budget is enforced at window boundaries (the only points
+//! where a deterministic global cut exists), so a budget-limited run also
+//! stops at the same event count regardless of thread count.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::{Barrier, Mutex};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Globally unique, creation-assigned ordering key for a shard event.
+///
+/// Events are processed in ascending `(time, src, counter)` order within a
+/// shard. `src` is the shard that created the event and `counter` that
+/// shard's creation sequence number — both fixed at creation, so the order
+/// never depends on when a message happens to be delivered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ShardKey {
+    /// Absolute simulated firing time.
+    pub time: SimTime,
+    /// Shard that created the event.
+    pub src: u32,
+    /// Creation sequence number within `src`.
+    pub counter: u64,
+}
+
+/// A pending event: its key plus the payload.
+struct Pending<E> {
+    key: ShardKey,
+    payload: E,
+}
+
+impl<E> PartialEq for Pending<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<E> Eq for Pending<E> {}
+impl<E> PartialOrd for Pending<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Pending<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we pop the smallest key.
+        other.key.cmp(&self.key)
+    }
+}
+
+/// Per-shard runtime state: the pending set, the local clock, the
+/// creation counter behind [`ShardKey`], and the fired-event count.
+struct ShardState<E> {
+    queue: BinaryHeap<Pending<E>>,
+    clock: SimTime,
+    counter: u64,
+    fired: u64,
+}
+
+impl<E> ShardState<E> {
+    fn new() -> Self {
+        ShardState {
+            queue: BinaryHeap::new(),
+            clock: SimTime::ZERO,
+            counter: 0,
+            fired: 0,
+        }
+    }
+
+    /// Earliest pending time, or `None` when the shard is idle.
+    fn head(&self) -> Option<SimTime> {
+        self.queue.peek().map(|p| p.key.time)
+    }
+}
+
+/// A cross-shard message in flight: destination shard, intrinsic key,
+/// payload. The key — assigned at send time — is what keeps pop order
+/// independent of which thread routed the message.
+type Routed<E> = (u32, ShardKey, E);
+
+/// A sub-model advanced by [`run_shards`]. Shards own disjoint state and
+/// interact only through [`ShardCtx::send`] messages delayed by at least
+/// [`ShardModel::lookahead`].
+pub trait ShardModel: Send {
+    /// The event payload type.
+    type Event: Send;
+
+    /// Minimum delay of any cross-shard message this shard sends. Must be
+    /// positive: zero lookahead would forbid any safe window. Called once
+    /// at startup; the bound is fixed for the whole run.
+    fn lookahead(&self) -> SimDuration;
+
+    /// Handle one event at `ctx.now()`. The model may schedule local
+    /// events freely and send cross-shard messages at `>= lookahead`.
+    fn handle(&mut self, event: Self::Event, ctx: &mut ShardCtx<'_, Self::Event>);
+}
+
+/// Scheduling context handed to [`ShardModel::handle`]: the local clock,
+/// the shard's own pending set, and the cross-shard outbox.
+pub struct ShardCtx<'a, E> {
+    now: SimTime,
+    shard: u32,
+    shards: u32,
+    lookahead: SimDuration,
+    queue: &'a mut BinaryHeap<Pending<E>>,
+    counter: &'a mut u64,
+    outbox: &'a mut Vec<Routed<E>>,
+}
+
+impl<E> ShardCtx<'_, E> {
+    /// Current simulated time in this shard.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This shard's index.
+    #[inline]
+    pub fn shard(&self) -> u32 {
+        self.shard
+    }
+
+    /// Total number of shards in the run.
+    #[inline]
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    fn next_key(&mut self, time: SimTime) -> ShardKey {
+        let counter = *self.counter;
+        *self.counter = counter.checked_add(1).expect("shard counter exhausted");
+        ShardKey {
+            time,
+            src: self.shard,
+            counter,
+        }
+    }
+
+    /// Schedule a local event at an absolute time (not in the past).
+    pub fn schedule_at(&mut self, time: SimTime, event: E) {
+        debug_assert!(
+            time >= self.now,
+            "scheduled event in the past: {time:?} < now {:?}",
+            self.now
+        );
+        let key = self.next_key(time.max(self.now));
+        self.queue.push(Pending {
+            key,
+            payload: event,
+        });
+    }
+
+    /// Schedule a local event `delay` from now.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Send `event` to shard `dst`, arriving `delay` from now. `delay`
+    /// must respect this shard's lookahead bound — that promise is what
+    /// makes the conservative window safe, so violating it panics.
+    pub fn send(&mut self, dst: u32, delay: SimDuration, event: E) {
+        assert!(
+            delay >= self.lookahead,
+            "cross-shard send below the lookahead bound: {delay:?} < {:?}",
+            self.lookahead
+        );
+        assert!(dst < self.shards, "send to unknown shard {dst}");
+        let key = self.next_key(self.now + delay);
+        if dst == self.shard {
+            // A self-send is just a local event with a long fuse.
+            self.queue.push(Pending {
+                key,
+                payload: event,
+            });
+        } else {
+            self.outbox.push((dst, key, event));
+        }
+    }
+}
+
+/// Outcome of [`run_shards`] / [`run_shards_reference`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardRun {
+    /// Total events dispatched across all shards.
+    pub events: u64,
+    /// Events dispatched per shard (index-aligned with the input models).
+    pub per_shard_events: Vec<u64>,
+    /// Latest local clock over all shards when the run stopped.
+    pub end_time: SimTime,
+    /// Synchronization windows executed.
+    pub rounds: u64,
+    /// True when the run stopped at the event budget rather than by
+    /// draining every queue. The budget is checked at window boundaries,
+    /// so the final count may overshoot `max_events` — by the same amount
+    /// at every thread count.
+    pub budget_exhausted: bool,
+}
+
+/// Deliver one routed message into its destination shard's pending set.
+/// Delivery is separate from processing: mail lands before a window's
+/// bound is applied, never during it.
+fn deliver<E>(state: &mut ShardState<E>, key: ShardKey, payload: E) {
+    debug_assert!(
+        key.time >= state.clock,
+        "conservative window violated: arrival {:?} behind clock {:?}",
+        key.time,
+        state.clock
+    );
+    state.queue.push(Pending { key, payload });
+}
+
+/// One shard's window work: process every pending event strictly earlier
+/// than `bound`. Returns events fired this window.
+fn process_window<M: ShardModel>(
+    shard: u32,
+    shards: u32,
+    lookahead: SimDuration,
+    model: &mut M,
+    state: &mut ShardState<M::Event>,
+    bound: SimTime,
+    outbox: &mut Vec<Routed<M::Event>>,
+) -> u64 {
+    let mut fired = 0;
+    while state.queue.peek().is_some_and(|p| p.key.time < bound) {
+        let Pending { key, payload } = state.queue.pop().expect("peeked event vanished");
+        debug_assert!(key.time >= state.clock, "shard clock ran backwards");
+        state.clock = key.time;
+        fired += 1;
+        let mut ctx = ShardCtx {
+            now: key.time,
+            shard,
+            shards,
+            lookahead,
+            queue: &mut state.queue,
+            counter: &mut state.counter,
+            outbox,
+        };
+        model.handle(payload, &mut ctx);
+    }
+    state.fired += fired;
+    fired
+}
+
+/// The global window bound `min_i(head_i + lookahead_i)` in raw
+/// nanoseconds; `u64::MAX` when every queue is empty.
+fn window_bound(heads: impl Iterator<Item = (Option<SimTime>, SimDuration)>) -> u64 {
+    heads
+        .filter_map(|(head, la)| head.map(|h| h.as_nanos().saturating_add(la.as_nanos())))
+        .min()
+        .unwrap_or(u64::MAX)
+}
+
+/// Seed initial events, shard by shard, at time zero.
+fn seed_shards<M: ShardModel>(
+    models: &mut [M],
+    states: &mut [ShardState<M::Event>],
+    lookaheads: &[SimDuration],
+    mut seed: impl FnMut(u32, &mut ShardCtx<'_, M::Event>),
+) {
+    let shards = models.len() as u32;
+    let mut outbox = Vec::new();
+    for s in 0..models.len() {
+        let mut ctx = ShardCtx {
+            now: SimTime::ZERO,
+            shard: s as u32,
+            shards,
+            lookahead: lookaheads[s],
+            queue: &mut states[s].queue,
+            counter: &mut states[s].counter,
+            outbox: &mut outbox,
+        };
+        seed(s as u32, &mut ctx);
+        for (dst, key, payload) in outbox.drain(..) {
+            states[dst as usize].queue.push(Pending { key, payload });
+        }
+    }
+}
+
+fn finish(states: &[ShardState<impl Sized>], rounds: u64, budget_exhausted: bool) -> ShardRun {
+    ShardRun {
+        events: states.iter().map(|s| s.fired).sum(),
+        per_shard_events: states.iter().map(|s| s.fired).collect(),
+        end_time: states
+            .iter()
+            .map(|s| s.clock)
+            .max()
+            .unwrap_or(SimTime::ZERO),
+        rounds,
+        budget_exhausted,
+    }
+}
+
+/// Run `models` to completion (or the event budget) with conservative
+/// window synchronization, on `threads` worker threads. `seed` is called
+/// once per shard at time zero to plant initial events.
+///
+/// The result — every shard's event sequence, clock, and count — is
+/// **bit-identical for every `threads` value**, including the serial
+/// reference order of [`run_shards_reference`].
+pub fn run_shards<M: ShardModel>(
+    models: &mut [M],
+    threads: usize,
+    max_events: u64,
+    seed: impl FnMut(u32, &mut ShardCtx<'_, M::Event>),
+) -> ShardRun {
+    let n = models.len();
+    if n == 0 {
+        return ShardRun {
+            events: 0,
+            per_shard_events: Vec::new(),
+            end_time: SimTime::ZERO,
+            rounds: 0,
+            budget_exhausted: false,
+        };
+    }
+    let lookaheads: Vec<SimDuration> = models.iter().map(|m| m.lookahead()).collect();
+    for (i, la) in lookaheads.iter().enumerate() {
+        assert!(
+            *la > SimDuration::ZERO,
+            "shard {i} has zero lookahead; conservative windows need a positive bound"
+        );
+    }
+    let mut states: Vec<ShardState<M::Event>> = (0..n).map(|_| ShardState::new()).collect();
+    seed_shards(models, &mut states, &lookaheads, seed);
+
+    let workers = threads.clamp(1, n);
+    if workers == 1 {
+        run_windows_serial(models, &mut states, &lookaheads, max_events)
+    } else {
+        run_windows_parallel(models, &mut states, &lookaheads, max_events, workers)
+    }
+}
+
+/// Single-thread windowed executor: identical window structure (and
+/// therefore identical budget cuts) to the parallel path.
+fn run_windows_serial<M: ShardModel>(
+    models: &mut [M],
+    states: &mut [ShardState<M::Event>],
+    lookaheads: &[SimDuration],
+    max_events: u64,
+) -> ShardRun {
+    let shards = models.len() as u32;
+    let mut rounds = 0u64;
+    let mut total = 0u64;
+    let mut outbox: Vec<Routed<M::Event>> = Vec::new();
+    let mut pending_mail: Vec<Vec<Routed<M::Event>>> =
+        (0..models.len()).map(|_| Vec::new()).collect();
+    loop {
+        let bound = window_bound(states.iter().zip(lookaheads).map(|(s, la)| (s.head(), *la)));
+        if bound == u64::MAX {
+            return finish(states, rounds, false);
+        }
+        if total >= max_events {
+            return finish(states, rounds, true);
+        }
+        rounds += 1;
+        let bound = SimTime::from_nanos(bound);
+        for s in 0..models.len() {
+            for (dst, key, payload) in pending_mail[s].drain(..) {
+                debug_assert_eq!(dst as usize, s, "message routed to the wrong shard");
+                deliver(&mut states[s], key, payload);
+            }
+            total += process_window(
+                s as u32,
+                shards,
+                lookaheads[s],
+                &mut models[s],
+                &mut states[s],
+                bound,
+                &mut outbox,
+            );
+        }
+        for (dst, key, payload) in outbox.drain(..) {
+            pending_mail[dst as usize].push((dst, key, payload));
+        }
+    }
+}
+
+/// Multi-worker windowed executor. Shards are split into contiguous
+/// chunks, one per persistent worker; two barriers per round separate
+/// (a) mailbox delivery + head publication from (b) window processing.
+/// All cross-worker data is exchanged only at barriers, and every worker
+/// derives the same bound and the same budget decision from the same
+/// published values — no racy cuts.
+fn run_windows_parallel<M: ShardModel>(
+    models: &mut [M],
+    states: &mut [ShardState<M::Event>],
+    lookaheads: &[SimDuration],
+    max_events: u64,
+    workers: usize,
+) -> ShardRun {
+    let n = models.len();
+    let shards = n as u32;
+    let chunk = n.div_ceil(workers);
+    let workers = n.div_ceil(chunk); // drop workers left without a chunk
+    let owner = |shard: usize| shard / chunk;
+
+    // Published-at-barrier state: per-worker window contribution
+    // (min head+lookahead over its shards), fired-event counts, and
+    // per-worker mailboxes of messages addressed to that worker's shards.
+    let mins: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(u64::MAX)).collect();
+    let fired: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
+    let rounds = AtomicU64::new(0);
+    let mailboxes: Vec<Mutex<Vec<Routed<M::Event>>>> =
+        (0..workers).map(|_| Mutex::new(Vec::new())).collect();
+    let barrier = Barrier::new(workers);
+
+    let budget_hit = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        let mut model_chunks = models.chunks_mut(chunk);
+        let mut state_chunks = states.chunks_mut(chunk);
+        for w in 0..workers {
+            let my_models = model_chunks.next().expect("worker without models");
+            let my_states = state_chunks.next().expect("worker without states");
+            let base = w * chunk;
+            let my_lookaheads = &lookaheads[base..base + my_models.len()];
+            let mins = &mins;
+            let fired = &fired;
+            let rounds = &rounds;
+            let mailboxes = &mailboxes;
+            let barrier = &barrier;
+            handles.push(scope.spawn(move || {
+                let mut outbox: Vec<Routed<M::Event>> = Vec::new();
+                let mut mail: Vec<Routed<M::Event>> = Vec::new();
+                let mut budget_hit = false;
+                loop {
+                    // Phase A: take this round's mail, deliver it, publish
+                    // the chunk's window contribution.
+                    mail.append(&mut mailboxes[w].lock().expect("mailbox poisoned"));
+                    for (dst, key, payload) in mail.drain(..) {
+                        // Delivery only; processing waits for the bound.
+                        deliver(&mut my_states[dst as usize - base], key, payload);
+                    }
+                    let my_min = window_bound(
+                        my_states
+                            .iter()
+                            .zip(my_lookaheads)
+                            .map(|(s, la)| (s.head(), *la)),
+                    );
+                    mins[w].store(my_min, AtomicOrdering::Relaxed);
+                    // Snapshot the budget *here*, between the barriers:
+                    // fired counters only change during processing, which
+                    // no worker can reach until everyone passes the next
+                    // barrier — so every worker sums the same values. A
+                    // sum taken after the barrier would race with faster
+                    // workers' updates and split the break decision.
+                    let total: u64 = fired.iter().map(|f| f.load(AtomicOrdering::Relaxed)).sum();
+                    barrier.wait();
+
+                    // Phase B: every worker sees the same published mins
+                    // and fired totals, so every worker takes the same
+                    // branch below — the cut is deterministic.
+                    let bound = mins
+                        .iter()
+                        .map(|m| m.load(AtomicOrdering::Relaxed))
+                        .min()
+                        .expect("at least one worker");
+                    if bound == u64::MAX {
+                        break;
+                    }
+                    if total >= max_events {
+                        budget_hit = true;
+                        break;
+                    }
+                    if w == 0 {
+                        rounds.fetch_add(1, AtomicOrdering::Relaxed);
+                    }
+                    let bound = SimTime::from_nanos(bound);
+                    let mut window_fired = 0;
+                    for (i, (model, state)) in
+                        my_models.iter_mut().zip(my_states.iter_mut()).enumerate()
+                    {
+                        let shard = (base + i) as u32;
+                        window_fired += process_window(
+                            shard,
+                            shards,
+                            my_lookaheads[i],
+                            model,
+                            state,
+                            bound,
+                            &mut outbox,
+                        );
+                    }
+                    fired[w].fetch_add(window_fired, AtomicOrdering::Relaxed);
+                    // Route outbound messages to their owners' mailboxes.
+                    outbox.sort_unstable_by_key(|(dst, ..)| *dst);
+                    let mut rest = outbox.drain(..).peekable();
+                    while let Some(&(dst, ..)) = rest.peek() {
+                        let dest_worker = owner(dst as usize);
+                        let mut slot = mailboxes[dest_worker].lock().expect("mailbox poisoned");
+                        while let Some(&(d, ..)) = rest.peek() {
+                            if owner(d as usize) != dest_worker {
+                                break;
+                            }
+                            slot.push(rest.next().expect("peeked message vanished"));
+                        }
+                    }
+                    // Wait for every mailbox write before the next
+                    // delivery phase begins.
+                    barrier.wait();
+                }
+                budget_hit
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker panicked"))
+            .fold(false, |a, b| a | b)
+    });
+    finish(states, rounds.load(AtomicOrdering::Relaxed), budget_hit)
+}
+
+/// Serial reference executor: one global heap discipline, no windows.
+/// Repeatedly processes the globally smallest pending key and delivers
+/// messages immediately. This is the specification [`run_shards`] is
+/// tested against; it is also the easiest mental model of what a shard
+/// run computes.
+pub fn run_shards_reference<M: ShardModel>(
+    models: &mut [M],
+    max_events: u64,
+    seed: impl FnMut(u32, &mut ShardCtx<'_, M::Event>),
+) -> ShardRun {
+    let n = models.len();
+    if n == 0 {
+        return ShardRun {
+            events: 0,
+            per_shard_events: Vec::new(),
+            end_time: SimTime::ZERO,
+            rounds: 0,
+            budget_exhausted: false,
+        };
+    }
+    let lookaheads: Vec<SimDuration> = models.iter().map(|m| m.lookahead()).collect();
+    let mut states: Vec<ShardState<M::Event>> = (0..n).map(|_| ShardState::new()).collect();
+    seed_shards(models, &mut states, &lookaheads, seed);
+
+    let shards = n as u32;
+    let mut outbox = Vec::new();
+    let mut total = 0u64;
+    loop {
+        let next = states
+            .iter()
+            .enumerate()
+            .filter_map(|(s, st)| st.queue.peek().map(|p| (p.key, s)))
+            .min();
+        let Some((_, s)) = next else {
+            return finish(&states, 0, false);
+        };
+        if total >= max_events {
+            return finish(&states, 0, true);
+        }
+        let state = &mut states[s];
+        let Pending { key, payload } = state.queue.pop().expect("peeked event vanished");
+        state.clock = key.time;
+        state.fired += 1;
+        total += 1;
+        let mut ctx = ShardCtx {
+            now: key.time,
+            shard: s as u32,
+            shards,
+            lookahead: lookaheads[s],
+            queue: &mut state.queue,
+            counter: &mut state.counter,
+            outbox: &mut outbox,
+        };
+        models[s].handle(payload, &mut ctx);
+        for (dst, key, payload) in outbox.drain(..) {
+            states[dst as usize].queue.push(Pending { key, payload });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    const MS: u64 = 1_000_000;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_nanos(ms * MS)
+    }
+
+    fn d(ms: u64) -> SimDuration {
+        SimDuration::from_nanos(ms * MS)
+    }
+
+    /// A deterministic chatterbox: every event does a bit of local work,
+    /// sometimes re-schedules locally, sometimes gossips to a random peer
+    /// at exactly-lookahead or more. Exercises ties (many equal times),
+    /// cross-shard fan-out, and drain-out.
+    struct Gossip {
+        id: u32,
+        rng: Rng,
+        remaining: u32,
+        log: Vec<(SimTime, u32)>,
+    }
+
+    impl Gossip {
+        fn fleet(n: u32, budget: u32) -> Vec<Gossip> {
+            (0..n)
+                .map(|id| Gossip {
+                    id,
+                    rng: Rng::seeded(0xB0B + id as u64),
+                    remaining: budget,
+                    log: Vec::new(),
+                })
+                .collect()
+        }
+    }
+
+    impl ShardModel for Gossip {
+        type Event = u32;
+
+        fn lookahead(&self) -> SimDuration {
+            d(30)
+        }
+
+        fn handle(&mut self, tag: u32, ctx: &mut ShardCtx<'_, u32>) {
+            self.log.push((ctx.now(), tag));
+            if self.remaining == 0 {
+                return;
+            }
+            self.remaining -= 1;
+            match self.rng.below(4) {
+                // Local burst: several events at the *same* instant plus a
+                // short hop — stresses intra-window ordering.
+                0 => {
+                    ctx.schedule_in(SimDuration::ZERO, tag.wrapping_mul(31) + 1);
+                    ctx.schedule_in(SimDuration::ZERO, tag.wrapping_mul(31) + 2);
+                    ctx.schedule_in(d(1), tag + 1);
+                }
+                1 => ctx.schedule_in(d(self.rng.below(10) + 1), tag + 7),
+                // Gossip to a peer at the lookahead bound exactly.
+                2 => {
+                    let peer = self.rng.below(ctx.shards() as u64) as u32;
+                    ctx.send(peer, d(30), self.id * 1000 + tag);
+                }
+                // Gossip further out, with jitter.
+                _ => {
+                    let peer = (self.id + 1) % ctx.shards();
+                    ctx.send(peer, d(30 + self.rng.below(20)), tag + 13);
+                }
+            }
+        }
+    }
+
+    fn seed_gossip(s: u32, ctx: &mut ShardCtx<'_, u32>) {
+        ctx.schedule_at(t(0), s);
+        ctx.schedule_at(t(5), 100 + s);
+    }
+
+    #[test]
+    fn windowed_matches_reference_event_for_event() {
+        let mut reference = Gossip::fleet(5, 200);
+        let ref_run = run_shards_reference(&mut reference, u64::MAX, seed_gossip);
+        assert!(ref_run.events > 1000, "model too quiet to prove anything");
+
+        for threads in [1, 2, 3, 5, 8] {
+            let mut fleet = Gossip::fleet(5, 200);
+            let run = run_shards(&mut fleet, threads, u64::MAX, seed_gossip);
+            for (s, (a, b)) in reference.iter().zip(&fleet).enumerate() {
+                assert_eq!(a.log, b.log, "shard {s} diverged at {threads} threads");
+            }
+            assert_eq!(run.events, ref_run.events);
+            assert_eq!(run.per_shard_events, ref_run.per_shard_events);
+            assert_eq!(run.end_time, ref_run.end_time);
+            assert!(!run.budget_exhausted);
+        }
+    }
+
+    #[test]
+    fn budget_cut_is_identical_across_thread_counts() {
+        let mut base = Gossip::fleet(4, 500);
+        let cut = run_shards(&mut base, 1, 2_000, seed_gossip);
+        assert!(cut.budget_exhausted);
+        assert!(cut.events >= 2_000);
+        for threads in [2, 4] {
+            let mut fleet = Gossip::fleet(4, 500);
+            let run = run_shards(&mut fleet, threads, 2_000, seed_gossip);
+            assert_eq!(run, cut, "budget cut moved at {threads} threads");
+            for (a, b) in base.iter().zip(&fleet) {
+                assert_eq!(a.log, b.log);
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_degenerates_to_sequential() {
+        let mut fleet = Gossip::fleet(1, 50);
+        let run = run_shards(&mut fleet, 4, u64::MAX, seed_gossip);
+        let mut reference = Gossip::fleet(1, 50);
+        let ref_run = run_shards_reference(&mut reference, u64::MAX, seed_gossip);
+        assert_eq!(fleet[0].log, reference[0].log);
+        assert_eq!(run.events, ref_run.events);
+    }
+
+    #[test]
+    fn empty_fleet_is_a_noop() {
+        let mut fleet: Vec<Gossip> = Vec::new();
+        let run = run_shards(&mut fleet, 4, u64::MAX, |_, _| {});
+        assert_eq!(run.events, 0);
+        assert_eq!(run.rounds, 0);
+    }
+
+    #[test]
+    fn idle_shards_do_not_block_the_window() {
+        // Only shard 0 is seeded; the rest stay idle. The run must drain
+        // shard 0 without waiting on anyone.
+        let mut fleet = Gossip::fleet(3, 40);
+        let run = run_shards(&mut fleet, 3, u64::MAX, |s, ctx| {
+            if s == 0 {
+                ctx.schedule_at(t(0), 0);
+            }
+        });
+        assert!(run.events > 0);
+        assert!(!run.budget_exhausted);
+    }
+
+    #[test]
+    #[should_panic(expected = "below the lookahead bound")]
+    fn send_below_lookahead_panics() {
+        struct Hasty;
+        impl ShardModel for Hasty {
+            type Event = ();
+            fn lookahead(&self) -> SimDuration {
+                d(30)
+            }
+            fn handle(&mut self, _: (), ctx: &mut ShardCtx<'_, ()>) {
+                ctx.send(1, d(5), ());
+            }
+        }
+        let mut fleet = vec![Hasty, Hasty];
+        run_shards(&mut fleet, 1, u64::MAX, |s, ctx| {
+            if s == 0 {
+                ctx.schedule_at(t(0), ());
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "zero lookahead")]
+    fn zero_lookahead_is_rejected() {
+        struct NoBound;
+        impl ShardModel for NoBound {
+            type Event = ();
+            fn lookahead(&self) -> SimDuration {
+                SimDuration::ZERO
+            }
+            fn handle(&mut self, _: (), _: &mut ShardCtx<'_, ()>) {}
+        }
+        let mut fleet = vec![NoBound, NoBound];
+        run_shards(&mut fleet, 2, u64::MAX, |_, _| {});
+    }
+
+    #[test]
+    fn keys_order_equal_times_by_origin_then_counter() {
+        let a = ShardKey {
+            time: t(1),
+            src: 0,
+            counter: 5,
+        };
+        let b = ShardKey {
+            time: t(1),
+            src: 1,
+            counter: 0,
+        };
+        let c = ShardKey {
+            time: t(1),
+            src: 0,
+            counter: 6,
+        };
+        assert!(a < b && a < c && c < b);
+    }
+}

@@ -74,7 +74,9 @@ commands:
   sweep-compute  the computation sweep of Fig. 12
   trace <pat>    record one run's access trace and analyze it off-line
   perf           measure the fixed perf slice, update BENCH_core.json
-                 (--label L, --out FILE, --quick, --check)
+                 (--label L, --out FILE, --quick, --check,
+                  --threads LIST scaling-curve thread counts, e.g. 1,2,4;
+                  RT_THREADS=N overrides the default when --threads absent)
   faults         run the fault-injection sweep, write BENCH_faults.json
                  (--out FILE, --smoke, --check)
   soak           run the overload/chaos soak, write BENCH_overload.json
@@ -288,7 +290,7 @@ fn cmd_sweep_compute(_args: &[String]) -> Result<(), String> {
 fn cmd_perf(args: &[String]) -> Result<(), String> {
     use rapid_transit::bench::json::Json;
     use rapid_transit::bench::perf;
-    use rapid_transit::cli::flag_value;
+    use rapid_transit::cli::{flag_value, parse_thread_list};
 
     let out = flag_value(args, "--out")?
         .unwrap_or("BENCH_core.json")
@@ -297,6 +299,27 @@ fn cmd_perf(args: &[String]) -> Result<(), String> {
         .unwrap_or("optimized")
         .to_string();
     let quick = has_flag(args, "--quick");
+    // Scaling-curve thread counts: --threads wins, then RT_THREADS (a
+    // single count, measured against serial), then the default two points.
+    let threads_env = std::env::var("RT_THREADS").ok();
+    let thread_points = match flag_value(args, "--threads")? {
+        Some(list) => parse_thread_list(list)?,
+        None => match threads_env.as_deref() {
+            Some(v) => {
+                let n = parse_thread_list(v)
+                    .map_err(|e| format!("RT_THREADS: {e}"))?
+                    .into_iter()
+                    .max()
+                    .unwrap_or(1);
+                if n > 1 {
+                    vec![1, n]
+                } else {
+                    vec![1]
+                }
+            }
+            None => perf::default_thread_points(),
+        },
+    };
 
     if has_flag(args, "--check") {
         let text = std::fs::read_to_string(&out).map_err(|e| format!("cannot read {out}: {e}"))?;
@@ -308,10 +331,11 @@ fn cmd_perf(args: &[String]) -> Result<(), String> {
     }
 
     println!(
-        "measuring perf slice ({} ...)",
-        if quick { "quick" } else { "full" }
+        "measuring perf slice ({}, scaling over {:?} threads ...)",
+        if quick { "quick" } else { "full" },
+        thread_points,
     );
-    let entry = perf::measure(&label, quick);
+    let entry = perf::measure(&label, quick, &thread_points);
     println!(
         "{label}: {:.0} events/sec ({} events, {:.0} ms), \
          {:.2} runs/sec ({} runs on {} threads, {:.0} ms), peak {} live events",
@@ -324,6 +348,16 @@ fn cmd_perf(args: &[String]) -> Result<(), String> {
         entry.sweep_wall_ms,
         entry.peak_live_events,
     );
+    println!(
+        "{label}: fork-shared sweep {:.2} runs/sec ({} runs, {:.0} ms) vs plain {:.2}",
+        entry.fork_runs_per_sec, entry.fork_runs, entry.fork_wall_ms, entry.runs_per_sec,
+    );
+    for p in &entry.scaling {
+        println!(
+            "{label}: farm x{} threads: {:.0} events/sec ({} events, {:.0} ms, speedup {:.2})",
+            p.threads, p.events_per_sec, p.events, p.wall_ms, p.speedup,
+        );
+    }
     let existing = match std::fs::read_to_string(&out) {
         Ok(text) => Some(Json::parse(&text).map_err(|e| format!("{out}: {e}"))?),
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
