@@ -162,6 +162,12 @@ impl ShardModel for DeviceStream {
     fn handle(&mut self, event: StreamEv, ctx: &mut ShardCtx<'_, StreamEv>) {
         match event {
             StreamEv::Arrival => {
+                if self.remaining == 0 {
+                    // A farm with requests_per_device == 0 still seeds one
+                    // Arrival per device; it must be a no-op, not an
+                    // underflow.
+                    return;
+                }
                 let block = BlockId(self.next_block);
                 self.next_block += 1;
                 self.submit(ctx.now(), block, FetchKind::Demand, ctx);
@@ -291,6 +297,21 @@ mod tests {
     fn forwarding_crosses_devices() {
         let out = small().run(2);
         assert!(out.forwarded > 0, "no cross-shard traffic exercised");
+    }
+
+    #[test]
+    fn zero_requests_per_device_is_a_noop() {
+        // The seeded Arrival must not underflow `remaining` when the farm
+        // is configured with no demand at all.
+        let cfg = FarmConfig {
+            requests_per_device: 0,
+            ..small()
+        };
+        let out = cfg.run(2);
+        assert_eq!(out.completions, 0);
+        assert_eq!(out.forwarded, 0);
+        // One no-op Arrival per device, nothing else.
+        assert_eq!(out.run.events, cfg.devices as u64);
     }
 
     #[test]

@@ -380,6 +380,17 @@ fn run_windows_serial<M: ShardModel>(
     let mut pending_mail: Vec<Vec<Routed<M::Event>>> =
         (0..models.len()).map(|_| Vec::new()).collect();
     loop {
+        // Phase A, exactly like the parallel path: deliver this round's
+        // mail first, then derive the bound from the post-delivery heads.
+        // Computing the bound before delivery would let a shard run past
+        // a message already in flight (a causality violation), and an
+        // all-empty-queues check would drop mail still in transit.
+        for s in 0..models.len() {
+            for (dst, key, payload) in pending_mail[s].drain(..) {
+                debug_assert_eq!(dst as usize, s, "message routed to the wrong shard");
+                deliver(&mut states[s], key, payload);
+            }
+        }
         let bound = window_bound(states.iter().zip(lookaheads).map(|(s, la)| (s.head(), *la)));
         if bound == u64::MAX {
             return finish(states, rounds, false);
@@ -390,10 +401,6 @@ fn run_windows_serial<M: ShardModel>(
         rounds += 1;
         let bound = SimTime::from_nanos(bound);
         for s in 0..models.len() {
-            for (dst, key, payload) in pending_mail[s].drain(..) {
-                debug_assert_eq!(dst as usize, s, "message routed to the wrong shard");
-                deliver(&mut states[s], key, payload);
-            }
             total += process_window(
                 s as u32,
                 shards,
@@ -749,6 +756,80 @@ mod tests {
         });
         assert!(run.events > 0);
         assert!(!run.budget_exhausted);
+    }
+
+    /// Minimal ping-pong model for the serial-executor regressions below:
+    /// tag 0 sends to shard 1, tag 1 replies to shard 0, anything else is
+    /// inert filler that only advances the local clock.
+    struct PingPong {
+        log: Vec<(SimTime, u8)>,
+    }
+
+    impl ShardModel for PingPong {
+        type Event = u8;
+
+        fn lookahead(&self) -> SimDuration {
+            d(30)
+        }
+
+        fn handle(&mut self, tag: u8, ctx: &mut ShardCtx<'_, u8>) {
+            self.log.push((ctx.now(), tag));
+            match tag {
+                0 => ctx.send(1, d(30), 1),
+                1 => ctx.send(0, d(30), 2),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn serial_delivers_mail_before_computing_the_bound() {
+        // Regression: shard 0 opens at t=0 (message lands on shard 1 at
+        // t=30 ms) while shard 1's own head sits at t=100 ms and shard 0
+        // keeps a filler event at t=70 ms. A bound computed from the
+        // pre-delivery heads is min(70, 100) + 30, letting shard 0 run to
+        // t=70 before shard 1's reply (t=60) is delivered — a causality
+        // violation the windows exist to prevent. All executors must agree.
+        let seed = |s: u32, ctx: &mut ShardCtx<'_, u8>| {
+            if s == 0 {
+                ctx.schedule_at(t(0), 0);
+                ctx.schedule_at(t(70), 9);
+            } else {
+                ctx.schedule_at(t(100), 9);
+            }
+        };
+        let mut reference = vec![PingPong { log: Vec::new() }, PingPong { log: Vec::new() }];
+        let ref_run = run_shards_reference(&mut reference, u64::MAX, seed);
+        assert_eq!(ref_run.events, 5);
+        for threads in [1, 2] {
+            let mut fleet = vec![PingPong { log: Vec::new() }, PingPong { log: Vec::new() }];
+            let run = run_shards(&mut fleet, threads, u64::MAX, seed);
+            assert_eq!(run.events, ref_run.events, "at {threads} threads");
+            for (s, (a, b)) in reference.iter().zip(&fleet).enumerate() {
+                assert_eq!(a.log, b.log, "shard {s} diverged at {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn serial_does_not_drop_in_flight_mail_when_queues_drain() {
+        // Regression: after shard 0's only event fires, every queue is
+        // empty while its message to shard 1 is still in pending mail. The
+        // run is over only when queues *and* mail are empty; returning on
+        // empty queues alone silently drops the in-flight events.
+        let seed = |s: u32, ctx: &mut ShardCtx<'_, u8>| {
+            if s == 0 {
+                ctx.schedule_at(t(0), 0);
+            }
+        };
+        for threads in [1, 2] {
+            let mut fleet = vec![PingPong { log: Vec::new() }, PingPong { log: Vec::new() }];
+            let run = run_shards(&mut fleet, threads, u64::MAX, seed);
+            // Opener on shard 0, its delivery on shard 1, the reply back.
+            assert_eq!(run.events, 3, "in-flight mail lost at {threads} threads");
+            assert_eq!(fleet[1].log, vec![(t(30), 1)]);
+            assert_eq!(run.end_time, t(60));
+        }
     }
 
     #[test]
