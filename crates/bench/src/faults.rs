@@ -10,7 +10,7 @@
 //! builds. The `--smoke` variant shrinks the machine for CI.
 
 use rt_core::experiment::run_pair;
-use rt_core::faults::parse_fault_specs;
+use rt_core::faults::{parse_fault_specs, FaultSpecError};
 use rt_core::{ExperimentConfig, RunMetrics, RunPair};
 use rt_patterns::{AccessPattern, SyncStyle, WorkloadParams};
 use rt_sim::SimDuration;
@@ -29,95 +29,98 @@ pub struct FaultScenario {
 }
 
 /// The fixed scenario set. `quick` shrinks the machine (4 nodes, 200
-/// blocks) and the fault windows for smoke tests.
-pub fn scenarios(quick: bool) -> Vec<FaultScenario> {
-    let base = |specs: &str, replicas: u16, timeout_ms: u64| {
-        let mut cfg = ExperimentConfig::paper_default(
-            AccessPattern::LocalFixedPortions,
-            SyncStyle::BlocksPerProc(10),
-        );
-        if quick {
-            cfg.procs = 4;
-            cfg.disks = 4;
-            cfg.workload = WorkloadParams {
-                procs: 4,
-                file_blocks: 200,
-                total_reads: 200,
-                ..WorkloadParams::paper()
-            };
-        }
-        cfg.faults.plan = parse_fault_specs(specs).expect("scenario specs are well-formed");
-        cfg.faults.replicas = replicas;
-        if timeout_ms > 0 {
-            cfg.faults.retry.timeout = Some(SimDuration::from_millis(timeout_ms));
-        }
-        cfg
-    };
+/// blocks) and the fault windows for smoke tests. A malformed spec is
+/// reported as a typed [`FaultSpecError`] rather than a panic, so the
+/// CLI can surface it through its exit code.
+pub fn scenarios(quick: bool) -> Result<Vec<FaultScenario>, FaultSpecError> {
+    let base =
+        |specs: &str, replicas: u16, timeout_ms: u64| -> Result<ExperimentConfig, FaultSpecError> {
+            let mut cfg = ExperimentConfig::paper_default(
+                AccessPattern::LocalFixedPortions,
+                SyncStyle::BlocksPerProc(10),
+            );
+            if quick {
+                cfg.procs = 4;
+                cfg.disks = 4;
+                cfg.workload = WorkloadParams {
+                    procs: 4,
+                    file_blocks: 200,
+                    total_reads: 200,
+                    ..WorkloadParams::paper()
+                };
+            }
+            cfg.faults.plan = parse_fault_specs(specs)?;
+            cfg.faults.replicas = replicas;
+            if timeout_ms > 0 {
+                cfg.faults.retry.timeout = Some(SimDuration::from_millis(timeout_ms));
+            }
+            Ok(cfg)
+        };
     // Disk indices and windows scale with the machine: the smoke machine
     // has 4 disks and finishes in roughly a second of simulated time.
-    if quick {
+    Ok(if quick {
         vec![
             FaultScenario {
                 name: "none",
-                cfg: base("", 0, 0),
+                cfg: base("", 0, 0)?,
             },
             FaultScenario {
                 name: "straggler-x4",
-                cfg: base("straggler:2:x4", 0, 0),
+                cfg: base("straggler:2:x4", 0, 0)?,
             },
             FaultScenario {
                 name: "flaky-p30",
-                cfg: base("flaky:1:p0.3", 0, 0),
+                cfg: base("flaky:1:p0.3", 0, 0)?,
             },
             FaultScenario {
                 name: "outage-repair",
-                cfg: base("fail:3@100ms-400ms", 0, 0),
+                cfg: base("fail:3@100ms-400ms", 0, 0)?,
             },
             FaultScenario {
                 name: "outage-replica",
-                cfg: base("fail:3@100ms", 1, 500),
+                cfg: base("fail:3@100ms", 1, 500)?,
             },
             FaultScenario {
                 name: "straggler-timeout",
-                cfg: base("straggler:2:x25", 1, 500),
+                cfg: base("straggler:2:x25", 1, 500)?,
             },
         ]
     } else {
         vec![
             FaultScenario {
                 name: "none",
-                cfg: base("", 0, 0),
+                cfg: base("", 0, 0)?,
             },
             FaultScenario {
                 name: "straggler-x4",
-                cfg: base("straggler:7:x4", 0, 0),
+                cfg: base("straggler:7:x4", 0, 0)?,
             },
             FaultScenario {
                 name: "flaky-p30",
-                cfg: base("flaky:3:p0.3", 0, 0),
+                cfg: base("flaky:3:p0.3", 0, 0)?,
             },
             FaultScenario {
                 name: "outage-repair",
-                cfg: base("fail:5@1s-4s", 0, 0),
+                cfg: base("fail:5@1s-4s", 0, 0)?,
             },
             FaultScenario {
                 name: "outage-replica",
-                cfg: base("fail:5@1s", 1, 500),
+                cfg: base("fail:5@1s", 1, 500)?,
             },
             FaultScenario {
                 name: "straggler-timeout",
-                cfg: base("straggler:7:x25", 1, 500),
+                cfg: base("straggler:7:x25", 1, 500)?,
             },
         ]
-    }
+    })
 }
 
 /// Run every scenario base-vs-prefetch.
-pub fn run_sweep(quick: bool) -> Vec<(&'static str, RunPair)> {
-    scenarios(quick)
+pub fn run_sweep(quick: bool) -> Result<Vec<(&'static str, RunPair)>, FaultSpecError> {
+    Ok(scenarios(quick)?
         .into_iter()
         .map(|s| (s.name, run_pair(&s.cfg)))
-        .collect()
+        .collect())
 }
 
 fn run_json(m: &RunMetrics) -> Json {
@@ -254,7 +257,7 @@ mod tests {
     #[test]
     fn scenario_set_shape() {
         for quick in [false, true] {
-            let set = scenarios(quick);
+            let set = scenarios(quick).unwrap();
             assert_eq!(set.len(), 6);
             assert_eq!(set[0].name, "none");
             assert!(!set[0].cfg.faults.is_active());
@@ -266,7 +269,7 @@ mod tests {
 
     #[test]
     fn smoke_sweep_produces_valid_report() {
-        let results = run_sweep(true);
+        let results = run_sweep(true).unwrap();
         let doc = report(&results, true);
         validate_report(&doc).unwrap();
         // Reparse what we would write to disk.

@@ -1,0 +1,411 @@
+//! The `rapid-transit integrity` harness: the end-to-end data-integrity
+//! sweep, emitted as `BENCH_integrity.json`.
+//!
+//! Each of the paper's six access patterns runs three ways — without
+//! corruption (the control), with silent-corruption windows and the
+//! scrubber off, and with the same windows plus the idle-time scrubber —
+//! all with one rotated replica so read-repair has a healthy copy to
+//! fetch. Two things are checked per scenario:
+//!
+//! 1. **The integrity guarantee**: the scenario is re-run under
+//!    [`rt_sim::run_observed`] with [`rt_core::World::check_soak_invariants`]
+//!    evaluated after **every** event, which (among the structural
+//!    invariants) rejects the run the instant a corrupt payload is
+//!    delivered to a reader as clean data.
+//! 2. **The counters**: the report records the integrity counters of each
+//!    run, and [`validate_report`] rejects any document where a corrupt
+//!    block was delivered, where injected corruption went undetected
+//!    (every corrupt completion must be caught by demand verification or
+//!    the scrubber), or where the control run saw corruption at all.
+//!
+//! Everything is seeded; a given build either always passes or always
+//! fails. The `--smoke` variant shrinks the machine for CI.
+
+use rt_core::experiment::run_experiment;
+use rt_core::faults::{parse_fault_specs, FaultSpecError};
+use rt_core::{ExperimentConfig, PrefetchConfig, RunMetrics, World};
+use rt_patterns::{AccessPattern, SyncStyle, WorkloadParams};
+use rt_sim::{run_observed, ObservedEnd, Scheduler};
+
+use crate::json::Json;
+
+/// Report format version.
+pub const SCHEMA: u64 = 1;
+
+/// Per-run event backstop for the observed re-run; a run on either
+/// machine takes well under a million events, so hitting this means the
+/// run diverged.
+const RUN_EVENT_BUDGET: u64 = 20_000_000;
+
+/// The three ways each pattern runs.
+pub const VARIANTS: [&str; 3] = ["clean", "corrupt", "corrupt-scrub"];
+
+/// One integrity scenario: a pattern under one corruption/scrub variant.
+pub struct IntegrityScenario {
+    /// Stable scenario name (report key), `<pattern>/<variant>`.
+    pub name: String,
+    /// Which variant this is (one of [`VARIANTS`]).
+    pub variant: &'static str,
+    /// The full experiment configuration.
+    pub cfg: ExperimentConfig,
+}
+
+/// The fixed scenario set: every paper pattern under every variant.
+/// `smoke` shrinks the machine (4 nodes, 200 blocks) for CI. A malformed
+/// spec is reported as a typed [`FaultSpecError`] rather than a panic,
+/// so the CLI can surface it through its exit code.
+pub fn scenarios(smoke: bool) -> Result<Vec<IntegrityScenario>, FaultSpecError> {
+    let mut out = Vec::new();
+    for pattern in AccessPattern::ALL {
+        for variant in VARIANTS {
+            let mut cfg = ExperimentConfig::paper_default(pattern, SyncStyle::BlocksPerProc(10));
+            if smoke {
+                cfg.procs = 4;
+                cfg.disks = 4;
+                cfg.workload = WorkloadParams {
+                    procs: 4,
+                    file_blocks: 200,
+                    total_reads: 200,
+                    ..WorkloadParams::paper()
+                };
+            }
+            cfg.prefetch = PrefetchConfig::paper();
+            if variant != "clean" {
+                // One device corrupting for the whole run, another for a
+                // window — both indices exist on the 4-disk smoke machine.
+                cfg.faults.plan = parse_fault_specs("corrupt:1:p0.2,corrupt:2:p0.3@50ms-900ms")?;
+                cfg.faults.replicas = 1;
+            }
+            if variant == "corrupt-scrub" {
+                cfg.integrity.scrub = true;
+            }
+            out.push(IntegrityScenario {
+                name: format!("{pattern}/{variant}"),
+                variant,
+                cfg,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Outcome of one scenario: the metrics of the run plus the observed
+/// re-run's event count and first invariant violation, if any.
+#[derive(Clone, Debug)]
+pub struct IntegrityOutcome {
+    /// Metrics of the (identical, deterministic) plain run.
+    pub metrics: RunMetrics,
+    /// Events the observed re-run dispatched.
+    pub events: u64,
+    /// First per-event invariant violation (`None` means clean).
+    pub violation: Option<String>,
+}
+
+/// Run one scenario: the plain run for its metrics, then the observed
+/// re-run with every invariant checked after every event.
+pub fn run_scenario(cfg: &ExperimentConfig) -> IntegrityOutcome {
+    let metrics = run_experiment(cfg);
+    let mut world = World::new(cfg.clone());
+    let mut sched = Scheduler::new();
+    world.bootstrap(&mut sched);
+    let end = run_observed(&mut world, &mut sched, RUN_EVENT_BUDGET, |w, _| {
+        w.check_soak_invariants()
+    });
+    let (events, violation) = match end {
+        ObservedEnd::Finished(run) => {
+            let violation = if run.budget_exhausted {
+                Some(format!("run exceeded the {RUN_EVENT_BUDGET}-event budget"))
+            } else if !world.complete() {
+                Some("run drained without finishing".into())
+            } else {
+                None
+            };
+            (run.events, violation)
+        }
+        ObservedEnd::Violation {
+            message,
+            at,
+            events,
+        } => (
+            events,
+            Some(format!("{message} (at {at:?}, event {events})")),
+        ),
+    };
+    IntegrityOutcome {
+        metrics,
+        events,
+        violation,
+    }
+}
+
+/// Run every scenario.
+pub fn run_sweep(
+    smoke: bool,
+) -> Result<Vec<(IntegrityScenario, IntegrityOutcome)>, FaultSpecError> {
+    Ok(scenarios(smoke)?
+        .into_iter()
+        .map(|s| {
+            let out = run_scenario(&s.cfg);
+            (s, out)
+        })
+        .collect())
+}
+
+fn run_json(m: &RunMetrics) -> Json {
+    let ig = &m.integrity;
+    Json::Obj(vec![
+        ("total_ms".into(), Json::Num(m.total_time.as_millis_f64())),
+        ("read_ms".into(), Json::Num(m.mean_read_ms())),
+        ("hit_ratio".into(), Json::Num(m.hit_ratio)),
+        ("corruptions".into(), Json::Num(ig.corruptions as f64)),
+        ("detections".into(), Json::Num(ig.detections as f64)),
+        ("repairs".into(), Json::Num(ig.repairs as f64)),
+        ("rewrites".into(), Json::Num(ig.rewrites as f64)),
+        ("scrubbed".into(), Json::Num(ig.scrubbed as f64)),
+        (
+            "scrub_detections".into(),
+            Json::Num(ig.scrub_detections as f64),
+        ),
+        (
+            "poisoned_blocks".into(),
+            Json::Num(ig.poisoned_blocks as f64),
+        ),
+        ("failed_reads".into(), Json::Num(ig.failed_reads as f64)),
+        (
+            "corrupt_delivered".into(),
+            Json::Num(ig.corrupt_delivered as f64),
+        ),
+        ("quarantines".into(), Json::Num(ig.quarantines as f64)),
+        (
+            "quarantined_ms".into(),
+            Json::Num(ig.quarantined_time.as_millis_f64()),
+        ),
+    ])
+}
+
+/// Build the report document from a sweep's results.
+pub fn report(results: &[(IntegrityScenario, IntegrityOutcome)], smoke: bool) -> Json {
+    Json::Obj(vec![
+        ("schema".into(), Json::Num(SCHEMA as f64)),
+        ("smoke".into(), Json::Bool(smoke)),
+        (
+            "scenarios".into(),
+            Json::Arr(
+                results
+                    .iter()
+                    .map(|(s, out)| {
+                        Json::Obj(vec![
+                            ("name".into(), Json::Str(s.name.clone())),
+                            ("variant".into(), Json::Str(s.variant.to_string())),
+                            ("run".into(), run_json(&out.metrics)),
+                            (
+                                "observed".into(),
+                                Json::Obj(vec![
+                                    ("events".into(), Json::Num(out.events as f64)),
+                                    (
+                                        "violations".into(),
+                                        Json::Num(u64::from(out.violation.is_some()) as f64),
+                                    ),
+                                ]),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Fields every per-run object in the report must carry.
+const RUN_FIELDS: [&str; 14] = [
+    "total_ms",
+    "read_ms",
+    "hit_ratio",
+    "corruptions",
+    "detections",
+    "repairs",
+    "rewrites",
+    "scrubbed",
+    "scrub_detections",
+    "poisoned_blocks",
+    "failed_reads",
+    "corrupt_delivered",
+    "quarantines",
+    "quarantined_ms",
+];
+
+fn field(run: &Json, name: &str, scenario: &str) -> Result<f64, String> {
+    run.get(name)
+        .and_then(Json::as_f64)
+        .ok_or(format!("scenario {scenario}: missing {name}"))
+}
+
+/// Check that `doc` is a structurally valid integrity report, and that
+/// it witnesses the end-to-end guarantee: no scenario delivered a
+/// corrupt block, every injected corruption was caught by a check
+/// (demand verification or the scrubber), the control runs stayed
+/// entirely clean, the scrub variants actually scrubbed, and the
+/// per-event observed re-runs reported zero violations.
+pub fn validate_report(doc: &Json) -> Result<(), String> {
+    if doc.get("schema").and_then(Json::as_f64) != Some(SCHEMA as f64) {
+        return Err(format!("missing or unexpected schema (want {SCHEMA})"));
+    }
+    let scenarios = doc
+        .get("scenarios")
+        .and_then(Json::as_array)
+        .ok_or("missing scenarios array")?;
+    if scenarios.is_empty() {
+        return Err("scenarios array is empty".into());
+    }
+    let mut seen = [0u32; 3];
+    let mut scrubbed_total = 0.0;
+    for (i, s) in scenarios.iter().enumerate() {
+        let name = s
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or(format!("scenario {i}: missing name"))?;
+        let variant = s
+            .get("variant")
+            .and_then(Json::as_str)
+            .ok_or(format!("scenario {name}: missing variant"))?;
+        let slot = VARIANTS
+            .iter()
+            .position(|v| *v == variant)
+            .ok_or(format!("scenario {name}: unknown variant {variant:?}"))?;
+        seen[slot] += 1;
+        let run = s
+            .get("run")
+            .ok_or(format!("scenario {name}: missing run"))?;
+        for f in RUN_FIELDS {
+            if field(run, f, name)? < 0.0 {
+                return Err(format!("scenario {name}: negative {f}"));
+            }
+        }
+        // The guarantee itself: nothing corrupt ever reached a reader.
+        if field(run, "corrupt_delivered", name)? != 0.0 {
+            return Err(format!(
+                "scenario {name}: delivered a corrupt block to a reader"
+            ));
+        }
+        let corruptions = field(run, "corruptions", name)?;
+        let caught = field(run, "detections", name)? + field(run, "scrub_detections", name)?;
+        match variant {
+            "clean" => {
+                if corruptions != 0.0 || field(run, "poisoned_blocks", name)? != 0.0 {
+                    return Err(format!("scenario {name}: control run saw corruption"));
+                }
+            }
+            _ => {
+                if corruptions == 0.0 {
+                    return Err(format!(
+                        "scenario {name}: corruption was injected but never observed"
+                    ));
+                }
+                if caught != corruptions {
+                    return Err(format!(
+                        "scenario {name}: {corruptions} corrupt completions but only \
+                         {caught} caught by a check"
+                    ));
+                }
+            }
+        }
+        if variant == "corrupt-scrub" {
+            scrubbed_total += field(run, "scrubbed", name)?;
+        }
+        let observed = s
+            .get("observed")
+            .ok_or(format!("scenario {name}: missing observed"))?;
+        let violations = observed
+            .get("violations")
+            .and_then(Json::as_f64)
+            .ok_or(format!("scenario {name}: missing observed violations"))?;
+        if violations != 0.0 {
+            return Err(format!(
+                "scenario {name}: per-event invariant check reported violations"
+            ));
+        }
+        if observed
+            .get("events")
+            .and_then(Json::as_f64)
+            .is_none_or(|e| e <= 0.0)
+        {
+            return Err(format!("scenario {name}: observed re-run ran no events"));
+        }
+    }
+    for (v, n) in VARIANTS.iter().zip(seen) {
+        if n == 0 {
+            return Err(format!("no {v} scenario in the report"));
+        }
+    }
+    if scrubbed_total == 0.0 {
+        return Err("scrub variants never issued a scrub read".into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_set_shape() {
+        for smoke in [false, true] {
+            let set = scenarios(smoke).unwrap();
+            assert_eq!(set.len(), AccessPattern::ALL.len() * VARIANTS.len());
+            for s in &set {
+                s.cfg.validate().unwrap();
+                match s.variant {
+                    "clean" => assert!(!s.cfg.integrity.active_with(&s.cfg.faults.plan)),
+                    _ => {
+                        assert!(s.cfg.faults.plan.has_corruption());
+                        assert_eq!(s.cfg.faults.replicas, 1);
+                    }
+                }
+                assert_eq!(s.variant == "corrupt-scrub", s.cfg.integrity.scrub);
+            }
+        }
+    }
+
+    #[test]
+    fn smoke_sweep_produces_valid_report() {
+        let results = run_sweep(true).unwrap();
+        let doc = report(&results, true);
+        validate_report(&doc).unwrap();
+        // Reparse what we would write to disk.
+        let parsed = Json::parse(&doc.pretty()).unwrap();
+        validate_report(&parsed).unwrap();
+        for (s, out) in &results {
+            assert!(out.violation.is_none(), "{}: {:?}", s.name, out.violation);
+        }
+    }
+
+    #[test]
+    fn validation_rejects_broken_reports() {
+        assert!(validate_report(&Json::parse("{}").unwrap()).is_err());
+        let doc = Json::parse(r#"{"schema":1,"smoke":true,"scenarios":[]}"#).unwrap();
+        assert!(validate_report(&doc).unwrap_err().contains("empty"));
+        // A delivered corrupt block must be rejected even if every other
+        // field is in order.
+        let run_fields: Vec<String> = RUN_FIELDS
+            .iter()
+            .map(|f| {
+                let v = match *f {
+                    "corruptions" => 2,
+                    "corrupt_delivered" | "detections" | "scrub_detections" => 1,
+                    _ => 0,
+                };
+                format!("\"{f}\":{v}")
+            })
+            .collect();
+        let text = format!(
+            r#"{{"schema":1,"smoke":true,"scenarios":[{{"name":"gw/corrupt",
+                "variant":"corrupt","run":{{{}}},
+                "observed":{{"events":100,"violations":0}}}}]}}"#,
+            run_fields.join(",")
+        );
+        let doc = Json::parse(&text).unwrap();
+        assert!(validate_report(&doc)
+            .unwrap_err()
+            .contains("delivered a corrupt block"));
+    }
+}

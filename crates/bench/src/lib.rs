@@ -22,6 +22,7 @@ use rt_core::{ExperimentConfig, RunMetrics, RunPair};
 use rt_patterns::{AccessPattern, SyncStyle};
 
 pub mod faults;
+pub mod integrity;
 pub mod json;
 pub mod perf;
 pub mod soak;

@@ -22,7 +22,7 @@
 //! fails. The `--smoke` variant shrinks the event target for CI.
 
 use rt_core::experiment::run_pair;
-use rt_core::faults::parse_fault_specs;
+use rt_core::faults::{parse_fault_specs, FaultSpecError};
 use rt_core::{AdmissionConfig, ExperimentConfig, RunMetrics, RunPair, World};
 use rt_patterns::{AccessPattern, SyncStyle, WorkloadParams};
 use rt_sim::{run_observed, ObservedEnd, Scheduler, SimDuration};
@@ -57,7 +57,9 @@ pub struct SoakScenario {
 /// The fixed scenario set. All scenarios use a small machine (4 nodes,
 /// 200 blocks) so individual runs are cheap and the soak loop can cycle
 /// hundreds of seeds; overload comes from the workload shape, not scale.
-pub fn scenarios() -> Vec<SoakScenario> {
+/// A malformed spec is reported as a typed [`FaultSpecError`] rather
+/// than a panic, so the CLI can surface it through its exit code.
+pub fn scenarios() -> Result<Vec<SoakScenario>, FaultSpecError> {
     let small = |pattern, sync, compute_us: u64| {
         let mut cfg = ExperimentConfig::paper_default(pattern, sync);
         cfg.procs = 4;
@@ -103,9 +105,8 @@ pub fn scenarios() -> Vec<SoakScenario> {
         SyncStyle::BlocksPerProc(10),
         1_000,
     );
-    straggler_storm.faults.plan = parse_fault_specs("straggler:2:x8@50ms-400ms,flaky:1:p0.2")
-        .expect("scenario specs are well-formed");
-    vec![
+    straggler_storm.faults.plan = parse_fault_specs("straggler:2:x8@50ms-400ms,flaky:1:p0.2")?;
+    Ok(vec![
         SoakScenario {
             name: "io-burst",
             cfg: io_burst,
@@ -122,7 +123,7 @@ pub fn scenarios() -> Vec<SoakScenario> {
             name: "straggler-storm",
             cfg: straggler_storm,
         },
-    ]
+    ])
 }
 
 /// Outcome of soaking one scenario.
@@ -205,16 +206,16 @@ pub fn soak_scenario(cfg: &ExperimentConfig, target_events: u64) -> SoakOutcome 
 }
 
 /// Run every scenario: the base/prefetch pair, then the soak.
-pub fn run_sweep(smoke: bool) -> Vec<(&'static str, RunPair, SoakOutcome)> {
+pub fn run_sweep(smoke: bool) -> Result<Vec<(&'static str, RunPair, SoakOutcome)>, FaultSpecError> {
     let target = if smoke { SMOKE_EVENTS } else { SOAK_EVENTS };
-    scenarios()
+    Ok(scenarios()?
         .into_iter()
         .map(|s| {
             let pair = run_pair(&s.cfg);
             let soak = soak_scenario(&s.cfg, target);
             (s.name, pair, soak)
         })
-        .collect()
+        .collect())
 }
 
 fn run_json(m: &RunMetrics) -> Json {
@@ -381,7 +382,7 @@ mod tests {
 
     #[test]
     fn scenario_set_shape() {
-        let set = scenarios();
+        let set = scenarios().unwrap();
         assert_eq!(set.len(), 4);
         for s in &set {
             s.cfg.validate().unwrap();
@@ -394,7 +395,7 @@ mod tests {
 
     #[test]
     fn short_soak_is_clean_and_counts_events() {
-        let cfg = &scenarios()[0].cfg;
+        let cfg = &scenarios().unwrap()[0].cfg;
         let out = soak_scenario(cfg, 10_000);
         assert!(out.violation.is_none(), "{:?}", out.violation);
         assert!(out.events >= 10_000);
@@ -403,7 +404,7 @@ mod tests {
 
     #[test]
     fn smoke_sweep_produces_valid_report() {
-        let results = run_sweep(true);
+        let results = run_sweep(true).unwrap();
         let doc = report(&results, true);
         validate_report(&doc).unwrap();
         let parsed = Json::parse(&doc.pretty()).unwrap();

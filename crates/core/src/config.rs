@@ -3,6 +3,7 @@
 
 use crate::admission::AdmissionConfig;
 use crate::faults::FaultConfig;
+use crate::integrity::IntegrityConfig;
 use rt_cache::Replacement;
 use rt_disk::{Discipline, FaultKind, Service};
 use rt_fs::Striping;
@@ -196,6 +197,11 @@ pub struct ExperimentConfig {
     /// default — a disabled controller is event-for-event identical to a
     /// build without the admission subsystem).
     pub admission: AdmissionConfig,
+    /// Data-integrity behaviour: checksum verification at fill, the
+    /// idle-time scrubber, and the device quarantine lifecycle. The
+    /// default is inert; verification is forced on whenever the fault
+    /// plan schedules a corrupt window.
+    pub integrity: IntegrityConfig,
     /// Master random seed.
     pub seed: u64,
 }
@@ -257,6 +263,10 @@ pub enum ConfigError {
     /// Admission is enabled with a cache high-water mark that is not a
     /// positive finite fraction.
     InvalidCacheHighWater(f64),
+    /// The quarantine EWMA smoothing factor is outside `(0, 1]`.
+    InvalidQuarantineAlpha(f64),
+    /// The quarantine threshold is not a positive finite value.
+    InvalidQuarantineThreshold(f64),
 }
 
 impl fmt::Display for ConfigError {
@@ -308,6 +318,12 @@ impl fmt::Display for ConfigError {
                     "cache high-water mark {x} must be a positive finite fraction"
                 )
             }
+            ConfigError::InvalidQuarantineAlpha(x) => {
+                write!(f, "quarantine EWMA alpha {x} outside (0, 1]")
+            }
+            ConfigError::InvalidQuarantineThreshold(x) => {
+                write!(f, "quarantine threshold {x} must be positive and finite")
+            }
         }
     }
 }
@@ -342,6 +358,7 @@ impl ExperimentConfig {
             faults: FaultConfig::none(),
             queue_depth: None,
             admission: AdmissionConfig::off(),
+            integrity: IntegrityConfig::default(),
             seed: 0x5241_5049_4454,
         }
     }
@@ -430,7 +447,9 @@ impl ExperimentConfig {
                 });
             }
             match entry.kind {
-                FaultKind::Flaky { probability } if !(0.0..1.0).contains(&probability) => {
+                FaultKind::Flaky { probability } | FaultKind::Corrupt { probability }
+                    if !(0.0..1.0).contains(&probability) =>
+                {
                     return Err(ConfigError::InvalidFaultProbability(probability));
                 }
                 FaultKind::Slowdown { factor } if !(factor.is_finite() && factor > 0.0) => {
@@ -440,6 +459,15 @@ impl ExperimentConfig {
                     return Err(ConfigError::UnrecoverableOutage { disk: entry.disk.0 });
                 }
                 _ => {}
+            }
+        }
+        if self.integrity.active_with(&self.faults.plan) {
+            let q = self.integrity.quarantine;
+            if !(q.alpha.is_finite() && q.alpha > 0.0 && q.alpha <= 1.0) {
+                return Err(ConfigError::InvalidQuarantineAlpha(q.alpha));
+            }
+            if !(q.threshold.is_finite() && q.threshold > 0.0) {
+                return Err(ConfigError::InvalidQuarantineThreshold(q.threshold));
             }
         }
         Ok(())

@@ -152,6 +152,7 @@ fn collect_metrics(world: &World, end_time: rt_sim::SimTime) -> RunMetrics {
         tl_outstanding_io: world.rec.tl_outstanding_io.clone(),
         faults: world.fault_metrics(end_time),
         overload: world.overload_metrics(),
+        integrity: world.integrity_metrics(end_time),
     }
 }
 

@@ -221,6 +221,10 @@ fn parse_disk(text: &str, spec: &str) -> Result<u16, FaultSpecError> {
 ///   transiently with probability `prob`.
 /// * `fail:<disk>@<from>[-<until>]` — hard outage; requests fail
 ///   immediately. With `-<until>` the device repairs itself then.
+/// * `corrupt:<disk>:p<prob>[@<from>[-<until>]]` — silent corruption;
+///   each request completes `Ok` but carries a corrupt payload with
+///   probability `prob`. Detected only when checksum verification is on
+///   (it is whenever a corrupt window is scheduled).
 pub fn parse_fault_spec(plan: &mut FaultPlan, spec: &str) -> Result<(), FaultSpecError> {
     use rt_disk::{DeviceFault, DiskId, FaultKind};
     let (body, window) = match spec.split_once('@') {
@@ -278,10 +282,29 @@ pub fn parse_fault_spec(plan: &mut FaultPlan, spec: &str) -> Result<(), FaultSpe
                 until,
             }
         }
+        "corrupt" => {
+            let disk = parse_disk(parts.next().unwrap_or(""), spec)?;
+            let prob_text = parts
+                .next()
+                .and_then(|t| t.strip_prefix('p'))
+                .ok_or_else(|| spec_err(spec, "expected corrupt:<disk>:p<prob>"))?;
+            let probability: f64 = prob_text
+                .parse()
+                .map_err(|_| spec_err(spec, format!("`{prob_text}` is not a probability")))?;
+            if !(probability.is_finite() && (0.0..1.0).contains(&probability)) {
+                return Err(spec_err(spec, "corrupt probability must be in [0, 1)"));
+            }
+            DeviceFault {
+                disk: DiskId(disk),
+                kind: FaultKind::Corrupt { probability },
+                from,
+                until,
+            }
+        }
         other => {
             return Err(spec_err(
                 spec,
-                format!("unknown fault kind `{other}` (straggler, flaky, fail)"),
+                format!("unknown fault kind `{other}` (straggler, flaky, fail, corrupt)"),
             ))
         }
     };
@@ -368,6 +391,19 @@ mod tests {
     }
 
     #[test]
+    fn parses_corrupt_with_window() {
+        let plan = parse_fault_specs("corrupt:5:p0.1@100ms-900ms").unwrap();
+        let e = &plan.entries()[0];
+        assert_eq!(e.disk.0, 5);
+        assert!(matches!(
+            e.kind,
+            FaultKind::Corrupt { probability } if probability == 0.1
+        ));
+        assert_eq!(e.from, SimTime::ZERO + SimDuration::from_millis(100));
+        assert_eq!(e.until, Some(SimTime::ZERO + SimDuration::from_millis(900)));
+    }
+
+    #[test]
     fn bare_number_is_milliseconds() {
         let plan = parse_fault_specs("fail:0@250-500").unwrap();
         let e = &plan.entries()[0];
@@ -382,6 +418,8 @@ mod tests {
         assert!(parse_fault_specs("flaky:1:p1.5").is_err());
         assert!(parse_fault_specs("fail:notadisk@1s").is_err());
         assert!(parse_fault_specs("meteor:3").is_err());
+        assert!(parse_fault_specs("corrupt:1:p1.0").is_err());
+        assert!(parse_fault_specs("corrupt:1:0.2").is_err());
         assert!(parse_fault_specs("fail:0@2s-1s").is_err());
         let err = parse_fault_specs("straggler:7:x0").unwrap_err();
         assert!(err.to_string().contains("straggler:7:x0"));

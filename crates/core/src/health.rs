@@ -10,7 +10,18 @@
 //! [`HealthTracker::is_degraded`] before committing a prefetch, leaving
 //! sick devices to demand traffic only.
 
+//!
+//! The integrity layer adds a second, stricter lifecycle on top:
+//! **quarantine**. Detected-corrupt payloads feed a per-device corruption
+//! EWMA; crossing [`QuarantineConfig::threshold`] takes the device out of
+//! service entirely (demand steers to replicas, prefetch and scrub skip
+//! it) for a hold period, then a probation window re-admits traffic — one
+//! corrupt read during probation re-quarantines, a clean window restores
+//! full health. Phase is derived purely from the stored quarantine start
+//! and the current time, so the classification needs no timer events.
+
 use crate::faults::DegradeConfig;
+use crate::integrity::QuarantineConfig;
 use rt_disk::DiskId;
 use rt_sim::{SimDuration, SimTime};
 
@@ -24,6 +35,15 @@ struct DiskHealth {
     degraded: bool,
     degraded_since: SimTime,
     degraded_total: SimDuration,
+    /// EWMA of corruption outcomes (1 per corrupt payload, 0 per clean
+    /// read). Starts at 0 and always blends — no first-sample jump.
+    corrupt: f64,
+    /// Start of the current quarantine episode, when one is open. The
+    /// phase (quarantined / probation / healthy again) is derived from
+    /// this and `now`; a finished episode is folded into
+    /// `quarantined_total` lazily on the next sample.
+    quarantined_since: Option<SimTime>,
+    quarantined_total: SimDuration,
 }
 
 impl DiskHealth {
@@ -34,7 +54,18 @@ impl DiskHealth {
         degraded: false,
         degraded_since: SimTime::ZERO,
         degraded_total: SimDuration::ZERO,
+        corrupt: 0.0,
+        quarantined_since: None,
+        quarantined_total: SimDuration::ZERO,
     };
+}
+
+/// Where a device stands in the quarantine lifecycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    Healthy,
+    Quarantined,
+    Probation,
 }
 
 /// Observes per-disk I/O outcomes and classifies devices as healthy or
@@ -42,12 +73,16 @@ impl DiskHealth {
 #[derive(Clone, Debug)]
 pub struct HealthTracker {
     cfg: DegradeConfig,
+    quarantine: QuarantineConfig,
     disks: Vec<DiskHealth>,
     /// Fleet-wide service-time EWMA (nanoseconds), the latency baseline.
     fleet_lat: f64,
     fleet_samples: u64,
     /// Completed healthy→degraded→healthy cycles plus any still open.
     intervals: u64,
+    /// Healthy→quarantined transitions (re-quarantines from probation
+    /// count as new episodes).
+    quarantines: u64,
 }
 
 /// Samples a disk needs before its latency EWMA is trusted against the
@@ -58,15 +93,25 @@ const MIN_SAMPLES: u64 = 3;
 const MIN_FLEET_SAMPLES: u64 = 10;
 
 impl HealthTracker {
-    /// A tracker for `disks` devices, all healthy.
+    /// A tracker for `disks` devices, all healthy, with the default
+    /// quarantine lifecycle (irrelevant unless corruption samples are
+    /// fed in via [`HealthTracker::observe_corruption`]).
     pub fn new(disks: u16, cfg: DegradeConfig) -> Self {
         HealthTracker {
             cfg,
+            quarantine: QuarantineConfig::default(),
             disks: vec![DiskHealth::NEW; disks as usize],
             fleet_lat: 0.0,
             fleet_samples: 0,
             intervals: 0,
+            quarantines: 0,
         }
+    }
+
+    /// Replace the quarantine lifecycle configuration.
+    pub fn with_quarantine(mut self, quarantine: QuarantineConfig) -> Self {
+        self.quarantine = quarantine;
+        self
     }
 
     fn ewma(prev: f64, sample: f64, alpha: f64, first: bool) -> f64 {
@@ -128,11 +173,118 @@ impl HealthTracker {
         }
     }
 
+    /// Where `d`'s quarantine episode stands at `now`. Derived purely
+    /// from the stored episode start: `[s, s+hold)` is quarantined,
+    /// `[s+hold, s+hold+probation)` is probation, after that the device
+    /// is healthy again (the episode is folded up lazily).
+    fn phase_of(&self, d: &DiskHealth, now: SimTime) -> Phase {
+        let Some(since) = d.quarantined_since else {
+            return Phase::Healthy;
+        };
+        if now < since + self.quarantine.hold {
+            Phase::Quarantined
+        } else if now < since + self.quarantine.hold + self.quarantine.probation {
+            Phase::Probation
+        } else {
+            Phase::Healthy
+        }
+    }
+
+    /// Record one integrity verdict for a read served by `disk`:
+    /// `corrupt` is true when the payload failed checksum verification.
+    /// Updates the corruption EWMA and drives the quarantine lifecycle.
+    /// Out-of-range disks are ignored, like [`HealthTracker::observe`].
+    pub fn observe_corruption(&mut self, disk: DiskId, corrupt: bool, now: SimTime) {
+        if disk.index() >= self.disks.len() {
+            return;
+        }
+        let q = self.quarantine;
+        let episode = q.hold + q.probation;
+        let d = &mut self.disks[disk.index()];
+        // Fold up an episode the device has already outlived: it survived
+        // probation clean, so it re-enters service with a fresh record.
+        if let Some(since) = d.quarantined_since {
+            if now >= since + episode {
+                d.quarantined_total += episode;
+                d.quarantined_since = None;
+                d.corrupt = 0.0;
+            }
+        }
+        let sample = if corrupt { 1.0 } else { 0.0 };
+        d.corrupt = q.alpha * sample + (1.0 - q.alpha) * d.corrupt;
+        if !q.enabled {
+            return;
+        }
+        match d.quarantined_since {
+            // Only a corrupt sample can open an episode — clean reads
+            // never quarantine, and a freshly re-admitted device is not
+            // re-quarantined by its own healthy traffic.
+            None => {
+                if corrupt && d.corrupt > q.threshold {
+                    d.quarantined_since = Some(now);
+                    self.quarantines += 1;
+                }
+            }
+            Some(since) => {
+                // One strike during probation restarts the episode.
+                let probation = now >= since + q.hold;
+                if probation && corrupt {
+                    d.quarantined_total += now.saturating_since(since);
+                    d.quarantined_since = Some(now);
+                    self.quarantines += 1;
+                }
+            }
+        }
+    }
+
     /// Should the prefetch daemon avoid this disk right now? Always false
     /// when degradation is disabled in the config (health is still
     /// tracked for the report), and for disks the tracker does not know.
     pub fn is_degraded(&self, disk: DiskId) -> bool {
         self.cfg.enabled && self.disks.get(disk.index()).is_some_and(|d| d.degraded)
+    }
+
+    /// Is this device quarantined at `now` — held out of service, with
+    /// demand steered to replicas and prefetch/scrub skipping it? Always
+    /// false when the quarantine lifecycle is disabled.
+    pub fn is_quarantined(&self, disk: DiskId, now: SimTime) -> bool {
+        self.quarantine.enabled
+            && self
+                .disks
+                .get(disk.index())
+                .is_some_and(|d| self.phase_of(d, now) == Phase::Quarantined)
+    }
+
+    /// Is this device on probation at `now` — re-admitted to service but
+    /// one corrupt read away from re-quarantine?
+    pub fn in_probation(&self, disk: DiskId, now: SimTime) -> bool {
+        self.quarantine.enabled
+            && self
+                .disks
+                .get(disk.index())
+                .is_some_and(|d| self.phase_of(d, now) == Phase::Probation)
+    }
+
+    /// Healthy→quarantined transitions seen so far (probation strikes
+    /// count as new episodes).
+    pub fn quarantine_episodes(&self) -> u64 {
+        self.quarantines
+    }
+
+    /// Total simulated time devices have spent quarantined or on
+    /// probation, counting open episodes up to `now` (capped at the
+    /// episode length — a device that quietly outlived its probation
+    /// stops accruing).
+    pub fn quarantined_time(&self, now: SimTime) -> SimDuration {
+        let episode = self.quarantine.hold + self.quarantine.probation;
+        let mut total = SimDuration::ZERO;
+        for d in &self.disks {
+            total += d.quarantined_total;
+            if let Some(since) = d.quarantined_since {
+                total += now.saturating_since(since).min(episode);
+            }
+        }
+        total
     }
 
     /// Number of healthy→degraded transitions seen so far.
@@ -266,5 +418,143 @@ mod tests {
         let t1 = h.degraded_time(at(100));
         let t2 = h.degraded_time(at(200));
         assert!(t2 > t1);
+    }
+
+    #[test]
+    fn open_degraded_interval_time_is_exact_at_run_end() {
+        let mut h = HealthTracker::new(2, DegradeConfig::default());
+        // The very first error sets the EWMA to 1.0 > threshold, so the
+        // degraded interval opens at exactly t=40 and stays open.
+        h.observe(DiskId(1), true, ms(30), at(10));
+        h.observe(DiskId(0), false, ms(30), at(40));
+        assert!(h.is_degraded(DiskId(0)));
+        assert_eq!(h.degraded_time(at(150)), ms(110));
+        assert_eq!(h.degraded_time(at(1040)), ms(1000));
+        // A run that somehow asks before the interval opened saturates
+        // to zero rather than underflowing.
+        assert_eq!(h.degraded_time(at(0)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn recovered_disk_is_readmitted_and_can_degrade_again() {
+        let mut h = HealthTracker::new(2, DegradeConfig::default());
+        for i in 0..4 {
+            h.observe(DiskId(1), false, ms(30), at(i * 30));
+        }
+        assert!(h.is_degraded(DiskId(1)));
+        let mut t = 300;
+        while h.is_degraded(DiskId(1)) {
+            h.observe(DiskId(1), true, ms(30), at(t));
+            t += 30;
+            assert!(t < 30_000, "disk never recovered");
+        }
+        // Re-admitted: healthy again, one closed interval, and the
+        // degraded clock has stopped.
+        assert!(!h.is_degraded(DiskId(1)));
+        assert_eq!(h.degraded_intervals(), 1);
+        let settled = h.degraded_time(at(t));
+        assert_eq!(h.degraded_time(at(t + 10_000)), settled);
+        // A second burst of errors opens a second interval.
+        for i in 0..4 {
+            h.observe(DiskId(1), false, ms(30), at(t + i * 30));
+        }
+        assert!(h.is_degraded(DiskId(1)));
+        assert_eq!(h.degraded_intervals(), 2);
+        assert!(h.degraded_time(at(t + 200)) > settled);
+    }
+
+    fn qcfg() -> QuarantineConfig {
+        QuarantineConfig {
+            enabled: true,
+            alpha: 0.3,
+            threshold: 0.5,
+            hold: ms(500),
+            probation: ms(500),
+        }
+    }
+
+    #[test]
+    fn corruption_streak_quarantines_then_probation_then_readmission() {
+        let mut h = HealthTracker::new(2, DegradeConfig::default()).with_quarantine(qcfg());
+        // One corrupt read is not enough (EWMA 0.3 < 0.5)...
+        h.observe_corruption(DiskId(0), true, at(0));
+        assert!(!h.is_quarantined(DiskId(0), at(0)));
+        // ...a second in a row is (0.51 > 0.5): episode opens at t=10.
+        h.observe_corruption(DiskId(0), true, at(10));
+        assert!(h.is_quarantined(DiskId(0), at(10)));
+        assert!(h.is_quarantined(DiskId(0), at(509)));
+        assert_eq!(h.quarantine_episodes(), 1);
+        // Hold expires at t=510: probation, traffic flows again.
+        assert!(!h.is_quarantined(DiskId(0), at(510)));
+        assert!(h.in_probation(DiskId(0), at(510)));
+        assert!(h.in_probation(DiskId(0), at(1009)));
+        // Probation survived clean: fully healthy from t=1010 on.
+        assert!(!h.in_probation(DiskId(0), at(1010)));
+        assert!(!h.is_quarantined(DiskId(0), at(1010)));
+        // The next clean sample folds the episode up; time stops at
+        // exactly hold + probation and the corruption record is reset.
+        h.observe_corruption(DiskId(0), false, at(1200));
+        assert_eq!(h.quarantined_time(at(5000)), ms(1000));
+        // The other disk was never touched.
+        assert!(!h.is_quarantined(DiskId(1), at(10)));
+    }
+
+    #[test]
+    fn corrupt_probe_during_probation_requarantines() {
+        let mut h = HealthTracker::new(1, DegradeConfig::default()).with_quarantine(qcfg());
+        h.observe_corruption(DiskId(0), true, at(0));
+        h.observe_corruption(DiskId(0), true, at(10));
+        assert!(h.is_quarantined(DiskId(0), at(10)));
+        // Clean probe during probation does not restart the episode.
+        h.observe_corruption(DiskId(0), false, at(600));
+        assert!(h.in_probation(DiskId(0), at(600)));
+        // One corrupt probe does, on the spot.
+        h.observe_corruption(DiskId(0), true, at(700));
+        assert!(h.is_quarantined(DiskId(0), at(700)));
+        assert_eq!(h.quarantine_episodes(), 2);
+        // Time accounting: 690 ms of the first episode (10..700) plus
+        // the open second episode.
+        assert_eq!(h.quarantined_time(at(800)), ms(690) + ms(100));
+    }
+
+    #[test]
+    fn readmitted_disk_needs_a_fresh_streak_to_requarantine() {
+        let mut h = HealthTracker::new(1, DegradeConfig::default()).with_quarantine(qcfg());
+        h.observe_corruption(DiskId(0), true, at(0));
+        h.observe_corruption(DiskId(0), true, at(10));
+        assert!(h.is_quarantined(DiskId(0), at(10)));
+        // Survive probation; the fold-up resets the EWMA, so a single
+        // corrupt read after re-admission does not re-quarantine.
+        h.observe_corruption(DiskId(0), true, at(1200));
+        assert!(!h.is_quarantined(DiskId(0), at(1200)));
+        assert_eq!(h.quarantine_episodes(), 1);
+        h.observe_corruption(DiskId(0), true, at(1210));
+        assert!(h.is_quarantined(DiskId(0), at(1210)));
+        assert_eq!(h.quarantine_episodes(), 2);
+    }
+
+    #[test]
+    fn disabled_quarantine_tracks_but_never_quarantines() {
+        let cfg = QuarantineConfig {
+            enabled: false,
+            ..qcfg()
+        };
+        let mut h = HealthTracker::new(1, DegradeConfig::default()).with_quarantine(cfg);
+        for i in 0..5 {
+            h.observe_corruption(DiskId(0), true, at(i * 10));
+        }
+        assert!(!h.is_quarantined(DiskId(0), at(50)));
+        assert!(!h.in_probation(DiskId(0), at(50)));
+        assert_eq!(h.quarantine_episodes(), 0);
+        assert_eq!(h.quarantined_time(at(1000)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn out_of_range_corruption_sample_ignored() {
+        let mut h = HealthTracker::new(1, DegradeConfig::default()).with_quarantine(qcfg());
+        for i in 0..5 {
+            h.observe_corruption(DiskId(7), true, at(i * 10));
+        }
+        assert_eq!(h.quarantine_episodes(), 0);
     }
 }

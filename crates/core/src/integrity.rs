@@ -1,0 +1,188 @@
+//! End-to-end data-integrity configuration and error types.
+//!
+//! The device layer can inject *silent* corruption
+//! ([`rt_disk::FaultKind::Corrupt`]): requests complete `Ok`, on time,
+//! but the payload is bad. This module configures the defenses layered
+//! on top:
+//!
+//! * **Checksum verification at cache fill** — every fill is verified
+//!   (costing [`IntegrityConfig::verify_cost`] of simulated time) before
+//!   the block becomes readable; a corrupt payload is detected, never
+//!   delivered.
+//! * **Read-repair** — a detected-corrupt fill is re-fetched from the
+//!   next rotated replica; a clean copy is delivered to the waiters and
+//!   written back over the bad copy. When *every* copy is corrupt the
+//!   block is **poisoned**: waiters get a typed [`IntegrityError`], never
+//!   a corrupt block.
+//! * **Idle-time scrubbing** — an optional daemon action, scheduled
+//!   exactly like prefetches (idle-time only, overrun-charged), that
+//!   walks the file verifying blocks ahead of demand and repairing what
+//!   it finds.
+//! * **Quarantine** ([`QuarantineConfig`]) — a device whose corruption
+//!   EWMA crosses threshold is quarantined: demand reads steer to
+//!   replicas and prefetch/scrub skip it. After a hold period it enters
+//!   *probation*, where traffic is re-admitted; a corrupt read during
+//!   probation re-quarantines it, a clean probation window ends with the
+//!   device healthy again.
+//!
+//! Defaults are inert: no corrupt windows scheduled, scrubber off — the
+//! world allocates no integrity state and the event stream is untouched.
+
+use rt_disk::BlockId;
+use rt_sim::SimDuration;
+use std::fmt;
+
+/// Quarantine lifecycle for devices that return corrupt payloads.
+///
+/// Each detected-corrupt (or clean) read feeds a per-device corruption
+/// EWMA. Crossing [`QuarantineConfig::threshold`] quarantines the device
+/// for [`QuarantineConfig::hold`]; then a [`QuarantineConfig::probation`]
+/// window re-admits traffic while watching for recurrence. A corrupt
+/// read during probation re-quarantines immediately; surviving probation
+/// clean restores the device to full health.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QuarantineConfig {
+    /// Master switch: when false, corruption is still tracked but no
+    /// device is ever quarantined.
+    pub enabled: bool,
+    /// Corruption-EWMA smoothing factor in (0, 1]. The EWMA starts at 0
+    /// and always blends (no first-sample jump), so a single corrupt
+    /// read moves it to `alpha`, not to 1.
+    pub alpha: f64,
+    /// Corruption EWMA above this quarantines the device.
+    pub threshold: f64,
+    /// How long a quarantined device is held out of service entirely.
+    pub hold: SimDuration,
+    /// Probation window after the hold: traffic flows again, but one
+    /// corrupt read restarts the quarantine.
+    pub probation: SimDuration,
+}
+
+impl Default for QuarantineConfig {
+    fn default() -> Self {
+        QuarantineConfig {
+            enabled: true,
+            alpha: 0.3,
+            threshold: 0.5,
+            hold: SimDuration::from_millis(500),
+            probation: SimDuration::from_millis(500),
+        }
+    }
+}
+
+/// Integrity behaviour of one experiment. [`IntegrityConfig::default`]
+/// is inert — combined with a fault plan that schedules no corrupt
+/// windows, runs are event-for-event identical to a build without the
+/// integrity subsystem.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IntegrityConfig {
+    /// Verify checksums at cache fill even when no corrupt windows are
+    /// scheduled. (Verification is forced on whenever the fault plan
+    /// contains a corrupt window, so this flag only matters for
+    /// measuring the verify overhead on clean runs.)
+    pub verify: bool,
+    /// Simulated time to checksum one block at fill; the block becomes
+    /// readable only after this has elapsed.
+    pub verify_cost: SimDuration,
+    /// Run the idle-time scrubber daemon.
+    pub scrub: bool,
+    /// Minimum spacing between scrub reads issued by one node's daemon,
+    /// so an idle machine scrubs steadily instead of saturating its
+    /// disks the moment it goes idle.
+    pub scrub_interval: SimDuration,
+    /// Device quarantine lifecycle.
+    pub quarantine: QuarantineConfig,
+}
+
+impl Default for IntegrityConfig {
+    fn default() -> Self {
+        IntegrityConfig {
+            verify: false,
+            verify_cost: SimDuration::from_micros(200),
+            scrub: false,
+            scrub_interval: SimDuration::from_millis(10),
+            quarantine: QuarantineConfig::default(),
+        }
+    }
+}
+
+impl IntegrityConfig {
+    /// Does this config, combined with `plan`, require the world's
+    /// integrity machinery? When false, no integrity state is allocated
+    /// and fills complete exactly as they always did.
+    pub fn active_with(&self, plan: &rt_disk::FaultPlan) -> bool {
+        self.verify || self.scrub || plan.has_corruption()
+    }
+}
+
+/// A user read failed for integrity reasons: the block is poisoned —
+/// every replica returned a corrupt payload, so no clean copy exists.
+/// Waiters receive this typed error instead of corrupt data.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IntegrityError {
+    /// The poisoned block.
+    pub block: BlockId,
+}
+
+impl fmt::Display for IntegrityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "block {} is poisoned: every replica returned a corrupt payload",
+            self.block.0
+        )
+    }
+}
+
+impl std::error::Error for IntegrityError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_disk::{DiskId, FaultPlan};
+    use rt_sim::SimTime;
+
+    #[test]
+    fn default_is_inert_without_corrupt_windows() {
+        let cfg = IntegrityConfig::default();
+        let mut plan = FaultPlan::none();
+        assert!(!cfg.active_with(&plan));
+        // Non-corrupt faults do not activate integrity.
+        plan.push(rt_disk::DeviceFault {
+            disk: DiskId(0),
+            kind: rt_disk::FaultKind::Outage,
+            from: SimTime::ZERO,
+            until: None,
+        });
+        assert!(!cfg.active_with(&plan));
+    }
+
+    #[test]
+    fn corrupt_window_or_switches_activate() {
+        let mut plan = FaultPlan::none();
+        plan.push(rt_disk::DeviceFault {
+            disk: DiskId(0),
+            kind: rt_disk::FaultKind::Corrupt { probability: 0.1 },
+            from: SimTime::ZERO,
+            until: None,
+        });
+        assert!(IntegrityConfig::default().active_with(&plan));
+        let scrub_only = IntegrityConfig {
+            scrub: true,
+            ..IntegrityConfig::default()
+        };
+        assert!(scrub_only.active_with(&FaultPlan::none()));
+        let verify_only = IntegrityConfig {
+            verify: true,
+            ..IntegrityConfig::default()
+        };
+        assert!(verify_only.active_with(&FaultPlan::none()));
+    }
+
+    #[test]
+    fn error_display_names_the_block() {
+        let e = IntegrityError { block: BlockId(42) };
+        assert!(e.to_string().contains("42"));
+        assert!(e.to_string().contains("poisoned"));
+    }
+}

@@ -43,6 +43,7 @@ pub mod config;
 pub mod experiment;
 pub mod faults;
 pub mod health;
+pub mod integrity;
 pub mod metrics;
 pub mod policy;
 pub mod report;
@@ -60,9 +61,10 @@ pub use faults::{
     parse_fault_spec, parse_fault_specs, DegradeConfig, FaultConfig, FaultSpecError, RetryPolicy,
 };
 pub use health::HealthTracker;
+pub use integrity::{IntegrityConfig, IntegrityError, QuarantineConfig};
 pub use metrics::{
-    coefficient_of_variation, improvement, FaultMetrics, OverloadMetrics, ProcMetrics, RunMetrics,
-    RunPair,
+    coefficient_of_variation, improvement, FaultMetrics, IntegrityMetrics, OverloadMetrics,
+    ProcMetrics, RunMetrics, RunPair,
 };
 pub use sweeps::{
     buffer_sweep_over, compute_sweep_over, lead_baselines_for, lead_sweep_over, BufferPoint,

@@ -88,6 +88,9 @@ pub struct RunMetrics {
     /// observed `max_queue_depth`) when queues are unbounded and
     /// admission is disabled.
     pub overload: OverloadMetrics,
+    /// Data-integrity counters; all zero when no corruption is injected
+    /// and the scrubber is off.
+    pub integrity: IntegrityMetrics,
 }
 
 /// Counters from the fault-injection subsystem: what went wrong and how
@@ -142,6 +145,43 @@ pub struct OverloadMetrics {
     pub cache_high_water_hits: u64,
     /// Deepest any device queue ever got (waiting requests only).
     pub max_queue_depth: u64,
+}
+
+/// Counters from the end-to-end data-integrity subsystem: silent
+/// corruption injected below, checksum verification and read-repair in
+/// the middle, the idle-time scrubber and device quarantine on top. All
+/// zero when no corrupt windows are scheduled and the scrubber is off.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct IntegrityMetrics {
+    /// `Ok` completions that carried a corrupt payload (as injected by
+    /// the device layer — includes scrub reads).
+    pub corruptions: u64,
+    /// Corrupt fills caught by checksum verification at cache fill.
+    pub detections: u64,
+    /// Read-repairs: corrupt fills re-fetched from a healthy replica and
+    /// delivered clean.
+    pub repairs: u64,
+    /// Repair rewrites (clean payload written back over a corrupt copy)
+    /// that completed.
+    pub rewrites: u64,
+    /// Scrub reads completed by the idle-time scrubber.
+    pub scrubbed: u64,
+    /// Corrupt payloads the scrubber caught ahead of demand.
+    pub scrub_detections: u64,
+    /// Blocks poisoned: every copy was corrupt, so no clean payload
+    /// exists to deliver or rewrite.
+    pub poisoned_blocks: u64,
+    /// User reads completed with a typed integrity error (poisoned
+    /// block) instead of data.
+    pub failed_reads: u64,
+    /// Corrupt blocks delivered to a waiter as if clean. The whole
+    /// subsystem exists to keep this at zero; the bench validator and
+    /// the soak invariant both reject any run where it is not.
+    pub corrupt_delivered: u64,
+    /// Healthy→quarantined transitions across all devices.
+    pub quarantines: u64,
+    /// Total simulated time devices spent quarantined or on probation.
+    pub quarantined_time: SimDuration,
 }
 
 impl RunMetrics {
@@ -325,6 +365,7 @@ mod tests {
             tl_outstanding_io: Timeline::new(),
             faults: FaultMetrics::default(),
             overload: OverloadMetrics::default(),
+            integrity: IntegrityMetrics::default(),
         }
     }
 

@@ -24,6 +24,10 @@ pub enum ReadOutcome {
     UnreadyHit,
     /// The block had to be demand-fetched.
     Miss,
+    /// The read returned a typed integrity error (poisoned block); no
+    /// data was delivered. Never recorded unless the run injects
+    /// corruption.
+    Failed,
 }
 
 /// One read, as recorded when it completed.
@@ -176,7 +180,7 @@ impl Trace {
         let hits = self
             .events
             .iter()
-            .filter(|e| e.outcome != ReadOutcome::Miss)
+            .filter(|e| matches!(e.outcome, ReadOutcome::ReadyHit | ReadOutcome::UnreadyHit))
             .count();
         hits as f64 / self.events.len() as f64
     }

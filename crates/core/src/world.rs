@@ -39,6 +39,7 @@ use crate::trace::{ReadOutcome, Trace, TraceEvent};
 
 mod control;
 mod daemon;
+mod integrity;
 mod readpath;
 mod waiters;
 
@@ -71,6 +72,9 @@ pub enum Ev {
     /// A demand fetch's per-request timeout fired. Never scheduled unless
     /// the fault layer is active and a timeout is configured.
     IoTimeout(BlockId),
+    /// The checksum verification of a freshly filled block finished.
+    /// Never scheduled unless the integrity layer is active.
+    VerifyDone(BlockId),
 }
 
 /// User-process execution state.
@@ -212,6 +216,13 @@ pub(crate) struct Recorder {
     pub demand_parked: u64,
     pub demand_behind_prefetch: u64,
     pub cache_high_water_hits: u64,
+    /// Corrupt payloads delivered to a reader as if clean. The integrity
+    /// subsystem exists to keep this at zero; [`World::check_soak_invariants`]
+    /// rejects any run where it is not. Lives in the always-present
+    /// recorder (not the optional integrity state) so the tripwire also
+    /// catches corruption reaching a run whose integrity layer failed to
+    /// activate.
+    pub corrupt_delivered: u64,
 }
 
 /// In-flight fault bookkeeping for one block's demand fetch.
@@ -245,6 +256,115 @@ pub(crate) struct FaultState {
     pub retry: RetryPolicy,
     /// Per-block retry/timeout state for fetches the fault layer touched.
     pub pending: HashMap<BlockId, PendingIo>,
+}
+
+/// One in-flight checksum verification (or replica re-fetch) of a cache
+/// fill. Keyed by block in [`IntegrityState::verifying`].
+#[derive(Clone)]
+pub(crate) struct VerifyState {
+    /// `Some(corrupt)` while a checksum check is scheduled — the flag the
+    /// pending [`Ev::VerifyDone`] will read. `None` while a replica
+    /// re-fetch is in flight.
+    pub checking: Option<bool>,
+    /// The replica the payload under check (or in flight) came from.
+    pub replica: u16,
+    /// Copies checked so far in this episode; at `copies` the block is
+    /// poisoned.
+    pub tried: u16,
+    /// Replicas that returned corrupt payloads, rewritten once a clean
+    /// copy is found.
+    pub corrupt_replicas: Vec<u16>,
+    /// The original fetch kind (a corrupt prefetch nobody waits on is
+    /// dropped rather than repaired).
+    pub kind: FetchKind,
+    /// The node re-fetches and repairs are charged to.
+    pub who: ProcId,
+}
+
+/// One in-flight scrub check: a verify-only read chain hunting for a
+/// clean copy of a block the scrubber found corrupt.
+#[derive(Clone)]
+pub(crate) struct ScrubCheck {
+    /// The replica the outstanding scrub read targets.
+    pub replica: u16,
+    /// Copies checked so far in this episode.
+    pub tried: u16,
+    /// Replicas that returned corrupt payloads.
+    pub corrupt_replicas: Vec<u16>,
+}
+
+/// Per-node scrub daemon state: a strided cursor over the file.
+#[derive(Clone)]
+pub(crate) struct ScrubProc {
+    /// Next block this node will consider (node-strided: node `p` scans
+    /// `p, p + procs, p + 2·procs, …`, wrapping per pass).
+    pub cursor: u32,
+    /// The copy being scrubbed this pass; rotates at each wrap so every
+    /// replica is covered over `copies` passes.
+    pub replica: u16,
+    /// A scrub chain is outstanding on this node (one at a time).
+    pub inflight: bool,
+    /// When this node last issued a scrub read (rate limiting).
+    pub last_issued: SimTime,
+}
+
+/// Integrity-layer state of one run; allocated only when the
+/// configuration schedules corrupt windows, forces verification, or runs
+/// the scrubber — default runs pay nothing beyond an `Option` check and
+/// their event stream is untouched.
+#[derive(Clone)]
+pub(crate) struct IntegrityState {
+    pub cfg: crate::integrity::IntegrityConfig,
+    /// Verify fills at all: forced on whenever the fault plan schedules a
+    /// corrupt window, so corruption can never be injected undetected.
+    pub verify: bool,
+    /// Blocks with no clean copy anywhere: every replica returned a
+    /// corrupt payload. Reads fail fast with a typed error.
+    pub poisoned: std::collections::HashSet<BlockId>,
+    /// In-flight fill verifications and read-repairs, by block.
+    pub verifying: HashMap<BlockId, VerifyState>,
+    /// In-flight scrub repair chains, by block.
+    pub scrub_checks: HashMap<BlockId, ScrubCheck>,
+    /// Per-node scrub cursors.
+    pub scrub: Vec<ScrubProc>,
+    /// Typed error awaiting each node's current read, consumed at resume.
+    pub read_errors: Vec<Option<crate::integrity::IntegrityError>>,
+    // Counters (see `IntegrityMetrics`).
+    pub corruptions: u64,
+    pub detections: u64,
+    pub repairs: u64,
+    pub rewrites: u64,
+    pub scrubbed: u64,
+    pub scrub_detections: u64,
+    pub failed_reads: u64,
+}
+
+impl IntegrityState {
+    fn new(cfg: &ExperimentConfig) -> Self {
+        IntegrityState {
+            cfg: cfg.integrity,
+            verify: cfg.integrity.verify || cfg.faults.plan.has_corruption(),
+            poisoned: std::collections::HashSet::new(),
+            verifying: HashMap::new(),
+            scrub_checks: HashMap::new(),
+            scrub: (0..cfg.procs)
+                .map(|p| ScrubProc {
+                    cursor: p as u32,
+                    replica: 0,
+                    inflight: false,
+                    last_issued: SimTime::ZERO,
+                })
+                .collect(),
+            read_errors: vec![None; cfg.procs as usize],
+            corruptions: 0,
+            detections: 0,
+            repairs: 0,
+            rewrites: 0,
+            scrubbed: 0,
+            scrub_detections: 0,
+            failed_reads: 0,
+        }
+    }
 }
 
 /// One experiment run: the whole machine plus its workload.
@@ -297,6 +417,10 @@ pub struct World {
     /// Admission/backpressure state; `None` unless the configuration
     /// bounds queues or enables admission (same discipline as `faults`).
     pub(crate) admission: Option<AdmissionState>,
+    /// Integrity state (verify, read-repair, scrub, poison); `None`
+    /// unless corrupt windows are scheduled, verification is forced, or
+    /// the scrubber is on (same discipline as `faults`).
+    pub(crate) integrity: Option<IntegrityState>,
     pub(crate) rec: Recorder,
 }
 
@@ -375,11 +499,17 @@ impl World {
         if !cfg.faults.plan.is_empty() {
             fs.set_fault_plan(&cfg.faults.plan, &root.split(0x6661_756c));
         }
-        let faults = cfg.faults.is_active().then(|| FaultState {
-            health: HealthTracker::new(cfg.disks, cfg.faults.degrade),
+        // The quarantine lifecycle rides on the health tracker, so the
+        // fault layer is also allocated when only the integrity layer is
+        // active (its retry/timeout machinery then just never fires).
+        let integrity_active = cfg.integrity.active_with(&cfg.faults.plan);
+        let faults = (cfg.faults.is_active() || integrity_active).then(|| FaultState {
+            health: HealthTracker::new(cfg.disks, cfg.faults.degrade)
+                .with_quarantine(cfg.integrity.quarantine),
             retry: cfg.faults.retry,
             pending: HashMap::new(),
         });
+        let integrity = integrity_active.then(|| IntegrityState::new(&cfg));
         if let Some(depth) = cfg.queue_depth {
             fs.set_queue_limit(Some(depth as usize));
         }
@@ -438,6 +568,7 @@ impl World {
             outstanding_io: 0,
             faults,
             admission,
+            integrity,
             rec: Recorder {
                 proc_reads: vec![Tally::new(); cfg.procs as usize],
                 proc_hits: vec![0; cfg.procs as usize],
@@ -534,6 +665,35 @@ impl World {
         }
     }
 
+    /// Integrity counters of this run, with quarantine-interval
+    /// accounting closed off at `end`. All default for runs without an
+    /// active integrity layer.
+    pub fn integrity_metrics(&self, end: SimTime) -> crate::metrics::IntegrityMetrics {
+        let Some(ig) = &self.integrity else {
+            return crate::metrics::IntegrityMetrics::default();
+        };
+        let (quarantines, quarantined_time) = match &self.faults {
+            Some(f) => (
+                f.health.quarantine_episodes(),
+                f.health.quarantined_time(end),
+            ),
+            None => (0, SimDuration::ZERO),
+        };
+        crate::metrics::IntegrityMetrics {
+            corruptions: ig.corruptions,
+            detections: ig.detections,
+            repairs: ig.repairs,
+            rewrites: ig.rewrites,
+            scrubbed: ig.scrubbed,
+            scrub_detections: ig.scrub_detections,
+            poisoned_blocks: ig.poisoned.len() as u64,
+            failed_reads: ig.failed_reads,
+            corrupt_delivered: self.rec.corrupt_delivered,
+            quarantines,
+            quarantined_time,
+        }
+    }
+
     /// Overload/backpressure counters of this run. All zero for runs with
     /// unbounded queues and admission disabled (except `max_queue_depth`,
     /// which is always observed).
@@ -572,6 +732,12 @@ impl World {
                 self.outstanding_io
             ));
         }
+        if self.rec.corrupt_delivered > 0 {
+            return Err(format!(
+                "integrity: {} corrupt block(s) delivered to readers as clean",
+                self.rec.corrupt_delivered
+            ));
+        }
         if let Some(adm) = &self.admission {
             if adm.credits > adm.cfg.prefetch_credits {
                 return Err(format!(
@@ -608,6 +774,7 @@ impl Model for World {
             Ev::ActionEnd(p) => self.action_end(p.index(), sched),
             Ev::RetryIo(b) => self.retry_io(b, sched),
             Ev::IoTimeout(b) => self.io_timeout(b, sched),
+            Ev::VerifyDone(b) => self.verify_done(b, sched),
         }
     }
 }
@@ -1010,6 +1177,145 @@ mod tests {
         assert!(adm.credits <= 2, "credit pool overflowed: {}", adm.credits);
         w.check_soak_invariants().unwrap();
         w.pool().assert_invariants();
+    }
+
+    /// A corrupt window of probability `prob` on every disk, for the
+    /// whole run, with `replicas` extra copies of the file.
+    fn corrupt_cfg(prob: f64, replicas: u16, prefetch: bool) -> ExperimentConfig {
+        let mut cfg = small_cfg(AccessPattern::GlobalWholeFile, SyncStyle::None, prefetch);
+        cfg.faults.replicas = replicas;
+        for d in 0..cfg.disks {
+            cfg.faults.plan.push(rt_disk::DeviceFault {
+                disk: DiskId(d),
+                kind: rt_disk::FaultKind::Corrupt { probability: prob },
+                from: SimTime::ZERO,
+                until: None,
+            });
+        }
+        cfg
+    }
+
+    #[test]
+    fn defaults_leave_integrity_layer_inert() {
+        let (w, end) = run_world(small_cfg(
+            AccessPattern::GlobalWholeFile,
+            SyncStyle::None,
+            true,
+        ));
+        assert!(w.integrity.is_none(), "no integrity state by default");
+        assert!(w.faults.is_none(), "no fault state by default");
+        assert_eq!(
+            w.integrity_metrics(end),
+            crate::metrics::IntegrityMetrics::default()
+        );
+        w.check_soak_invariants().unwrap();
+    }
+
+    #[test]
+    fn corruption_is_detected_and_repaired_never_delivered() {
+        let (w, end) = run_world(corrupt_cfg(0.25, 1, true));
+        assert_eq!(w.reads_done(), 200);
+        let m = w.integrity_metrics(end);
+        assert!(m.corruptions > 0, "{m:?}");
+        assert!(m.detections > 0, "{m:?}");
+        assert!(m.repairs > 0, "no read-repair happened: {m:?}");
+        assert_eq!(m.corrupt_delivered, 0, "{m:?}");
+        w.check_soak_invariants().unwrap();
+        w.pool().assert_invariants();
+    }
+
+    #[test]
+    fn unrepairable_corruption_poisons_with_typed_errors() {
+        // No replicas: a corrupt primary is unrepairable, so nearly every
+        // block poisons. Reads must fail with the typed error — recorded,
+        // never delivered corrupt, never panicking — and the run still
+        // terminates with every access consumed.
+        let (w, end) = run_world(corrupt_cfg(0.95, 0, false));
+        assert_eq!(w.reads_done(), 200);
+        assert_eq!(w.rec.reads.count(), 200, "failed reads must be recorded");
+        let m = w.integrity_metrics(end);
+        assert!(m.poisoned_blocks > 0, "{m:?}");
+        assert!(m.failed_reads > 0, "{m:?}");
+        assert_eq!(m.corrupt_delivered, 0, "{m:?}");
+        assert_eq!(m.repairs, 0, "no replicas to repair from");
+        w.check_soak_invariants().unwrap();
+    }
+
+    #[test]
+    fn scrubber_runs_in_idle_time_and_detects_corruption() {
+        let mut cfg = corrupt_cfg(0.3, 1, false);
+        cfg.integrity.scrub = true;
+        cfg.integrity.scrub_interval = SimDuration::from_micros(100);
+        let (w, end) = run_world(cfg);
+        assert_eq!(w.reads_done(), 200);
+        let m = w.integrity_metrics(end);
+        assert!(m.scrubbed > 0, "scrubber never ran: {m:?}");
+        assert!(m.scrub_detections > 0, "{m:?}");
+        assert_eq!(m.corrupt_delivered, 0, "{m:?}");
+        // Scrub actions are daemon actions: they were accounted.
+        assert!(w.rec.action_time.count() > 0);
+        w.check_soak_invariants().unwrap();
+    }
+
+    #[test]
+    fn scrub_on_defaults_changes_nothing_without_corruption() {
+        // Scrubbing a clean file costs I/O but must not change what the
+        // readers observe: same reads, no detections, nothing poisoned.
+        let mut cfg = small_cfg(AccessPattern::GlobalWholeFile, SyncStyle::None, false);
+        cfg.integrity.scrub = true;
+        let (w, end) = run_world(cfg);
+        assert_eq!(w.reads_done(), 200);
+        let m = w.integrity_metrics(end);
+        assert!(m.scrubbed > 0);
+        assert_eq!(m.detections, 0);
+        assert_eq!(m.scrub_detections, 0);
+        assert_eq!(m.poisoned_blocks, 0);
+        assert_eq!(m.corrupt_delivered, 0);
+        w.check_soak_invariants().unwrap();
+        w.pool().assert_invariants();
+    }
+
+    #[test]
+    fn corrupt_device_is_quarantined_and_run_survives() {
+        // One sick device among four, with a replica to steer to: the
+        // corruption EWMA must quarantine it and the run must finish with
+        // clean deliveries only.
+        let mut cfg = small_cfg(AccessPattern::GlobalWholeFile, SyncStyle::None, false);
+        cfg.faults.replicas = 1;
+        cfg.faults.plan.push(rt_disk::DeviceFault {
+            disk: DiskId(0),
+            kind: rt_disk::FaultKind::Corrupt { probability: 0.95 },
+            from: SimTime::ZERO,
+            until: None,
+        });
+        let (w, end) = run_world(cfg);
+        assert_eq!(w.reads_done(), 200);
+        let m = w.integrity_metrics(end);
+        assert!(m.quarantines >= 1, "{m:?}");
+        assert!(m.quarantined_time > SimDuration::ZERO, "{m:?}");
+        assert!(m.repairs > 0, "{m:?}");
+        assert_eq!(m.corrupt_delivered, 0, "{m:?}");
+        w.check_soak_invariants().unwrap();
+    }
+
+    #[test]
+    fn verify_only_runs_pay_the_checksum_cost_but_stay_clean() {
+        // Forced verification without any corruption: every fill pays
+        // verify_cost, nothing is detected, and the run is slower than
+        // the unverified baseline but otherwise equivalent.
+        let base = small_cfg(AccessPattern::GlobalWholeFile, SyncStyle::None, false);
+        let mut verified = base.clone();
+        verified.integrity.verify = true;
+        let (w_base, t_base) = run_world(base);
+        let (w_ver, t_ver) = run_world(verified);
+        assert_eq!(w_ver.reads_done(), w_base.reads_done());
+        let m = w_ver.integrity_metrics(t_ver);
+        assert_eq!(m.detections, 0);
+        assert_eq!(m.corrupt_delivered, 0);
+        assert!(
+            t_ver > t_base,
+            "checksum verification must cost simulated time ({t_ver:?} vs {t_base:?})"
+        );
     }
 
     #[test]

@@ -165,8 +165,16 @@ impl World {
         let read_time = now - self.procs[p].read_start;
         self.rec.reads.record(read_time);
         self.rec.proc_reads[p].record(read_time);
-        if self.procs[p].cur_outcome != Some(ReadOutcome::Miss) {
+        if matches!(
+            self.procs[p].cur_outcome,
+            Some(ReadOutcome::ReadyHit | ReadOutcome::UnreadyHit)
+        ) {
             self.rec.proc_hits[p] += 1;
+        }
+        if self.procs[p].cur_outcome == Some(ReadOutcome::Failed) {
+            if let Some(ig) = &mut self.integrity {
+                ig.failed_reads += 1;
+            }
         }
         if let Some(trace) = &mut self.trace {
             trace.record(TraceEvent {
@@ -193,6 +201,19 @@ impl World {
             self.procs[p].state = PState::Computing;
             sched.schedule_in(delay, Ev::ComputeDone(ProcId(p as u16)));
         }
+    }
+
+    /// Complete the current read as *failed*: the block is poisoned, so
+    /// the process receives a typed [`crate::integrity::IntegrityError`]
+    /// instead of data. The access is consumed (the modeled application
+    /// handles the error and moves on), so runs always terminate.
+    pub(super) fn fail_read(&mut self, p: usize, sched: &mut Scheduler<Ev>) {
+        if let Some(ig) = &mut self.integrity {
+            ig.read_errors[p] = None;
+        }
+        debug_assert!(self.procs[p].copying_buf.is_none());
+        self.procs[p].cur_outcome = Some(ReadOutcome::Failed);
+        self.read_finished(p, sched);
     }
 
     pub(super) fn finish_proc(&mut self, p: usize, sched: &mut Scheduler<Ev>) {

@@ -16,9 +16,12 @@ impl World {
         self.maybe_start_action(p, sched);
     }
 
-    /// Start one prefetch action on node `p` if the daemon may run.
+    /// Start one daemon action on node `p` if the daemon may run — a
+    /// prefetch when prefetching is configured, otherwise (or when the
+    /// prefetcher finds no candidate) a scrub read.
     pub(super) fn maybe_start_action(&mut self, p: usize, sched: &mut Scheduler<Ev>) {
-        if !self.cfg.prefetch.enabled || self.procs[p].action_busy {
+        let scrubbing = self.integrity.as_ref().is_some_and(|ig| ig.cfg.scrub);
+        if (!self.cfg.prefetch.enabled && !scrubbing) || self.procs[p].action_busy {
             return;
         }
         let now = sched.now();
@@ -56,17 +59,30 @@ impl World {
             .action_time
             .record(now - self.procs[p].action_started);
 
-        let candidate = match self.select_block(p) {
-            Some(block) if self.prefetch_target_degraded(block) => {
-                // Graceful degradation: the device this block lives on is
-                // erroring or lagging. Leave the block to demand traffic,
-                // but keep the frontier moving — re-select skipping every
-                // degraded device so healthy disks still get prefetch.
-                self.rec.degraded_skips += 1;
-                self.select_block_past_degraded(p)
+        let candidate = if self.cfg.prefetch.enabled {
+            match self.select_block(p) {
+                Some(block) if self.prefetch_target_degraded(block, now) => {
+                    // Graceful degradation: the device this block lives on
+                    // is erroring or lagging. Leave the block to demand
+                    // traffic, but keep the frontier moving — re-select
+                    // skipping every degraded device so healthy disks
+                    // still get prefetch.
+                    self.rec.degraded_skips += 1;
+                    self.select_block_past_degraded(p, now)
+                }
+                other => other,
             }
-            other => other,
+        } else {
+            // Scrub-only daemon: no speculative fills.
+            None
         };
+        // A poisoned block can never be fetched clean; selecting it would
+        // spin the daemon on discard loops.
+        let candidate = candidate.filter(|b| {
+            self.integrity
+                .as_ref()
+                .is_none_or(|ig| !ig.poisoned.contains(b))
+        });
         match candidate {
             Some(block) if self.admission_denies(block).is_some() => {
                 // The admission controller refused the prefetch: out of
@@ -122,8 +138,13 @@ impl World {
                 }
             }
             None => {
-                self.rec.empty_actions += 1;
-                self.procs[p].last_action_empty = true;
+                // No prefetch to do: let the scrubber use the idle slot.
+                if self.scrub_attempt(p, sched) {
+                    self.procs[p].last_action_empty = false;
+                } else {
+                    self.rec.empty_actions += 1;
+                    self.procs[p].last_action_empty = true;
+                }
             }
         }
 
@@ -172,19 +193,20 @@ impl World {
     }
 
     /// Would this prefetch land on a device the health tracker currently
-    /// classifies as degraded? Always false without an active fault layer.
-    pub(super) fn prefetch_target_degraded(&self, block: BlockId) -> bool {
+    /// classifies as degraded or quarantined? Always false without an
+    /// active fault layer.
+    pub(super) fn prefetch_target_degraded(&self, block: BlockId, now: SimTime) -> bool {
         let Some(fs) = &self.faults else { return false };
         self.fs
             .placement_disk(self.file, block, 0)
-            .is_some_and(|d| fs.health.is_degraded(d))
+            .is_some_and(|d| fs.health.is_degraded(d) || fs.health.is_quarantined(d, now))
     }
 
     /// Second-chance selection once the primary candidate proved degraded:
     /// the same policy scan, but uncached blocks on degraded devices are
     /// passed over instead of selected. Runs only while the fault layer is
     /// active, so the fault-free path never pays for it.
-    fn select_block_past_degraded(&mut self, p: usize) -> Option<BlockId> {
+    fn select_block_past_degraded(&mut self, p: usize, now: SimTime) -> Option<BlockId> {
         let Some(fault_state) = &self.faults else {
             return None;
         };
@@ -193,7 +215,7 @@ impl World {
         let file = self.file;
         let degraded = |block: BlockId| {
             fs.placement_disk(file, block, 0)
-                .is_some_and(|d| health.is_degraded(d))
+                .is_some_and(|d| health.is_degraded(d) || health.is_quarantined(d, now))
         };
         match self.cfg.prefetch.policy {
             PolicyKind::Oracle => {

@@ -76,6 +76,16 @@ impl World {
     /// candidate buffers are pinned by in-flight copies, retry shortly.
     pub(super) fn start_miss(&mut self, p: usize, block: BlockId, sched: &mut Scheduler<Ev>) {
         let now = sched.now();
+        if self
+            .integrity
+            .as_ref()
+            .is_some_and(|ig| ig.poisoned.contains(&block))
+        {
+            // Every copy of this block is known corrupt: fail fast with
+            // the typed error instead of re-fetching and re-discovering.
+            self.fail_read(p, sched);
+            return;
+        }
         // Reserve the buffer immediately (so concurrent readers of the same
         // block become unready hits), then perform the miss work — RU-set
         // manipulation and disk enqueue — in its own critical section. The
@@ -144,7 +154,10 @@ impl World {
             .expect("miss work without access")
             .block;
         let who = ProcId(p as u16);
-        let (started, parked) = self.submit_demand(now, block, 0, who);
+        // Steer around quarantined devices when the integrity layer is
+        // active; replica 0 otherwise (byte-identical to the old path).
+        let replica = self.pick_demand_replica(block, now);
+        let (started, parked) = self.submit_demand(now, block, replica, who);
         self.procs[p].expected_wake = self.note_started(block, started, sched);
         if !parked {
             self.arm_timeout(block, who, sched);
@@ -158,7 +171,7 @@ impl World {
     /// the device drains ([`World::drain_parked`] replays it). Returns the
     /// started request (None when queued or parked) and whether the fetch
     /// parked.
-    fn submit_demand(
+    pub(super) fn submit_demand(
         &mut self,
         now: SimTime,
         block: BlockId,
@@ -392,19 +405,22 @@ impl World {
             // The newly started request's pending buffer learns its
             // completion time. Under faults a queued duplicate's block may
             // already be Ready (a replica beat it); its completion is still
-            // tracked and lands as a stale completion.
+            // tracked and lands as a stale completion. Scrub and repair
+            // requests have no pool buffer at all.
             debug_assert_eq!(s.file, self.file);
-            if let Some(buf) = self.pool.buffer_for(s.block) {
-                if matches!(
-                    self.pool.buffer(buf).state,
-                    rt_cache::BufState::Pending { .. }
-                ) {
-                    self.pool.set_ready_at(buf, s.completion);
-                } else {
-                    debug_assert!(
-                        self.faults.is_some(),
-                        "queued request started for a non-pending buffer"
-                    );
+            if matches!(s.kind, FetchKind::Demand | FetchKind::Prefetch) {
+                if let Some(buf) = self.pool.buffer_for(s.block) {
+                    if matches!(
+                        self.pool.buffer(buf).state,
+                        rt_cache::BufState::Pending { .. }
+                    ) {
+                        self.pool.set_ready_at(buf, s.completion);
+                    } else {
+                        debug_assert!(
+                            self.faults.is_some(),
+                            "queued request started for a non-pending buffer"
+                        );
+                    }
                 }
             }
             sched.schedule_at(s.completion, Ev::DiskDone(disk));
@@ -422,8 +438,31 @@ impl World {
             }
             self.drain_parked(disk, sched);
         }
+        match done.kind {
+            // Verify-only and rewrite traffic never touches the pool;
+            // block_ready/io_failed must not see it.
+            FetchKind::Scrub => return self.scrub_done(&done, disk, sched),
+            FetchKind::Repair => return self.repair_done(&done),
+            FetchKind::Demand | FetchKind::Prefetch => {}
+        }
         match done.status {
-            Ok(()) => self.block_ready(done.block, sched),
+            Ok(()) => {
+                if self.integrity.as_ref().is_some_and(|ig| ig.verify) {
+                    // Hold the fill while its checksum is verified; the
+                    // block is delivered (or repaired, or poisoned) when
+                    // the check resolves.
+                    self.verify_fill(&done, disk, sched);
+                } else {
+                    if done.corrupt {
+                        // Corruption reached a run without a verifier —
+                        // the tripwire `check_soak_invariants` and the
+                        // bench validator exist to catch. Unreachable
+                        // while corrupt windows force verification on.
+                        self.rec.corrupt_delivered += 1;
+                    }
+                    self.block_ready(done.block, sched);
+                }
+            }
             Err(_) => self.io_failed(done.block, done.kind, done.initiator, sched),
         }
     }
@@ -515,6 +554,18 @@ impl World {
                     .cur_access
                     .expect("waiting without access")
                     .block;
+                if self
+                    .integrity
+                    .as_mut()
+                    .and_then(|ig| ig.read_errors[p].take())
+                    .is_some()
+                {
+                    // The block was poisoned while this process waited:
+                    // complete the read with the typed error instead of
+                    // copying data (there is no buffer to copy from).
+                    self.fail_read(p, sched);
+                    return;
+                }
                 // The buffer was pinned on this process's behalf when the
                 // I/O completed, so the data cannot have vanished.
                 let buf = self

@@ -45,6 +45,7 @@ struct InService {
     completion: SimTime,
     status: Result<(), DiskFault>,
     service: SimDuration,
+    corrupt: bool,
 }
 
 /// A finished I/O as reported by [`Disk::complete`].
@@ -57,6 +58,10 @@ pub struct Finished {
     /// The service time this request occupied the device for (excludes
     /// queueing).
     pub service: SimDuration,
+    /// True when the completion is `Ok` but the payload is silently
+    /// corrupt (a [`crate::fault::FaultKind::Corrupt`] window fired).
+    /// Only checksum verification above the disk layer can see this.
+    pub corrupt: bool,
 }
 
 /// One disk: a queue, a head, and the response-time accounting the paper
@@ -166,6 +171,10 @@ impl Disk {
         match done.req.kind {
             FetchKind::Demand => self.demand_response.record(response),
             FetchKind::Prefetch => self.prefetch_response.record(response),
+            // Scrub reads and repair rewrites are maintenance traffic;
+            // they occupy the device but stay out of the paper's
+            // demand/prefetch response split.
+            FetchKind::Scrub | FetchKind::Repair => {}
         }
         let next = self.dequeue().map(|req| {
             self.queue_len.add(now, -1.0);
@@ -178,6 +187,7 @@ impl Disk {
                 req: done.req,
                 status: done.status,
                 service: done.service,
+                corrupt: done.corrupt,
             },
             next,
         )
@@ -209,17 +219,18 @@ impl Disk {
     /// with no faults attached draws exactly the baseline sequence.
     fn start(&mut self, req: DiskRequest, start: SimTime) -> SimTime {
         let base = self.service.service_time(req.physical, &mut self.rng);
-        let (service, status) = match &mut self.faults {
+        let applied = match &mut self.faults {
             Some(f) => f.apply(start, base),
-            None => (base, Ok(())),
+            None => crate::fault::Applied::clean(base),
         };
-        self.busy += service;
-        let completion = start + service;
+        self.busy += applied.service;
+        let completion = start + applied.service;
         self.in_service = Some(InService {
             req,
             completion,
-            status,
-            service,
+            status: applied.status,
+            service: applied.service,
+            corrupt: applied.corrupt,
         });
         completion
     }
@@ -532,7 +543,10 @@ mod tests {
         use crate::request::DiskId;
         let mut d = disk(Discipline::Fifo);
         let plan = FaultPlan::none().straggler(DiskId(0), 4.0, t(0), Some(t(100)));
-        d.set_faults(DeviceFaults::new(plan.for_disk(DiskId(0)), Rng::seeded(3)));
+        d.set_faults(DeviceFaults::new(
+            plan.for_disk(DiskId(0)).to_vec(),
+            Rng::seeded(3),
+        ));
         assert_eq!(d.submit(req(0, FetchKind::Demand, 0)), Ok(Some(t(120))));
         let (done, _) = d.complete(t(120));
         assert_eq!(done.status, Ok(()));
@@ -543,12 +557,38 @@ mod tests {
     }
 
     #[test]
+    fn corrupt_window_completes_ok_with_flag_and_counts_no_error() {
+        use crate::fault::{DeviceFaults, FaultPlan};
+        use crate::request::DiskId;
+        let mut d = disk(Discipline::Fifo);
+        // Probability ~1: the draw always corrupts inside the window.
+        let plan = FaultPlan::none().corrupt(DiskId(0), 0.999_999, t(0), Some(t(50)));
+        d.set_faults(DeviceFaults::new(
+            plan.for_disk(DiskId(0)).to_vec(),
+            Rng::seeded(3),
+        ));
+        assert_eq!(d.submit(req(0, FetchKind::Demand, 0)), Ok(Some(t(30))));
+        let (done, _) = d.complete(t(30));
+        assert_eq!(done.status, Ok(()));
+        assert!(done.corrupt, "in-window request carries the corrupt flag");
+        assert_eq!(done.service, SimDuration::from_millis(30));
+        assert_eq!(d.errors(), 0, "silent corruption is not a device error");
+        // Outside the window, completions are clean again.
+        assert_eq!(d.submit(req(50, FetchKind::Demand, 1)), Ok(Some(t(80))));
+        let (done, _) = d.complete(t(80));
+        assert!(!done.corrupt);
+    }
+
+    #[test]
     fn outage_fails_fast_and_counts_errors() {
         use crate::fault::{DeviceFaults, DiskFault, FaultPlan, OUTAGE_ERROR_LATENCY};
         use crate::request::DiskId;
         let mut d = disk(Discipline::Fifo);
         let plan = FaultPlan::none().outage(DiskId(0), t(0), Some(t(50)));
-        d.set_faults(DeviceFaults::new(plan.for_disk(DiskId(0)), Rng::seeded(3)));
+        d.set_faults(DeviceFaults::new(
+            plan.for_disk(DiskId(0)).to_vec(),
+            Rng::seeded(3),
+        ));
         let completion = d.submit(req(0, FetchKind::Demand, 0)).unwrap().unwrap();
         assert_eq!(completion, SimTime::ZERO + OUTAGE_ERROR_LATENCY);
         let (done, _) = d.complete(completion);

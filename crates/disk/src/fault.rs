@@ -57,6 +57,14 @@ pub enum FaultKind {
         /// Per-request failure probability in `[0, 1]`.
         probability: f64,
     },
+    /// Silent corruption: each request in the window independently
+    /// completes `Ok` — full service time, no error — but carries a
+    /// corrupt payload at this probability. The device itself never
+    /// notices; only checksum verification above the disk layer can.
+    Corrupt {
+        /// Per-request corruption probability in `[0, 1]`.
+        probability: f64,
+    },
 }
 
 /// One scheduled fault window on one device.
@@ -84,6 +92,9 @@ impl DeviceFault {
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct FaultPlan {
     entries: Vec<DeviceFault>,
+    /// Per-device index into the schedule, maintained on every push so
+    /// [`FaultPlan::for_disk`] is an allocation-free slice lookup.
+    per_disk: Vec<Vec<DeviceFault>>,
 }
 
 impl FaultPlan {
@@ -105,6 +116,11 @@ impl FaultPlan {
     /// Add an arbitrary window.
     pub fn push(&mut self, fault: DeviceFault) {
         self.entries.push(fault);
+        let idx = fault.disk.index();
+        if self.per_disk.len() <= idx {
+            self.per_disk.resize_with(idx + 1, Vec::new);
+        }
+        self.per_disk[idx].push(fault);
     }
 
     /// Add a straggler window: `disk` serves `factor`× slower in
@@ -155,13 +171,36 @@ impl FaultPlan {
         self
     }
 
-    /// The windows that apply to one device, in schedule order.
-    pub fn for_disk(&self, disk: DiskId) -> Vec<DeviceFault> {
+    /// Add a silent-corruption window with the given per-request
+    /// corruption probability.
+    pub fn corrupt(
+        mut self,
+        disk: DiskId,
+        probability: f64,
+        from: SimTime,
+        until: Option<SimTime>,
+    ) -> Self {
+        self.push(DeviceFault {
+            disk,
+            kind: FaultKind::Corrupt { probability },
+            from,
+            until,
+        });
+        self
+    }
+
+    /// Does the plan schedule any silent-corruption window? Used by the
+    /// upper layers to force checksum verification on: corruption must
+    /// never be injectable without a detector above it.
+    pub fn has_corruption(&self) -> bool {
         self.entries
             .iter()
-            .filter(|e| e.disk == disk)
-            .copied()
-            .collect()
+            .any(|e| matches!(e.kind, FaultKind::Corrupt { .. }))
+    }
+
+    /// The windows that apply to one device, in schedule order.
+    pub fn for_disk(&self, disk: DiskId) -> &[DeviceFault] {
+        self.per_disk.get(disk.index()).map_or(&[], Vec::as_slice)
     }
 }
 
@@ -171,12 +210,45 @@ impl FaultPlan {
 /// unbounded retries at a single instant.
 pub const OUTAGE_ERROR_LATENCY: SimDuration = SimDuration::from_millis(1);
 
+/// The outcome of applying a device's fault schedule to one request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Applied {
+    /// Adjusted service time (fail-fast for outages).
+    pub service: SimDuration,
+    /// Completion status; `Ok` for clean *and* silently corrupted
+    /// requests — corruption never surfaces as an error at this layer.
+    pub status: Result<(), DiskFault>,
+    /// True when the request completed `Ok` but its payload is corrupt.
+    pub corrupt: bool,
+}
+
+impl Applied {
+    /// A clean completion after `service`.
+    pub fn clean(service: SimDuration) -> Self {
+        Applied {
+            service,
+            status: Ok(()),
+            corrupt: false,
+        }
+    }
+
+    /// A failed completion after `service`.
+    pub fn failed(service: SimDuration, fault: DiskFault) -> Self {
+        Applied {
+            service,
+            status: Err(fault),
+            corrupt: false,
+        }
+    }
+}
+
 /// The instantiated fault state attached to one device: its windows plus
 /// a private random stream for transient-error draws.
 ///
-/// The stream is consumed *only* inside active flaky windows, so devices
-/// outside their windows — and every device under an empty plan — draw
-/// exactly the same service-time sequence as a fault-free run.
+/// The stream is consumed *only* inside active flaky or corrupt windows,
+/// so devices outside their windows — and every device under an empty
+/// plan — draw exactly the same service-time sequence as a fault-free
+/// run.
 #[derive(Clone, Debug)]
 pub struct DeviceFaults {
     windows: Vec<DeviceFault>,
@@ -192,14 +264,11 @@ impl DeviceFaults {
 
     /// Apply the schedule to a request starting service at `start` whose
     /// fault-free service time is `base`. Returns the adjusted service
-    /// time and the completion status.
-    pub fn apply(
-        &mut self,
-        start: SimTime,
-        base: SimDuration,
-    ) -> (SimDuration, Result<(), DiskFault>) {
+    /// time, the completion status, and the silent-corruption flag.
+    pub fn apply(&mut self, start: SimTime, base: SimDuration) -> Applied {
         let mut factor = 1.0f64;
         let mut fail_p = 0.0f64;
+        let mut corrupt_p = 0.0f64;
         for w in &self.windows {
             if !w.active_at(start) {
                 continue;
@@ -207,12 +276,15 @@ impl DeviceFaults {
             match w.kind {
                 FaultKind::Outage => {
                     // Hard-down wins over everything: fail fast.
-                    return (OUTAGE_ERROR_LATENCY, Err(DiskFault::DeviceDown));
+                    return Applied::failed(OUTAGE_ERROR_LATENCY, DiskFault::DeviceDown);
                 }
                 FaultKind::Slowdown { factor: f } => factor *= f,
                 FaultKind::Flaky { probability } => {
                     // Overlapping flaky windows fail independently.
                     fail_p = 1.0 - (1.0 - fail_p) * (1.0 - probability);
+                }
+                FaultKind::Corrupt { probability } => {
+                    corrupt_p = 1.0 - (1.0 - corrupt_p) * (1.0 - probability);
                 }
             }
         }
@@ -221,10 +293,19 @@ impl DeviceFaults {
         } else {
             SimDuration::from_nanos((base.as_nanos() as f64 * factor).round() as u64)
         };
-        if fail_p > 0.0 && self.rng.chance(fail_p) {
-            (service, Err(DiskFault::Transient))
+        // The flaky draw comes first (and is the only draw when no corrupt
+        // window is active), so pre-existing plans consume exactly the
+        // random stream they always did.
+        let failed = fail_p > 0.0 && self.rng.chance(fail_p);
+        let corrupted = corrupt_p > 0.0 && self.rng.chance(corrupt_p);
+        if failed {
+            Applied::failed(service, DiskFault::Transient)
         } else {
-            (service, Ok(()))
+            Applied {
+                service,
+                status: Ok(()),
+                corrupt: corrupted,
+            }
         }
     }
 }
@@ -241,45 +322,102 @@ mod tests {
         SimDuration::from_millis(v)
     }
 
+    fn device(plan: &FaultPlan, disk: DiskId, seed: u64) -> DeviceFaults {
+        DeviceFaults::new(plan.for_disk(disk).to_vec(), Rng::seeded(seed))
+    }
+
     #[test]
     fn slowdown_scales_only_inside_window() {
         let plan = FaultPlan::none().straggler(DiskId(0), 4.0, t(100), Some(t(200)));
-        let mut f = DeviceFaults::new(plan.for_disk(DiskId(0)), Rng::seeded(1));
-        assert_eq!(f.apply(t(0), ms(30)), (ms(30), Ok(())));
-        assert_eq!(f.apply(t(100), ms(30)), (ms(120), Ok(())));
-        assert_eq!(f.apply(t(199), ms(30)), (ms(120), Ok(())));
-        assert_eq!(f.apply(t(200), ms(30)), (ms(30), Ok(())));
+        let mut f = device(&plan, DiskId(0), 1);
+        assert_eq!(f.apply(t(0), ms(30)), Applied::clean(ms(30)));
+        assert_eq!(f.apply(t(100), ms(30)), Applied::clean(ms(120)));
+        assert_eq!(f.apply(t(199), ms(30)), Applied::clean(ms(120)));
+        assert_eq!(f.apply(t(200), ms(30)), Applied::clean(ms(30)));
     }
 
     #[test]
     fn outage_fails_fast_until_repair() {
         let plan = FaultPlan::none().outage(DiskId(2), t(50), Some(t(80)));
-        let mut f = DeviceFaults::new(plan.for_disk(DiskId(2)), Rng::seeded(1));
+        let mut f = device(&plan, DiskId(2), 1);
         assert_eq!(
             f.apply(t(60), ms(30)),
-            (OUTAGE_ERROR_LATENCY, Err(DiskFault::DeviceDown))
+            Applied::failed(OUTAGE_ERROR_LATENCY, DiskFault::DeviceDown)
         );
-        assert_eq!(f.apply(t(80), ms(30)), (ms(30), Ok(())));
+        assert_eq!(f.apply(t(80), ms(30)), Applied::clean(ms(30)));
     }
 
     #[test]
     fn unrepaired_outage_never_ends() {
         let plan = FaultPlan::none().outage(DiskId(0), t(10), None);
-        let mut f = DeviceFaults::new(plan.for_disk(DiskId(0)), Rng::seeded(1));
-        assert!(f.apply(t(1_000_000), ms(30)).1.is_err());
+        let mut f = device(&plan, DiskId(0), 1);
+        assert!(f.apply(t(1_000_000), ms(30)).status.is_err());
     }
 
     #[test]
     fn flaky_fails_at_roughly_the_given_rate() {
         let plan = FaultPlan::none().flaky(DiskId(0), 0.3, SimTime::ZERO, None);
-        let mut f = DeviceFaults::new(plan.for_disk(DiskId(0)), Rng::seeded(42));
+        let mut f = device(&plan, DiskId(0), 42);
         let fails = (0..10_000)
-            .filter(|_| f.apply(t(0), ms(30)).1.is_err())
+            .filter(|_| f.apply(t(0), ms(30)).status.is_err())
             .count();
         let rate = fails as f64 / 10_000.0;
         assert!((rate - 0.3).abs() < 0.02, "observed failure rate {rate}");
         // Transient failures still take full service time.
-        assert_eq!(f.apply(t(0), ms(30)).0, ms(30));
+        assert_eq!(f.apply(t(0), ms(30)).service, ms(30));
+    }
+
+    #[test]
+    fn corrupt_completes_ok_with_flag_at_roughly_the_given_rate() {
+        let plan = FaultPlan::none().corrupt(DiskId(0), 0.25, t(100), Some(t(200)));
+        let mut f = device(&plan, DiskId(0), 42);
+        // Outside the window: clean, no random draw consumed.
+        assert_eq!(f.apply(t(0), ms(30)), Applied::clean(ms(30)));
+        let corrupt = (0..10_000)
+            .map(|_| f.apply(t(150), ms(30)))
+            .filter(|a| {
+                // Corruption is silent: status stays Ok, service is full.
+                assert_eq!(a.status, Ok(()));
+                assert_eq!(a.service, ms(30));
+                a.corrupt
+            })
+            .count();
+        let rate = corrupt as f64 / 10_000.0;
+        assert!(
+            (rate - 0.25).abs() < 0.02,
+            "observed corruption rate {rate}"
+        );
+        assert_eq!(f.apply(t(200), ms(30)), Applied::clean(ms(30)));
+    }
+
+    #[test]
+    fn flaky_error_wins_over_corruption() {
+        // Both windows always fire: the transient error surfaces and the
+        // corrupt flag stays clear (a failed transfer delivers no payload).
+        let plan = FaultPlan::none()
+            .flaky(DiskId(0), 0.999_999, SimTime::ZERO, None)
+            .corrupt(DiskId(0), 0.999_999, SimTime::ZERO, None);
+        let mut f = device(&plan, DiskId(0), 7);
+        let a = f.apply(t(0), ms(30));
+        assert_eq!(a.status, Err(DiskFault::Transient));
+        assert!(!a.corrupt);
+    }
+
+    #[test]
+    fn corrupt_draws_leave_flaky_stream_unchanged() {
+        // A plan with only a flaky window must see the same draw sequence
+        // whether or not corrupt windows exist elsewhere in the schedule:
+        // the corrupt draw happens strictly after the flaky draw.
+        let flaky_only = FaultPlan::none().flaky(DiskId(0), 0.5, SimTime::ZERO, None);
+        let both = FaultPlan::none()
+            .flaky(DiskId(0), 0.5, SimTime::ZERO, None)
+            .corrupt(DiskId(0), 0.5, t(1_000_000), None);
+        let mut a = device(&flaky_only, DiskId(0), 9);
+        let mut b = device(&both, DiskId(0), 9);
+        for i in 0..200 {
+            // Before the corrupt window opens, outcomes are identical.
+            assert_eq!(a.apply(t(i), ms(30)), b.apply(t(i), ms(30)));
+        }
     }
 
     #[test]
@@ -290,15 +428,29 @@ mod tests {
         assert_eq!(plan.for_disk(DiskId(1)).len(), 1);
         assert_eq!(plan.for_disk(DiskId(3)).len(), 1);
         assert!(plan.for_disk(DiskId(0)).is_empty());
+        assert!(plan.for_disk(DiskId(9)).is_empty());
         assert!(!plan.is_empty());
         assert!(FaultPlan::none().is_empty());
     }
 
     #[test]
+    fn for_disk_preserves_schedule_order() {
+        let plan = FaultPlan::none()
+            .straggler(DiskId(2), 2.0, t(0), Some(t(10)))
+            .flaky(DiskId(2), 0.1, t(10), Some(t(20)))
+            .straggler(DiskId(2), 3.0, t(20), None);
+        let windows = plan.for_disk(DiskId(2));
+        assert_eq!(windows.len(), 3);
+        assert_eq!(windows[0].from, t(0));
+        assert_eq!(windows[1].from, t(10));
+        assert_eq!(windows[2].from, t(20));
+    }
+
+    #[test]
     fn deterministic_across_instances_with_same_seed() {
         let plan = FaultPlan::none().flaky(DiskId(0), 0.5, SimTime::ZERO, None);
-        let mut a = DeviceFaults::new(plan.for_disk(DiskId(0)), Rng::seeded(9));
-        let mut b = DeviceFaults::new(plan.for_disk(DiskId(0)), Rng::seeded(9));
+        let mut a = device(&plan, DiskId(0), 9);
+        let mut b = device(&plan, DiskId(0), 9);
         for i in 0..100 {
             assert_eq!(a.apply(t(i), ms(30)), b.apply(t(i), ms(30)));
         }

@@ -32,7 +32,7 @@ pub mod striping;
 pub mod subsystem;
 
 pub use device::{Discipline, Disk, Finished, QueueFull};
-pub use fault::{DeviceFault, DeviceFaults, DiskFault, FaultKind, FaultPlan};
+pub use fault::{Applied, DeviceFault, DeviceFaults, DiskFault, FaultKind, FaultPlan};
 pub use request::{BlockId, DiskId, DiskRequest, FetchKind, ProcId};
 pub use service::{DiskGeometry, FixedLatency, SeekRotate, Service, ServiceModel};
 pub use stream::{DeviceStream, FarmConfig, FarmOutcome, StreamEv};

@@ -39,14 +39,22 @@ impl BlockId {
     }
 }
 
-/// Why a disk read was issued — the paper's accounting distinguishes demand
-/// fetches from prefetches throughout.
+/// Why a disk request was issued — the paper's accounting distinguishes
+/// demand fetches from prefetches throughout; the integrity layer adds
+/// maintenance traffic on top.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum FetchKind {
     /// Issued on behalf of a blocked user read.
     Demand,
     /// Issued by the prefetching component during idle time.
     Prefetch,
+    /// Issued by the integrity scrubber during idle time: a verify-only
+    /// read that never lands in the cache.
+    Scrub,
+    /// A read-repair rewrite: after a corrupt copy was re-fetched from a
+    /// healthy replica, the clean payload is written back over the bad
+    /// copy. Occupies the device like any other request.
+    Repair,
 }
 
 /// One read request as seen by a disk device.

@@ -16,6 +16,8 @@ pub struct Started {
     pub disk: DiskId,
     /// The block being fetched.
     pub block: BlockId,
+    /// What the request is for (demand, prefetch, scrub, repair).
+    pub kind: FetchKind,
     /// When the I/O completes; call
     /// [`DiskSubsystem::complete`] at this instant.
     pub completion: SimTime,
@@ -34,6 +36,9 @@ pub struct Completed {
     pub status: Result<(), DiskFault>,
     /// Device service time of this request (excludes queueing).
     pub service: SimDuration,
+    /// True when the completion is `Ok` but the payload is silently
+    /// corrupt.
+    pub corrupt: bool,
 }
 
 /// All disks of the machine plus the (single) file's layout across them.
@@ -128,6 +133,7 @@ impl DiskSubsystem {
             .map(|completion| Started {
                 disk: placement.disk,
                 block,
+                kind,
                 completion,
             }))
     }
@@ -172,10 +178,12 @@ impl DiskSubsystem {
                 initiator: done.req.initiator,
                 status: done.status,
                 service: done.service,
+                corrupt: done.corrupt,
             },
             next.map(|(req, completion)| Started {
                 disk,
                 block: req.block,
+                kind: req.kind,
                 completion,
             }),
         )
@@ -190,7 +198,7 @@ impl DiskSubsystem {
             let windows = plan.for_disk(DiskId(i as u16));
             if !windows.is_empty() {
                 disk.set_faults(DeviceFaults::new(
-                    windows,
+                    windows.to_vec(),
                     rng.split(0xfa17_0000 + i as u64),
                 ));
             }

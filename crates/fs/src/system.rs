@@ -66,6 +66,8 @@ pub struct FsStarted {
     pub file: FileId,
     /// The logical block within that file.
     pub block: BlockId,
+    /// What the request is for (demand, prefetch, scrub, repair).
+    pub kind: FetchKind,
     /// When the I/O completes; call [`FileSystem::complete`] then.
     pub completion: SimTime,
 }
@@ -85,6 +87,9 @@ pub struct FsCompleted {
     pub status: Result<(), DiskFault>,
     /// Device service time of the request (excludes queueing).
     pub service: SimDuration,
+    /// True when the completion is `Ok` but the payload is silently
+    /// corrupt (see [`rt_disk::FaultKind::Corrupt`]).
+    pub corrupt: bool,
 }
 
 /// The interleaved file system over parallel independent disks.
@@ -288,6 +293,7 @@ impl FileSystem {
             disk: s.disk,
             file,
             block,
+            kind: s.kind,
             completion: s.completion,
         }))
     }
@@ -368,6 +374,7 @@ impl FileSystem {
             initiator: done.initiator,
             status: done.status,
             service: done.service,
+            corrupt: done.corrupt,
         };
         (
             completed,
@@ -377,6 +384,7 @@ impl FileSystem {
                     disk: s.disk,
                     file,
                     block,
+                    kind: s.kind,
                     completion: s.completion,
                 }
             }),

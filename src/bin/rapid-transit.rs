@@ -9,6 +9,7 @@
 //! rapid-transit perf                measure the fixed perf slice
 //! rapid-transit faults              run the fault-injection sweep
 //! rapid-transit soak                run the overload/chaos soak
+//! rapid-transit integrity           run the data-integrity sweep
 //! ```
 //!
 //! Run options:
@@ -18,7 +19,7 @@
 //! `--disks N`, `--blocks N`, `--prefetch`, `--lead N`,
 //! `--policy oracle|obl|learner`, `--seed N`, `--csv`,
 //! `--faults SPECS`, `--replicas N`, `--io-timeout MS`,
-//! `--queue-depth N`, `--prefetch-credits N`.
+//! `--queue-depth N`, `--prefetch-credits N`, `--verify`, `--scrub`.
 
 use std::process::ExitCode;
 
@@ -48,6 +49,7 @@ fn main() -> ExitCode {
         "perf" => cmd_perf(rest),
         "faults" => cmd_faults(rest),
         "soak" => cmd_soak(rest),
+        "integrity" => cmd_integrity(rest),
         "help" | "--help" | "-h" => {
             println!("{}", USAGE);
             Ok(())
@@ -81,6 +83,9 @@ commands:
                  (--out FILE, --smoke, --check)
   soak           run the overload/chaos soak, write BENCH_overload.json
                  (--out FILE, --smoke, --check)
+  integrity      run the data-integrity sweep (corruption, verify,
+                 read-repair, scrub), write BENCH_integrity.json
+                 (--out FILE, --smoke, --check)
 
 run options:
   --pattern P    lfp|lrp|lw|gfp|grp|gw          (default gw)
@@ -100,9 +105,16 @@ fault options (run):
                    straggler:<disk>:x<factor>[@<from>[-<until>]]
                    flaky:<disk>:p<prob>[@<from>[-<until>]]
                    fail:<disk>@<from>[-<until>]
+                   corrupt:<disk>:p<prob>[@<from>[-<until>]]
                  durations: 5s, 200ms, or bare milliseconds
-  --replicas N   rotated-interleave file copies for redirects
+  --replicas N   rotated-interleave file copies for redirects/repair
   --io-timeout MS demand-read timeout (redirects when replicas exist)
+
+integrity options (run):
+  --verify       checksum-verify every cache fill (forced on whenever a
+                 corrupt window is scheduled)
+  --scrub        scrub blocks in idle time, repairing corrupt copies
+                 ahead of demand
 
 overload options (run):
   --queue-depth N     bound each device queue at N waiting requests
@@ -167,6 +179,27 @@ fn fault_rows(m: &RunMetrics) -> Vec<(&'static str, String)> {
     ]
 }
 
+/// Integrity rows, shown only when the integrity layer is active.
+fn integrity_rows(m: &RunMetrics) -> Vec<(&'static str, String)> {
+    let ig = &m.integrity;
+    vec![
+        ("corruptions", ig.corruptions.to_string()),
+        ("detections", ig.detections.to_string()),
+        ("read-repairs", ig.repairs.to_string()),
+        ("repair rewrites", ig.rewrites.to_string()),
+        ("blocks scrubbed", ig.scrubbed.to_string()),
+        ("scrub detections", ig.scrub_detections.to_string()),
+        ("poisoned blocks", ig.poisoned_blocks.to_string()),
+        ("failed reads", ig.failed_reads.to_string()),
+        ("corrupt delivered", ig.corrupt_delivered.to_string()),
+        ("quarantines", ig.quarantines.to_string()),
+        (
+            "quarantined time (ms)",
+            format!("{:.1}", ig.quarantined_time.as_millis_f64()),
+        ),
+    ]
+}
+
 /// Overload rows, shown only when queues are bounded or admission is on.
 fn overload_rows(m: &RunMetrics) -> Vec<(&'static str, String)> {
     let o = &m.overload;
@@ -187,11 +220,15 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let cfg = build_config(args)?;
     println!("running {} ...", cfg.label());
     let show_faults = cfg.faults.is_active();
+    let show_integrity = cfg.integrity.active_with(&cfg.faults.plan);
     let show_overload = cfg.queue_depth.is_some() || cfg.admission.enabled;
     let m = run_experiment(&cfg);
     let mut rows = metric_rows(&m);
     if show_faults {
         rows.extend(fault_rows(&m));
+    }
+    if show_integrity {
+        rows.extend(integrity_rows(&m));
     }
     if show_overload {
         rows.extend(overload_rows(&m));
@@ -395,7 +432,7 @@ fn cmd_faults(args: &[String]) -> Result<(), String> {
         "running fault sweep ({} ...)",
         if smoke { "smoke" } else { "full" }
     );
-    let results = faults::run_sweep(smoke);
+    let results = faults::run_sweep(smoke).map_err(|e| e.to_string())?;
     println!(
         "{:<16} {:>10} {:>10} {:>8} {:>8} {:>9} {:>10}",
         "scenario", "base ms", "pf ms", "errors", "retries", "timeouts", "degr ms"
@@ -445,7 +482,7 @@ fn cmd_soak(args: &[String]) -> Result<(), String> {
         "running overload soak ({} ...)",
         if smoke { "smoke" } else { "full" }
     );
-    let results = soak::run_sweep(smoke);
+    let results = soak::run_sweep(smoke).map_err(|e| e.to_string())?;
     println!(
         "{:<16} {:>10} {:>10} {:>6} {:>9} {:>7} {:>10} {:>6}",
         "scenario", "base ms", "pf ms", "shed", "throttled", "parked", "soak ev", "runs"
@@ -473,6 +510,65 @@ fn cmd_soak(args: &[String]) -> Result<(), String> {
     }
     let doc = soak::report(&results, smoke);
     soak::validate_report(&doc).map_err(|e| format!("refusing to write {out}: {e}"))?;
+    std::fs::write(&out, doc.pretty()).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+fn cmd_integrity(args: &[String]) -> Result<(), String> {
+    use rapid_transit::bench::integrity;
+    use rapid_transit::bench::json::Json;
+    use rapid_transit::cli::flag_value;
+
+    let out = flag_value(args, "--out")?
+        .unwrap_or("BENCH_integrity.json")
+        .to_string();
+    let smoke = has_flag(args, "--smoke");
+
+    if has_flag(args, "--check") {
+        let text = std::fs::read_to_string(&out).map_err(|e| format!("cannot read {out}: {e}"))?;
+        let doc = Json::parse(&text).map_err(|e| format!("{out}: {e}"))?;
+        integrity::validate_report(&doc).map_err(|e| format!("{out}: {e}"))?;
+        let n = doc
+            .get("scenarios")
+            .and_then(Json::as_array)
+            .map_or(0, <[Json]>::len);
+        println!("{out}: valid integrity report, {n} scenarios");
+        return Ok(());
+    }
+
+    println!(
+        "running integrity sweep ({} ...)",
+        if smoke { "smoke" } else { "full" }
+    );
+    let results = integrity::run_sweep(smoke).map_err(|e| e.to_string())?;
+    println!(
+        "{:<18} {:>10} {:>8} {:>8} {:>8} {:>8} {:>8} {:>7}",
+        "scenario", "total ms", "corrupt", "caught", "repairs", "scrubbed", "poisoned", "quarant"
+    );
+    let mut violation = None;
+    for (s, outcome) in &results {
+        let ig = &outcome.metrics.integrity;
+        println!(
+            "{:<18} {:>10.0} {:>8} {:>8} {:>8} {:>8} {:>8} {:>7}",
+            s.name,
+            outcome.metrics.total_time.as_millis_f64(),
+            ig.corruptions,
+            ig.detections + ig.scrub_detections,
+            ig.repairs,
+            ig.scrubbed,
+            ig.poisoned_blocks,
+            ig.quarantines,
+        );
+        if let Some(v) = &outcome.violation {
+            violation = Some(format!("{}: {v}", s.name));
+        }
+    }
+    if let Some(v) = violation {
+        return Err(format!("integrity invariant violation — {v}"));
+    }
+    let doc = integrity::report(&results, smoke);
+    integrity::validate_report(&doc).map_err(|e| format!("refusing to write {out}: {e}"))?;
     std::fs::write(&out, doc.pretty()).map_err(|e| format!("cannot write {out}: {e}"))?;
     println!("wrote {out}");
     Ok(())

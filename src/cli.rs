@@ -195,6 +195,17 @@ pub fn build_config(args: &[String]) -> Result<ExperimentConfig, String> {
         }
         cfg.faults.retry.timeout = Some(SimDuration::from_millis(ms));
     }
+
+    // Data-integrity knobs. Checksum verification is forced on whenever a
+    // corrupt window is scheduled (corruption can never bypass detection);
+    // --verify pays the checksum cost even without corruption, and --scrub
+    // lets the daemon spend otherwise-empty idle slots on scrub reads.
+    if has_flag(args, "--verify") {
+        cfg.integrity.verify = true;
+    }
+    if has_flag(args, "--scrub") {
+        cfg.integrity.scrub = true;
+    }
     cfg.validate().map_err(|e| e.to_string())?;
     Ok(cfg)
 }
@@ -322,6 +333,23 @@ mod tests {
         let err = build_config(&args(&["--faults", "meteor:3"])).unwrap_err();
         assert!(err.contains("meteor"), "{err}");
         assert!(build_config(&args(&["--io-timeout", "0"])).is_err());
+    }
+
+    #[test]
+    fn integrity_flags_parse() {
+        let cfg = build_config(&args(&["--verify", "--scrub"])).unwrap();
+        assert!(cfg.integrity.verify);
+        assert!(cfg.integrity.scrub);
+        assert!(cfg.integrity.active_with(&cfg.faults.plan));
+        // Defaults leave the integrity layer off entirely.
+        let cfg = build_config(&[]).unwrap();
+        assert!(!cfg.integrity.verify);
+        assert!(!cfg.integrity.scrub);
+        assert!(!cfg.integrity.active_with(&cfg.faults.plan));
+        // A corrupt window activates the layer without any flag.
+        let cfg = build_config(&args(&["--faults", "corrupt:1:p0.2", "--replicas", "1"])).unwrap();
+        assert!(!cfg.integrity.verify);
+        assert!(cfg.integrity.active_with(&cfg.faults.plan));
     }
 
     #[test]
