@@ -4,7 +4,7 @@
 //! median of 48%, and reaches 88%.
 
 use rt_bench::{figure_header, grid_pairs};
-use rt_core::report::{fraction_at_least, median, pct, scatter_table};
+use rt_core::report::{fraction_at_least, median, pct, quantile_table, scatter_table};
 
 fn main() {
     figure_header(
@@ -40,4 +40,20 @@ fn main() {
         "  max improvement:               {}  (paper: 88%)",
         pct(improvements.iter().copied().fold(f64::MIN, f64::max))
     );
+
+    // The mean understates what prefetching does to the tail; show the
+    // full quantile picture at the best-improving configuration.
+    if let Some(best) = pairs.iter().max_by(|a, b| {
+        a.read_time_improvement()
+            .total_cmp(&b.read_time_improvement())
+    }) {
+        println!(
+            "\nTail latency at the best-improving configuration ({}):",
+            best.label
+        );
+        print!(
+            "{}",
+            quantile_table(&[("no prefetch", &best.base), ("prefetch", &best.prefetch)]).render()
+        );
+    }
 }

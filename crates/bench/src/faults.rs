@@ -15,7 +15,7 @@ use rt_core::{ExperimentConfig, RunMetrics, RunPair};
 use rt_patterns::{AccessPattern, SyncStyle, WorkloadParams};
 use rt_sim::SimDuration;
 
-use crate::json::Json;
+use crate::json::{num_obj, sweep_report, Check, Json};
 
 /// Report format version.
 pub const SCHEMA: u64 = 1;
@@ -125,31 +125,19 @@ pub fn run_sweep(quick: bool) -> Result<Vec<(&'static str, RunPair)>, FaultSpecE
 
 fn run_json(m: &RunMetrics) -> Json {
     let f = &m.faults;
-    Json::Obj(vec![
-        ("total_ms".into(), Json::Num(m.total_time.as_millis_f64())),
-        ("read_ms".into(), Json::Num(m.mean_read_ms())),
-        ("hit_ratio".into(), Json::Num(m.hit_ratio)),
-        ("io_errors".into(), Json::Num(f.io_errors as f64)),
-        ("retries".into(), Json::Num(f.retries as f64)),
-        (
-            "retries_exhausted".into(),
-            Json::Num(f.retries_exhausted as f64),
-        ),
-        ("timeouts".into(), Json::Num(f.timeouts as f64)),
-        ("redirects".into(), Json::Num(f.redirects as f64)),
-        (
-            "aborted_prefetches".into(),
-            Json::Num(f.aborted_prefetches as f64),
-        ),
-        ("degraded_skips".into(), Json::Num(f.degraded_skips as f64)),
-        (
-            "degraded_intervals".into(),
-            Json::Num(f.degraded_intervals as f64),
-        ),
-        (
-            "degraded_time_ms".into(),
-            Json::Num(f.degraded_time.as_millis_f64()),
-        ),
+    num_obj(&[
+        ("total_ms", m.total_time.as_millis_f64()),
+        ("read_ms", m.mean_read_ms()),
+        ("hit_ratio", m.hit_ratio),
+        ("io_errors", f.io_errors as f64),
+        ("retries", f.retries as f64),
+        ("retries_exhausted", f.retries_exhausted as f64),
+        ("timeouts", f.timeouts as f64),
+        ("redirects", f.redirects as f64),
+        ("aborted_prefetches", f.aborted_prefetches as f64),
+        ("degraded_skips", f.degraded_skips as f64),
+        ("degraded_intervals", f.degraded_intervals as f64),
+        ("degraded_time_ms", f.degraded_time.as_millis_f64()),
     ])
 }
 
@@ -157,25 +145,20 @@ fn run_json(m: &RunMetrics) -> Json {
 /// regenerated wholesale on each run (scenarios are deterministic, so
 /// entries only change when the code does).
 pub fn report(results: &[(&'static str, RunPair)], quick: bool) -> Json {
-    Json::Obj(vec![
-        ("schema".into(), Json::Num(SCHEMA as f64)),
-        ("smoke".into(), Json::Bool(quick)),
-        (
-            "scenarios".into(),
-            Json::Arr(
-                results
-                    .iter()
-                    .map(|(name, pair)| {
-                        Json::Obj(vec![
-                            ("name".into(), Json::Str((*name).to_string())),
-                            ("base".into(), run_json(&pair.base)),
-                            ("prefetch".into(), run_json(&pair.prefetch)),
-                        ])
-                    })
-                    .collect(),
-            ),
-        ),
-    ])
+    sweep_report(
+        SCHEMA,
+        quick,
+        results
+            .iter()
+            .map(|(name, pair)| {
+                Json::Obj(vec![
+                    ("name".into(), Json::Str((*name).to_string())),
+                    ("base".into(), run_json(&pair.base)),
+                    ("prefetch".into(), run_json(&pair.prefetch)),
+                ])
+            })
+            .collect(),
+    )
 }
 
 /// Fields every per-run object in the report must carry.
@@ -196,48 +179,28 @@ const RUN_FIELDS: [&str; 12] = [
 
 /// Check that `doc` is a structurally valid faults report: correct
 /// schema, a non-empty scenario array including the fault-free control,
-/// and every run object carrying all counters.
+/// and every run object carrying all counters. Every failure is
+/// reported, newline-joined, not just the first.
 pub fn validate_report(doc: &Json) -> Result<(), String> {
-    if doc.get("schema").and_then(Json::as_f64) != Some(SCHEMA as f64) {
-        return Err(format!("missing or unexpected schema (want {SCHEMA})"));
-    }
-    let scenarios = doc
-        .get("scenarios")
-        .and_then(Json::as_array)
-        .ok_or("missing scenarios array")?;
-    if scenarios.is_empty() {
-        return Err("scenarios array is empty".into());
-    }
-    let mut saw_control = false;
+    let mut c = Check::new();
+    c.require_schema(doc, SCHEMA);
+    let scenarios = c.array(doc, "scenarios");
+    let mut saw_control = scenarios.is_empty();
     for (i, s) in scenarios.iter().enumerate() {
-        let name = s
-            .get("name")
-            .and_then(Json::as_str)
-            .ok_or(format!("scenario {i}: missing name"))?;
+        let Some(name) = c.string(s, "name", &format!("scenario {i}")) else {
+            continue;
+        };
         saw_control |= name == "none";
         for half in ["base", "prefetch"] {
-            let run = s
-                .get(half)
-                .ok_or(format!("scenario {name}: missing {half} run"))?;
-            for field in RUN_FIELDS {
-                let v = run
-                    .get(field)
-                    .and_then(Json::as_f64)
-                    .ok_or(format!("scenario {name}/{half}: missing {field}"))?;
-                if v < 0.0 {
-                    return Err(format!("scenario {name}/{half}: negative {field}"));
-                }
-            }
-        }
-        if name == "none" {
-            for half in ["base", "prefetch"] {
-                let errs = s
-                    .get(half)
-                    .and_then(|r| r.get("io_errors"))
-                    .and_then(Json::as_f64)
-                    .unwrap_or(f64::NAN);
+            let Some(run) = s.get(half) else {
+                c.fail(format!("scenario {name}: missing {half} run"));
+                continue;
+            };
+            c.nums(run, &RUN_FIELDS, &format!("scenario {name}/{half}"));
+            if name == "none" {
+                let errs = run.get("io_errors").and_then(Json::as_f64).unwrap_or(0.0);
                 if errs != 0.0 {
-                    return Err(format!(
+                    c.fail(format!(
                         "control scenario reports {errs} io_errors in its {half} run"
                     ));
                 }
@@ -245,9 +208,9 @@ pub fn validate_report(doc: &Json) -> Result<(), String> {
         }
     }
     if !saw_control {
-        return Err("missing the fault-free control scenario `none`".into());
+        c.fail("missing the fault-free control scenario `none`");
     }
-    Ok(())
+    c.finish()
 }
 
 #[cfg(test)]

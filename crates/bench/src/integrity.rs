@@ -23,11 +23,12 @@
 
 use rt_core::experiment::run_experiment;
 use rt_core::faults::{parse_fault_specs, FaultSpecError};
-use rt_core::{ExperimentConfig, PrefetchConfig, RunMetrics, World};
+use rt_core::{ExperimentConfig, ObsConfig, PrefetchConfig, RunMetrics, World};
 use rt_patterns::{AccessPattern, SyncStyle, WorkloadParams};
 use rt_sim::{run_observed, ObservedEnd, Scheduler};
 
-use crate::json::Json;
+use crate::json::{num_obj, sweep_report, Check, Json};
+use crate::FlightDump;
 
 /// Report format version.
 pub const SCHEMA: u64 = 1;
@@ -99,13 +100,19 @@ pub struct IntegrityOutcome {
     pub events: u64,
     /// First per-event invariant violation (`None` means clean).
     pub violation: Option<String>,
+    /// Flight-recorder dump of the violating re-run (`None` when clean).
+    pub flight: Option<FlightDump>,
 }
 
 /// Run one scenario: the plain run for its metrics, then the observed
-/// re-run with every invariant checked after every event.
+/// re-run with every invariant checked after every event. The re-run
+/// keeps a flight recorder; when the corrupt-delivery tripwire (or any
+/// other invariant) fires, its recording comes back as
+/// [`IntegrityOutcome::flight`] for a postmortem dump.
 pub fn run_scenario(cfg: &ExperimentConfig) -> IntegrityOutcome {
     let metrics = run_experiment(cfg);
     let mut world = World::new(cfg.clone());
+    world.enable_obs(ObsConfig::flight_recorder());
     let mut sched = Scheduler::new();
     world.bootstrap(&mut sched);
     let end = run_observed(&mut world, &mut sched, RUN_EVENT_BUDGET, |w, _| {
@@ -131,10 +138,16 @@ pub fn run_scenario(cfg: &ExperimentConfig) -> IntegrityOutcome {
             Some(format!("{message} (at {at:?}, event {events})")),
         ),
     };
+    let flight = if violation.is_some() {
+        FlightDump::take(&mut world)
+    } else {
+        None
+    };
     IntegrityOutcome {
         metrics,
         events,
         violation,
+        flight,
     }
 }
 
@@ -153,67 +166,47 @@ pub fn run_sweep(
 
 fn run_json(m: &RunMetrics) -> Json {
     let ig = &m.integrity;
-    Json::Obj(vec![
-        ("total_ms".into(), Json::Num(m.total_time.as_millis_f64())),
-        ("read_ms".into(), Json::Num(m.mean_read_ms())),
-        ("hit_ratio".into(), Json::Num(m.hit_ratio)),
-        ("corruptions".into(), Json::Num(ig.corruptions as f64)),
-        ("detections".into(), Json::Num(ig.detections as f64)),
-        ("repairs".into(), Json::Num(ig.repairs as f64)),
-        ("rewrites".into(), Json::Num(ig.rewrites as f64)),
-        ("scrubbed".into(), Json::Num(ig.scrubbed as f64)),
-        (
-            "scrub_detections".into(),
-            Json::Num(ig.scrub_detections as f64),
-        ),
-        (
-            "poisoned_blocks".into(),
-            Json::Num(ig.poisoned_blocks as f64),
-        ),
-        ("failed_reads".into(), Json::Num(ig.failed_reads as f64)),
-        (
-            "corrupt_delivered".into(),
-            Json::Num(ig.corrupt_delivered as f64),
-        ),
-        ("quarantines".into(), Json::Num(ig.quarantines as f64)),
-        (
-            "quarantined_ms".into(),
-            Json::Num(ig.quarantined_time.as_millis_f64()),
-        ),
+    num_obj(&[
+        ("total_ms", m.total_time.as_millis_f64()),
+        ("read_ms", m.mean_read_ms()),
+        ("hit_ratio", m.hit_ratio),
+        ("corruptions", ig.corruptions as f64),
+        ("detections", ig.detections as f64),
+        ("repairs", ig.repairs as f64),
+        ("rewrites", ig.rewrites as f64),
+        ("scrubbed", ig.scrubbed as f64),
+        ("scrub_detections", ig.scrub_detections as f64),
+        ("poisoned_blocks", ig.poisoned_blocks as f64),
+        ("failed_reads", ig.failed_reads as f64),
+        ("corrupt_delivered", ig.corrupt_delivered as f64),
+        ("quarantines", ig.quarantines as f64),
+        ("quarantined_ms", ig.quarantined_time.as_millis_f64()),
     ])
 }
 
 /// Build the report document from a sweep's results.
 pub fn report(results: &[(IntegrityScenario, IntegrityOutcome)], smoke: bool) -> Json {
-    Json::Obj(vec![
-        ("schema".into(), Json::Num(SCHEMA as f64)),
-        ("smoke".into(), Json::Bool(smoke)),
-        (
-            "scenarios".into(),
-            Json::Arr(
-                results
-                    .iter()
-                    .map(|(s, out)| {
-                        Json::Obj(vec![
-                            ("name".into(), Json::Str(s.name.clone())),
-                            ("variant".into(), Json::Str(s.variant.to_string())),
-                            ("run".into(), run_json(&out.metrics)),
-                            (
-                                "observed".into(),
-                                Json::Obj(vec![
-                                    ("events".into(), Json::Num(out.events as f64)),
-                                    (
-                                        "violations".into(),
-                                        Json::Num(u64::from(out.violation.is_some()) as f64),
-                                    ),
-                                ]),
-                            ),
-                        ])
-                    })
-                    .collect(),
-            ),
-        ),
-    ])
+    sweep_report(
+        SCHEMA,
+        smoke,
+        results
+            .iter()
+            .map(|(s, out)| {
+                Json::Obj(vec![
+                    ("name".into(), Json::Str(s.name.clone())),
+                    ("variant".into(), Json::Str(s.variant.to_string())),
+                    ("run".into(), run_json(&out.metrics)),
+                    (
+                        "observed".into(),
+                        num_obj(&[
+                            ("events", out.events as f64),
+                            ("violations", u64::from(out.violation.is_some()) as f64),
+                        ]),
+                    ),
+                ])
+            })
+            .collect(),
+    )
 }
 
 /// Fields every per-run object in the report must carry.
@@ -234,93 +227,82 @@ const RUN_FIELDS: [&str; 14] = [
     "quarantined_ms",
 ];
 
-fn field(run: &Json, name: &str, scenario: &str) -> Result<f64, String> {
-    run.get(name)
-        .and_then(Json::as_f64)
-        .ok_or(format!("scenario {scenario}: missing {name}"))
-}
-
 /// Check that `doc` is a structurally valid integrity report, and that
 /// it witnesses the end-to-end guarantee: no scenario delivered a
 /// corrupt block, every injected corruption was caught by a check
 /// (demand verification or the scrubber), the control runs stayed
 /// entirely clean, the scrub variants actually scrubbed, and the
-/// per-event observed re-runs reported zero violations.
+/// per-event observed re-runs reported zero violations. Every failure
+/// is reported, newline-joined, not just the first.
 pub fn validate_report(doc: &Json) -> Result<(), String> {
-    if doc.get("schema").and_then(Json::as_f64) != Some(SCHEMA as f64) {
-        return Err(format!("missing or unexpected schema (want {SCHEMA})"));
-    }
-    let scenarios = doc
-        .get("scenarios")
-        .and_then(Json::as_array)
-        .ok_or("missing scenarios array")?;
-    if scenarios.is_empty() {
-        return Err("scenarios array is empty".into());
-    }
+    let mut c = Check::new();
+    c.require_schema(doc, SCHEMA);
+    let scenarios = c.array(doc, "scenarios");
+    let structure_ok = !scenarios.is_empty();
     let mut seen = [0u32; 3];
     let mut scrubbed_total = 0.0;
     for (i, s) in scenarios.iter().enumerate() {
-        let name = s
-            .get("name")
-            .and_then(Json::as_str)
-            .ok_or(format!("scenario {i}: missing name"))?;
-        let variant = s
-            .get("variant")
-            .and_then(Json::as_str)
-            .ok_or(format!("scenario {name}: missing variant"))?;
-        let slot = VARIANTS
-            .iter()
-            .position(|v| *v == variant)
-            .ok_or(format!("scenario {name}: unknown variant {variant:?}"))?;
-        seen[slot] += 1;
-        let run = s
-            .get("run")
-            .ok_or(format!("scenario {name}: missing run"))?;
-        for f in RUN_FIELDS {
-            if field(run, f, name)? < 0.0 {
-                return Err(format!("scenario {name}: negative {f}"));
-            }
+        let Some(name) = c.string(s, "name", &format!("scenario {i}")) else {
+            continue;
+        };
+        let variant = c.string(s, "variant", &format!("scenario {name}"));
+        let slot = variant.and_then(|v| VARIANTS.iter().position(|k| *k == v));
+        match (variant, slot) {
+            (Some(v), None) => c.fail(format!("scenario {name}: unknown variant {v:?}")),
+            (_, Some(slot)) => seen[slot] += 1,
+            _ => {}
         }
+        let Some(run) = s.get("run") else {
+            c.fail(format!("scenario {name}: missing run"));
+            continue;
+        };
+        c.nums(run, &RUN_FIELDS, &format!("scenario {name}"));
+        let num = |f: &str| run.get(f).and_then(Json::as_f64);
         // The guarantee itself: nothing corrupt ever reached a reader.
-        if field(run, "corrupt_delivered", name)? != 0.0 {
-            return Err(format!(
+        if num("corrupt_delivered").is_some_and(|v| v != 0.0) {
+            c.fail(format!(
                 "scenario {name}: delivered a corrupt block to a reader"
             ));
         }
-        let corruptions = field(run, "corruptions", name)?;
-        let caught = field(run, "detections", name)? + field(run, "scrub_detections", name)?;
+        let corruptions = num("corruptions").unwrap_or(0.0);
+        let caught = num("detections").unwrap_or(0.0) + num("scrub_detections").unwrap_or(0.0);
         match variant {
-            "clean" => {
-                if corruptions != 0.0 || field(run, "poisoned_blocks", name)? != 0.0 {
-                    return Err(format!("scenario {name}: control run saw corruption"));
-                }
+            // A guard, not a nested if: a clean control that passes it must
+            // not fall through to the injected-corruption checks below.
+            Some("clean")
+                if corruptions != 0.0 || num("poisoned_blocks").is_some_and(|v| v != 0.0) =>
+            {
+                c.fail(format!("scenario {name}: control run saw corruption"));
             }
-            _ => {
+            Some("clean") | None => {}
+            Some(_) => {
                 if corruptions == 0.0 {
-                    return Err(format!(
+                    c.fail(format!(
                         "scenario {name}: corruption was injected but never observed"
                     ));
-                }
-                if caught != corruptions {
-                    return Err(format!(
+                } else if caught != corruptions {
+                    c.fail(format!(
                         "scenario {name}: {corruptions} corrupt completions but only \
                          {caught} caught by a check"
                     ));
                 }
             }
         }
-        if variant == "corrupt-scrub" {
-            scrubbed_total += field(run, "scrubbed", name)?;
+        if variant == Some("corrupt-scrub") {
+            scrubbed_total += num("scrubbed").unwrap_or(0.0);
         }
-        let observed = s
-            .get("observed")
-            .ok_or(format!("scenario {name}: missing observed"))?;
-        let violations = observed
-            .get("violations")
-            .and_then(Json::as_f64)
-            .ok_or(format!("scenario {name}: missing observed violations"))?;
-        if violations != 0.0 {
-            return Err(format!(
+        let Some(observed) = s.get("observed") else {
+            c.fail(format!("scenario {name}: missing observed"));
+            continue;
+        };
+        if c.num(
+            observed,
+            "violations",
+            &format!("scenario {name}: observed"),
+        )
+        .is_some_and(|v| v != 0.0)
+        {
+            c.fail(format!(
                 "scenario {name}: per-event invariant check reported violations"
             ));
         }
@@ -329,18 +311,20 @@ pub fn validate_report(doc: &Json) -> Result<(), String> {
             .and_then(Json::as_f64)
             .is_none_or(|e| e <= 0.0)
         {
-            return Err(format!("scenario {name}: observed re-run ran no events"));
+            c.fail(format!("scenario {name}: observed re-run ran no events"));
         }
     }
-    for (v, n) in VARIANTS.iter().zip(seen) {
-        if n == 0 {
-            return Err(format!("no {v} scenario in the report"));
+    if structure_ok {
+        for (v, n) in VARIANTS.iter().zip(seen) {
+            if n == 0 {
+                c.fail(format!("no {v} scenario in the report"));
+            }
+        }
+        if scrubbed_total == 0.0 {
+            c.fail("scrub variants never issued a scrub read");
         }
     }
-    if scrubbed_total == 0.0 {
-        return Err("scrub variants never issued a scrub read".into());
-    }
-    Ok(())
+    c.finish()
 }
 
 #[cfg(test)]

@@ -164,6 +164,117 @@ fn write_string(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// Shorthand for a numeric object field.
+pub fn num(key: &str, v: f64) -> (String, Json) {
+    (key.to_string(), Json::Num(v))
+}
+
+/// An object made only of numeric fields, in order.
+pub fn num_obj(fields: &[(&str, f64)]) -> Json {
+    Json::Obj(fields.iter().map(|(k, v)| num(k, *v)).collect())
+}
+
+/// The standard sweep-report shell shared by the faults, soak, and
+/// integrity harnesses: format version, smoke flag, scenario array.
+pub fn sweep_report(schema: u64, smoke: bool, scenarios: Vec<Json>) -> Json {
+    Json::Obj(vec![
+        ("schema".into(), Json::Num(schema as f64)),
+        ("smoke".into(), Json::Bool(smoke)),
+        ("scenarios".into(), Json::Arr(scenarios)),
+    ])
+}
+
+/// A validation-failure accumulator. Report validators record every
+/// problem they find instead of stopping at the first, so one `--check`
+/// run surfaces the complete damage; [`Check::finish`] joins the
+/// failures into a single newline-separated error.
+#[derive(Debug, Default)]
+pub struct Check {
+    errors: Vec<String>,
+}
+
+impl Check {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Check::default()
+    }
+
+    /// Record one failure.
+    pub fn fail(&mut self, msg: impl Into<String>) {
+        self.errors.push(msg.into());
+    }
+
+    /// True while no failure has been recorded.
+    pub fn ok(&self) -> bool {
+        self.errors.is_empty()
+    }
+
+    /// Require `doc` to carry the expected format version.
+    pub fn require_schema(&mut self, doc: &Json, want: u64) {
+        if doc.get("schema").and_then(Json::as_f64) != Some(want as f64) {
+            self.fail(format!("missing or unexpected schema (want {want})"));
+        }
+    }
+
+    /// The non-empty array at `key`; a missing or empty array is recorded
+    /// and an empty slice returned so validation can continue.
+    pub fn array<'a>(&mut self, doc: &'a Json, key: &str) -> &'a [Json] {
+        match doc.get(key).and_then(Json::as_array) {
+            Some([]) => {
+                self.fail(format!("{key} array is empty"));
+                &[]
+            }
+            Some(items) => items,
+            None => {
+                self.fail(format!("missing {key} array"));
+                &[]
+            }
+        }
+    }
+
+    /// The string at `field`, recording a failure when absent.
+    pub fn string<'a>(&mut self, obj: &'a Json, field: &str, ctx: &str) -> Option<&'a str> {
+        let s = obj.get(field).and_then(Json::as_str);
+        if s.is_none() {
+            self.fail(format!("{ctx}: missing {field}"));
+        }
+        s
+    }
+
+    /// The non-negative number at `field`; missing and negative values
+    /// are both recorded.
+    pub fn num(&mut self, obj: &Json, field: &str, ctx: &str) -> Option<f64> {
+        match obj.get(field).and_then(Json::as_f64) {
+            Some(v) => {
+                if v < 0.0 {
+                    self.fail(format!("{ctx}: negative {field}"));
+                }
+                Some(v)
+            }
+            None => {
+                self.fail(format!("{ctx}: missing {field}"));
+                None
+            }
+        }
+    }
+
+    /// [`Check::num`] over a field list.
+    pub fn nums(&mut self, obj: &Json, fields: &[&str], ctx: &str) {
+        for f in fields {
+            self.num(obj, f, ctx);
+        }
+    }
+
+    /// `Ok(())` when clean, otherwise every failure newline-joined.
+    pub fn finish(self) -> Result<(), String> {
+        if self.errors.is_empty() {
+            Ok(())
+        } else {
+            Err(self.errors.join("\n"))
+        }
+    }
+}
+
 /// A parse failure with a byte offset.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ParseError {
@@ -401,6 +512,42 @@ mod tests {
     fn integers_write_without_fraction() {
         assert_eq!(Json::Num(42.0).pretty().trim(), "42");
         assert!(Json::Num(0.5).pretty().trim().starts_with("0.5"));
+    }
+
+    #[test]
+    fn check_accumulates_every_failure() {
+        let doc = Json::parse(r#"{"schema":9,"scenarios":[{"a":-1}]}"#).unwrap();
+        let mut c = Check::new();
+        c.require_schema(&doc, 1);
+        let items = c.array(&doc, "scenarios");
+        assert_eq!(items.len(), 1);
+        c.num(&items[0], "a", "scenario x");
+        c.num(&items[0], "b", "scenario x");
+        c.string(&items[0], "name", "scenario x");
+        assert!(!c.ok());
+        let err = c.finish().unwrap_err();
+        assert!(err.contains("schema"));
+        assert!(err.contains("negative a"));
+        assert!(err.contains("missing b"));
+        assert!(err.contains("missing name"));
+        assert_eq!(err.lines().count(), 4, "all four failures reported: {err}");
+    }
+
+    #[test]
+    fn check_array_and_shell_helpers() {
+        let doc = sweep_report(3, true, vec![num_obj(&[("x", 1.0)])]);
+        let mut c = Check::new();
+        c.require_schema(&doc, 3);
+        assert_eq!(c.array(&doc, "scenarios").len(), 1);
+        c.finish().unwrap();
+
+        let empty = Json::parse(r#"{"scenarios":[]}"#).unwrap();
+        let mut c = Check::new();
+        assert!(c.array(&empty, "scenarios").is_empty());
+        assert!(c.array(&empty, "entries").is_empty());
+        let err = c.finish().unwrap_err();
+        assert!(err.contains("scenarios array is empty"));
+        assert!(err.contains("missing entries array"));
     }
 
     #[test]

@@ -26,6 +26,32 @@ pub mod integrity;
 pub mod json;
 pub mod perf;
 pub mod soak;
+pub mod trace_check;
+
+/// Events shown in a flight dump's human-readable tail.
+pub const FLIGHT_TAIL_EVENTS: usize = 40;
+
+/// A flight-recorder postmortem: the Perfetto JSON document plus a
+/// human-readable tail of the last events before a violation. The soak
+/// and integrity harnesses produce one whenever an invariant (including
+/// the corrupt-delivery tripwire) fires mid-run.
+#[derive(Clone, Debug)]
+pub struct FlightDump {
+    /// Chrome Trace Event JSON (open in ui.perfetto.dev).
+    pub perfetto: String,
+    /// Human-readable tail of the recording, newest last.
+    pub tail: String,
+}
+
+impl FlightDump {
+    /// Detach `world`'s recording (if it was observed) as a dump.
+    pub fn take(world: &mut rt_core::World) -> Option<FlightDump> {
+        world.take_obs().map(|d| FlightDump {
+            perfetto: d.to_perfetto(),
+            tail: d.tail(FLIGHT_TAIL_EVENTS),
+        })
+    }
+}
 
 pub use rt_core::sweeps::{ComputePoint, LeadPoint};
 

@@ -28,7 +28,7 @@ use rt_core::{ExperimentConfig, PrefetchConfig};
 use rt_disk::FarmConfig;
 use rt_patterns::{AccessPattern, SyncStyle, WorkloadParams};
 
-use crate::json::Json;
+use crate::json::{Check, Json};
 
 /// Patterns in the fixed slice: one global-whole-file (the paper's
 /// flagship), one local-portion, one global-random — three distinct
@@ -377,76 +377,59 @@ pub fn merge_report(existing: Option<&Json>, entry: &PerfEntry) -> Json {
 /// dispatched a different number of events means the parallel engine
 /// diverged from the serial one, which no report may record.
 pub fn validate_report(doc: &Json) -> Result<(), String> {
-    if doc.get("schema").and_then(Json::as_f64) != Some(SCHEMA as f64) {
-        return Err(format!("missing or unexpected schema (want {SCHEMA})"));
-    }
-    let entries = doc
-        .get("entries")
-        .and_then(Json::as_array)
-        .ok_or("missing entries array")?;
-    if entries.is_empty() {
-        return Err("entries array is empty".into());
-    }
-    for (i, e) in entries.iter().enumerate() {
-        e.get("label")
-            .and_then(Json::as_str)
-            .ok_or(format!("entry {i}: missing label"))?;
-        for field in [
-            "events",
-            "wall_ms",
-            "events_per_sec",
-            "peak_live_events",
-            "sweep_runs",
-            "sweep_wall_ms",
-            "runs_per_sec",
-        ] {
-            let v = e
-                .get(field)
-                .and_then(Json::as_f64)
-                .ok_or(format!("entry {i}: missing {field}"))?;
-            if v < 0.0 {
-                return Err(format!("entry {i}: negative {field}"));
-            }
-        }
+    let mut c = Check::new();
+    c.require_schema(doc, SCHEMA);
+    for (i, e) in c.array(doc, "entries").iter().enumerate() {
+        c.string(e, "label", &format!("entry {i}"));
+        c.nums(
+            e,
+            &[
+                "events",
+                "wall_ms",
+                "events_per_sec",
+                "peak_live_events",
+                "sweep_runs",
+                "sweep_wall_ms",
+                "runs_per_sec",
+            ],
+            &format!("entry {i}"),
+        );
         // Fork-sharing numbers ride along when measured (older entries
         // predate the measurement); present ones must be sane.
         for field in ["fork_runs", "fork_wall_ms", "fork_runs_per_sec"] {
-            if let Some(v) = e.get(field) {
-                let v = v
-                    .as_f64()
-                    .ok_or(format!("entry {i}: non-numeric {field}"))?;
-                if v < 0.0 {
-                    return Err(format!("entry {i}: negative {field}"));
-                }
+            match e.get(field).map(Json::as_f64) {
+                Some(None) => c.fail(format!("entry {i}: non-numeric {field}")),
+                Some(Some(v)) if v < 0.0 => c.fail(format!("entry {i}: negative {field}")),
+                _ => {}
             }
         }
-        let scaling = e
-            .get("scaling")
-            .and_then(Json::as_array)
-            .ok_or(format!("entry {i}: missing scaling curve"))?;
-        if scaling.is_empty() {
-            return Err(format!("entry {i}: empty scaling curve"));
-        }
+        let scaling = match e.get("scaling").and_then(Json::as_array) {
+            Some([]) => {
+                c.fail(format!("entry {i}: empty scaling curve"));
+                continue;
+            }
+            Some(points) => points,
+            None => {
+                c.fail(format!("entry {i}: missing scaling curve"));
+                continue;
+            }
+        };
         let mut first_events = None;
         for (j, p) in scaling.iter().enumerate() {
-            for field in ["threads", "events", "wall_ms", "events_per_sec", "speedup"] {
-                let v = p
-                    .get(field)
-                    .and_then(Json::as_f64)
-                    .ok_or(format!("entry {i}: scaling point {j}: missing {field}"))?;
-                if v < 0.0 {
-                    return Err(format!("entry {i}: scaling point {j}: negative {field}"));
-                }
-            }
+            c.nums(
+                p,
+                &["threads", "events", "wall_ms", "events_per_sec", "speedup"],
+                &format!("entry {i}: scaling point {j}"),
+            );
             let threads = p.get("threads").and_then(Json::as_f64).unwrap_or(0.0);
             if threads < 1.0 {
-                return Err(format!("entry {i}: scaling point {j}: threads < 1"));
+                c.fail(format!("entry {i}: scaling point {j}: threads < 1"));
             }
             let events = p.get("events").and_then(Json::as_f64).unwrap_or(0.0);
             match first_events {
                 None => first_events = Some(events),
                 Some(base) if events != base => {
-                    return Err(format!(
+                    c.fail(format!(
                         "entry {i}: scaling point {j} ({threads} threads) dispatched \
                          {events} events but the first point dispatched {base}: \
                          parallel run diverged from serial"
@@ -456,7 +439,7 @@ pub fn validate_report(doc: &Json) -> Result<(), String> {
             }
         }
     }
-    Ok(())
+    c.finish()
 }
 
 #[cfg(test)]

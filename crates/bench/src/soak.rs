@@ -23,11 +23,12 @@
 
 use rt_core::experiment::run_pair;
 use rt_core::faults::{parse_fault_specs, FaultSpecError};
-use rt_core::{AdmissionConfig, ExperimentConfig, RunMetrics, RunPair, World};
+use rt_core::{AdmissionConfig, ExperimentConfig, ObsConfig, RunMetrics, RunPair, World};
 use rt_patterns::{AccessPattern, SyncStyle, WorkloadParams};
 use rt_sim::{run_observed, ObservedEnd, Scheduler, SimDuration};
 
-use crate::json::Json;
+use crate::json::{num_obj, sweep_report, Check, Json};
+use crate::FlightDump;
 
 /// Report format version.
 pub const SCHEMA: u64 = 1;
@@ -135,16 +136,22 @@ pub struct SoakOutcome {
     pub runs: u64,
     /// First invariant violation, if any (`None` means the soak is clean).
     pub violation: Option<String>,
+    /// Flight-recorder dump of the violating run (`None` when clean).
+    pub flight: Option<FlightDump>,
 }
 
 /// Soak one scenario: run it over derived seeds until `target_events`
 /// have been dispatched, checking every invariant after every event.
-/// Stops at the first violation.
+/// Stops at the first violation. Every cycle runs with the flight
+/// recorder on (a short event tail plus dense gauges); when a cycle
+/// violates an invariant, its recording comes back as
+/// [`SoakOutcome::flight`] for a postmortem dump.
 pub fn soak_scenario(cfg: &ExperimentConfig, target_events: u64) -> SoakOutcome {
     let mut outcome = SoakOutcome {
         events: 0,
         runs: 0,
         violation: None,
+        flight: None,
     };
     while outcome.events < target_events {
         let mut cfg = cfg.clone();
@@ -154,6 +161,7 @@ pub fn soak_scenario(cfg: &ExperimentConfig, target_events: u64) -> SoakOutcome 
             .seed
             .wrapping_add(outcome.runs.wrapping_mul(0x9e37_79b9));
         let mut world = World::new(cfg);
+        world.enable_obs(ObsConfig::flight_recorder());
         let mut sched = Scheduler::new();
         world.bootstrap(&mut sched);
         // Watchdog state: the soak must keep retiring reads. Events
@@ -179,10 +187,12 @@ pub fn soak_scenario(cfg: &ExperimentConfig, target_events: u64) -> SoakOutcome 
                 if run.budget_exhausted {
                     outcome.violation =
                         Some(format!("run exceeded the {RUN_EVENT_BUDGET}-event budget"));
+                    outcome.flight = FlightDump::take(&mut world);
                     return outcome;
                 }
                 if !world.complete() {
                     outcome.violation = Some("run drained without finishing".into());
+                    outcome.flight = FlightDump::take(&mut world);
                     return outcome;
                 }
                 outcome.events += run.events;
@@ -198,6 +208,7 @@ pub fn soak_scenario(cfg: &ExperimentConfig, target_events: u64) -> SoakOutcome 
                     "seed cycle {}: {message} (at {:?}, event {events})",
                     outcome.runs, at
                 ));
+                outcome.flight = FlightDump::take(&mut world);
                 return outcome;
             }
         }
@@ -220,66 +231,43 @@ pub fn run_sweep(smoke: bool) -> Result<Vec<(&'static str, RunPair, SoakOutcome)
 
 fn run_json(m: &RunMetrics) -> Json {
     let o = &m.overload;
-    Json::Obj(vec![
-        ("total_ms".into(), Json::Num(m.total_time.as_millis_f64())),
-        ("read_ms".into(), Json::Num(m.mean_read_ms())),
-        ("hit_ratio".into(), Json::Num(m.hit_ratio)),
-        (
-            "prefetches_shed".into(),
-            Json::Num(o.prefetches_shed as f64),
-        ),
-        (
-            "prefetches_throttled".into(),
-            Json::Num(o.prefetches_throttled as f64),
-        ),
-        ("demand_parked".into(), Json::Num(o.demand_parked as f64)),
-        (
-            "demand_behind_prefetch".into(),
-            Json::Num(o.demand_behind_prefetch as f64),
-        ),
-        (
-            "cache_high_water_hits".into(),
-            Json::Num(o.cache_high_water_hits as f64),
-        ),
-        (
-            "max_queue_depth".into(),
-            Json::Num(o.max_queue_depth as f64),
-        ),
+    num_obj(&[
+        ("total_ms", m.total_time.as_millis_f64()),
+        ("read_ms", m.mean_read_ms()),
+        ("hit_ratio", m.hit_ratio),
+        ("prefetches_shed", o.prefetches_shed as f64),
+        ("prefetches_throttled", o.prefetches_throttled as f64),
+        ("demand_parked", o.demand_parked as f64),
+        ("demand_behind_prefetch", o.demand_behind_prefetch as f64),
+        ("cache_high_water_hits", o.cache_high_water_hits as f64),
+        ("max_queue_depth", o.max_queue_depth as f64),
     ])
 }
 
 /// Build the report document from a sweep's results.
 pub fn report(results: &[(&'static str, RunPair, SoakOutcome)], smoke: bool) -> Json {
-    Json::Obj(vec![
-        ("schema".into(), Json::Num(SCHEMA as f64)),
-        ("smoke".into(), Json::Bool(smoke)),
-        (
-            "scenarios".into(),
-            Json::Arr(
-                results
-                    .iter()
-                    .map(|(name, pair, soak)| {
-                        Json::Obj(vec![
-                            ("name".into(), Json::Str((*name).to_string())),
-                            ("base".into(), run_json(&pair.base)),
-                            ("prefetch".into(), run_json(&pair.prefetch)),
-                            (
-                                "soak".into(),
-                                Json::Obj(vec![
-                                    ("events".into(), Json::Num(soak.events as f64)),
-                                    ("runs".into(), Json::Num(soak.runs as f64)),
-                                    (
-                                        "violations".into(),
-                                        Json::Num(u64::from(soak.violation.is_some()) as f64),
-                                    ),
-                                ]),
-                            ),
-                        ])
-                    })
-                    .collect(),
-            ),
-        ),
-    ])
+    sweep_report(
+        SCHEMA,
+        smoke,
+        results
+            .iter()
+            .map(|(name, pair, soak)| {
+                Json::Obj(vec![
+                    ("name".into(), Json::Str((*name).to_string())),
+                    ("base".into(), run_json(&pair.base)),
+                    ("prefetch".into(), run_json(&pair.prefetch)),
+                    (
+                        "soak".into(),
+                        num_obj(&[
+                            ("events", soak.events as f64),
+                            ("runs", soak.runs as f64),
+                            ("violations", u64::from(soak.violation.is_some()) as f64),
+                        ]),
+                    ),
+                ])
+            })
+            .collect(),
+    )
 }
 
 /// Fields every per-run object in the report must carry.
@@ -299,81 +287,59 @@ const RUN_FIELDS: [&str; 9] = [
 /// schema, a non-empty scenario array, every run object carrying all
 /// counters, zero soak violations with the full event target met (unless
 /// smoke), and the prefetch half no slower than the base half — the
-/// property the admission controller exists to preserve.
+/// property the admission controller exists to preserve. Every failure
+/// is reported, newline-joined, not just the first.
 pub fn validate_report(doc: &Json) -> Result<(), String> {
-    if doc.get("schema").and_then(Json::as_f64) != Some(SCHEMA as f64) {
-        return Err(format!("missing or unexpected schema (want {SCHEMA})"));
-    }
+    let mut c = Check::new();
+    c.require_schema(doc, SCHEMA);
     let smoke = doc.get("smoke").and_then(Json::as_bool).unwrap_or(false);
-    let scenarios = doc
-        .get("scenarios")
-        .and_then(Json::as_array)
-        .ok_or("missing scenarios array")?;
-    if scenarios.is_empty() {
-        return Err("scenarios array is empty".into());
-    }
-    for (i, s) in scenarios.iter().enumerate() {
-        let name = s
-            .get("name")
-            .and_then(Json::as_str)
-            .ok_or(format!("scenario {i}: missing name"))?;
+    for (i, s) in c.array(doc, "scenarios").iter().enumerate() {
+        let Some(name) = c.string(s, "name", &format!("scenario {i}")) else {
+            continue;
+        };
         for half in ["base", "prefetch"] {
-            let run = s
-                .get(half)
-                .ok_or(format!("scenario {name}: missing {half} run"))?;
-            for field in RUN_FIELDS {
-                let v = run
-                    .get(field)
-                    .and_then(Json::as_f64)
-                    .ok_or(format!("scenario {name}/{half}: missing {field}"))?;
-                if v < 0.0 {
-                    return Err(format!("scenario {name}/{half}: negative {field}"));
-                }
+            match s.get(half) {
+                Some(run) => c.nums(run, &RUN_FIELDS, &format!("scenario {name}/{half}")),
+                None => c.fail(format!("scenario {name}: missing {half} run")),
             }
         }
-        let base_ms = s
-            .get("base")
-            .and_then(|r| r.get("total_ms"))
-            .and_then(Json::as_f64)
-            .unwrap_or(f64::NAN);
-        let pf_ms = s
-            .get("prefetch")
-            .and_then(|r| r.get("total_ms"))
-            .and_then(Json::as_f64)
-            .unwrap_or(f64::NAN);
+        let total = |half: &str| {
+            s.get(half)
+                .and_then(|r| r.get("total_ms"))
+                .and_then(Json::as_f64)
+                .unwrap_or(f64::NAN)
+        };
+        let (base_ms, pf_ms) = (total("base"), total("prefetch"));
         // NaN (a missing or non-numeric field) must fail too, so compare
         // via matches! rather than `pf <= base`.
         if !matches!(
             pf_ms.partial_cmp(&base_ms),
             Some(core::cmp::Ordering::Less | core::cmp::Ordering::Equal)
         ) {
-            return Err(format!(
+            c.fail(format!(
                 "scenario {name}: prefetch half slower than base under overload \
                  ({pf_ms} ms vs {base_ms} ms)"
             ));
         }
-        let soak = s
-            .get("soak")
-            .ok_or(format!("scenario {name}: missing soak"))?;
-        let violations = soak
-            .get("violations")
-            .and_then(Json::as_f64)
-            .ok_or(format!("scenario {name}: missing soak violations"))?;
-        if violations != 0.0 {
-            return Err(format!("scenario {name}: soak reported violations"));
+        let Some(soak) = s.get("soak") else {
+            c.fail(format!("scenario {name}: missing soak"));
+            continue;
+        };
+        if c.num(soak, "violations", &format!("scenario {name}: soak"))
+            .is_some_and(|v| v != 0.0)
+        {
+            c.fail(format!("scenario {name}: soak reported violations"));
         }
-        let events = soak
-            .get("events")
-            .and_then(Json::as_f64)
-            .ok_or(format!("scenario {name}: missing soak events"))?;
         let floor = if smoke { SMOKE_EVENTS } else { SOAK_EVENTS } as f64;
-        if events < floor {
-            return Err(format!(
-                "scenario {name}: soak dispatched {events} events, below the {floor} floor"
-            ));
+        if let Some(events) = c.num(soak, "events", &format!("scenario {name}: soak")) {
+            if events < floor {
+                c.fail(format!(
+                    "scenario {name}: soak dispatched {events} events, below the {floor} floor"
+                ));
+            }
         }
     }
-    Ok(())
+    c.finish()
 }
 
 #[cfg(test)]

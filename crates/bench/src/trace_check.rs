@@ -1,0 +1,218 @@
+//! Validator for exported Chrome Trace Event JSON (`--trace-out` files
+//! and flight-recorder dumps).
+//!
+//! Beyond well-formedness (the fields each `ph` kind requires), two
+//! simulator-specific properties are checked:
+//!
+//! * **Track discipline** — duration spans (`ph:"X"`) on one `(pid,tid)`
+//!   track must be in order and non-overlapping: processes read
+//!   sequentially, devices service one request at a time, and daemon
+//!   slots run one action at a time, so an overlap means the exporter
+//!   mislabeled a track or misplaced a span.
+//! * **Attribution sums** — every `read` span carries its component
+//!   breakdown in exact nanoseconds (`lock_wait_ns` … `overhead_ns`);
+//!   the components must sum to the span's `dur_ns` exactly, the same
+//!   invariant the simulator asserts at read completion.
+//!
+//! Timestamps in the file are decimal microseconds with three fractional
+//! digits; they are converted back to exact nanoseconds by rounding, so
+//! the checks are integer-exact despite the float transport.
+
+use std::collections::HashMap;
+
+use rt_core::obs::COMPONENT_NAMES;
+
+use crate::json::{Check, Json};
+
+/// Summary of a validated trace document.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TraceStats {
+    /// Entries in `traceEvents` (metadata included).
+    pub events: usize,
+    /// Duration spans (`ph:"X"`).
+    pub spans: usize,
+    /// Read spans whose attribution sum was verified.
+    pub reads: usize,
+    /// Instant events (`ph:"i"`).
+    pub instants: usize,
+    /// Counter samples (`ph:"C"`).
+    pub counters: usize,
+    /// The document's `droppedEvents` count (ring overwrites).
+    pub dropped: u64,
+}
+
+/// Exact nanoseconds from a decimal-microsecond timestamp. The writer
+/// emits three fractional digits, so rounding recovers the integer.
+fn ns(us: f64) -> u64 {
+    (us * 1000.0).round() as u64
+}
+
+/// Validate `doc` as a Chrome Trace Event JSON document. Returns summary
+/// statistics on success; on failure, every problem found is reported in
+/// one newline-joined error.
+pub fn validate_trace(doc: &Json) -> Result<TraceStats, String> {
+    let mut c = Check::new();
+    let mut stats = TraceStats::default();
+
+    match doc
+        .get("otherData")
+        .and_then(|o| o.get("droppedEvents"))
+        .and_then(Json::as_f64)
+    {
+        Some(d) if d >= 0.0 => stats.dropped = d as u64,
+        Some(_) => c.fail("otherData.droppedEvents is negative"),
+        None => c.fail("missing otherData.droppedEvents"),
+    }
+
+    let events = c.array(doc, "traceEvents");
+    stats.events = events.len();
+    // Per-(pid,tid) end of the last duration span, in exact ns.
+    let mut last_end: HashMap<(u64, u64), (u64, usize)> = HashMap::new();
+    for (i, e) in events.iter().enumerate() {
+        let ctx = format!("event {i}");
+        let name = c.string(e, "name", &ctx).unwrap_or("?").to_string();
+        let ctx = format!("event {i} ({name})");
+        let Some(ph) = c.string(e, "ph", &ctx).map(str::to_string) else {
+            continue;
+        };
+        if ph != "C" {
+            c.num(e, "pid", &ctx);
+        }
+        match ph.as_str() {
+            "M" => {
+                if e.get("args").and_then(|a| a.get("name")).is_none() {
+                    c.fail(format!("{ctx}: metadata without args.name"));
+                }
+            }
+            "X" => {
+                stats.spans += 1;
+                c.num(e, "tid", &ctx);
+                let (Some(ts), Some(dur)) = (c.num(e, "ts", &ctx), c.num(e, "dur", &ctx)) else {
+                    continue;
+                };
+                let (start, mut end) = (ns(ts), ns(ts) + ns(dur));
+                let args = e.get("args");
+                if let Some(dur_ns) = args.and_then(|a| a.get("dur_ns")).and_then(Json::as_f64) {
+                    if dur_ns != ns(dur) as f64 {
+                        c.fail(format!(
+                            "{ctx}: dur {dur} µs does not match args.dur_ns {dur_ns}"
+                        ));
+                    }
+                    end = start + dur_ns as u64;
+                }
+                if name == "read" {
+                    stats.reads += 1;
+                    let comp: f64 = COMPONENT_NAMES
+                        .iter()
+                        .map(|n| {
+                            args.and_then(|a| a.get(&format!("{n}_ns")))
+                                .and_then(Json::as_f64)
+                                .unwrap_or_else(|| {
+                                    c.fail(format!("{ctx}: missing {n}_ns attribution"));
+                                    0.0
+                                })
+                        })
+                        .sum();
+                    let dur_ns = args
+                        .and_then(|a| a.get("dur_ns"))
+                        .and_then(Json::as_f64)
+                        .unwrap_or(-1.0);
+                    if comp != dur_ns {
+                        c.fail(format!(
+                            "{ctx}: attribution components sum to {comp} ns, span is {dur_ns} ns"
+                        ));
+                    }
+                }
+                let pid = e.get("pid").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+                let tid = e.get("tid").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+                if let Some(&(prev_end, prev_i)) = last_end.get(&(pid, tid)) {
+                    if start < prev_end {
+                        c.fail(format!(
+                            "{ctx}: span starts at {start} ns, overlapping span \
+                             (event {prev_i}) on track {pid}/{tid} ending at {prev_end} ns"
+                        ));
+                    }
+                }
+                last_end.insert((pid, tid), (end, i));
+            }
+            "i" => {
+                stats.instants += 1;
+                c.num(e, "tid", &ctx);
+                c.num(e, "ts", &ctx);
+            }
+            "C" => {
+                stats.counters += 1;
+                c.num(e, "ts", &ctx);
+                if e.get("args").and_then(|a| a.get("value")).is_none() {
+                    c.fail(format!("{ctx}: counter without args.value"));
+                }
+            }
+            other => c.fail(format!("{ctx}: unknown ph {other:?}")),
+        }
+    }
+    c.finish().map(|()| stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_core::experiment::run_experiment_observed;
+    use rt_core::{ExperimentConfig, ObsConfig, PrefetchConfig};
+    use rt_patterns::{AccessPattern, SyncStyle, WorkloadParams};
+
+    fn observed_trace() -> String {
+        let mut cfg = ExperimentConfig::paper_default(
+            AccessPattern::GlobalWholeFile,
+            SyncStyle::BlocksPerProc(10),
+        );
+        cfg.procs = 4;
+        cfg.disks = 4;
+        cfg.workload = WorkloadParams {
+            procs: 4,
+            file_blocks: 200,
+            total_reads: 200,
+            ..WorkloadParams::paper()
+        };
+        cfg.prefetch = PrefetchConfig::paper();
+        let (_, data) = run_experiment_observed(&cfg, ObsConfig::default());
+        data.to_perfetto()
+    }
+
+    #[test]
+    fn real_export_validates() {
+        let text = observed_trace();
+        let doc = Json::parse(&text).expect("exported trace parses");
+        let stats = validate_trace(&doc).expect("exported trace validates");
+        assert!(stats.spans > 0, "no spans: {stats:?}");
+        assert_eq!(stats.reads, 200, "one read span per read");
+        assert!(stats.counters > 0, "no counter samples");
+        assert_eq!(stats.dropped, 0);
+    }
+
+    #[test]
+    fn tampered_attribution_is_caught() {
+        let text = observed_trace().replace("\"lock_wait_ns\":0", "\"lock_wait_ns\":12345");
+        let doc = Json::parse(&text).unwrap();
+        let err = validate_trace(&doc).expect_err("tampered sums rejected");
+        assert!(err.contains("attribution components sum"), "{err}");
+    }
+
+    #[test]
+    fn overlap_and_garbage_are_caught() {
+        // Two spans on one track, the second starting inside the first.
+        let doc = Json::parse(
+            r#"{"otherData":{"droppedEvents":0},"traceEvents":[
+              {"name":"service","ph":"X","pid":2,"tid":0,"ts":0.000,"dur":10.000,"args":{}},
+              {"name":"service","ph":"X","pid":2,"tid":0,"ts":5.000,"dur":10.000,"args":{}}
+            ]}"#,
+        )
+        .unwrap();
+        let err = validate_trace(&doc).expect_err("overlap rejected");
+        assert!(err.contains("overlapping"), "{err}");
+
+        let doc = Json::parse(r#"{"traceEvents":[{"name":"x","ph":"Z","pid":1}]}"#).unwrap();
+        let err = validate_trace(&doc).expect_err("garbage rejected");
+        assert!(err.contains("droppedEvents"), "{err}");
+        assert!(err.contains("unknown ph"), "{err}");
+    }
+}

@@ -57,6 +57,31 @@ pub fn run_experiment_instrumented(cfg: &ExperimentConfig) -> (RunMetrics, RunPe
     (metrics, perf.expect("instrumentation was enabled"))
 }
 
+/// Run one experiment with telemetry recording enabled, returning the
+/// metrics alongside the recorded [`ObsData`] (spans, instants, and epoch
+/// gauge series). Recording is inert: the metrics are bit-identical to
+/// [`run_experiment`]'s (see `tests/obs_inert.rs`).
+pub fn run_experiment_observed(
+    cfg: &ExperimentConfig,
+    obs: crate::world::ObsConfig,
+) -> (RunMetrics, crate::world::ObsData) {
+    let workload = std::sync::Arc::new(crate::world::generate_workload(cfg));
+    let mut world = World::with_workload(cfg.clone(), workload);
+    world.enable_obs(obs);
+    let mut sched = Scheduler::new();
+    world.bootstrap(&mut sched);
+    let outcome = run(&mut world, &mut sched, MAX_EVENTS);
+    assert!(
+        !outcome.budget_exhausted,
+        "simulation exceeded the event budget: {}",
+        cfg.label()
+    );
+    assert!(world.complete(), "simulation drained without finishing");
+    let metrics = collect_metrics(&world, outcome.end_time);
+    let data = world.take_obs().expect("observation was enabled");
+    (metrics, data)
+}
+
 fn run_with_world(
     cfg: &ExperimentConfig,
     traced: bool,
@@ -120,6 +145,8 @@ fn collect_metrics(world: &World, end_time: rt_sim::SimTime) -> RunMetrics {
         total_time,
         proc_finish: finish.clone(),
         reads: world.rec.reads.clone(),
+        read_times: world.rec.read_times.clone(),
+        disk_response_times: world.rec.disk_responses.clone(),
         hit_ratio: pool_stats.hit_ratio.value(),
         ready_hits: pool_stats.ready_hits,
         unready_hits: pool_stats.unready_hits,

@@ -287,6 +287,19 @@ impl HealthTracker {
         total
     }
 
+    /// Current error EWMA for `disk` (1.0 = every recent I/O failed).
+    /// Zero for disks the tracker does not know. Read-only: exposed for
+    /// epoch telemetry sampling.
+    pub fn error_ewma(&self, disk: DiskId) -> f64 {
+        self.disks.get(disk.index()).map_or(0.0, |d| d.err)
+    }
+
+    /// Current service-latency EWMA for `disk` in milliseconds (zero for
+    /// unknown disks). Read-only: exposed for epoch telemetry sampling.
+    pub fn latency_ewma_ms(&self, disk: DiskId) -> f64 {
+        self.disks.get(disk.index()).map_or(0.0, |d| d.lat / 1e6)
+    }
+
     /// Number of healthy→degraded transitions seen so far.
     pub fn degraded_intervals(&self) -> u64 {
         self.intervals

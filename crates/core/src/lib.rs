@@ -54,8 +54,8 @@ pub mod world;
 pub use admission::AdmissionConfig;
 pub use config::{ConfigError, CostModel, ExperimentConfig, PolicyKind, PrefetchConfig};
 pub use experiment::{
-    paper_grid, run_experiment, run_experiment_traced, run_pair, run_pairs_parallel,
-    run_replicas_forked, RunHandle,
+    paper_grid, run_experiment, run_experiment_observed, run_experiment_traced, run_pair,
+    run_pairs_parallel, run_replicas_forked, RunHandle,
 };
 pub use faults::{
     parse_fault_spec, parse_fault_specs, DegradeConfig, FaultConfig, FaultSpecError, RetryPolicy,
@@ -71,10 +71,11 @@ pub use sweeps::{
     ComputePoint, LeadPoint,
 };
 pub use trace::{replay_obl, ReadOutcome, Trace, TraceEvent};
-pub use world::{Ev, World};
+pub use world::{Ev, ObsConfig, ObsData, World};
 
 // Re-export the substrate crates so downstream users need only rt-core.
 pub use rt_cache as cache;
 pub use rt_disk as disk;
+pub use rt_obs as obs;
 pub use rt_patterns as patterns;
 pub use rt_sim as sim;

@@ -32,6 +32,12 @@ pub struct RunMetrics {
     pub proc_finish: Vec<SimTime>,
     /// Block read times (request to data-copied), over all reads.
     pub reads: Tally,
+    /// Read-time sample reservoir for quantiles (p50/p95/p99); same
+    /// population as `reads`.
+    pub read_times: Sampled,
+    /// Disk response-time samples (submission to completion, all fetch
+    /// kinds) for quantiles; same population as `disk_response`.
+    pub disk_response_times: Sampled,
     /// Cache hit ratio (ready + unready hits over all reads).
     pub hit_ratio: f64,
     /// Reads satisfied from a ready buffer.
@@ -210,6 +216,27 @@ impl RunMetrics {
         self.hit_wait.tally().mean_millis()
     }
 
+    /// Read-time quantile in milliseconds (`q` in `[0, 1]`); 0.0 when no
+    /// reads were recorded.
+    pub fn read_quantile_ms(&self, q: f64) -> f64 {
+        self.read_times
+            .quantile(q)
+            .map_or(0.0, |d| d.as_millis_f64())
+    }
+
+    /// Hit-wait quantile in milliseconds; 0.0 when no hits were recorded.
+    pub fn hit_wait_quantile_ms(&self, q: f64) -> f64 {
+        self.hit_wait.quantile(q).map_or(0.0, |d| d.as_millis_f64())
+    }
+
+    /// Disk response-time quantile in milliseconds; 0.0 when the run did
+    /// no disk I/O.
+    pub fn disk_response_quantile_ms(&self, q: f64) -> f64 {
+        self.disk_response_times
+            .quantile(q)
+            .map_or(0.0, |d| d.as_millis_f64())
+    }
+
     /// Fraction of all reads served by *ready* hits.
     pub fn ready_fraction(&self) -> f64 {
         if self.total_reads() == 0 {
@@ -340,6 +367,8 @@ mod tests {
                 SimTime::ZERO + SimDuration::from_millis(total_ms),
             ],
             reads,
+            read_times: Sampled::new(),
+            disk_response_times: Sampled::new(),
             hit_ratio: 0.8,
             ready_hits: 6,
             unready_hits: 2,

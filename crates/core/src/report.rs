@@ -1,7 +1,7 @@
 //! Report formatting: the tables and summary statistics the benchmark
 //! harness prints for each reproduced figure.
 
-use crate::metrics::RunPair;
+use crate::metrics::{RunMetrics, RunPair};
 
 /// Median of a sample (by value); 0 when empty.
 pub fn median(values: &[f64]) -> f64 {
@@ -114,6 +114,34 @@ pub fn scatter_table(
     t
 }
 
+/// A `p50/p95/p99` cell from one of [`RunMetrics`]' quantile accessors,
+/// in milliseconds.
+pub fn quantile_cell(m: &RunMetrics, q: fn(&RunMetrics, f64) -> f64) -> String {
+    format!("{:.2}/{:.2}/{:.2}", q(m, 0.50), q(m, 0.95), q(m, 0.99))
+}
+
+/// Tail-latency table: one row per labeled run, showing p50/p95/p99 of
+/// block read time, hit-wait, and disk response time. Means hide the
+/// paper's Fig. 1(b) concern — a few slow reads stall everyone at the
+/// next barrier — so reports pair every mean with its tail.
+pub fn quantile_table(rows: &[(&str, &RunMetrics)]) -> Table {
+    let mut t = Table::new(&[
+        "run",
+        "read p50/p95/p99 (ms)",
+        "hit-wait p50/p95/p99 (ms)",
+        "disk resp p50/p95/p99 (ms)",
+    ]);
+    for (label, m) in rows {
+        t.row(&[
+            label.to_string(),
+            quantile_cell(m, RunMetrics::read_quantile_ms),
+            quantile_cell(m, RunMetrics::hit_wait_quantile_ms),
+            quantile_cell(m, RunMetrics::disk_response_quantile_ms),
+        ]);
+    }
+    t
+}
+
 /// Format a fraction as a percentage string.
 pub fn pct(x: f64) -> String {
     format!("{:.1}%", x * 100.0)
@@ -159,5 +187,28 @@ mod tests {
     #[test]
     fn pct_format() {
         assert_eq!(pct(0.4821), "48.2%");
+    }
+
+    #[test]
+    fn quantile_table_from_run() {
+        use rt_patterns::{AccessPattern, SyncStyle, WorkloadParams};
+        let mut cfg =
+            crate::ExperimentConfig::paper_default(AccessPattern::GlobalWholeFile, SyncStyle::None);
+        cfg.procs = 4;
+        cfg.disks = 4;
+        cfg.workload = WorkloadParams {
+            procs: 4,
+            file_blocks: 100,
+            total_reads: 100,
+            ..WorkloadParams::paper()
+        };
+        let m = crate::experiment::run_experiment(&cfg);
+        let s = quantile_table(&[("gw", &m)]).render();
+        assert!(s.contains("read p50/p95/p99"));
+        assert!(s.contains("gw"));
+        // Quantiles come from a real reservoir: positive and monotone.
+        assert!(m.read_quantile_ms(0.99) > 0.0);
+        assert!(m.read_quantile_ms(0.50) <= m.read_quantile_ms(0.99));
+        assert!(m.disk_response_quantile_ms(0.50) <= m.disk_response_quantile_ms(0.99));
     }
 }

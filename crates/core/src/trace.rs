@@ -13,6 +13,7 @@
 use std::collections::HashMap;
 
 use rt_disk::{BlockId, ProcId};
+use rt_obs::ReadAttribution;
 use rt_sim::{SimDuration, SimTime};
 
 /// How a recorded read was served.
@@ -43,6 +44,9 @@ pub struct TraceEvent {
     pub block: BlockId,
     /// How the cache served it.
     pub outcome: ReadOutcome,
+    /// Where the read's latency went, by component. The components sum
+    /// exactly to [`TraceEvent::read_time`] (enforced at record time).
+    pub attr: ReadAttribution,
 }
 
 impl TraceEvent {
@@ -249,6 +253,7 @@ mod tests {
             proc: ProcId(proc),
             block: BlockId(block),
             outcome,
+            attr: ReadAttribution::default(),
         }
     }
 

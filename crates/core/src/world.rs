@@ -36,13 +36,17 @@ use crate::policy::{
     ScanHint,
 };
 use crate::trace::{ReadOutcome, Trace, TraceEvent};
+use rt_obs::{Component, EventKind as ObsKind, ReadAttribution, Track};
 
 mod control;
 mod daemon;
 mod integrity;
+mod obs;
 mod readpath;
 mod waiters;
 
+use obs::{fetch_code, outcome_code, ObsState};
+pub use obs::{ObsConfig, ObsData};
 use waiters::WaiterTable;
 
 /// Simulation events.
@@ -138,6 +142,14 @@ struct Proc {
     /// Buffer this process is currently copying from (pinned).
     copying_buf: Option<rt_cache::BufferId>,
     finished_at: Option<SimTime>,
+    /// Latency attribution of the current read: nanoseconds per component,
+    /// accumulated by closing contiguous intervals at lifecycle
+    /// transitions (see `world/obs.rs`). Sums exactly to the read time.
+    attr: ReadAttribution,
+    /// Start of the open attribution interval.
+    attr_mark: SimTime,
+    /// Component the open attribution interval accrues to.
+    attr_cur: Component,
 }
 
 impl Proc {
@@ -164,6 +176,9 @@ impl Proc {
             cur_outcome: None,
             copying_buf: None,
             finished_at: None,
+            attr: ReadAttribution::default(),
+            attr_mark: SimTime::ZERO,
+            attr_cur: Component::Overhead,
         }
     }
 }
@@ -180,6 +195,12 @@ enum SyncReason {
 #[derive(Clone, Default)]
 pub(crate) struct Recorder {
     pub reads: Tally,
+    /// Full read-time sample reservoir (for p50/p95/p99 quantiles; the
+    /// `reads` tally stays the mean/extremes source the goldens pin).
+    pub read_times: Sampled,
+    /// Disk response times (submission → completion) across all fetch
+    /// kinds, sampled for quantiles.
+    pub disk_responses: Sampled,
     pub hit_wait: Sampled,
     /// Per-process read-time tallies (benefit-distribution analysis).
     pub proc_reads: Vec<Tally>,
@@ -421,6 +442,9 @@ pub struct World {
     /// unless corrupt windows are scheduled, verification is forced, or
     /// the scrubber is on (same discipline as `faults`).
     pub(crate) integrity: Option<IntegrityState>,
+    /// Observability recording state; `None` unless [`World::enable_obs`]
+    /// was called (same inert-by-default discipline as `faults`).
+    pub(crate) obs: Option<ObsState>,
     pub(crate) rec: Recorder,
 }
 
@@ -569,6 +593,7 @@ impl World {
             faults,
             admission,
             integrity,
+            obs: None,
             rec: Recorder {
                 proc_reads: vec![Tally::new(); cfg.procs as usize],
                 proc_hits: vec![0; cfg.procs as usize],
@@ -760,6 +785,9 @@ impl Model for World {
     type Event = Ev;
 
     fn handle(&mut self, event: Ev, sched: &mut Scheduler<Ev>) {
+        // Passive gauge sampling: piggybacks on the event already firing,
+        // never schedules anything (no-op unless observation is enabled).
+        self.obs_sample(sched.now());
         match event {
             Ev::Start(p) => self.proceed_next(p.index(), sched),
             Ev::LookupDone(p) => self.lookup_done(p.index(), sched),

@@ -162,8 +162,17 @@ impl World {
         if let Some(buf) = self.procs[p].copying_buf.take() {
             self.pool.unpin(buf);
         }
+        // Close the final attribution interval (the copy, or the wait on a
+        // failed read); the components now telescope to the read time.
+        self.attr_close(p, now, Component::Overhead);
         let read_time = now - self.procs[p].read_start;
+        debug_assert_eq!(
+            self.procs[p].attr.sum(),
+            read_time.as_nanos(),
+            "attribution components must sum to the read time (proc {p})"
+        );
         self.rec.reads.record(read_time);
+        self.rec.read_times.record(read_time);
         self.rec.proc_reads[p].record(read_time);
         if matches!(
             self.procs[p].cur_outcome,
@@ -176,16 +185,31 @@ impl World {
                 ig.failed_reads += 1;
             }
         }
+        let outcome = self.procs[p]
+            .cur_outcome
+            .expect("read finished without classification");
         if let Some(trace) = &mut self.trace {
             trace.record(TraceEvent {
                 requested: self.procs[p].read_start,
                 completed: now,
                 proc: ProcId(p as u16),
                 block: access.block,
-                outcome: self.procs[p]
-                    .cur_outcome
-                    .expect("read finished without classification"),
+                outcome,
+                attr: self.procs[p].attr,
             });
+        }
+        if self.obs.is_some() {
+            let start = self.procs[p].read_start;
+            let attr = self.procs[p].attr;
+            self.obs_span(
+                Track::Proc(p as u16),
+                ObsKind::Read,
+                start,
+                read_time,
+                access.block.index() as u64,
+                outcome_code(outcome),
+                attr,
+            );
         }
         self.procs[p].reads_done += 1;
         self.total_reads_done += 1;

@@ -55,9 +55,13 @@ impl World {
     pub(super) fn action_end(&mut self, p: usize, sched: &mut Scheduler<Ev>) {
         let now = sched.now();
         self.procs[p].action_busy = false;
-        self.rec
-            .action_time
-            .record(now - self.procs[p].action_started);
+        let action_started = self.procs[p].action_started;
+        self.rec.action_time.record(now - action_started);
+        // What the action did, for the daemon-track span (codes: 0 =
+        // prefetch issued, 1 = empty, 2 = blocked, 3 = shed, 4 =
+        // throttled, 5 = scrub).
+        let mut obs_block = u64::MAX;
+        let mut obs_code = 1u64;
 
         let candidate = if self.cfg.prefetch.enabled {
             match self.select_block(p) {
@@ -95,6 +99,20 @@ impl World {
                     self.rec.cache_high_water_hits += 1;
                 }
                 self.procs[p].last_action_empty = true;
+                obs_block = block.index() as u64;
+                obs_code = 4;
+                let deny_code = match deny {
+                    Deny::Credits => 0,
+                    Deny::QueueDepth => 1,
+                    Deny::CachePressure => 2,
+                };
+                self.obs_instant(
+                    Track::Daemon(p as u16),
+                    ObsKind::Throttle,
+                    now,
+                    obs_block,
+                    deny_code,
+                );
             }
             Some(block) => {
                 self.procs[p].last_action_empty = false;
@@ -119,6 +137,15 @@ impl World {
                                     .tl_outstanding_io
                                     .record(now, self.outstanding_io as f64);
                                 self.note_started(block, started, sched);
+                                obs_block = block.index() as u64;
+                                obs_code = 0;
+                                self.obs_instant(
+                                    Track::Daemon(p as u16),
+                                    ObsKind::PrefetchSubmit,
+                                    now,
+                                    obs_block,
+                                    0,
+                                );
                             }
                             Err(FsError::QueueFull { .. }) => {
                                 // A bounded queue turned the prefetch
@@ -128,12 +155,16 @@ impl World {
                                 // simply free again.
                                 self.rec.prefetches_shed += 1;
                                 self.procs[p].last_action_empty = true;
+                                obs_block = block.index() as u64;
+                                obs_code = 3;
                             }
                             Err(e) => panic!("policy block rejected by file system: {e:?}"),
                         }
                     }
                     Err(_) => {
                         self.rec.blocked_actions += 1;
+                        obs_block = block.index() as u64;
+                        obs_code = 2;
                     }
                 }
             }
@@ -141,11 +172,23 @@ impl World {
                 // No prefetch to do: let the scrubber use the idle slot.
                 if self.scrub_attempt(p, sched) {
                     self.procs[p].last_action_empty = false;
+                    obs_code = 5;
                 } else {
                     self.rec.empty_actions += 1;
                     self.procs[p].last_action_empty = true;
                 }
             }
+        }
+        if self.obs.is_some() {
+            self.obs_span(
+                Track::Daemon(p as u16),
+                ObsKind::DaemonAction,
+                action_started,
+                now - action_started,
+                obs_block,
+                obs_code,
+                ReadAttribution::default(),
+            );
         }
 
         if self.procs[p].logical_wake.is_some() {

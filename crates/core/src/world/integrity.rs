@@ -85,6 +85,13 @@ impl World {
             ig.cfg.verify_cost
         };
         self.pool.set_ready_at(buf, now + verify_cost);
+        self.obs_instant(
+            Track::Device(disk.0),
+            ObsKind::VerifyHold,
+            now,
+            block.index() as u64,
+            verify_cost.as_nanos(),
+        );
         sched.schedule_in(verify_cost, Ev::VerifyDone(block));
     }
 
@@ -110,6 +117,9 @@ impl World {
         }
         let copies = 1 + self.fs.replica_count(self.file);
         let file = self.file;
+        // The replica that served the payload under check, captured for
+        // the corrupt-detection event (emitted after the scoped borrow).
+        let mut corrupt_on = None;
         let next = {
             let Some(ig) = &mut self.integrity else {
                 return;
@@ -141,6 +151,7 @@ impl World {
             } else {
                 ig.corruptions += 1;
                 ig.detections += 1;
+                corrupt_on = Some(st.replica);
                 st.corrupt_replicas.push(st.replica);
                 st.tried += 1;
                 if st.tried >= copies {
@@ -159,6 +170,19 @@ impl World {
                 }
             }
         };
+        if self.obs.is_some() {
+            if let Some(r) = corrupt_on {
+                if let Some(d) = self.fs.placement_disk(file, block, r) {
+                    self.obs_instant(
+                        Track::Device(d.0),
+                        ObsKind::CorruptDetected,
+                        now,
+                        block.index() as u64,
+                        r as u64,
+                    );
+                }
+            }
+        }
         match next {
             Checked::Deliver { rewrite, who } => {
                 for r in rewrite {
@@ -173,6 +197,9 @@ impl World {
                     .expect("pending buffer checked above");
                 // The ready estimate is void until the re-fetch starts.
                 self.pool.set_ready_at(buf, SimTime::MAX);
+                // Waiters leave the verify hold and back off with the
+                // re-fetch until it enters service.
+                self.attr_fetch_stage(block, now, Component::RetryBackoff);
                 let (started, parked) = self.submit_demand(now, block, replica, who);
                 self.note_started(block, started, sched);
                 if !parked {
@@ -200,6 +227,17 @@ impl World {
     /// [`IntegrityError`] — never a corrupt payload, never a panic.
     pub(super) fn poison_block(&mut self, block: BlockId, sched: &mut Scheduler<Ev>) {
         let now = sched.now();
+        if self.obs.is_some() {
+            if let Some(d) = self.fs.placement_disk(self.file, block, 0) {
+                self.obs_instant(
+                    Track::Device(d.0),
+                    ObsKind::Poison,
+                    now,
+                    block.index() as u64,
+                    0,
+                );
+            }
+        }
         {
             let ig = self
                 .integrity
@@ -255,6 +293,17 @@ impl World {
                 self.rec
                     .tl_outstanding_io
                     .record(now, self.outstanding_io as f64);
+                if self.obs.is_some() {
+                    if let Some(d) = self.fs.placement_disk(self.file, block, replica) {
+                        self.obs_instant(
+                            Track::Device(d.0),
+                            ObsKind::Repair,
+                            now,
+                            block.index() as u64,
+                            replica as u64,
+                        );
+                    }
+                }
                 if let Some(s) = started {
                     sched.schedule_at(s.completion, Ev::DiskDone(s.disk));
                 }
@@ -360,6 +409,17 @@ impl World {
                 self.rec
                     .tl_outstanding_io
                     .record(now, self.outstanding_io as f64);
+                if self.obs.is_some() {
+                    if let Some(d) = self.fs.placement_disk(self.file, block, r) {
+                        self.obs_instant(
+                            Track::Device(d.0),
+                            ObsKind::Scrub,
+                            now,
+                            block.index() as u64,
+                            r as u64,
+                        );
+                    }
+                }
                 if let Some(s) = started {
                     sched.schedule_at(s.completion, Ev::DiskDone(s.disk));
                 }
@@ -391,6 +451,7 @@ impl World {
             Rotate { replica: u16 },
             Poison,
         }
+        let mut corrupt_on = None;
         let next = {
             let Some(ig) = &mut self.integrity else {
                 return;
@@ -419,6 +480,7 @@ impl World {
                     } else {
                         ig.corruptions += 1;
                         ig.scrub_detections += 1;
+                        corrupt_on = Some(chk.replica);
                         chk.corrupt_replicas.push(chk.replica);
                         chk.tried += 1;
                         if chk.tried >= copies {
@@ -434,6 +496,19 @@ impl World {
                 }
             }
         };
+        if self.obs.is_some() {
+            if let Some(r) = corrupt_on {
+                if let Some(d) = self.fs.placement_disk(self.file, block, r) {
+                    self.obs_instant(
+                        Track::Device(d.0),
+                        ObsKind::CorruptDetected,
+                        now,
+                        block.index() as u64,
+                        r as u64,
+                    );
+                }
+            }
+        }
         match next {
             Next::Repair { rewrite } => {
                 for r in rewrite {

@@ -11,6 +11,11 @@ impl World {
         let proc = &mut self.procs[p];
         proc.state = PState::Lookup;
         proc.read_start = now;
+        // Fresh attribution: the first interval (lock queue + lookup) opens
+        // here and is split by `attr_close_lock` when the lookup completes.
+        proc.attr = ReadAttribution::default();
+        proc.attr_mark = now;
+        proc.attr_cur = Component::LockWait;
         let done = self
             .lock
             .acquire_until_done(now, self.cfg.costs.lookup_overhead);
@@ -26,11 +31,15 @@ impl World {
         match self.pool.lookup_for_read(block, now) {
             Lookup::ReadyHit(buf) => {
                 self.procs[p].cur_outcome = Some(ReadOutcome::ReadyHit);
+                self.attr_close_lock(p, now, self.cfg.costs.lookup_overhead, Component::Overhead);
                 self.rec.hit_wait.record(SimDuration::ZERO);
                 self.begin_copy(p, buf, sched);
             }
             Lookup::UnreadyHit { ready_at, .. } => {
                 self.procs[p].cur_outcome = Some(ReadOutcome::UnreadyHit);
+                // The whole remaining wait is hit-wait by definition: the
+                // block was already in flight when this read arrived.
+                self.attr_close_lock(p, now, self.cfg.costs.lookup_overhead, Component::HitWait);
                 self.waiters.push(block, ProcId(p as u16));
                 let proc = &mut self.procs[p];
                 proc.state = PState::WaitBlock;
@@ -46,6 +55,7 @@ impl World {
             }
             Lookup::Miss => {
                 self.procs[p].cur_outcome = Some(ReadOutcome::Miss);
+                self.attr_close_lock(p, now, self.cfg.costs.lookup_overhead, Component::LockWait);
                 self.start_miss(p, block, sched);
             }
         }
@@ -96,6 +106,10 @@ impl World {
             .alloc_demand(ProcId(p as u16), block, SimTime::MAX)
         {
             Some(_) => {
+                // Close the interval since classification (zero on the
+                // direct path, alloc backoff on retries); the next one —
+                // lock queue + miss work — splits at `miss_issue`.
+                self.attr_close(p, now, Component::LockWait);
                 self.waiters.push(block, ProcId(p as u16));
                 let done = self
                     .lock
@@ -110,6 +124,7 @@ impl World {
             None => {
                 // Every candidate buffer is pinned by an in-flight copy;
                 // copies are short, so spin on the allocation.
+                self.attr_close(p, now, Component::RetryBackoff);
                 self.rec.alloc_retries += 1;
                 sched.schedule_in(self.cfg.costs.copy_remote, Ev::RetryMiss(ProcId(p as u16)));
             }
@@ -127,10 +142,14 @@ impl World {
             .block;
         match self.pool.buffer_for(block) {
             Some(buf) => match self.pool.buffer(buf).state {
-                rt_cache::BufState::Ready { .. } => self.begin_copy(p, buf, sched),
+                rt_cache::BufState::Ready { .. } => {
+                    self.attr_close(p, now, Component::Overhead);
+                    self.begin_copy(p, buf, sched)
+                }
                 _ => {
                     // In flight on someone else's behalf: wait like an
                     // unready hit (but keep the original miss accounting).
+                    self.attr_close(p, now, Component::HitWait);
                     self.waiters.push(block, ProcId(p as u16));
                     let proc = &mut self.procs[p];
                     proc.state = PState::WaitBlock;
@@ -154,6 +173,9 @@ impl World {
             .expect("miss work without access")
             .block;
         let who = ProcId(p as u16);
+        // The lock queue + miss work interval ends; until the fetch starts
+        // service the read waits in the device queue.
+        self.attr_close_lock(p, now, self.cfg.costs.miss_overhead, Component::QueueWait);
         // Steer around quarantined devices when the integrity layer is
         // active; replica 0 otherwise (byte-identical to the old path).
         let replica = self.pick_demand_replica(block, now);
@@ -215,6 +237,13 @@ impl World {
                         });
                     }
                     self.rec.demand_parked += 1;
+                    self.obs_instant(
+                        Track::Device(disk.0),
+                        ObsKind::Park,
+                        now,
+                        block.index() as u64,
+                        0,
+                    );
                     return (None, true);
                 }
                 Err(e) => panic!("demand read of an in-range block rejected: {e:?}"),
@@ -265,6 +294,13 @@ impl World {
             .record(now, self.pool.prefetched_unused() as f64);
         self.rec.prefetches_shed += 1;
         self.refund_prefetch_credit();
+        self.obs_instant(
+            Track::Device(disk.0),
+            ObsKind::Shed,
+            now,
+            block.index() as u64,
+            0,
+        );
         true
     }
 
@@ -377,6 +413,8 @@ impl World {
                 .buffer_for(block)
                 .expect("started request without a pending buffer");
             self.pool.set_ready_at(buf, s.completion);
+            // Waiters queued behind this fetch are now in device service.
+            self.attr_service_begins(block, sched.now());
             sched.schedule_at(s.completion, Ev::DiskDone(s.disk));
             s.completion
         })
@@ -401,6 +439,25 @@ impl World {
         self.rec
             .tl_outstanding_io
             .record(now, self.outstanding_io as f64);
+        let response = now.saturating_since(done.submitted);
+        self.rec.disk_responses.record(response);
+        if self.obs.is_some() {
+            // Device-service span: the service window just ended; the
+            // queue delay rides in the attribution slot for the exporter.
+            let mut attr = ReadAttribution::default();
+            attr.ns[Component::QueueWait as usize] =
+                response.as_nanos().saturating_sub(done.service.as_nanos());
+            let start = SimTime::from_nanos(now.as_nanos().saturating_sub(done.service.as_nanos()));
+            self.obs_span(
+                Track::Device(disk.0),
+                ObsKind::DeviceService,
+                start,
+                done.service,
+                done.block.index() as u64,
+                fetch_code(done.kind),
+                attr,
+            );
+        }
         if let Some(s) = next {
             // The newly started request's pending buffer learns its
             // completion time. Under faults a queued duplicate's block may
@@ -422,6 +479,7 @@ impl World {
                         );
                     }
                 }
+                self.attr_service_begins(s.block, now);
             }
             sched.schedule_at(s.completion, Ev::DiskDone(disk));
         }
@@ -447,10 +505,21 @@ impl World {
         }
         match done.status {
             Ok(()) => {
+                if done.kind == FetchKind::Prefetch {
+                    self.obs_instant(
+                        Track::Device(disk.0),
+                        ObsKind::PrefetchFill,
+                        now,
+                        done.block.index() as u64,
+                        0,
+                    );
+                }
                 if self.integrity.as_ref().is_some_and(|ig| ig.verify) {
                     // Hold the fill while its checksum is verified; the
                     // block is delivered (or repaired, or poisoned) when
-                    // the check resolves.
+                    // the check resolves. Miss-origin waiters accrue the
+                    // hold (stale fills have no waiters — harmless).
+                    self.attr_fetch_stage(done.block, now, Component::VerifyHold);
                     self.verify_fill(&done, disk, sched);
                 } else {
                     if done.corrupt {
@@ -566,6 +635,9 @@ impl World {
                     self.fail_read(p, sched);
                     return;
                 }
+                // The wait ends here — any overrun tail lands in the last
+                // waiting component; the copy itself is overhead.
+                self.attr_close(p, now, Component::Overhead);
                 // The buffer was pinned on this process's behalf when the
                 // I/O completed, so the data cannot have vanished.
                 let buf = self
@@ -636,6 +708,8 @@ impl World {
         }
         // The ready estimate is void until a resubmission starts service.
         self.pool.set_ready_at(buf, SimTime::MAX);
+        // Waiters back off with the fetch until the retry enters service.
+        self.attr_fetch_stage(block, now, Component::RetryBackoff);
         let fs = self
             .faults
             .as_mut()
@@ -678,6 +752,20 @@ impl World {
         if replica != 0 {
             self.rec.redirects += 1;
         }
+        // Timeout-driven redirects arrive with waiters still counted in
+        // service; park them back in backoff until the duplicate starts.
+        self.attr_fetch_stage(block, now, Component::RetryBackoff);
+        if self.obs.is_some() {
+            if let Some(d) = self.fs.placement_disk(self.file, block, replica) {
+                self.obs_instant(
+                    Track::Device(d.0),
+                    ObsKind::Retry,
+                    now,
+                    block.index() as u64,
+                    replica as u64,
+                );
+            }
+        }
         // A bounded queue may also reject the resubmission; it then sheds
         // a queued prefetch or parks like any other demand fetch.
         let (started, parked) = self.submit_demand(now, block, replica, who);
@@ -719,6 +807,17 @@ impl World {
             entry.timeout = Some(sched.schedule_in(timeout, Ev::IoTimeout(block)));
         }
         self.rec.timeouts += 1;
+        if self.obs.is_some() {
+            if let Some(d) = self.fs.placement_disk(self.file, block, 0) {
+                self.obs_instant(
+                    Track::Device(d.0),
+                    ObsKind::Timeout,
+                    sched.now(),
+                    block.index() as u64,
+                    redirect as u64,
+                );
+            }
+        }
         if redirect {
             self.retry_io(block, sched);
         }

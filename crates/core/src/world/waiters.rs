@@ -56,6 +56,19 @@ impl WaiterTable {
         }
     }
 
+    /// Visit every waiter for `block` in registration order without
+    /// draining the list (used for latency-attribution transitions, where
+    /// the wait continues but its component changes).
+    pub fn for_each(&self, block: BlockId, mut f: impl FnMut(ProcId)) {
+        let list = &self.lists[block.index()];
+        for p in &list.inline[..list.len as usize] {
+            f(*p);
+        }
+        for p in &list.spill {
+            f(*p);
+        }
+    }
+
     /// Is anyone waiting for `block`?
     pub fn has_waiters(&self, block: BlockId) -> bool {
         let list = &self.lists[block.index()];

@@ -36,6 +36,9 @@ pub struct Completed {
     pub status: Result<(), DiskFault>,
     /// Device service time of this request (excludes queueing).
     pub service: SimDuration,
+    /// When the request was originally submitted to the subsystem (for
+    /// response-time and queue-delay attribution at the caller).
+    pub submitted: SimTime,
     /// True when the completion is `Ok` but the payload is silently
     /// corrupt.
     pub corrupt: bool,
@@ -178,6 +181,7 @@ impl DiskSubsystem {
                 initiator: done.req.initiator,
                 status: done.status,
                 service: done.service,
+                submitted: done.req.submitted,
                 corrupt: done.corrupt,
             },
             next.map(|(req, completion)| Started {

@@ -87,6 +87,8 @@ pub struct FsCompleted {
     pub status: Result<(), DiskFault>,
     /// Device service time of the request (excludes queueing).
     pub service: SimDuration,
+    /// When the request was submitted (response time = now − submitted).
+    pub submitted: SimTime,
     /// True when the completion is `Ok` but the payload is silently
     /// corrupt (see [`rt_disk::FaultKind::Corrupt`]).
     pub corrupt: bool,
@@ -374,6 +376,7 @@ impl FileSystem {
             initiator: done.initiator,
             status: done.status,
             service: done.service,
+            submitted: done.submitted,
             corrupt: done.corrupt,
         };
         (

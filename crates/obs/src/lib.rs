@@ -1,0 +1,318 @@
+//! Inert observability for the RAPID Transit simulator.
+//!
+//! This crate defines the span/event vocabulary the simulator records
+//! while it runs — read-lifecycle spans with exact latency attribution,
+//! device service spans, daemon action spans, and one-shot instants for
+//! integrity and backpressure episodes — together with the bounded ring
+//! buffer they land in, named counter time-series, and a Chrome Trace
+//! Event ("Perfetto") JSON writer.
+//!
+//! Everything here is **passive**: recording an event never allocates on
+//! the hot path beyond the pre-sized ring, never touches a random number
+//! generator, and never schedules simulation events. The simulator's
+//! results are byte-identical whether observation is enabled or not;
+//! that inertness is pinned by golden tests in the workspace root.
+
+#![warn(missing_docs)]
+
+mod perfetto;
+mod ring;
+mod series;
+
+pub use perfetto::write_trace;
+pub use ring::Ring;
+pub use series::Series;
+
+use rt_sim::{SimDuration, SimTime};
+
+/// Where an event belongs on the timeline. Each variant becomes one
+/// Perfetto thread track; the index is the entity id (process, device,
+/// or the daemon slot of a process).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Track {
+    /// A compute process: carries read-lifecycle spans.
+    Proc(u16),
+    /// A disk device: carries service spans and I/O instants.
+    Device(u16),
+    /// The prefetch/scrub daemon slot of a process: carries action spans.
+    Daemon(u16),
+}
+
+/// What kind of event was recorded. Spans have a duration; instants are
+/// zero-width marks (any associated cost rides in the args).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A complete read, request to completion (span on a proc track).
+    Read,
+    /// A device servicing one request (span on a device track).
+    DeviceService,
+    /// Checksum verification holding a fill (instant; hold length in args).
+    VerifyHold,
+    /// One daemon action slot, idle-lock to release (span on a daemon track).
+    DaemonAction,
+    /// The daemon submitted a prefetch for a block (instant).
+    PrefetchSubmit,
+    /// A prefetched block arrived in the cache (instant).
+    PrefetchFill,
+    /// Verification caught a corrupt fill (instant).
+    CorruptDetected,
+    /// All replicas of a block exhausted; block poisoned (instant).
+    Poison,
+    /// A read-repair rewrite was issued for a corrupted copy (instant).
+    Repair,
+    /// The scrubber issued a verify-only read (instant).
+    Scrub,
+    /// A demand read parked on admission backpressure (instant).
+    Park,
+    /// A queued prefetch was shed to make room for a demand read (instant).
+    Shed,
+    /// The admission controller denied a prefetch (instant).
+    Throttle,
+    /// A failed I/O was retried after backoff (instant).
+    Retry,
+    /// A request timed out and was redirected (instant).
+    Timeout,
+}
+
+impl EventKind {
+    /// Stable lower-case label used as the Perfetto event name.
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::Read => "read",
+            EventKind::DeviceService => "service",
+            EventKind::VerifyHold => "verify-hold",
+            EventKind::DaemonAction => "action",
+            EventKind::PrefetchSubmit => "prefetch-submit",
+            EventKind::PrefetchFill => "prefetch-fill",
+            EventKind::CorruptDetected => "corrupt-detected",
+            EventKind::Poison => "poison",
+            EventKind::Repair => "repair",
+            EventKind::Scrub => "scrub",
+            EventKind::Park => "park",
+            EventKind::Shed => "shed",
+            EventKind::Throttle => "throttle",
+            EventKind::Retry => "retry",
+            EventKind::Timeout => "timeout",
+        }
+    }
+
+    /// True for kinds rendered as duration spans (`ph:"X"`); false for
+    /// kinds rendered as instants (`ph:"i"`).
+    pub fn is_span(self) -> bool {
+        matches!(
+            self,
+            EventKind::Read | EventKind::DeviceService | EventKind::DaemonAction
+        )
+    }
+}
+
+/// One latency component of a read. The seven components partition every
+/// nanosecond between a read's request and its completion; see
+/// [`ReadAttribution`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Component {
+    /// Queued on the file-system lock (lookup and miss-issue critical
+    /// sections, daemon action holds).
+    LockWait = 0,
+    /// Demand request sitting in a device queue (or parked on admission).
+    QueueWait = 1,
+    /// Device actively servicing the demand request.
+    DiskService = 2,
+    /// Backoff and re-submission after an I/O error, including any
+    /// post-retry queueing.
+    RetryBackoff = 3,
+    /// Fill held for checksum verification before delivery.
+    VerifyHold = 4,
+    /// Waiting on a block some other request (usually a prefetch) is
+    /// already fetching — the paper's "unready hit" wait.
+    HitWait = 5,
+    /// Fixed CPU costs: lookup and miss overheads, buffer copy.
+    Overhead = 6,
+}
+
+/// Number of latency components in [`ReadAttribution`].
+pub const COMPONENTS: usize = 7;
+
+/// Short names for the components, indexed by `Component as usize`.
+pub const COMPONENT_NAMES: [&str; COMPONENTS] = [
+    "lock_wait",
+    "queue_wait",
+    "disk_service",
+    "retry_backoff",
+    "verify_hold",
+    "hit_wait",
+    "overhead",
+];
+
+/// Per-read latency breakdown in nanoseconds. The components telescope:
+/// they are accumulated by closing contiguous intervals between lifecycle
+/// transitions, so their sum is *exactly* the read's observed latency —
+/// an invariant the simulator asserts at read completion and the trace
+/// validator re-checks on exported files.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReadAttribution {
+    /// Nanoseconds per component, indexed by `Component as usize`.
+    pub ns: [u64; COMPONENTS],
+}
+
+impl ReadAttribution {
+    /// Add `d` to component `c`.
+    #[inline]
+    pub fn add(&mut self, c: Component, d: SimDuration) {
+        self.ns[c as usize] += d.as_nanos();
+    }
+
+    /// Total nanoseconds across all components.
+    pub fn sum(&self) -> u64 {
+        self.ns.iter().sum()
+    }
+
+    /// Nanoseconds attributed to `c`.
+    pub fn get(&self, c: Component) -> u64 {
+        self.ns[c as usize]
+    }
+}
+
+/// One recorded event. Flat and `Copy` so the ring buffer never chases
+/// pointers; the meaning of `arg` depends on `kind` (block number for
+/// I/O events, outcome/result codes for reads and actions).
+#[derive(Clone, Copy, Debug)]
+pub struct ObsEvent {
+    /// Timeline track the event belongs to.
+    pub track: Track,
+    /// Event kind (also selects span vs instant rendering).
+    pub kind: EventKind,
+    /// Span start (or instant position) on the simulation clock.
+    pub start: SimTime,
+    /// Span length; zero for instants (costs ride in `arg2`).
+    pub dur: SimDuration,
+    /// Primary argument: the file block involved, or `u64::MAX` if none.
+    pub arg: u64,
+    /// Secondary argument: outcome / fetch-kind / hold-length code,
+    /// meaning depends on `kind`.
+    pub arg2: u64,
+    /// Latency breakdown; meaningful only for [`EventKind::Read`].
+    pub attr: ReadAttribution,
+}
+
+/// Read outcome codes carried in `ObsEvent::arg2` for read spans.
+pub const OUTCOME_LABELS: [&str; 4] = ["ready-hit", "unready-hit", "miss", "failed"];
+
+/// Human-readable label for a read outcome code (see [`OUTCOME_LABELS`]).
+pub fn outcome_label(code: u64) -> &'static str {
+    OUTCOME_LABELS
+        .get(code as usize)
+        .copied()
+        .unwrap_or("unknown")
+}
+
+/// Fetch-kind codes carried in `ObsEvent::arg2` for device service spans.
+pub const FETCH_LABELS: [&str; 4] = ["demand", "prefetch", "scrub", "repair"];
+
+/// Human-readable label for a fetch-kind code (see [`FETCH_LABELS`]).
+pub fn fetch_label(code: u64) -> &'static str {
+    FETCH_LABELS.get(code as usize).copied().unwrap_or("other")
+}
+
+fn track_name(t: Track) -> String {
+    match t {
+        Track::Proc(i) => format!("proc {i}"),
+        Track::Device(i) => format!("disk {i}"),
+        Track::Daemon(i) => format!("daemon {i}"),
+    }
+}
+
+/// Render the last events of a ring as a human-readable tail, newest
+/// last — the text half of a flight-recorder dump.
+pub fn render_tail(events: &[ObsEvent], limit: usize) -> String {
+    let mut out = String::new();
+    let skip = events.len().saturating_sub(limit);
+    if skip > 0 {
+        out.push_str(&format!("... {skip} earlier events elided ...\n"));
+    }
+    for e in &events[skip..] {
+        let ms = e.start.as_millis_f64();
+        let mut line = format!(
+            "{ms:>12.3} ms  {:<10} {:<16}",
+            track_name(e.track),
+            e.kind.label()
+        );
+        if e.arg != u64::MAX {
+            line.push_str(&format!(" block={}", e.arg));
+        }
+        match e.kind {
+            EventKind::Read => {
+                line.push_str(&format!(
+                    " outcome={} dur={:.3}ms",
+                    outcome_label(e.arg2),
+                    e.dur.as_millis_f64()
+                ));
+                for (i, name) in COMPONENT_NAMES.iter().enumerate() {
+                    if e.attr.ns[i] > 0 {
+                        line.push_str(&format!(" {name}={:.3}ms", e.attr.ns[i] as f64 / 1e6));
+                    }
+                }
+            }
+            EventKind::DeviceService => {
+                line.push_str(&format!(
+                    " kind={} dur={:.3}ms",
+                    fetch_label(e.arg2),
+                    e.dur.as_millis_f64()
+                ));
+            }
+            EventKind::DaemonAction | EventKind::VerifyHold => {
+                line.push_str(&format!(" dur={:.3}ms", e.dur.as_millis_f64()));
+            }
+            _ => {}
+        }
+        line.push('\n');
+        out.push_str(&line);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attribution_sums() {
+        let mut a = ReadAttribution::default();
+        a.add(Component::LockWait, SimDuration::from_micros(300));
+        a.add(Component::DiskService, SimDuration::from_millis(30));
+        a.add(Component::Overhead, SimDuration::from_micros(500));
+        assert_eq!(a.sum(), 300_000 + 30_000_000 + 500_000);
+        assert_eq!(a.get(Component::DiskService), 30_000_000);
+        assert_eq!(a.get(Component::HitWait), 0);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(EventKind::Read.label(), "read");
+        assert!(EventKind::Read.is_span());
+        assert!(!EventKind::Poison.is_span());
+        assert_eq!(outcome_label(1), "unready-hit");
+        assert_eq!(outcome_label(99), "unknown");
+        assert_eq!(fetch_label(0), "demand");
+        assert_eq!(COMPONENT_NAMES.len(), COMPONENTS);
+    }
+
+    #[test]
+    fn tail_renders_and_elides() {
+        let ev = |kind, start_ms: u64| ObsEvent {
+            track: Track::Proc(0),
+            kind,
+            start: SimTime::from_nanos(start_ms * 1_000_000),
+            dur: SimDuration::from_millis(1),
+            arg: 7,
+            arg2: 2,
+            attr: ReadAttribution::default(),
+        };
+        let events: Vec<ObsEvent> = (0..10).map(|i| ev(EventKind::Read, i)).collect();
+        let tail = render_tail(&events, 4);
+        assert!(tail.contains("6 earlier events elided"));
+        assert!(tail.contains("block=7"));
+        assert!(tail.contains("outcome=miss"));
+        assert_eq!(tail.lines().count(), 5);
+    }
+}

@@ -1,0 +1,230 @@
+//! Chrome Trace Event JSON writer.
+//!
+//! Emits the classic JSON trace format that both `chrome://tracing` and
+//! [ui.perfetto.dev](https://ui.perfetto.dev) open directly: duration
+//! events (`ph:"X"`) for spans, instants (`ph:"i"`), counters (`ph:"C"`)
+//! for the epoch series, and metadata (`ph:"M"`) naming the tracks.
+//! Timestamps are microseconds; all simulator values are nanoseconds, so
+//! they are written with three decimal places (exact — one nanosecond is
+//! 0.001 µs). Exact nanosecond values for the attribution-sum check ride
+//! in `args`, where they stay integers.
+//!
+//! Track layout: pid 1 hosts one thread per compute process (read
+//! spans), pid 2 one thread per device (service spans and I/O instants),
+//! pid 3 one thread per daemon slot (action spans), and each epoch
+//! series becomes its own counter track.
+
+use crate::{fetch_label, outcome_label, EventKind, ObsEvent, Series, Track, COMPONENT_NAMES};
+
+/// Escape a string for embedding in a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn pid_tid(t: Track) -> (u32, u32) {
+    match t {
+        Track::Proc(i) => (1, i as u32),
+        Track::Device(i) => (2, i as u32),
+        Track::Daemon(i) => (3, i as u32),
+    }
+}
+
+fn track_label(t: Track) -> String {
+    match t {
+        Track::Proc(i) => format!("proc {i}"),
+        Track::Device(i) => format!("disk {i}"),
+        Track::Daemon(i) => format!("daemon {i}"),
+    }
+}
+
+/// Microsecond timestamp with exact nanosecond resolution.
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+fn push_meta(out: &mut Vec<String>, pid: u32, tid: Option<u32>, name: &str, value: &str) {
+    let tid_part = tid.map(|t| format!("\"tid\":{t},")).unwrap_or_default();
+    out.push(format!(
+        "{{\"name\":\"{name}\",\"ph\":\"M\",\"pid\":{pid},{tid_part}\"args\":{{\"name\":\"{}\"}}}}",
+        esc(value)
+    ));
+}
+
+fn event_args(e: &ObsEvent) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    if e.arg != u64::MAX {
+        parts.push(format!("\"block\":{}", e.arg));
+    }
+    match e.kind {
+        EventKind::Read => {
+            parts.push(format!("\"outcome\":\"{}\"", outcome_label(e.arg2)));
+            parts.push(format!("\"dur_ns\":{}", e.dur.as_nanos()));
+            for (i, name) in COMPONENT_NAMES.iter().enumerate() {
+                parts.push(format!("\"{name}_ns\":{}", e.attr.ns[i]));
+            }
+        }
+        EventKind::DeviceService => {
+            parts.push(format!("\"kind\":\"{}\"", fetch_label(e.arg2)));
+            parts.push(format!("\"dur_ns\":{}", e.dur.as_nanos()));
+            if e.attr.ns[1] > 0 {
+                // Queue delay the request saw before service began.
+                parts.push(format!("\"queue_ns\":{}", e.attr.ns[1]));
+            }
+        }
+        EventKind::VerifyHold => {
+            parts.push(format!("\"hold_ns\":{}", e.arg2));
+        }
+        EventKind::DaemonAction => {
+            parts.push(format!("\"dur_ns\":{}", e.dur.as_nanos()));
+        }
+        _ => {
+            if e.arg2 != 0 {
+                parts.push(format!("\"code\":{}", e.arg2));
+            }
+        }
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+/// Serialize recorded events and epoch series as a Chrome Trace Event
+/// JSON document. `dropped` is the ring's overwrite count; when nonzero
+/// it is surfaced in the document so truncation is visible.
+pub fn write_trace(events: &[ObsEvent], series: &[Series], dropped: u64) -> String {
+    let mut lines: Vec<String> = Vec::with_capacity(events.len() + 16);
+
+    // Track metadata: name the processes and every thread we will use.
+    let mut seen_pids: Vec<u32> = Vec::new();
+    let mut seen_tracks: Vec<Track> = Vec::new();
+    for e in events {
+        if !seen_tracks.contains(&e.track) {
+            seen_tracks.push(e.track);
+            let (pid, _) = pid_tid(e.track);
+            if !seen_pids.contains(&pid) {
+                seen_pids.push(pid);
+            }
+        }
+    }
+    seen_pids.sort_unstable();
+    for pid in &seen_pids {
+        let label = match pid {
+            1 => "processes",
+            2 => "devices",
+            _ => "daemons",
+        };
+        push_meta(&mut lines, *pid, None, "process_name", label);
+    }
+    seen_tracks.sort_by_key(|t| pid_tid(*t));
+    for t in &seen_tracks {
+        let (pid, tid) = pid_tid(*t);
+        push_meta(&mut lines, pid, Some(tid), "thread_name", &track_label(*t));
+    }
+
+    for e in events {
+        let (pid, tid) = pid_tid(e.track);
+        let name = e.kind.label();
+        let ts = us(e.start.as_nanos());
+        let args = event_args(e);
+        if e.kind.is_span() {
+            let dur = us(e.dur.as_nanos());
+            lines.push(format!(
+                "{{\"name\":\"{name}\",\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts},\"dur\":{dur},\"args\":{args}}}"
+            ));
+        } else {
+            lines.push(format!(
+                "{{\"name\":\"{name}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts},\"args\":{args}}}"
+            ));
+        }
+    }
+
+    for s in series {
+        let name = esc(&s.name);
+        for (at, v) in &s.points {
+            lines.push(format!(
+                "{{\"name\":\"{name}\",\"ph\":\"C\",\"pid\":4,\"tid\":0,\"ts\":{},\"args\":{{\"value\":{v}}}}}",
+                us(at.as_nanos())
+            ));
+        }
+    }
+
+    format!(
+        "{{\"displayTimeUnit\":\"ms\",\"otherData\":{{\"droppedEvents\":{dropped}}},\"traceEvents\":[\n{}\n]}}\n",
+        lines.join(",\n")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ReadAttribution;
+    use rt_sim::{SimDuration, SimTime};
+
+    fn read_event() -> ObsEvent {
+        let attr = ReadAttribution {
+            ns: [100, 0, 30_000_000, 0, 0, 0, 500_000],
+        };
+        ObsEvent {
+            track: Track::Proc(2),
+            kind: EventKind::Read,
+            start: SimTime::from_nanos(1_234_567),
+            dur: SimDuration::from_nanos(30_500_100),
+            arg: 42,
+            arg2: 2,
+            attr,
+        }
+    }
+
+    #[test]
+    fn emits_spans_instants_counters_and_metadata() {
+        let poison = ObsEvent {
+            track: Track::Device(1),
+            kind: EventKind::Poison,
+            start: SimTime::from_nanos(2_000_000),
+            dur: SimDuration::ZERO,
+            arg: 42,
+            arg2: 0,
+            attr: ReadAttribution::default(),
+        };
+        let mut s = Series::new("disk0 queue");
+        s.record(SimTime::from_nanos(5_000), 3.0);
+        let doc = write_trace(&[read_event(), poison], &[s], 7);
+
+        assert!(doc.contains("\"traceEvents\""));
+        assert!(doc.contains("\"droppedEvents\":7"));
+        // Metadata for both pids and both threads.
+        assert!(doc.contains("\"process_name\""));
+        assert!(doc.contains("{\"name\":\"proc 2\"}"));
+        assert!(doc.contains("{\"name\":\"disk 1\"}"));
+        // The read span with exact-ns attribution args.
+        assert!(doc.contains("\"ph\":\"X\""));
+        assert!(doc.contains("\"ts\":1234.567"));
+        assert!(doc.contains("\"dur\":30500.100"));
+        assert!(doc.contains("\"outcome\":\"miss\""));
+        assert!(doc.contains("\"disk_service_ns\":30000000"));
+        assert!(doc.contains("\"dur_ns\":30500100"));
+        // The instant and the counter.
+        assert!(doc.contains("\"ph\":\"i\""));
+        assert!(doc.contains("\"ph\":\"C\""));
+        assert!(doc.contains("\"value\":3"));
+        // Balanced braces (cheap well-formedness check; real parsing is
+        // covered by the bench-side validator).
+        let opens = doc.matches('{').count();
+        let closes = doc.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn escapes_strings() {
+        assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(esc("tab\tx"), "tab\\u0009x");
+    }
+}

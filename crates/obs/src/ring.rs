@@ -1,0 +1,125 @@
+//! A bounded, overwrite-oldest event ring.
+//!
+//! The ring allocates its full capacity up front and never grows, so
+//! pushing an event on the simulator's hot path is a store and two index
+//! updates — no allocator traffic, no reordering. When full, the oldest
+//! event is overwritten and a drop counter records the loss, which the
+//! Perfetto export surfaces so a truncated flight recording is never
+//! mistaken for a complete one.
+
+use crate::ObsEvent;
+
+/// Fixed-capacity ring buffer of [`ObsEvent`]s.
+#[derive(Clone, Debug)]
+pub struct Ring {
+    buf: Vec<ObsEvent>,
+    /// Index of the oldest event when the ring has wrapped.
+    head: usize,
+    /// Number of live events (≤ capacity).
+    len: usize,
+    /// Events overwritten after the ring filled.
+    dropped: u64,
+}
+
+impl Ring {
+    /// Create a ring holding at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Ring {
+            buf: Vec::with_capacity(capacity),
+            head: 0,
+            len: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Append an event, overwriting the oldest if the ring is full.
+    #[inline]
+    pub fn push(&mut self, ev: ObsEvent) {
+        if self.buf.len() < self.buf.capacity() {
+            self.buf.push(ev);
+            self.len += 1;
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.buf.len();
+            self.dropped += 1;
+        }
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Maximum number of events the ring can hold.
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Number of events lost to overwriting since creation.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The live events in recording order (oldest first).
+    pub fn to_vec(&self) -> Vec<ObsEvent> {
+        let mut out = Vec::with_capacity(self.len);
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EventKind, ReadAttribution, Track};
+    use rt_sim::{SimDuration, SimTime};
+
+    fn ev(n: u64) -> ObsEvent {
+        ObsEvent {
+            track: Track::Proc(0),
+            kind: EventKind::Read,
+            start: SimTime::from_nanos(n),
+            dur: SimDuration::ZERO,
+            arg: n,
+            arg2: 0,
+            attr: ReadAttribution::default(),
+        }
+    }
+
+    #[test]
+    fn fills_then_wraps_in_order() {
+        let mut r = Ring::new(4);
+        for i in 0..3 {
+            r.push(ev(i));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 0);
+        let order: Vec<u64> = r.to_vec().iter().map(|e| e.arg).collect();
+        assert_eq!(order, vec![0, 1, 2]);
+
+        for i in 3..10 {
+            r.push(ev(i));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 6);
+        let order: Vec<u64> = r.to_vec().iter().map(|e| e.arg).collect();
+        assert_eq!(order, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut r = Ring::new(0);
+        assert_eq!(r.capacity(), 1);
+        r.push(ev(1));
+        r.push(ev(2));
+        assert_eq!(r.to_vec()[0].arg, 2);
+        assert_eq!(r.dropped(), 1);
+    }
+}

@@ -6,6 +6,7 @@
 //! rapid-transit lead  <pattern>     the §V-E minimum-lead sweep
 //! rapid-transit sweep-compute       the §V-C computation sweep (Fig. 12)
 //! rapid-transit trace <pattern>     record a run and analyze its trace
+//! rapid-transit trace-check <file>  validate an exported Perfetto trace
 //! rapid-transit perf                measure the fixed perf slice
 //! rapid-transit faults              run the fault-injection sweep
 //! rapid-transit soak                run the overload/chaos soak
@@ -19,17 +20,19 @@
 //! `--disks N`, `--blocks N`, `--prefetch`, `--lead N`,
 //! `--policy oracle|obl|learner`, `--seed N`, `--csv`,
 //! `--faults SPECS`, `--replicas N`, `--io-timeout MS`,
-//! `--queue-depth N`, `--prefetch-credits N`, `--verify`, `--scrub`.
+//! `--queue-depth N`, `--prefetch-credits N`, `--verify`, `--scrub`,
+//! `--trace-out FILE`, `--sample-every MS`.
 
 use std::process::ExitCode;
 
-use rapid_transit::cli::{build_config, has_flag, parse_pattern};
+use rapid_transit::cli::{build_config, flag_value, has_flag, parse_pattern};
 use rapid_transit::core::experiment::{
-    paper_grid, run_experiment, run_experiment_traced, run_pair, run_pairs_parallel,
+    paper_grid, run_experiment, run_experiment_observed, run_experiment_traced, run_pair,
+    run_pairs_parallel,
 };
 use rapid_transit::core::report::Table;
 use rapid_transit::core::trace::{replay_obl, Trace};
-use rapid_transit::core::{ExperimentConfig, PrefetchConfig, RunMetrics};
+use rapid_transit::core::{ExperimentConfig, ObsConfig, PrefetchConfig, RunMetrics};
 use rapid_transit::patterns::{AccessPattern, SyncStyle};
 use rapid_transit::sim::SimDuration;
 
@@ -46,6 +49,7 @@ fn main() -> ExitCode {
         "lead" => cmd_lead(rest),
         "sweep-compute" => cmd_sweep_compute(rest),
         "trace" => cmd_trace(rest),
+        "trace-check" => cmd_trace_check(rest),
         "perf" => cmd_perf(rest),
         "faults" => cmd_faults(rest),
         "soak" => cmd_soak(rest),
@@ -75,6 +79,8 @@ commands:
   lead <pat>     the minimum-prefetch-lead sweep for lfp|gfp|lw|gw
   sweep-compute  the computation sweep of Fig. 12
   trace <pat>    record one run's access trace and analyze it off-line
+  trace-check F  validate an exported Perfetto trace file (well-formed,
+                 spans per track in order, attribution sums exact)
   perf           measure the fixed perf slice, update BENCH_core.json
                  (--label L, --out FILE, --quick, --check,
                   --threads LIST scaling-curve thread counts, e.g. 1,2,4;
@@ -100,6 +106,13 @@ run options:
   --seed N       random seed
   --csv          machine-readable output where applicable
 
+telemetry options (run):
+  --trace-out F  record spans/instants/gauges and write a Perfetto
+                 (Chrome Trace Event) JSON file to F; recording is inert,
+                 the run's numbers are identical with or without it
+  --sample-every MS epoch gauge-sampling period (default 50, 0 disables;
+                 only meaningful with --trace-out)
+
 fault options (run):
   --faults SPECS comma-separated fault specs, repeatable:
                    straggler:<disk>:x<factor>[@<from>[-<until>]]
@@ -121,6 +134,12 @@ overload options (run):
   --prefetch-credits N enable the prefetch admission controller with an
                  N-credit pool (throttles the daemon under pressure)";
 
+/// A `p50/p95/p99` table cell from one of [`RunMetrics`]' quantile
+/// accessors.
+fn quantile_cell(m: &RunMetrics, q: fn(&RunMetrics, f64) -> f64) -> String {
+    format!("{:.2}/{:.2}/{:.2}", q(m, 0.50), q(m, 0.95), q(m, 0.99))
+}
+
 fn metric_rows(m: &RunMetrics) -> Vec<(&'static str, String)> {
     vec![
         (
@@ -128,14 +147,26 @@ fn metric_rows(m: &RunMetrics) -> Vec<(&'static str, String)> {
             format!("{:.1}", m.total_time.as_millis_f64()),
         ),
         ("avg read time (ms)", format!("{:.2}", m.mean_read_ms())),
+        (
+            "read p50/p95/p99 (ms)",
+            quantile_cell(m, RunMetrics::read_quantile_ms),
+        ),
         ("hit ratio", format!("{:.3}", m.hit_ratio)),
         ("ready hits", m.ready_hits.to_string()),
         ("unready hits", m.unready_hits.to_string()),
         ("misses", m.misses.to_string()),
         ("avg hit-wait (ms)", format!("{:.2}", m.mean_hit_wait_ms())),
         (
+            "hit-wait p50/p95/p99 (ms)",
+            quantile_cell(m, RunMetrics::hit_wait_quantile_ms),
+        ),
+        (
             "disk response (ms)",
             format!("{:.2}", m.mean_disk_response_ms()),
+        ),
+        (
+            "disk resp p50/p95/p99 (ms)",
+            quantile_cell(m, RunMetrics::disk_response_quantile_ms),
         ),
         ("disk ops", m.disk_ops.to_string()),
         ("prefetches", m.prefetches.to_string()),
@@ -218,11 +249,40 @@ fn overload_rows(m: &RunMetrics) -> Vec<(&'static str, String)> {
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let cfg = build_config(args)?;
+    let trace_out = flag_value(args, "--trace-out")?.map(str::to_string);
+    let sample_every = match flag_value(args, "--sample-every")? {
+        Some(v) => {
+            let ms: u64 = v.parse().map_err(|_| "bad --sample-every (milliseconds)")?;
+            if trace_out.is_none() {
+                return Err("--sample-every requires --trace-out".into());
+            }
+            Some(ms)
+        }
+        None => None,
+    };
     println!("running {} ...", cfg.label());
     let show_faults = cfg.faults.is_active();
     let show_integrity = cfg.integrity.active_with(&cfg.faults.plan);
     let show_overload = cfg.queue_depth.is_some() || cfg.admission.enabled;
-    let m = run_experiment(&cfg);
+    let m = match &trace_out {
+        Some(path) => {
+            let mut ocfg = ObsConfig::default();
+            if let Some(ms) = sample_every {
+                ocfg.sample_every = (ms > 0).then(|| SimDuration::from_millis(ms));
+            }
+            let (m, data) = run_experiment_observed(&cfg, ocfg);
+            std::fs::write(path, data.to_perfetto())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!(
+                "wrote {path} ({} events, {} series, {} dropped)",
+                data.events.len(),
+                data.series.len(),
+                data.dropped
+            );
+            m
+        }
+        None => run_experiment(&cfg),
+    };
     let mut rows = metric_rows(&m);
     if show_faults {
         rows.extend(fault_rows(&m));
@@ -321,6 +381,24 @@ fn cmd_sweep_compute(_args: &[String]) -> Result<(), String> {
             pair.prefetch.action_time.mean_millis(),
         );
     }
+    Ok(())
+}
+
+fn cmd_trace_check(args: &[String]) -> Result<(), String> {
+    use rapid_transit::bench::json::Json;
+    use rapid_transit::bench::trace_check;
+
+    let Some(path) = args.first() else {
+        return Err("trace-check requires a file".into());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let stats = trace_check::validate_trace(&doc).map_err(|e| format!("{path}:\n{e}"))?;
+    println!(
+        "{path}: valid trace — {} events ({} spans, {} read spans with exact \
+         attribution, {} instants, {} counter samples), {} dropped",
+        stats.events, stats.spans, stats.reads, stats.instants, stats.counters, stats.dropped
+    );
     Ok(())
 }
 
@@ -456,6 +534,22 @@ fn cmd_faults(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Write a flight-recorder dump next to the report (`<out>.flight.json`)
+/// and print its human-readable tail to stderr, so a failing soak or
+/// integrity run leaves a postmortem behind.
+fn write_flight_dump(out: &str, flight: Option<&rapid_transit::bench::FlightDump>) {
+    let Some(dump) = flight else {
+        return;
+    };
+    let path = format!("{out}.flight.json");
+    match std::fs::write(&path, &dump.perfetto) {
+        Ok(()) => eprintln!("flight recording written to {path}"),
+        Err(e) => eprintln!("cannot write flight recording {path}: {e}"),
+    }
+    eprintln!("--- flight recorder tail ---");
+    eprint!("{}", dump.tail);
+}
+
 fn cmd_soak(args: &[String]) -> Result<(), String> {
     use rapid_transit::bench::json::Json;
     use rapid_transit::bench::soak;
@@ -503,6 +597,7 @@ fn cmd_soak(args: &[String]) -> Result<(), String> {
         );
         if let Some(v) = &soak.violation {
             violation = Some(format!("{name}: {v}"));
+            write_flight_dump(&out, soak.flight.as_ref());
         }
     }
     if let Some(v) = violation {
@@ -562,6 +657,7 @@ fn cmd_integrity(args: &[String]) -> Result<(), String> {
         );
         if let Some(v) = &outcome.violation {
             violation = Some(format!("{}: {v}", s.name));
+            write_flight_dump(&out, outcome.flight.as_ref());
         }
     }
     if let Some(v) = violation {
