@@ -21,6 +21,7 @@ use rt_core::sweeps;
 use rt_core::{ExperimentConfig, RunMetrics, RunPair};
 use rt_patterns::{AccessPattern, SyncStyle};
 
+pub mod crashes;
 pub mod faults;
 pub mod integrity;
 pub mod json;

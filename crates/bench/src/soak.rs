@@ -22,7 +22,7 @@
 //! fails. The `--smoke` variant shrinks the event target for CI.
 
 use rt_core::experiment::run_pair;
-use rt_core::faults::{parse_fault_specs, FaultSpecError};
+use rt_core::faults::{parse_all_fault_specs, parse_fault_specs, FaultSpecError};
 use rt_core::{AdmissionConfig, ExperimentConfig, ObsConfig, RunMetrics, RunPair, World};
 use rt_patterns::{AccessPattern, SyncStyle, WorkloadParams};
 use rt_sim::{run_observed, ObservedEnd, Scheduler, SimDuration};
@@ -107,6 +107,20 @@ pub fn scenarios() -> Result<Vec<SoakScenario>, FaultSpecError> {
         1_000,
     );
     straggler_storm.faults.plan = parse_fault_specs("straggler:2:x8@50ms-400ms,flaky:1:p0.2")?;
+    // node-churn: overload plus node crashes — one node bounces
+    // (crash + rejoin) and another dies for good mid-run, exercising
+    // lease/pin/waiter reclamation, barrier shrink, daemon failover,
+    // and parked-demand re-charging under the same bounded queues and
+    // admission control as every other soak scenario.
+    let mut node_churn = small(
+        AccessPattern::GlobalWholeFile,
+        SyncStyle::BlocksPerProc(10),
+        1_000,
+    );
+    let (_, churn_crashes) = parse_all_fault_specs("crash:1@40ms:rejoin@160ms,crash:3@90ms")?;
+    for c in churn_crashes.entries() {
+        node_churn.faults.crashes.push(*c);
+    }
     Ok(vec![
         SoakScenario {
             name: "io-burst",
@@ -123,6 +137,10 @@ pub fn scenarios() -> Result<Vec<SoakScenario>, FaultSpecError> {
         SoakScenario {
             name: "straggler-storm",
             cfg: straggler_storm,
+        },
+        SoakScenario {
+            name: "node-churn",
+            cfg: node_churn,
         },
     ])
 }
@@ -349,7 +367,7 @@ mod tests {
     #[test]
     fn scenario_set_shape() {
         let set = scenarios().unwrap();
-        assert_eq!(set.len(), 4);
+        assert_eq!(set.len(), 5);
         for s in &set {
             s.cfg.validate().unwrap();
             assert_eq!(s.cfg.queue_depth, Some(2));
@@ -357,6 +375,9 @@ mod tests {
             assert!(s.cfg.prefetch.enabled);
         }
         assert!(set[3].cfg.faults.is_active(), "storm scenario has faults");
+        let churn = &set[4].cfg.faults.crashes;
+        assert_eq!(churn.entries().len(), 2, "churn scenario crashes twice");
+        assert!(churn.entries()[0].rejoin.is_some());
     }
 
     #[test]

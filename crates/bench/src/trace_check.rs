@@ -13,6 +13,11 @@
 //!   breakdown in exact nanoseconds (`lock_wait_ns` … `overhead_ns`);
 //!   the components must sum to the span's `dur_ns` exactly, the same
 //!   invariant the simulator asserts at read completion.
+//! * **Dead-interval discipline** — between a node's `crash` instant and
+//!   its `rejoin` (or forever, for a permanent crash), its proc and
+//!   daemon tracks must record no span other than the `dead` span that
+//!   marks the interval itself: a dead node reads nothing and runs no
+//!   daemon action.
 //!
 //! Timestamps in the file are decimal microseconds with three fractional
 //! digits; they are converted back to exact nanoseconds by rounding, so
@@ -66,6 +71,38 @@ pub fn validate_trace(doc: &Json) -> Result<TraceStats, String> {
 
     let events = c.array(doc, "traceEvents");
     stats.events = events.len();
+    // Pre-pass: reconstruct each node's dead intervals from its crash /
+    // rejoin instants (pid 1 = compute processes), so the span pass can
+    // reject activity recorded while the node was down. An unmatched
+    // crash leaves an open-ended interval; an unmatched rejoin (its
+    // crash overwritten in the ring) is ignored.
+    let mut dead: HashMap<u64, Vec<(u64, u64)>> = HashMap::new();
+    let mut open_crash: HashMap<u64, u64> = HashMap::new();
+    for e in events {
+        let is_instant = e.get("ph").and_then(Json::as_str) == Some("i");
+        let on_proc = e.get("pid").and_then(Json::as_f64) == Some(1.0);
+        if !is_instant || !on_proc {
+            continue;
+        }
+        let tid = e.get("tid").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+        let Some(ts) = e.get("ts").and_then(Json::as_f64) else {
+            continue;
+        };
+        match e.get("name").and_then(Json::as_str) {
+            Some("crash") => {
+                open_crash.insert(tid, ns(ts));
+            }
+            Some("rejoin") => {
+                if let Some(start) = open_crash.remove(&tid) {
+                    dead.entry(tid).or_default().push((start, ns(ts)));
+                }
+            }
+            _ => {}
+        }
+    }
+    for (tid, start) in open_crash {
+        dead.entry(tid).or_default().push((start, u64::MAX));
+    }
     // Per-(pid,tid) end of the last duration span, in exact ns.
     let mut last_end: HashMap<(u64, u64), (u64, usize)> = HashMap::new();
     for (i, e) in events.iter().enumerate() {
@@ -125,6 +162,20 @@ pub fn validate_trace(doc: &Json) -> Result<TraceStats, String> {
                 }
                 let pid = e.get("pid").and_then(Json::as_f64).unwrap_or(0.0) as u64;
                 let tid = e.get("tid").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+                // Dead-interval discipline: a crashed node records
+                // nothing — no read span on its proc track, no action
+                // span on its daemon slot — until its rejoin instant.
+                // The `dead` span itself covers the interval by design.
+                if (pid == 1 || pid == 3) && name != "dead" {
+                    for &(ds, de) in dead.get(&tid).map_or(&[][..], Vec::as_slice) {
+                        if start < de && end > ds {
+                            c.fail(format!(
+                                "{ctx}: span [{start}, {end}) ns on track {pid}/{tid} \
+                                 lies inside node {tid}'s dead interval [{ds}, {de}) ns"
+                            ));
+                        }
+                    }
+                }
                 if let Some(&(prev_end, prev_i)) = last_end.get(&(pid, tid)) {
                     if start < prev_end {
                         c.fail(format!(
@@ -187,6 +238,80 @@ mod tests {
         assert_eq!(stats.reads, 200, "one read span per read");
         assert!(stats.counters > 0, "no counter samples");
         assert_eq!(stats.dropped, 0);
+    }
+
+    fn crash_spec(node: u16, at_ms: u64, rejoin_ms: Option<u64>) -> rt_core::faults::CrashSpec {
+        rt_core::faults::CrashSpec {
+            node,
+            at: rt_sim::SimTime::from_nanos(at_ms * 1_000_000),
+            rejoin: rejoin_ms.map(|m| rt_sim::SimTime::from_nanos(m * 1_000_000)),
+        }
+    }
+
+    #[test]
+    fn crash_run_export_validates() {
+        // A crash + rejoin run's own export must pass: the dead span
+        // marks the interval, and nothing else lands inside it.
+        let mut cfg = ExperimentConfig::paper_default(
+            AccessPattern::LocalWholeFile,
+            SyncStyle::BlocksPerProc(10),
+        );
+        cfg.procs = 4;
+        cfg.disks = 4;
+        cfg.workload = WorkloadParams {
+            procs: 4,
+            file_blocks: 200,
+            total_reads: 200,
+            ..WorkloadParams::paper()
+        };
+        cfg.prefetch = PrefetchConfig::paper();
+        cfg.faults.crashes.push(crash_spec(1, 50, Some(200)));
+        cfg.faults.crashes.push(crash_spec(2, 80, None));
+        let (_, data) = run_experiment_observed(&cfg, ObsConfig::default());
+        let doc = Json::parse(&data.to_perfetto()).expect("crash trace parses");
+        let stats = validate_trace(&doc).expect("crash trace validates");
+        assert!(stats.spans > 0);
+    }
+
+    #[test]
+    fn span_inside_dead_interval_is_caught() {
+        // Node 1 crashes at 10 µs and rejoins at 50 µs; a read span on
+        // its proc track at 20 µs and a daemon action on its slot must
+        // both be rejected, while the dead span itself passes.
+        let doc = Json::parse(
+            r#"{"otherData":{"droppedEvents":0},"traceEvents":[
+              {"name":"crash","ph":"i","s":"t","pid":1,"tid":1,"ts":10.000,"args":{}},
+              {"name":"service","ph":"X","pid":1,"tid":1,"ts":20.000,"dur":5.000,"args":{}},
+              {"name":"action","ph":"X","pid":3,"tid":1,"ts":30.000,"dur":5.000,"args":{}},
+              {"name":"rejoin","ph":"i","s":"t","pid":1,"tid":1,"ts":50.000,"args":{}},
+              {"name":"dead","ph":"X","pid":1,"tid":1,"ts":10.000,"dur":40.000,"args":{}}
+            ]}"#,
+        )
+        .unwrap();
+        let err = validate_trace(&doc).expect_err("dead-interval span rejected");
+        assert!(err.contains("dead interval"), "{err}");
+        assert_eq!(err.matches("dead interval").count(), 2, "{err}");
+
+        // A permanent crash protects the open-ended tail too.
+        let doc = Json::parse(
+            r#"{"otherData":{"droppedEvents":0,"x":0},"traceEvents":[
+              {"name":"crash","ph":"i","s":"t","pid":1,"tid":2,"ts":10.000,"args":{}},
+              {"name":"service","ph":"X","pid":1,"tid":2,"ts":900.000,"dur":5.000,"args":{}}
+            ]}"#,
+        )
+        .unwrap();
+        let err = validate_trace(&doc).expect_err("post-crash span rejected");
+        assert!(err.contains("dead interval"), "{err}");
+
+        // Spans on other nodes' tracks during the interval still pass.
+        let doc = Json::parse(
+            r#"{"otherData":{"droppedEvents":0},"traceEvents":[
+              {"name":"crash","ph":"i","s":"t","pid":1,"tid":1,"ts":10.000,"args":{}},
+              {"name":"service","ph":"X","pid":1,"tid":3,"ts":20.000,"dur":5.000,"args":{}}
+            ]}"#,
+        )
+        .unwrap();
+        validate_trace(&doc).expect("survivor span passes");
     }
 
     #[test]

@@ -591,6 +591,26 @@ impl BufferPool {
         self.buffers[buf.index()].state = BufState::Free;
     }
 
+    /// Drop every ready, unpinned buffer of `node`'s demand (RU) set: the
+    /// node rejoined after a crash and restarts with a cold RU set, as if
+    /// freshly booted. Pending buffers (an orphaned fetch still in flight)
+    /// and pinned buffers (another node mid-copy on the shared data) are
+    /// left alone — they belong to the machine, not the node. Returns the
+    /// number of buffers dropped.
+    pub fn drop_node_demand(&mut self, node: ProcId) -> u32 {
+        let mut dropped = 0;
+        for i in 0..self.demand_sets[node.index()].len() {
+            let id = self.demand_sets[node.index()][i];
+            let b = &self.buffers[id.index()];
+            if b.pins == 0 && matches!(b.state, BufState::Ready { .. }) {
+                self.evict(id);
+                dropped += 1;
+            }
+        }
+        self.debug_check();
+        dropped
+    }
+
     /// Snapshot the prefetch partition's fullness. A scan over the pool —
     /// called only when the admission layer is enabled, never on the
     /// default paths.
@@ -1023,6 +1043,36 @@ mod tests {
         p.pin(buf);
         assert_eq!(p.pressure().pinned, 1);
         p.unpin(buf);
+        p.assert_invariants();
+    }
+
+    #[test]
+    fn drop_node_demand_leaves_pending_and_pinned_alone() {
+        let mut p = BufferPool::new(PoolConfig {
+            procs: 2,
+            demand_per_proc: 3,
+            prefetch_per_proc: 0,
+            global_prefetch_cap: 0,
+            replacement: Replacement::RuSet,
+            evict_unused_prefetch: false,
+        });
+        // Node 0: one ready block, one pinned block, one in-flight fill.
+        let ready = p.alloc_demand(ProcId(0), BlockId(1), t(30)).unwrap();
+        p.complete_io(ready, t(30));
+        let pinned = p.alloc_demand(ProcId(0), BlockId(2), t(30)).unwrap();
+        p.complete_io(pinned, t(30));
+        p.pin(pinned);
+        p.alloc_demand(ProcId(0), BlockId(3), t(90)).unwrap();
+        // Node 1: a ready block that must survive node 0's cold restart.
+        let other = p.alloc_demand(ProcId(1), BlockId(4), t(30)).unwrap();
+        p.complete_io(other, t(30));
+
+        assert_eq!(p.drop_node_demand(ProcId(0)), 1);
+        assert!(!p.contains(BlockId(1)), "ready unpinned buffer dropped");
+        assert!(p.contains(BlockId(2)), "pinned buffer kept");
+        assert!(p.contains(BlockId(3)), "pending fill kept");
+        assert!(p.contains(BlockId(4)), "other node untouched");
+        p.unpin(pinned);
         p.assert_invariants();
     }
 

@@ -23,6 +23,7 @@ pub struct BarrierOpen {
 pub struct Barrier {
     members: u16,
     departed: u16,
+    crashed: u16,
     waiting: Vec<(ProcId, SimTime)>,
     episodes: u64,
     sync_wait: Tally,
@@ -35,6 +36,7 @@ impl Barrier {
         Barrier {
             members,
             departed: 0,
+            crashed: 0,
             waiting: Vec::with_capacity(members as usize),
             episodes: 0,
             sync_wait: Tally::new(),
@@ -57,12 +59,43 @@ impl Barrier {
     /// at this or any future episode. May complete the current episode.
     pub fn depart(&mut self, _proc: ProcId, now: SimTime) -> Option<BarrierOpen> {
         self.departed += 1;
-        debug_assert!(self.departed <= self.members);
+        debug_assert!(self.departed + self.crashed <= self.members);
         self.try_open(now, None)
     }
 
+    /// Process `proc` crashed: it stops participating until (and unless)
+    /// [`rejoin`](Barrier::rejoin) is called. If it was blocked at the
+    /// barrier its arrival is forgotten — no synchronization wait is
+    /// recorded for a wait that never resolved. Unlike [`depart`], a crash
+    /// is reversible. May complete the current episode for the survivors;
+    /// when the victim was the *last* waiter the episode simply dissolves
+    /// (nobody is blocked, so nothing can hang).
+    pub fn crash(&mut self, proc: ProcId, now: SimTime) -> Option<BarrierOpen> {
+        if let Some(pos) = self.waiting.iter().position(|&(p, _)| p == proc) {
+            self.waiting.remove(pos);
+        }
+        self.crashed += 1;
+        debug_assert!(self.departed + self.crashed <= self.members);
+        self.try_open(now, None)
+    }
+
+    /// A crashed process re-enters the computation: membership re-grows.
+    /// The rejoiner participates from the *next* episode; it cannot
+    /// retroactively block one already forming (callers re-run the open
+    /// check themselves if the rejoiner immediately arrives).
+    pub fn rejoin(&mut self, _proc: ProcId) {
+        debug_assert!(self.crashed > 0, "rejoin without a prior crash");
+        self.crashed -= 1;
+    }
+
     fn try_open(&mut self, now: SimTime, completer: Option<ProcId>) -> Option<BarrierOpen> {
-        if self.waiting.is_empty() || (self.waiting.len() as u16) + self.departed < self.members {
+        // The `is_empty` guard doubles as the membership-collapse backstop:
+        // when every effective member is gone (departed + crashed ==
+        // members) with nobody blocked, there is no episode to open and
+        // nobody to hang.
+        if self.waiting.is_empty()
+            || (self.waiting.len() as u16) + self.departed + self.crashed < self.members
+        {
             return None;
         }
         let mut released = Vec::with_capacity(self.waiting.len());
@@ -94,6 +127,11 @@ impl Barrier {
     /// Number of processes that left the computation.
     pub fn departed(&self) -> u16 {
         self.departed
+    }
+
+    /// Number of processes currently crashed (not departed, not waiting).
+    pub fn crashed(&self) -> u16 {
+        self.crashed
     }
 }
 
@@ -157,6 +195,70 @@ mod tests {
         // Remaining single member forms future episodes alone.
         let open = b.arrive(ProcId(1), at(1)).unwrap();
         assert!(open.released.is_empty());
+    }
+
+    #[test]
+    fn crash_of_absent_member_releases_stragglers() {
+        let mut b = Barrier::new(3);
+        assert!(b.arrive(ProcId(0), at(0)).is_none());
+        assert!(b.arrive(ProcId(1), at(2)).is_none());
+        // Proc 2 crashes before arriving: survivors must not hang.
+        let open = b.crash(ProcId(2), at(5)).expect("survivors released");
+        assert_eq!(open.released, vec![ProcId(0), ProcId(1)]);
+        assert_eq!(b.crashed(), 1);
+        // Subsequent episodes form over the two survivors.
+        assert!(b.arrive(ProcId(0), at(6)).is_none());
+        assert!(b.arrive(ProcId(1), at(7)).is_some());
+    }
+
+    #[test]
+    fn crash_of_waiting_member_forgets_its_arrival() {
+        let mut b = Barrier::new(3);
+        assert!(b.arrive(ProcId(0), at(0)).is_none());
+        assert!(b.arrive(ProcId(1), at(1)).is_none());
+        let waits_before = b.sync_wait().count();
+        // Proc 1 crashes while blocked: its unresolved wait is not
+        // recorded and the episode keeps waiting for proc 2.
+        assert!(b.crash(ProcId(1), at(4)).is_none());
+        assert_eq!(b.waiting(), 1);
+        assert_eq!(b.sync_wait().count(), waits_before);
+        let open = b.arrive(ProcId(2), at(9)).unwrap();
+        assert_eq!(open.released, vec![ProcId(0)]);
+    }
+
+    #[test]
+    fn crash_of_last_waiter_dissolves_the_episode() {
+        // Membership collapses to zero mid-wait: the sole blocked member
+        // crashes. Nothing is released, nothing hangs, and the barrier
+        // stays usable after a rejoin.
+        let mut b = Barrier::new(2);
+        assert!(b.arrive(ProcId(0), at(0)).is_none());
+        assert!(b.crash(ProcId(1), at(1)).is_some(), "survivor released");
+        assert!(b.crash(ProcId(0), at(2)).is_none(), "nobody left to wake");
+        assert_eq!(b.waiting(), 0);
+
+        let mut b = Barrier::new(1);
+        assert!(b.crash(ProcId(0), at(1)).is_none());
+        assert_eq!(b.waiting(), 0);
+        b.rejoin(ProcId(0));
+        let open = b.arrive(ProcId(0), at(2)).unwrap();
+        assert!(open.released.is_empty());
+    }
+
+    #[test]
+    fn rejoin_regrows_membership() {
+        let mut b = Barrier::new(3);
+        assert!(b.crash(ProcId(2), at(0)).is_none());
+        assert!(b.arrive(ProcId(0), at(1)).is_none());
+        // With proc 2 crashed, proc 1 completes the episode.
+        assert!(b.arrive(ProcId(1), at(2)).is_some());
+        // Proc 2 rejoins: episodes need all three again.
+        b.rejoin(ProcId(2));
+        assert_eq!(b.crashed(), 0);
+        assert!(b.arrive(ProcId(0), at(3)).is_none());
+        assert!(b.arrive(ProcId(1), at(4)).is_none());
+        let open = b.arrive(ProcId(2), at(5)).unwrap();
+        assert_eq!(open.released, vec![ProcId(0), ProcId(1)]);
     }
 
     #[test]

@@ -267,6 +267,24 @@ pub enum ConfigError {
     InvalidQuarantineAlpha(f64),
     /// The quarantine threshold is not a positive finite value.
     InvalidQuarantineThreshold(f64),
+    /// A crash spec names a node the machine does not have.
+    CrashNodeOutOfRange {
+        /// The node named by the crash spec.
+        node: u16,
+        /// The machine's processor count.
+        procs: u16,
+    },
+    /// A crash spec's rejoin time is not after its crash time.
+    CrashRejoinNotAfter {
+        /// The offending node.
+        node: u16,
+    },
+    /// Two crash specs name the same node (one crash per node keeps the
+    /// schedule unambiguous — a rejoined node stays up).
+    DuplicateCrashNode {
+        /// The node crashed twice.
+        node: u16,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -323,6 +341,16 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::InvalidQuarantineThreshold(x) => {
                 write!(f, "quarantine threshold {x} must be positive and finite")
+            }
+            ConfigError::CrashNodeOutOfRange { node, procs } => write!(
+                f,
+                "crash spec names node {node} but the machine has {procs} processors"
+            ),
+            ConfigError::CrashRejoinNotAfter { node } => {
+                write!(f, "node {node}'s rejoin time must be after its crash time")
+            }
+            ConfigError::DuplicateCrashNode { node } => {
+                write!(f, "node {node} is scheduled to crash more than once")
             }
         }
     }
@@ -461,6 +489,22 @@ impl ExperimentConfig {
                 _ => {}
             }
         }
+        let mut crashed_nodes = Vec::new();
+        for spec in self.faults.crashes.entries() {
+            if spec.node >= self.procs {
+                return Err(ConfigError::CrashNodeOutOfRange {
+                    node: spec.node,
+                    procs: self.procs,
+                });
+            }
+            if spec.rejoin.is_some_and(|r| r <= spec.at) {
+                return Err(ConfigError::CrashRejoinNotAfter { node: spec.node });
+            }
+            if crashed_nodes.contains(&spec.node) {
+                return Err(ConfigError::DuplicateCrashNode { node: spec.node });
+            }
+            crashed_nodes.push(spec.node);
+        }
         if self.integrity.active_with(&self.faults.plan) {
             let q = self.integrity.quarantine;
             if !(q.alpha.is_finite() && q.alpha > 0.0 && q.alpha <= 1.0) {
@@ -587,6 +631,50 @@ mod tests {
         // A repairing outage is fine without replicas.
         let mut c = base;
         c.faults.plan = parse_fault_specs("fail:3@5s-9s").unwrap();
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_checks_crash_plan() {
+        use crate::faults::parse_all_fault_specs;
+        let base = ExperimentConfig::paper_default(AccessPattern::GlobalWholeFile, SyncStyle::None);
+
+        let mut c = base.clone();
+        c.faults.crashes = parse_all_fault_specs("crash:20@1s").unwrap().1;
+        assert!(matches!(
+            c.validate().unwrap_err(),
+            ConfigError::CrashNodeOutOfRange {
+                node: 20,
+                procs: 20
+            }
+        ));
+
+        let mut c = base.clone();
+        c.faults.crashes = parse_all_fault_specs("crash:3@1s, crash:3@2s").unwrap().1;
+        assert_eq!(
+            c.validate().unwrap_err(),
+            ConfigError::DuplicateCrashNode { node: 3 }
+        );
+
+        // The parser already orders rejoin after crash; validate re-checks
+        // hand-built plans.
+        let mut c = base.clone();
+        let mut crashes = crate::faults::CrashPlan::none();
+        crashes.push(crate::faults::CrashSpec {
+            node: 5,
+            at: rt_sim::SimTime::ZERO + SimDuration::from_secs(2),
+            rejoin: Some(rt_sim::SimTime::ZERO + SimDuration::from_secs(1)),
+        });
+        c.faults.crashes = crashes;
+        assert_eq!(
+            c.validate().unwrap_err(),
+            ConfigError::CrashRejoinNotAfter { node: 5 }
+        );
+
+        let mut c = base;
+        c.faults.crashes = parse_all_fault_specs("crash:3@1s:rejoin@2s, crash:7@500ms")
+            .unwrap()
+            .1;
         c.validate().unwrap();
     }
 

@@ -180,6 +180,7 @@ fn collect_metrics(world: &World, end_time: rt_sim::SimTime) -> RunMetrics {
         faults: world.fault_metrics(end_time),
         overload: world.overload_metrics(),
         integrity: world.integrity_metrics(end_time),
+        crash: world.crash_metrics(),
     }
 }
 

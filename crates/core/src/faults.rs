@@ -5,8 +5,10 @@
 //! This module holds the *experiment-level* view: which faults a run
 //! injects ([`FaultConfig::plan`]), how the read path reacts
 //! ([`RetryPolicy`]), when the prefetch daemon backs off a sick device
-//! ([`DegradeConfig`]), and the `--faults` CLI grammar that describes
-//! scenarios compactly (`straggler:7:x4`, `fail:3@5s`).
+//! ([`DegradeConfig`]), the node-crash schedule ([`FaultConfig::crashes`]
+//! — crashes kill a *processor*, not a device, and are injected by the
+//! world), and the `--faults` CLI grammar that describes scenarios
+//! compactly (`straggler:7:x4`, `fail:3@5s`, `crash:3@5s:rejoin@12s`).
 //!
 //! Everything here is deterministic: fault decisions draw from dedicated
 //! RNG streams split off the experiment seed, so a given `(config, seed)`
@@ -97,6 +99,49 @@ impl Default for DegradeConfig {
     }
 }
 
+/// One scheduled node crash: processor `node` dies at `at` and, when
+/// `rejoin` is set, restarts there with a cold RU set. Crashes are
+/// experiment-level faults — they never reach the disk layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashSpec {
+    /// The processor node that crashes.
+    pub node: u16,
+    /// When it crashes.
+    pub at: SimTime,
+    /// When it rejoins, if ever (must be after `at`).
+    pub rejoin: Option<SimTime>,
+}
+
+/// The deterministic node-crash schedule of one experiment. Empty by
+/// default: no crash events are ever scheduled and the world allocates no
+/// crash state.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CrashPlan {
+    entries: Vec<CrashSpec>,
+}
+
+impl CrashPlan {
+    /// The empty schedule.
+    pub fn none() -> Self {
+        CrashPlan::default()
+    }
+
+    /// Is the schedule empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The scheduled crashes, in push order.
+    pub fn entries(&self) -> &[CrashSpec] {
+        &self.entries
+    }
+
+    /// Add one crash to the schedule.
+    pub fn push(&mut self, spec: CrashSpec) {
+        self.entries.push(spec);
+    }
+}
+
 /// Fault scenario of one experiment: the injected plan plus the
 /// mitigation knobs. [`FaultConfig::none`] (the default) injects nothing
 /// and schedules nothing — runs are event-for-event identical to a build
@@ -105,6 +150,10 @@ impl Default for DegradeConfig {
 pub struct FaultConfig {
     /// Per-device fault schedule, applied at service time in `rt-disk`.
     pub plan: FaultPlan,
+    /// Node-crash schedule, applied at the world level (a crash kills a
+    /// processor, not a device). Independent of [`FaultConfig::plan`]:
+    /// crash-only scenarios allocate no device-fault state.
+    pub crashes: CrashPlan,
     /// Retry/backoff/timeout behaviour of the read path.
     pub retry: RetryPolicy,
     /// Prefetch-daemon degradation thresholds.
@@ -227,6 +276,12 @@ fn parse_disk(text: &str, spec: &str) -> Result<u16, FaultSpecError> {
 ///   (it is whenever a corrupt window is scheduled).
 pub fn parse_fault_spec(plan: &mut FaultPlan, spec: &str) -> Result<(), FaultSpecError> {
     use rt_disk::{DeviceFault, DiskId, FaultKind};
+    if spec == "crash" || spec.starts_with("crash:") {
+        return Err(spec_err(
+            spec,
+            "crash is a node fault, not a device fault (parse with parse_all_fault_specs)",
+        ));
+    }
     let (body, window) = match spec.split_once('@') {
         Some((b, w)) => (b, Some(w)),
         None => (spec, None),
@@ -304,7 +359,7 @@ pub fn parse_fault_spec(plan: &mut FaultPlan, spec: &str) -> Result<(), FaultSpe
         other => {
             return Err(spec_err(
                 spec,
-                format!("unknown fault kind `{other}` (straggler, flaky, fail, corrupt)"),
+                format!("unknown fault kind `{other}` (straggler, flaky, fail, corrupt, crash)"),
             ))
         }
     };
@@ -315,14 +370,66 @@ pub fn parse_fault_spec(plan: &mut FaultPlan, spec: &str) -> Result<(), FaultSpe
     Ok(())
 }
 
-/// Parse a comma-separated list of fault specs (the `--faults` argument)
-/// into a plan.
+/// Parse a comma-separated list of *device* fault specs (the historical
+/// `--faults` grammar) into a plan. Rejects `crash:` specs — use
+/// [`parse_all_fault_specs`] for the full grammar.
 pub fn parse_fault_specs(text: &str) -> Result<FaultPlan, FaultSpecError> {
     let mut plan = FaultPlan::none();
     for spec in text.split(',').filter(|s| !s.trim().is_empty()) {
         parse_fault_spec(&mut plan, spec.trim())?;
     }
     Ok(plan)
+}
+
+/// Parse one node-crash spec: `crash:<node>@<time>[:rejoin@<time>]`.
+///
+/// * `crash:3@5s` — node 3 dies at t=5s and never comes back.
+/// * `crash:3@5s:rejoin@12s` — node 3 dies at t=5s and restarts (cold RU
+///   set, fresh daemon slot) at t=12s.
+pub fn parse_crash_spec(spec: &str) -> Result<CrashSpec, FaultSpecError> {
+    let body = spec
+        .strip_prefix("crash:")
+        .ok_or_else(|| spec_err(spec, "expected crash:<node>@<time>[:rejoin@<time>]"))?;
+    let (node_text, rest) = body
+        .split_once('@')
+        .ok_or_else(|| spec_err(spec, "expected crash:<node>@<time>[:rejoin@<time>]"))?;
+    let node: u16 = node_text
+        .parse()
+        .map_err(|_| spec_err(spec, format!("`{node_text}` is not a node number")))?;
+    let (at_text, rejoin_text) = match rest.split_once(":rejoin@") {
+        Some((a, r)) => (a, Some(r)),
+        None => (rest, None),
+    };
+    let at = SimTime::ZERO + parse_duration(at_text, spec)?;
+    let rejoin = match rejoin_text {
+        Some(r) => {
+            let t = SimTime::ZERO + parse_duration(r, spec)?;
+            if t <= at {
+                return Err(spec_err(spec, "rejoin time must be after the crash time"));
+            }
+            Some(t)
+        }
+        None => None,
+    };
+    Ok(CrashSpec { node, at, rejoin })
+}
+
+/// Parse a comma-separated list of fault specs — the full `--faults`
+/// grammar: the device kinds of [`parse_fault_spec`] plus
+/// `crash:<node>@<time>[:rejoin@<time>]` node faults. Returns the device
+/// plan and the crash schedule separately (they feed different layers).
+pub fn parse_all_fault_specs(text: &str) -> Result<(FaultPlan, CrashPlan), FaultSpecError> {
+    let mut plan = FaultPlan::none();
+    let mut crashes = CrashPlan::none();
+    for spec in text.split(',').filter(|s| !s.trim().is_empty()) {
+        let spec = spec.trim();
+        if spec == "crash" || spec.starts_with("crash:") {
+            crashes.push(parse_crash_spec(spec)?);
+        } else {
+            parse_fault_spec(&mut plan, spec)?;
+        }
+    }
+    Ok((plan, crashes))
 }
 
 #[cfg(test)]
@@ -429,5 +536,73 @@ mod tests {
     fn empty_and_whitespace_specs_are_no_faults() {
         assert!(parse_fault_specs("").unwrap().is_empty());
         assert!(parse_fault_specs(" , ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn crash_plan_empty_does_not_activate_device_faults() {
+        let f = FaultConfig {
+            crashes: {
+                let mut c = CrashPlan::none();
+                c.push(CrashSpec {
+                    node: 3,
+                    at: SimTime::ZERO + SimDuration::from_secs(5),
+                    rejoin: None,
+                });
+                c
+            },
+            ..FaultConfig::none()
+        };
+        // Crashes live in their own layer: they must not drag the
+        // device-fault state (and its RNG streams) into the run.
+        assert!(!f.is_active());
+        assert!(!f.crashes.is_empty());
+    }
+
+    #[test]
+    fn parses_crash_without_rejoin() {
+        let s = parse_crash_spec("crash:3@5s").unwrap();
+        assert_eq!(s.node, 3);
+        assert_eq!(s.at, SimTime::ZERO + SimDuration::from_secs(5));
+        assert_eq!(s.rejoin, None);
+    }
+
+    #[test]
+    fn parses_crash_with_rejoin_and_bare_millis() {
+        let s = parse_crash_spec("crash:17@250:rejoin@1200").unwrap();
+        assert_eq!(s.node, 17);
+        assert_eq!(s.at, SimTime::ZERO + SimDuration::from_millis(250));
+        assert_eq!(
+            s.rejoin,
+            Some(SimTime::ZERO + SimDuration::from_millis(1200))
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_crash_specs() {
+        assert!(parse_crash_spec("crash:3").is_err());
+        assert!(parse_crash_spec("crash:@5s").is_err());
+        assert!(parse_crash_spec("crash:notanode@5s").is_err());
+        assert!(parse_crash_spec("crash:3@5s:rejoin@5s").is_err());
+        assert!(parse_crash_spec("crash:3@5s:rejoin@2s").is_err());
+        // The device-only parser refuses crash specs outright.
+        assert!(parse_fault_specs("crash:3@5s").is_err());
+    }
+
+    #[test]
+    fn all_specs_split_device_and_node_faults() {
+        let (plan, crashes) =
+            parse_all_fault_specs("fail:3@5s, crash:2@1s:rejoin@4s, flaky:1:p0.1, crash:9@2s")
+                .unwrap();
+        assert_eq!(plan.entries().len(), 2);
+        assert_eq!(crashes.entries().len(), 2);
+        assert_eq!(crashes.entries()[0].node, 2);
+        assert_eq!(
+            crashes.entries()[0].rejoin,
+            Some(SimTime::ZERO + SimDuration::from_secs(4))
+        );
+        assert_eq!(crashes.entries()[1].node, 9);
+        assert_eq!(crashes.entries()[1].rejoin, None);
+        let (plan, crashes) = parse_all_fault_specs("").unwrap();
+        assert!(plan.is_empty() && crashes.is_empty());
     }
 }

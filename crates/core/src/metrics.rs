@@ -97,6 +97,8 @@ pub struct RunMetrics {
     /// Data-integrity counters; all zero when no corruption is injected
     /// and the scrubber is off.
     pub integrity: IntegrityMetrics,
+    /// Node-crash counters; all zero when no crashes are scheduled.
+    pub crash: CrashMetrics,
 }
 
 /// Counters from the fault-injection subsystem: what went wrong and how
@@ -188,6 +190,35 @@ pub struct IntegrityMetrics {
     pub quarantines: u64,
     /// Total simulated time devices spent quarantined or on probation.
     pub quarantined_time: SimDuration,
+}
+
+/// Counters from the node-crash fault model: what the machine lost to
+/// crashed processors and what the survivors reclaimed or took over. All
+/// zero when the run schedules no crashes.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CrashMetrics {
+    /// Node crashes injected.
+    pub crashes: u64,
+    /// Crashed nodes that rejoined the computation.
+    pub rejoins: u64,
+    /// In-flight disk completions whose initiating node was dead on
+    /// arrival; absorbed as cache fills instead of read deliveries.
+    pub orphaned_ios: u64,
+    /// Cache-lock critical sections reclaimed from crashed holders
+    /// (whether by pulling back the lock's tail or by letting the lease
+    /// lapse).
+    pub reclaimed_locks: u64,
+    /// Buffer pins released on behalf of crashed processes.
+    pub reclaimed_pins: u64,
+    /// Waiter-table entries removed because the waiting process crashed.
+    pub reclaimed_waiters: u64,
+    /// Prefetch actions a surviving daemon performed on behalf of a dead
+    /// node's reference string.
+    pub redistributed_prefetches: u64,
+    /// Reads a crash cut short: consumed from the reference string but
+    /// never completed (the survivors' reads all complete; these are the
+    /// victims' own in-progress reads).
+    pub lost_reads: u64,
 }
 
 impl RunMetrics {
@@ -395,6 +426,7 @@ mod tests {
             faults: FaultMetrics::default(),
             overload: OverloadMetrics::default(),
             integrity: IntegrityMetrics::default(),
+            crash: CrashMetrics::default(),
         }
     }
 

@@ -142,6 +142,39 @@ pub fn quantile_table(rows: &[(&str, &RunMetrics)]) -> Table {
     t
 }
 
+/// Crash-fault table: one row per labeled run, showing the node-crash
+/// counters — injections, rejoins, lost reads, what was reclaimed from
+/// the victims (locks, pins, waiter slots), orphaned I/Os absorbed as
+/// fills, and prefetches survivors issued on a dead node's behalf.
+pub fn crash_table(rows: &[(&str, &RunMetrics)]) -> Table {
+    let mut t = Table::new(&[
+        "run",
+        "crashes",
+        "rejoins",
+        "lost reads",
+        "locks",
+        "pins",
+        "waiters",
+        "orphaned io",
+        "failover pf",
+    ]);
+    for (label, m) in rows {
+        let c = &m.crash;
+        t.row(&[
+            label.to_string(),
+            c.crashes.to_string(),
+            c.rejoins.to_string(),
+            c.lost_reads.to_string(),
+            c.reclaimed_locks.to_string(),
+            c.reclaimed_pins.to_string(),
+            c.reclaimed_waiters.to_string(),
+            c.orphaned_ios.to_string(),
+            c.redistributed_prefetches.to_string(),
+        ]);
+    }
+    t
+}
+
 /// Format a fraction as a percentage string.
 pub fn pct(x: f64) -> String {
     format!("{:.1}%", x * 100.0)
@@ -187,6 +220,35 @@ mod tests {
     #[test]
     fn pct_format() {
         assert_eq!(pct(0.4821), "48.2%");
+    }
+
+    #[test]
+    fn crash_table_from_run() {
+        use rt_patterns::{AccessPattern, SyncStyle, WorkloadParams};
+        use rt_sim::SimTime;
+        let mut cfg =
+            crate::ExperimentConfig::paper_default(AccessPattern::GlobalWholeFile, SyncStyle::None);
+        cfg.procs = 4;
+        cfg.disks = 4;
+        cfg.workload = WorkloadParams {
+            procs: 4,
+            file_blocks: 100,
+            total_reads: 100,
+            ..WorkloadParams::paper()
+        };
+        cfg.faults.crashes.push(crate::faults::CrashSpec {
+            node: 1,
+            at: SimTime::from_nanos(20_000_000),
+            rejoin: None,
+        });
+        let m = crate::experiment::run_experiment(&cfg);
+        assert_eq!(m.crash.crashes, 1);
+        let s = crash_table(&[("one-crash", &m)]).render();
+        assert!(s.contains("crashes"));
+        assert!(s.contains("failover pf"));
+        let data = s.lines().nth(2).unwrap();
+        assert!(data.starts_with(" one-crash") || data.contains("one-crash"));
+        assert!(data.contains('1'), "{data}");
     }
 
     #[test]

@@ -17,7 +17,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use rt_cache::{BufferPool, Lookup, PoolConfig};
+use rt_cache::{BufState, BufferId, BufferPool, Lookup, PoolConfig};
 use rt_disk::{BlockId, DiskId, FetchKind, ProcId};
 use rt_fs::{FileId, FileSystem, FsError, FsStarted};
 use rt_patterns::{Access, Cursor, Predictor, SyncStyle, Workload};
@@ -30,7 +30,7 @@ use crate::barrier::Barrier;
 use crate::config::{ExperimentConfig, PolicyKind};
 use crate::faults::RetryPolicy;
 use crate::health::HealthTracker;
-use crate::metrics::{FaultMetrics, OverloadMetrics};
+use crate::metrics::{CrashMetrics, FaultMetrics, OverloadMetrics};
 use crate::policy::{
     select_oracle, select_oracle_avoiding, select_oracle_hinted, select_predicted, OracleView,
     ScanHint,
@@ -39,6 +39,7 @@ use crate::trace::{ReadOutcome, Trace, TraceEvent};
 use rt_obs::{Component, EventKind as ObsKind, ReadAttribution, Track};
 
 mod control;
+mod crash;
 mod daemon;
 mod integrity;
 mod obs;
@@ -79,6 +80,12 @@ pub enum Ev {
     /// The checksum verification of a freshly filled block finished.
     /// Never scheduled unless the integrity layer is active.
     VerifyDone(BlockId),
+    /// The node crashes (fault injection). Never scheduled unless the
+    /// configuration's crash plan is non-empty.
+    Crash(ProcId),
+    /// A crashed node restarts with a cold RU set. Never scheduled unless
+    /// the crash plan schedules a rejoin.
+    Rejoin(ProcId),
 }
 
 /// User-process execution state.
@@ -98,6 +105,9 @@ enum PState {
     AtBarrier,
     /// Reference string exhausted.
     Done,
+    /// The node crashed; it holds nothing and handles no events until
+    /// (and unless) its rejoin fires.
+    Crashed,
 }
 
 /// Per-processor state.
@@ -141,6 +151,19 @@ struct Proc {
     cur_outcome: Option<ReadOutcome>,
     /// Buffer this process is currently copying from (pinned).
     copying_buf: Option<rt_cache::BufferId>,
+    /// The open cache-lock critical section charged to this node (its end
+    /// instant and hold length): the lookup section while in `Lookup`, the
+    /// daemon-action section while `action_busy`. Lets a crash reclaim the
+    /// unexpired tail of the victim's lease.
+    lock_cs: Option<(SimTime, SimDuration)>,
+    /// The one in-flight event addressed to this user process (lookup,
+    /// miss issue, alloc retry, copy completion, compute completion), so
+    /// a crash can cancel it. `None` while the process waits on a wake.
+    pending_ev: Option<EventId>,
+    /// The in-flight `ActionEnd` of this node's daemon, cancellable on
+    /// crash (concurrent with `pending_ev` — the daemon runs during
+    /// the user process's waits).
+    action_ev: Option<EventId>,
     finished_at: Option<SimTime>,
     /// Latency attribution of the current read: nanoseconds per component,
     /// accumulated by closing contiguous intervals at lifecycle
@@ -175,6 +198,9 @@ impl Proc {
             cur_portion: None,
             cur_outcome: None,
             copying_buf: None,
+            lock_cs: None,
+            pending_ev: None,
+            action_ev: None,
             finished_at: None,
             attr: ReadAttribution::default(),
             attr_mark: SimTime::ZERO,
@@ -263,6 +289,43 @@ impl Default for PendingIo {
             attempts: 0,
             timeout: None,
             initiator: ProcId(0),
+        }
+    }
+}
+
+/// Node-crash layer state of one run; allocated only when the
+/// configuration's crash plan is non-empty, so crash-free runs schedule
+/// no crash events and their event stream is untouched. Liveness itself
+/// lives in each process's state ([`PState::Crashed`]); this holds the
+/// per-node crash instants (for dead-interval annotation) and the
+/// reclamation counters.
+#[derive(Clone)]
+pub(crate) struct CrashState {
+    /// When each node last crashed (meaningful while it is dead).
+    pub crashed_at: Vec<SimTime>,
+    // Counters (see [`CrashMetrics`]).
+    pub crashes: u64,
+    pub rejoins: u64,
+    pub orphaned_ios: u64,
+    pub reclaimed_locks: u64,
+    pub reclaimed_pins: u64,
+    pub reclaimed_waiters: u64,
+    pub redistributed_prefetches: u64,
+    pub lost_reads: u64,
+}
+
+impl CrashState {
+    fn new(procs: u16) -> Self {
+        CrashState {
+            crashed_at: vec![SimTime::ZERO; procs as usize],
+            crashes: 0,
+            rejoins: 0,
+            orphaned_ios: 0,
+            reclaimed_locks: 0,
+            reclaimed_pins: 0,
+            reclaimed_waiters: 0,
+            redistributed_prefetches: 0,
+            lost_reads: 0,
         }
     }
 }
@@ -435,6 +498,9 @@ pub struct World {
     /// Fault-layer state; `None` when the run injects nothing, keeping
     /// the hot path identical to a fault-free build.
     pub(crate) faults: Option<FaultState>,
+    /// Node-crash layer state; `None` unless the crash plan is non-empty
+    /// (same inert-by-default discipline as `faults`).
+    pub(crate) crash: Option<CrashState>,
     /// Admission/backpressure state; `None` unless the configuration
     /// bounds queues or enables admission (same discipline as `faults`).
     pub(crate) admission: Option<AdmissionState>,
@@ -539,6 +605,7 @@ impl World {
         }
         let admission = (cfg.queue_depth.is_some() || cfg.admission.enabled)
             .then(|| AdmissionState::new(cfg.admission, cfg.disks));
+        let crash = (!cfg.faults.crashes.is_empty()).then(|| CrashState::new(cfg.procs));
 
         let procs: Vec<Proc> = (0..cfg.procs)
             .map(|p| Proc::new(ProcId(p), root.split(0x0070_726f_6300 + p as u64)))
@@ -591,6 +658,7 @@ impl World {
             trace: None,
             outstanding_io: 0,
             faults,
+            crash,
             admission,
             integrity,
             obs: None,
@@ -615,10 +683,17 @@ impl World {
         self.trace.take()
     }
 
-    /// Schedule the initial events: every processor starts at time zero.
+    /// Schedule the initial events: every processor starts at time zero,
+    /// and the crash plan's injections (if any) at their instants.
     pub fn bootstrap(&self, sched: &mut Scheduler<Ev>) {
         for p in 0..self.cfg.procs {
             sched.schedule_at(SimTime::ZERO, Ev::Start(ProcId(p)));
+        }
+        for spec in self.cfg.faults.crashes.entries() {
+            sched.schedule_at(spec.at, Ev::Crash(ProcId(spec.node)));
+            if let Some(t) = spec.rejoin {
+                sched.schedule_at(t, Ev::Rejoin(ProcId(spec.node)));
+            }
         }
     }
 
@@ -719,6 +794,24 @@ impl World {
         }
     }
 
+    /// Node-crash counters of this run. All zero for runs without a crash
+    /// plan.
+    pub fn crash_metrics(&self) -> CrashMetrics {
+        match &self.crash {
+            Some(c) => CrashMetrics {
+                crashes: c.crashes,
+                rejoins: c.rejoins,
+                orphaned_ios: c.orphaned_ios,
+                reclaimed_locks: c.reclaimed_locks,
+                reclaimed_pins: c.reclaimed_pins,
+                reclaimed_waiters: c.reclaimed_waiters,
+                redistributed_prefetches: c.redistributed_prefetches,
+                lost_reads: c.lost_reads,
+            },
+            None => CrashMetrics::default(),
+        }
+    }
+
     /// Overload/backpressure counters of this run. All zero for runs with
     /// unbounded queues and admission disabled (except `max_queue_depth`,
     /// which is always observed).
@@ -777,6 +870,89 @@ impl World {
                 ));
             }
         }
+        if self.crash.is_some() {
+            // A dead node owns nothing: no pinned buffer, no daemon
+            // action, no open lock critical section, and no parked work
+            // charged to it.
+            for (p, proc) in self.procs.iter().enumerate() {
+                if proc.state != PState::Crashed {
+                    continue;
+                }
+                if proc.copying_buf.is_some() {
+                    return Err(format!("dead node {p} still pins a copy buffer"));
+                }
+                if proc.action_busy {
+                    return Err(format!("dead node {p} still runs a daemon action"));
+                }
+                if proc.lock_cs.is_some() {
+                    return Err(format!("dead node {p} still holds a lock lease"));
+                }
+            }
+            if let Some(adm) = &self.admission {
+                for q in &adm.parked {
+                    for e in q {
+                        if self.procs[e.who.index()].state == PState::Crashed {
+                            return Err(format!(
+                                "parked demand for block {} charged to dead node {}",
+                                e.block.index(),
+                                e.who.index()
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Leak checks that only hold once the event queue has drained:
+    /// every node parked in a terminal state (`Done`, or `Crashed` with
+    /// no rejoin), every buffer unpinned with no fill still pending, no
+    /// waiter registration left behind, the cache-lock lease expired,
+    /// and no demand read still parked. The crashes sweep runs this
+    /// after each scenario — a victim's unreclaimed pin, lease, or
+    /// waiter entry shows up here even when the survivors finished.
+    pub fn check_terminal_invariants(&self, now: SimTime) -> Result<(), String> {
+        self.check_soak_invariants()?;
+        for (p, proc) in self.procs.iter().enumerate() {
+            if proc.state != PState::Done && proc.state != PState::Crashed {
+                return Err(format!("node {p} drained in state {:?}", proc.state));
+            }
+            if proc.copying_buf.is_some() {
+                return Err(format!("node {p} drained still pinning a copy buffer"));
+            }
+            if proc.action_busy {
+                return Err(format!("node {p} drained inside a daemon action"));
+            }
+            if proc.lock_cs.is_some() {
+                return Err(format!("node {p} drained holding a lock lease"));
+            }
+        }
+        for i in 0..self.pool.config().total_buffers() {
+            let b = self.pool.buffer(BufferId(i));
+            if b.pins != 0 {
+                return Err(format!("buffer {i} drained with {} pin(s) held", b.pins));
+            }
+            if matches!(b.state, BufState::Pending { .. }) {
+                return Err(format!("buffer {i} drained with its fill still pending"));
+            }
+        }
+        let leftover = self.waiters.total();
+        if leftover != 0 {
+            return Err(format!("{leftover} waiter registration(s) leaked"));
+        }
+        if self.lock.free_at() > now {
+            return Err(format!(
+                "cache lock still leased until {:?} at drain time {now:?}",
+                self.lock.free_at()
+            ));
+        }
+        if let Some(adm) = &self.admission {
+            let parked = adm.parked_total();
+            if parked != 0 {
+                return Err(format!("{parked} demand read(s) still parked"));
+            }
+        }
         Ok(())
     }
 }
@@ -788,6 +964,9 @@ impl Model for World {
         // Passive gauge sampling: piggybacks on the event already firing,
         // never schedules anything (no-op unless observation is enabled).
         self.obs_sample(sched.now());
+        // No event is ever addressed to a crashed node: `crash_node`
+        // cancels the victim's pending process and daemon events outright,
+        // so a rejoined node can never receive a stale pre-crash event.
         match event {
             Ev::Start(p) => self.proceed_next(p.index(), sched),
             Ev::LookupDone(p) => self.lookup_done(p.index(), sched),
@@ -796,6 +975,7 @@ impl Model for World {
             Ev::DiskDone(d) => self.disk_done(d, sched),
             Ev::ReadFinished(p) => self.read_finished(p.index(), sched),
             Ev::ComputeDone(p) => {
+                self.procs[p.index()].pending_ev = None;
                 self.procs[p.index()].state = PState::Running;
                 self.proceed_next(p.index(), sched);
             }
@@ -803,6 +983,8 @@ impl Model for World {
             Ev::RetryIo(b) => self.retry_io(b, sched),
             Ev::IoTimeout(b) => self.io_timeout(b, sched),
             Ev::VerifyDone(b) => self.verify_done(b, sched),
+            Ev::Crash(p) => self.crash_node(p.index(), sched),
+            Ev::Rejoin(p) => self.rejoin_node(p.index(), sched),
         }
     }
 }
@@ -1358,5 +1540,166 @@ mod tests {
         assert_eq!(m.prefetches_shed, 0, "no prefetches exist to shed");
         assert_eq!(m.prefetches_throttled, 0);
         w.check_soak_invariants().unwrap();
+    }
+
+    // ------------------------------------------------------------------
+    // Node crashes.
+    // ------------------------------------------------------------------
+
+    fn crash_spec(node: u16, at_ms: u64, rejoin_ms: Option<u64>) -> crate::faults::CrashSpec {
+        crate::faults::CrashSpec {
+            node,
+            at: SimTime::from_nanos(at_ms * 1_000_000),
+            rejoin: rejoin_ms.map(|ms| SimTime::from_nanos(ms * 1_000_000)),
+        }
+    }
+
+    #[test]
+    fn defaults_leave_crash_layer_inert() {
+        let (w, _) = run_world(small_cfg(
+            AccessPattern::GlobalWholeFile,
+            SyncStyle::None,
+            true,
+        ));
+        assert!(w.crash.is_none(), "no crash state by default");
+        assert_eq!(w.crash_metrics(), crate::metrics::CrashMetrics::default());
+    }
+
+    #[test]
+    fn crash_without_rejoin_survivors_finish_the_file() {
+        let mut cfg = small_cfg(AccessPattern::GlobalWholeFile, SyncStyle::None, false);
+        cfg.faults.crashes.push(crash_spec(1, 50, None));
+        let (w, _) = run_world(cfg);
+        let m = w.crash_metrics();
+        assert_eq!(m.crashes, 1);
+        assert_eq!(m.rejoins, 0);
+        assert!(m.lost_reads <= 1, "{m:?}");
+        // Global string: the survivors drain the shared cursor, so only
+        // the victim's in-flight read (if any) is lost.
+        assert_eq!(w.reads_done() + m.lost_reads, 200);
+        assert_eq!(w.procs[1].state, PState::Crashed);
+        w.check_soak_invariants().unwrap();
+        w.pool().assert_invariants();
+    }
+
+    #[test]
+    fn crash_and_rejoin_resumes_the_local_portion() {
+        let mut cfg = small_cfg(AccessPattern::LocalWholeFile, SyncStyle::None, false);
+        cfg.faults.crashes.push(crash_spec(1, 30, Some(120)));
+        let (w, _) = run_world(cfg);
+        let m = w.crash_metrics();
+        assert_eq!(m.crashes, 1);
+        assert_eq!(m.rejoins, 1);
+        assert!(m.lost_reads <= 1, "{m:?}");
+        // Local strings: the rejoiner picks its cursor back up, so every
+        // access except the one lost in flight completes.
+        assert_eq!(w.reads_done() + m.lost_reads, 200);
+        assert!(w.procs.iter().all(|p| p.state == PState::Done));
+        w.check_soak_invariants().unwrap();
+        w.pool().assert_invariants();
+    }
+
+    #[test]
+    fn cascading_crashes_still_terminate() {
+        let mut cfg = small_cfg(AccessPattern::GlobalWholeFile, SyncStyle::None, true);
+        cfg.faults.crashes.push(crash_spec(1, 40, None));
+        cfg.faults.crashes.push(crash_spec(2, 60, None));
+        cfg.faults.crashes.push(crash_spec(3, 80, None));
+        let (w, _) = run_world(cfg);
+        let m = w.crash_metrics();
+        assert_eq!(m.crashes, 3);
+        assert!(m.lost_reads <= 3, "{m:?}");
+        assert_eq!(w.reads_done() + m.lost_reads, 200);
+        assert_eq!(w.procs[0].state, PState::Done);
+        w.check_soak_invariants().unwrap();
+        w.pool().assert_invariants();
+    }
+
+    #[test]
+    fn crash_shrinks_barrier_membership_so_survivors_never_deadlock() {
+        // Without membership reclamation the first barrier after the
+        // crash would wait for the dead node forever.
+        let mut cfg = small_cfg(
+            AccessPattern::GlobalWholeFile,
+            SyncStyle::BlocksPerProc(10),
+            false,
+        );
+        cfg.faults.crashes.push(crash_spec(2, 100, None));
+        let (w, _) = run_world(cfg);
+        let m = w.crash_metrics();
+        assert_eq!(m.crashes, 1);
+        assert_eq!(w.reads_done() + m.lost_reads, 200);
+        assert!(w.barrier().episodes() > 0);
+        w.check_soak_invariants().unwrap();
+    }
+
+    #[test]
+    fn rejoiner_fast_forwards_sync_gates() {
+        // A node that slept through barrier boundaries must not try to
+        // retroactively synchronize; the run completes with the rejoiner
+        // back in the rotation.
+        let mut cfg = small_cfg(
+            AccessPattern::GlobalWholeFile,
+            SyncStyle::BlocksTotal(50),
+            false,
+        );
+        cfg.faults.crashes.push(crash_spec(3, 60, Some(400)));
+        let (w, _) = run_world(cfg);
+        let m = w.crash_metrics();
+        assert_eq!(m.crashes, 1);
+        assert_eq!(m.rejoins, 1);
+        assert_eq!(w.reads_done() + m.lost_reads, 200);
+        assert!(w.procs.iter().all(|p| p.state == PState::Done));
+        w.check_soak_invariants().unwrap();
+    }
+
+    #[test]
+    fn crash_reclaims_what_the_victim_held() {
+        // Many staggered crash/rejoin cycles across a prefetching run:
+        // whatever mix of states the victims die in, nothing leaks —
+        // the soak invariants hold and the pool's pin accounting closes.
+        let mut cfg = small_cfg(AccessPattern::LocalWholeFile, SyncStyle::None, true);
+        cfg.faults.crashes.push(crash_spec(0, 25, Some(200)));
+        cfg.faults.crashes.push(crash_spec(1, 50, Some(250)));
+        cfg.faults.crashes.push(crash_spec(2, 75, Some(300)));
+        let (w, _) = run_world(cfg);
+        let m = w.crash_metrics();
+        assert_eq!(m.crashes, 3);
+        assert_eq!(m.rejoins, 3);
+        assert_eq!(w.reads_done() + m.lost_reads, 200);
+        assert!(w.procs.iter().all(|p| p.state == PState::Done));
+        w.check_soak_invariants().unwrap();
+        w.pool().assert_invariants();
+    }
+
+    #[test]
+    fn crash_under_corruption_never_delivers_corrupt_data() {
+        let mut cfg = corrupt_cfg(0.25, 1, true);
+        cfg.faults.crashes.push(crash_spec(1, 50, Some(150)));
+        let (w, end) = run_world(cfg);
+        let cm = w.crash_metrics();
+        assert_eq!(cm.crashes, 1);
+        assert_eq!(cm.rejoins, 1);
+        let m = w.integrity_metrics(end);
+        assert!(m.detections > 0, "{m:?}");
+        assert_eq!(m.corrupt_delivered, 0, "{m:?}");
+        assert_eq!(w.reads_done() + cm.lost_reads, 200);
+        w.check_soak_invariants().unwrap();
+        w.pool().assert_invariants();
+    }
+
+    #[test]
+    fn crash_after_done_and_double_entries_are_noops() {
+        // The victim finishes its 50-block portion long before 1.9s; the
+        // crash then finds a Done process and must change nothing, and
+        // its rejoin finds nothing dead.
+        let mut cfg = small_cfg(AccessPattern::LocalWholeFile, SyncStyle::None, true);
+        cfg.faults.crashes.push(crash_spec(1, 1_900, Some(1_950)));
+        let (w, _) = run_world(cfg);
+        let m = w.crash_metrics();
+        assert_eq!(m.crashes, 0);
+        assert_eq!(m.rejoins, 0);
+        assert_eq!(m.lost_reads, 0);
+        assert_eq!(w.reads_done(), 200);
     }
 }

@@ -158,6 +158,7 @@ impl World {
     /// The read returned: account it, then compute or continue.
     pub(super) fn read_finished(&mut self, p: usize, sched: &mut Scheduler<Ev>) {
         let now = sched.now();
+        self.procs[p].pending_ev = None;
         let access = self.procs[p].cur_access.expect("finish without access");
         if let Some(buf) = self.procs[p].copying_buf.take() {
             self.pool.unpin(buf);
@@ -223,7 +224,8 @@ impl World {
         } else {
             let delay = self.procs[p].rng.exponential(self.cfg.compute_mean);
             self.procs[p].state = PState::Computing;
-            sched.schedule_in(delay, Ev::ComputeDone(ProcId(p as u16)));
+            self.procs[p].pending_ev =
+                Some(sched.schedule_in(delay, Ev::ComputeDone(ProcId(p as u16))));
         }
     }
 

@@ -46,7 +46,9 @@ impl World {
         let proc = &mut self.procs[p];
         proc.action_busy = true;
         proc.action_started = now;
-        sched.schedule_at(done, Ev::ActionEnd(proc.id));
+        debug_assert!(proc.lock_cs.is_none());
+        proc.lock_cs = Some((done, hold));
+        proc.action_ev = Some(sched.schedule_at(done, Ev::ActionEnd(proc.id)));
     }
 
     /// A prefetch action completed: perform its effect (selection ran
@@ -54,6 +56,8 @@ impl World {
     /// wake fired meanwhile, or consider another action.
     pub(super) fn action_end(&mut self, p: usize, sched: &mut Scheduler<Ev>) {
         let now = sched.now();
+        self.procs[p].action_ev = None;
+        self.procs[p].lock_cs = None;
         self.procs[p].action_busy = false;
         let action_started = self.procs[p].action_started;
         self.rec.action_time.record(now - action_started);
@@ -79,6 +83,18 @@ impl World {
         } else {
             // Scrub-only daemon: no speculative fills.
             None
+        };
+        // Failover: with nothing of its own to prefetch, a survivor covers
+        // the frontier of a crashed node that is due to rejoin. Inert
+        // without a crash plan.
+        let mut failover = false;
+        let candidate = match candidate {
+            None if self.crash.is_some() && self.cfg.prefetch.enabled => {
+                let c = self.select_block_for_dead();
+                failover = c.is_some();
+                c
+            }
+            other => other,
         };
         // A poisoned block can never be fetched clean; selecting it would
         // spin the daemon on discard loops.
@@ -137,6 +153,12 @@ impl World {
                                     .tl_outstanding_io
                                     .record(now, self.outstanding_io as f64);
                                 self.note_started(block, started, sched);
+                                if failover {
+                                    self.crash
+                                        .as_mut()
+                                        .expect("failover without a crash layer")
+                                        .redistributed_prefetches += 1;
+                                }
                                 obs_block = block.index() as u64;
                                 obs_code = 0;
                                 self.obs_instant(

@@ -19,13 +19,17 @@ impl World {
         let done = self
             .lock
             .acquire_until_done(now, self.cfg.costs.lookup_overhead);
-        sched.schedule_at(done, Ev::LookupDone(proc.id));
+        debug_assert!(proc.lock_cs.is_none());
+        proc.lock_cs = Some((done, self.cfg.costs.lookup_overhead));
+        proc.pending_ev = Some(sched.schedule_at(done, Ev::LookupDone(proc.id)));
     }
 
     /// The lookup critical section finished: classify hit/miss and either
     /// copy, wait, or start a demand fetch.
     pub(super) fn lookup_done(&mut self, p: usize, sched: &mut Scheduler<Ev>) {
         let now = sched.now();
+        self.procs[p].pending_ev = None;
+        self.procs[p].lock_cs = None;
         let access = self.procs[p].cur_access.expect("lookup without access");
         let block = access.block;
         match self.pool.lookup_for_read(block, now) {
@@ -79,7 +83,8 @@ impl World {
         self.procs[p].copying_buf = Some(buf);
         let copy = self.copy_cost(p, buf);
         self.procs[p].state = PState::Copying;
-        sched.schedule_in(copy, Ev::ReadFinished(ProcId(p as u16)));
+        self.procs[p].pending_ev =
+            Some(sched.schedule_in(copy, Ev::ReadFinished(ProcId(p as u16))));
     }
 
     /// Reserve a demand buffer for `block` and start the miss work. If all
@@ -119,14 +124,18 @@ impl World {
                 proc.wait_since = now;
                 proc.wait_is_hit = false;
                 proc.expected_wake = None;
-                sched.schedule_at(done, Ev::MissIssue(ProcId(p as u16)));
+                debug_assert!(proc.lock_cs.is_none());
+                proc.lock_cs = Some((done, self.cfg.costs.miss_overhead));
+                proc.pending_ev = Some(sched.schedule_at(done, Ev::MissIssue(ProcId(p as u16))));
             }
             None => {
                 // Every candidate buffer is pinned by an in-flight copy;
                 // copies are short, so spin on the allocation.
                 self.attr_close(p, now, Component::RetryBackoff);
                 self.rec.alloc_retries += 1;
-                sched.schedule_in(self.cfg.costs.copy_remote, Ev::RetryMiss(ProcId(p as u16)));
+                self.procs[p].pending_ev = Some(
+                    sched.schedule_in(self.cfg.costs.copy_remote, Ev::RetryMiss(ProcId(p as u16))),
+                );
             }
         }
     }
@@ -136,6 +145,7 @@ impl World {
     /// fetched it); the read's original classification stands.
     pub(super) fn retry_miss(&mut self, p: usize, sched: &mut Scheduler<Ev>) {
         let now = sched.now();
+        self.procs[p].pending_ev = None;
         let block = self.procs[p]
             .cur_access
             .expect("retry without access")
@@ -168,6 +178,8 @@ impl World {
     /// the node's daemon may use the remaining wait.
     pub(super) fn miss_issue(&mut self, p: usize, sched: &mut Scheduler<Ev>) {
         let now = sched.now();
+        self.procs[p].pending_ev = None;
+        self.procs[p].lock_cs = None;
         let block = self.procs[p]
             .cur_access
             .expect("miss work without access")
@@ -652,7 +664,8 @@ impl World {
                 self.procs[p].copying_buf = Some(buf);
                 let copy = self.copy_cost(p, buf);
                 self.procs[p].state = PState::Copying;
-                sched.schedule_in(copy, Ev::ReadFinished(ProcId(p as u16)));
+                self.procs[p].pending_ev =
+                    Some(sched.schedule_in(copy, Ev::ReadFinished(ProcId(p as u16))));
             }
             PState::AtBarrier => {
                 self.procs[p].state = PState::Running;
@@ -706,6 +719,15 @@ impl World {
             self.clear_pending(block, sched);
             return;
         }
+        if self.crash.is_some() && kind == FetchKind::Demand && !self.waiters.has_waiters(block) {
+            // Under a crash plan a demand fetch can outlive every reader
+            // that wanted it. A failing orphan is dropped rather than
+            // retried forever on behalf of the dead; a rejoiner re-misses
+            // cleanly.
+            self.pool.discard_pending(buf);
+            self.clear_pending(block, sched);
+            return;
+        }
         // The ready estimate is void until a resubmission starts service.
         self.pool.set_ready_at(buf, SimTime::MAX);
         // Waiters back off with the fetch until the retry enters service.
@@ -748,6 +770,9 @@ impl World {
             let entry = fs.pending.entry(block).or_default();
             ((entry.attempts % copies) as u16, entry.initiator)
         };
+        // The recorded initiator may have crashed since the entry was
+        // written; charge the resubmission to a survivor.
+        let who = self.live_initiator(who);
         self.rec.retries += 1;
         if replica != 0 {
             self.rec.redirects += 1;

@@ -69,10 +69,42 @@ impl WaiterTable {
         }
     }
 
+    /// Total registrations across every block. A drained run must report
+    /// zero — anything left is a waiter whose wake will never fire.
+    pub fn total(&self) -> usize {
+        self.lists
+            .iter()
+            .map(|l| l.len as usize + l.spill.len())
+            .sum()
+    }
+
     /// Is anyone waiting for `block`?
     pub fn has_waiters(&self, block: BlockId) -> bool {
         let list = &self.lists[block.index()];
         list.len > 0 || !list.spill.is_empty()
+    }
+
+    /// Remove one registration of `proc` from `block`'s list, preserving
+    /// the registration order of everyone else. Returns whether an entry
+    /// was removed (used when a waiting process crashes — its wake must
+    /// never fire).
+    pub fn remove(&mut self, block: BlockId, proc: ProcId) -> bool {
+        let list = &mut self.lists[block.index()];
+        let len = list.len as usize;
+        if let Some(pos) = list.inline[..len].iter().position(|&p| p == proc) {
+            list.inline.copy_within(pos + 1..len, pos);
+            if list.spill.is_empty() {
+                list.len -= 1;
+            } else {
+                list.inline[len - 1] = list.spill.remove(0);
+            }
+            return true;
+        }
+        if let Some(pos) = list.spill.iter().position(|&p| p == proc) {
+            list.spill.remove(pos);
+            return true;
+        }
+        false
     }
 
     /// Move every waiter for `block` into `out` (appended in registration
@@ -115,6 +147,32 @@ mod tests {
         out.clear();
         t.drain_into(BlockId(0), &mut out);
         assert_eq!(out, vec![ProcId(9)]);
+    }
+
+    #[test]
+    fn remove_preserves_order_across_spill() {
+        let mut t = WaiterTable::new(2);
+        for p in 0..7u16 {
+            t.push(BlockId(1), ProcId(p));
+        }
+        // Remove an inline entry: the first spilled waiter backfills.
+        assert!(t.remove(BlockId(1), ProcId(2)));
+        // Remove a spilled entry.
+        assert!(t.remove(BlockId(1), ProcId(6)));
+        // A proc that is not registered is a no-op.
+        assert!(!t.remove(BlockId(1), ProcId(2)));
+        let mut out = Vec::new();
+        t.drain_into(BlockId(1), &mut out);
+        assert_eq!(out, [0, 1, 3, 4, 5].map(ProcId).to_vec());
+    }
+
+    #[test]
+    fn remove_last_inline_entry_empties_list() {
+        let mut t = WaiterTable::new(1);
+        t.push(BlockId(0), ProcId(4));
+        assert!(t.has_waiters(BlockId(0)));
+        assert!(t.remove(BlockId(0), ProcId(4)));
+        assert!(!t.has_waiters(BlockId(0)));
     }
 
     #[test]

@@ -72,6 +72,14 @@ pub enum EventKind {
     Retry,
     /// A request timed out and was redirected (instant).
     Timeout,
+    /// The node crashed; its tracks go dead until a rejoin (instant).
+    Crash,
+    /// A crashed node restarted with a cold RU set (instant).
+    Rejoin,
+    /// The interval a node spent dead, emitted at its rejoin (span on a
+    /// proc track). A node that never rejoins is marked only by its
+    /// [`EventKind::Crash`] instant.
+    DeadInterval,
 }
 
 impl EventKind {
@@ -93,6 +101,9 @@ impl EventKind {
             EventKind::Throttle => "throttle",
             EventKind::Retry => "retry",
             EventKind::Timeout => "timeout",
+            EventKind::Crash => "crash",
+            EventKind::Rejoin => "rejoin",
+            EventKind::DeadInterval => "dead",
         }
     }
 
@@ -101,7 +112,10 @@ impl EventKind {
     pub fn is_span(self) -> bool {
         matches!(
             self,
-            EventKind::Read | EventKind::DeviceService | EventKind::DaemonAction
+            EventKind::Read
+                | EventKind::DeviceService
+                | EventKind::DaemonAction
+                | EventKind::DeadInterval
         )
     }
 }
@@ -260,7 +274,7 @@ pub fn render_tail(events: &[ObsEvent], limit: usize) -> String {
                     e.dur.as_millis_f64()
                 ));
             }
-            EventKind::DaemonAction | EventKind::VerifyHold => {
+            EventKind::DaemonAction | EventKind::VerifyHold | EventKind::DeadInterval => {
                 line.push_str(&format!(" dur={:.3}ms", e.dur.as_millis_f64()));
             }
             _ => {}

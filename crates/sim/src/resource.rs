@@ -195,6 +195,25 @@ impl SimLock {
     pub fn free_at(&self) -> SimTime {
         self.free_at
     }
+
+    /// Reclaim the tail critical section of a holder that vanished (a
+    /// crashed node): if the lock's next-free instant is exactly `cs_end`
+    /// — the victim is the last holder in line — and its section has not
+    /// yet ended, pull the `hold` back so later requesters are granted
+    /// earlier. Returns whether the tail was reclaimed; `false` means
+    /// other acquirers already queued behind the victim and its lease is
+    /// left to expire naturally (the analytic queue cannot be reshuffled
+    /// once later grants were handed out).
+    pub fn reclaim_tail(&mut self, now: SimTime, cs_end: SimTime, hold: SimDuration) -> bool {
+        if self.free_at == cs_end && cs_end > now {
+            // `cs_end` was produced by `acquire` as grant + hold, so the
+            // subtraction recovers the grant instant (never underflows).
+            self.free_at = now.max(cs_end - hold);
+            true
+        } else {
+            false
+        }
+    }
 }
 
 impl Default for SimLock {
@@ -279,6 +298,45 @@ mod tests {
         let done = l.acquire_until_done(at(20), ms(1));
         assert_eq!(done, at(21), "grant at 20 plus a 1 ms hold");
         assert_eq!(l.wait().max(), Some(SimDuration::ZERO));
+    }
+
+    #[test]
+    fn reclaim_tail_frees_the_last_holder() {
+        let mut l = SimLock::new();
+        let g = l.acquire(at(10), ms(5)); // holds [10, 15)
+        assert_eq!(g, at(10));
+        // The holder crashes at t=12: the tail is reclaimed and the lock
+        // is free immediately.
+        assert!(l.reclaim_tail(at(12), at(15), ms(5)));
+        assert_eq!(l.free_at(), at(12));
+        // A new acquirer is granted right away.
+        assert_eq!(l.acquire(at(12), ms(1)), at(12));
+    }
+
+    #[test]
+    fn reclaim_tail_of_queued_holder_pulls_back_to_grant() {
+        let mut l = SimLock::new();
+        l.acquire(at(0), ms(10)); // holds [0, 10)
+        let done = l.acquire_until_done(at(1), ms(3)); // queued: [10, 13)
+        assert_eq!(done, at(13));
+        // The queued holder crashes before its grant: reclaim returns the
+        // lock to the first holder's release instant.
+        assert!(l.reclaim_tail(at(2), at(13), ms(3)));
+        assert_eq!(l.free_at(), at(10));
+    }
+
+    #[test]
+    fn reclaim_tail_declines_when_not_the_tail() {
+        let mut l = SimLock::new();
+        let done = l.acquire_until_done(at(0), ms(5)); // [0, 5)
+        l.acquire(at(1), ms(5)); // queued behind: free_at = 10
+
+        // First holder crashes, but another acquirer already queued behind
+        // it — the lease must expire naturally.
+        assert!(!l.reclaim_tail(at(2), done, ms(5)));
+        assert_eq!(l.free_at(), at(10));
+        // A section that already ended is likewise left alone.
+        assert!(!l.reclaim_tail(at(20), at(10), ms(5)));
     }
 
     #[test]

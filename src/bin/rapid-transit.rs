@@ -9,6 +9,7 @@
 //! rapid-transit trace-check <file>  validate an exported Perfetto trace
 //! rapid-transit perf                measure the fixed perf slice
 //! rapid-transit faults              run the fault-injection sweep
+//! rapid-transit crashes             run the node-crash sweep
 //! rapid-transit soak                run the overload/chaos soak
 //! rapid-transit integrity           run the data-integrity sweep
 //! ```
@@ -52,6 +53,7 @@ fn main() -> ExitCode {
         "trace-check" => cmd_trace_check(rest),
         "perf" => cmd_perf(rest),
         "faults" => cmd_faults(rest),
+        "crashes" => cmd_crashes(rest),
         "soak" => cmd_soak(rest),
         "integrity" => cmd_integrity(rest),
         "help" | "--help" | "-h" => {
@@ -87,6 +89,10 @@ commands:
                   RT_THREADS=N overrides the default when --threads absent)
   faults         run the fault-injection sweep, write BENCH_faults.json
                  (--out FILE, --smoke, --check)
+  crashes        run the node-crash sweep (crash/rejoin/cascade over all
+                 six patterns, with per-event invariants and terminal
+                 leak checks), write BENCH_crash.json
+                 (--out FILE, --smoke, --check)
   soak           run the overload/chaos soak, write BENCH_overload.json
                  (--out FILE, --smoke, --check)
   integrity      run the data-integrity sweep (corruption, verify,
@@ -119,6 +125,7 @@ fault options (run):
                    flaky:<disk>:p<prob>[@<from>[-<until>]]
                    fail:<disk>@<from>[-<until>]
                    corrupt:<disk>:p<prob>[@<from>[-<until>]]
+                   crash:<node>@<time>[:rejoin@<time>]
                  durations: 5s, 200ms, or bare milliseconds
   --replicas N   rotated-interleave file copies for redirects/repair
   --io-timeout MS demand-read timeout (redirects when replicas exist)
@@ -231,6 +238,24 @@ fn integrity_rows(m: &RunMetrics) -> Vec<(&'static str, String)> {
     ]
 }
 
+/// Crash rows, shown only when the run injected node crashes.
+fn crash_rows(m: &RunMetrics) -> Vec<(&'static str, String)> {
+    let c = &m.crash;
+    vec![
+        ("crashes", c.crashes.to_string()),
+        ("rejoins", c.rejoins.to_string()),
+        ("lost reads", c.lost_reads.to_string()),
+        ("reclaimed locks", c.reclaimed_locks.to_string()),
+        ("reclaimed pins", c.reclaimed_pins.to_string()),
+        ("reclaimed waiters", c.reclaimed_waiters.to_string()),
+        ("orphaned ios", c.orphaned_ios.to_string()),
+        (
+            "failover prefetches",
+            c.redistributed_prefetches.to_string(),
+        ),
+    ]
+}
+
 /// Overload rows, shown only when queues are bounded or admission is on.
 fn overload_rows(m: &RunMetrics) -> Vec<(&'static str, String)> {
     let o = &m.overload;
@@ -262,6 +287,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     };
     println!("running {} ...", cfg.label());
     let show_faults = cfg.faults.is_active();
+    let show_crashes = !cfg.faults.crashes.is_empty();
     let show_integrity = cfg.integrity.active_with(&cfg.faults.plan);
     let show_overload = cfg.queue_depth.is_some() || cfg.admission.enabled;
     let m = match &trace_out {
@@ -286,6 +312,9 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let mut rows = metric_rows(&m);
     if show_faults {
         rows.extend(fault_rows(&m));
+    }
+    if show_crashes {
+        rows.extend(crash_rows(&m));
     }
     if show_integrity {
         rows.extend(integrity_rows(&m));
@@ -529,6 +558,75 @@ fn cmd_faults(args: &[String]) -> Result<(), String> {
         );
     }
     let doc = faults::report(&results, smoke);
+    std::fs::write(&out, doc.pretty()).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+fn cmd_crashes(args: &[String]) -> Result<(), String> {
+    use rapid_transit::bench::crashes;
+    use rapid_transit::bench::json::Json;
+    use rapid_transit::cli::flag_value;
+
+    let out = flag_value(args, "--out")?
+        .unwrap_or("BENCH_crash.json")
+        .to_string();
+    let smoke = has_flag(args, "--smoke");
+
+    if has_flag(args, "--check") {
+        let text = std::fs::read_to_string(&out).map_err(|e| format!("cannot read {out}: {e}"))?;
+        let doc = Json::parse(&text).map_err(|e| format!("{out}: {e}"))?;
+        crashes::validate_report(&doc).map_err(|e| format!("{out}: {e}"))?;
+        let n = doc
+            .get("scenarios")
+            .and_then(Json::as_array)
+            .map_or(0, <[Json]>::len);
+        println!("{out}: valid crash report, {n} scenarios");
+        return Ok(());
+    }
+
+    println!(
+        "running crash sweep ({} ...)",
+        if smoke { "smoke" } else { "full" }
+    );
+    let results = crashes::run_sweep(smoke).map_err(|e| e.to_string())?;
+    println!(
+        "{:<14} {:>10} {:>10} {:>7} {:>7} {:>5} {:>9} {:>8} {:>8}",
+        "scenario",
+        "base ms",
+        "pf ms",
+        "crashes",
+        "rejoins",
+        "lost",
+        "reclaimed",
+        "orphaned",
+        "failover"
+    );
+    let mut violation = None;
+    for r in &results {
+        let c = &r.pair.prefetch.crash;
+        println!(
+            "{:<14} {:>10.0} {:>10.0} {:>7} {:>7} {:>5} {:>9} {:>8} {:>8}",
+            r.name,
+            r.pair.base.total_time.as_millis_f64(),
+            r.pair.prefetch.total_time.as_millis_f64(),
+            c.crashes,
+            c.rejoins,
+            c.lost_reads,
+            c.reclaimed_locks + c.reclaimed_pins + c.reclaimed_waiters,
+            c.orphaned_ios,
+            c.redistributed_prefetches,
+        );
+        if let Some((half, v)) = r.violation() {
+            violation = Some(format!("{} ({half}): {v}", r.name));
+            write_flight_dump(&out, r.flight());
+        }
+    }
+    if let Some(v) = violation {
+        return Err(format!("crash invariant violation — {v}"));
+    }
+    let doc = crashes::report(&results, smoke);
+    crashes::validate_report(&doc).map_err(|e| format!("refusing to write {out}: {e}"))?;
     std::fs::write(&out, doc.pretty()).map_err(|e| format!("cannot write {out}: {e}"))?;
     println!("wrote {out}");
     Ok(())

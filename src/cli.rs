@@ -1,7 +1,7 @@
 //! Argument parsing for the `rapid-transit` command-line tool, kept in the
 //! library so it can be unit-tested.
 
-use rt_core::faults::parse_fault_spec;
+use rt_core::faults::parse_all_fault_specs;
 use rt_core::{AdmissionConfig, ExperimentConfig, PolicyKind, PrefetchConfig};
 use rt_patterns::{AccessPattern, SyncStyle};
 use rt_sim::SimDuration;
@@ -178,11 +178,16 @@ pub fn build_config(args: &[String]) -> Result<ExperimentConfig, String> {
     }
 
     // Fault injection: each --faults value is a comma-separated list of
-    // specs (straggler:7:x4, flaky:3:p0.2@1s-4s, fail:5@2s); the flag is
+    // specs — device faults (straggler:7:x4, flaky:3:p0.2@1s-4s,
+    // fail:5@2s) and node crashes (crash:3@5s:rejoin@12s). The flag is
     // repeatable.
     for list in flag_values(args, "--faults")? {
-        for spec in list.split(',').filter(|s| !s.trim().is_empty()) {
-            parse_fault_spec(&mut cfg.faults.plan, spec.trim()).map_err(|e| e.to_string())?;
+        let (plan, crashes) = parse_all_fault_specs(list).map_err(|e| e.to_string())?;
+        for f in plan.entries() {
+            cfg.faults.plan.push(*f);
+        }
+        for c in crashes.entries() {
+            cfg.faults.crashes.push(*c);
         }
     }
     if let Some(v) = flag_value(args, "--replicas")? {
@@ -333,6 +338,28 @@ mod tests {
         let err = build_config(&args(&["--faults", "meteor:3"])).unwrap_err();
         assert!(err.contains("meteor"), "{err}");
         assert!(build_config(&args(&["--io-timeout", "0"])).is_err());
+    }
+
+    #[test]
+    fn crash_flags_parse() {
+        let cfg = build_config(&args(&[
+            "--faults",
+            "crash:3@5s:rejoin@12s,straggler:7:x4",
+            "--faults",
+            "crash:9@8s",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.faults.crashes.entries().len(), 2);
+        assert_eq!(cfg.faults.crashes.entries()[0].node, 3);
+        assert!(cfg.faults.crashes.entries()[0].rejoin.is_some());
+        assert_eq!(cfg.faults.crashes.entries()[1].rejoin, None);
+        assert_eq!(cfg.faults.plan.entries().len(), 1);
+        // Node 25 does not exist on the default 20-proc machine.
+        let err = build_config(&args(&["--faults", "crash:25@5s"])).unwrap_err();
+        assert!(err.contains("node 25"), "{err}");
+        // A rejoin must come after its crash.
+        let err = build_config(&args(&["--faults", "crash:3@5s:rejoin@2s"])).unwrap_err();
+        assert!(err.contains("rejoin"), "{err}");
     }
 
     #[test]

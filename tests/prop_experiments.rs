@@ -5,11 +5,13 @@
 use proptest::prelude::*;
 
 use rapid_transit::core::experiment::{run_experiment, RunHandle};
-use rapid_transit::core::faults::parse_fault_spec;
-use rapid_transit::core::{AdmissionConfig, RunMetrics};
+use rapid_transit::core::faults::{parse_fault_spec, CrashSpec};
+use rapid_transit::core::world::generate_workload;
+use rapid_transit::core::{AdmissionConfig, RunMetrics, World};
 use rapid_transit::core::{ExperimentConfig, PolicyKind, PrefetchConfig};
 use rapid_transit::patterns::{AccessPattern, SyncStyle, WorkloadParams};
-use rapid_transit::sim::SimDuration;
+use rapid_transit::sim::engine::run;
+use rapid_transit::sim::{Scheduler, SimDuration, SimTime};
 
 fn pattern_strategy() -> impl Strategy<Value = AccessPattern> {
     prop::sample::select(AccessPattern::ALL.to_vec())
@@ -187,6 +189,104 @@ proptest! {
         prop_assert_eq!(fingerprint(&from_fork), fingerprint(&straight));
         prop_assert_eq!(fingerprint(&from_original), fingerprint(&straight));
     }
+
+    /// Node-crash robustness: any random crash/rejoin plan, layered over
+    /// any machine shape × pattern × prefetch setting and optionally over
+    /// device faults and bounded admission, must drain its event queue,
+    /// leak nothing (lock leases, buffer pins, waiter registrations,
+    /// parked demand), close its read accounting against the generated
+    /// workload, and remain deterministic.
+    #[test]
+    fn crashed_runs_terminate_reclaim_and_balance(
+        cfg in config_strategy(),
+        plan in prop::collection::vec(
+            (any::<u16>(), 1u64..600, prop::option::of(1u64..600)),
+            1..4,
+        ),
+        overload in any::<bool>(),
+        faulty in any::<bool>(),
+    ) {
+        let mut cfg = fixup(cfg);
+        if overload {
+            cfg.queue_depth = Some(2);
+            cfg.admission = AdmissionConfig::on(2);
+        }
+        if faulty {
+            parse_fault_spec(&mut cfg.faults.plan, "straggler:0:x4").unwrap();
+        }
+        // Sanitize the drawn plan into a valid one: distinct nodes that
+        // exist on the machine, rejoins strictly after their crash.
+        let mut used = std::collections::BTreeSet::new();
+        for (node, at_ms, rejoin_after_ms) in plan {
+            let node = node % cfg.procs;
+            if !used.insert(node) {
+                continue;
+            }
+            cfg.faults.crashes.push(CrashSpec {
+                node,
+                at: SimTime::from_nanos(at_ms * 1_000_000),
+                rejoin: rejoin_after_ms
+                    .map(|d| SimTime::from_nanos((at_ms + d) * 1_000_000)),
+            });
+        }
+        prop_assert!(cfg.validate().is_ok(), "sanitized plan invalid: {:?}", cfg.faults.crashes);
+
+        let expected = generate_workload(&cfg).total_reads() as u64;
+        let first = drain_crashed(&cfg);
+        match &first {
+            Ok(v) => prop_assert_eq!(
+                v.completed + v.lost + v.abandoned,
+                expected,
+                "read accounting open: {:?} (cfg {:?})",
+                v,
+                cfg
+            ),
+            Err(e) => prop_assert!(false, "{} (cfg {:?})", e, cfg),
+        }
+        // Crash handling must not perturb determinism: the identical
+        // config replays to the identical drain.
+        let second = drain_crashed(&cfg);
+        prop_assert_eq!(first, second);
+    }
+}
+
+/// Everything that pins a crashed run: completion counters, crash
+/// accounting, and the exact drain time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct CrashDrain {
+    completed: u64,
+    lost: u64,
+    abandoned: u64,
+    crashes: u64,
+    rejoins: u64,
+    reclaimed: u64,
+    end_ns: u64,
+}
+
+/// Run `cfg` to queue drain and apply every terminal invariant the
+/// crashes sweep enforces; returns the drain fingerprint.
+fn drain_crashed(cfg: &ExperimentConfig) -> Result<CrashDrain, String> {
+    let mut world = World::new(cfg.clone());
+    let mut sched = Scheduler::new();
+    world.bootstrap(&mut sched);
+    let out = run(&mut world, &mut sched, 50_000_000);
+    if out.budget_exhausted {
+        return Err(format!("event budget exhausted at {:?}", out.end_time));
+    }
+    if !world.complete() {
+        return Err("event queue drained before the run completed".into());
+    }
+    world.check_terminal_invariants(sched.now())?;
+    let c = world.crash_metrics();
+    Ok(CrashDrain {
+        completed: world.reads_done(),
+        lost: c.lost_reads,
+        abandoned: world.abandoned_reads(),
+        crashes: c.crashes,
+        rejoins: c.rejoins,
+        reclaimed: c.reclaimed_locks + c.reclaimed_pins + c.reclaimed_waiters,
+        end_ns: out.end_time.as_nanos(),
+    })
 }
 
 /// The fields that pin a run bit-for-bit: exact simulated durations plus
