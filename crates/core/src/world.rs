@@ -1616,6 +1616,32 @@ mod tests {
     }
 
     #[test]
+    fn crash_in_miss_critical_section_resubmits_for_waiting_survivors() {
+        // LocalWholeFile: every node reads block 0 first, so the lock
+        // serializes the lookups (300us each) and node 0 — first to miss —
+        // reserves the demand buffer and sits in its miss critical section
+        // over (1200us, 2200us) while nodes 1..3 queue behind the Pending
+        // buffer as unready hits. Crashing node 0 at 2ms therefore kills
+        // it after the reservation but before the fetch reaches a disk
+        // queue: the orphaned fetch must be submitted on behalf of a
+        // survivor, or nodes 1..3 wait on a buffer that never fills.
+        let mut cfg = small_cfg(AccessPattern::LocalWholeFile, SyncStyle::None, false);
+        cfg.faults.crashes.push(crash_spec(0, 2, None));
+        let (w, _) = run_world(cfg);
+        let m = w.crash_metrics();
+        assert_eq!(m.crashes, 1);
+        assert_eq!(m.orphaned_ios, 1, "{m:?}");
+        assert_eq!(m.lost_reads, 1, "{m:?}");
+        assert!(
+            w.procs.iter().skip(1).all(|p| p.state == PState::Done),
+            "survivors must finish despite the orphaned reservation"
+        );
+        assert_eq!(w.reads_done() + m.lost_reads + w.abandoned_reads(), 200);
+        w.check_soak_invariants().unwrap();
+        w.pool().assert_invariants();
+    }
+
+    #[test]
     fn crash_shrinks_barrier_membership_so_survivors_never_deadlock() {
         // Without membership reclamation the first barrier after the
         // crash would wait for the dead node forever.

@@ -297,13 +297,21 @@ impl World {
         ) {
             return;
         }
-        let me = ProcId(p as u16);
-        let live = self.live_initiator(me);
-        if live == me {
+        // The victim is not marked `Crashed` until after the per-state
+        // reclamation, so `live_initiator` would still resolve to it here;
+        // pick the survivor explicitly, excluding the victim.
+        let live = (0..self.procs.len())
+            .find(|&i| i != p && self.procs[i].state != PState::Crashed)
+            .map(|i| ProcId(i as u16));
+        let Some(live) = live else {
+            debug_assert!(
+                !self.waiters.has_waiters(block),
+                "waiters behind an orphaned miss with no survivor"
+            );
             self.pool.discard_pending(buf);
             self.clear_pending(block, sched);
             return;
-        }
+        };
         self.crash.as_mut().expect("crash in progress").orphaned_ios += 1;
         let replica = self.pick_demand_replica(block, now);
         let (started, parked) = self.submit_demand(now, block, replica, live);
