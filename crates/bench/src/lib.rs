@@ -27,6 +27,7 @@ pub mod integrity;
 pub mod json;
 pub mod perf;
 pub mod soak;
+pub mod tail;
 pub mod trace_check;
 
 /// Events shown in a flight dump's human-readable tail.

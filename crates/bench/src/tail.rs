@@ -1,0 +1,464 @@
+//! The `rapid-transit tail` harness: tail-tolerance scenarios swept over
+//! every paper pattern, emitted as `BENCH_tail.json`.
+//!
+//! Each of the six access patterns runs under three fault modes — a
+//! persistent straggler disk, a transient outage window, and a straggler
+//! compounded by a node crash/rejoin — and each combination runs under
+//! three mitigation policies:
+//!
+//! * **timeout** — the PR-7 baseline: a demand-read timeout with
+//!   redirect, nothing else.
+//! * **hedge** — the timeout plus hedged reads: a duplicate fetch to the
+//!   next replica once a demand fetch is outstanding past the hedge
+//!   delay, first completion wins.
+//! * **full** — hedging plus a retry-budget token bucket and per-device
+//!   circuit breakers.
+//!
+//! Three properties are enforced by the report validator:
+//!
+//! 1. **Exactly-once delivery**: `duplicate_deliveries` is zero in every
+//!    run — no waiter is ever woken twice no matter how the duplicate
+//!    fetches race (the verification pass also rejects it per event).
+//! 2. **Budget discipline**: `budget_spent` never exceeds the bucket's
+//!    capacity plus its per-completion refill times the run's disk ops.
+//! 3. **Tail improvement**: under the straggler mode, the hedged
+//!    policy's p99 read time is no worse than the timeout-only
+//!    policy's — the whole point of duplicating slow fetches.
+//!
+//! Everything is deterministic; a given build either always passes or
+//! always fails. The `--smoke` variant shrinks the machine for CI.
+
+use rt_core::experiment::run_experiment;
+use rt_core::faults::{parse_all_fault_specs, FaultSpecError};
+use rt_core::{ExperimentConfig, RunMetrics};
+use rt_patterns::{SyncStyle, WorkloadParams};
+use rt_sim::SimDuration;
+
+use crate::crashes::{verify_half, CrashVerdict, PATTERNS};
+use crate::json::{num_obj, sweep_report, Check, Json};
+
+/// Report format version.
+pub const SCHEMA: u64 = 1;
+
+/// Demand-read timeout shared by every policy (milliseconds).
+const TIMEOUT_MS: u64 = 150;
+
+/// Fixed hedge delay for the hedged policies (milliseconds) — under the
+/// paper's 30 ms disk, an x8 straggler holds a fetch for 240 ms, so the
+/// hedge fires long before the timeout does.
+const HEDGE_MS: u64 = 60;
+
+/// Retry-budget token bucket for the `full` policy.
+pub const BUDGET_CAPACITY: u32 = 32;
+/// Tokens refilled per successful disk completion in the `full` policy.
+pub const BUDGET_REFILL: f64 = 0.25;
+
+/// The three fault modes swept per pattern.
+pub const FAULT_MODES: [&str; 3] = ["straggler", "outage", "straggler-crash"];
+
+/// The three mitigation policies swept per pattern x fault mode.
+pub const POLICIES: [&str; 3] = ["timeout", "hedge", "full"];
+
+/// Fault-spec string for a mode (exactly what `--faults` accepts, so
+/// the sweep exercises the parser too). `quick` shrinks the windows to
+/// the smoke machine's timescale.
+fn fault_spec(mode: &str, quick: bool) -> &'static str {
+    match (mode, quick) {
+        ("straggler", _) => "straggler:0:x8",
+        ("outage", false) => "fail:0@500ms-2500ms",
+        ("outage", true) => "fail:0@40ms-400ms",
+        ("straggler-crash", false) => "straggler:0:x8,crash:3@1s:rejoin@3s",
+        ("straggler-crash", true) => "straggler:0:x8,crash:1@60ms:rejoin@300ms",
+        _ => unreachable!("unknown fault mode {mode}"),
+    }
+}
+
+/// Apply one mitigation policy's knobs. Every policy keeps the same
+/// timeout and replica count so the only axis that moves is the
+/// tail-tolerance machinery itself.
+fn apply_policy(cfg: &mut ExperimentConfig, policy: &str) {
+    cfg.faults.replicas = 1;
+    cfg.faults.retry.timeout = Some(SimDuration::from_millis(TIMEOUT_MS));
+    match policy {
+        "timeout" => {}
+        "hedge" => {
+            cfg.faults.hedge.delay = Some(SimDuration::from_millis(HEDGE_MS));
+        }
+        "full" => {
+            cfg.faults.hedge.delay = Some(SimDuration::from_millis(HEDGE_MS));
+            cfg.faults.budget.capacity = Some(BUDGET_CAPACITY);
+            cfg.faults.budget.refill = BUDGET_REFILL;
+            cfg.faults.breaker.enabled = true;
+            // Two consecutive errors trip the breaker (EWMA 0.3 then
+            // 0.51): the device-health quarantine steers demand away so
+            // fast that an outage only yields a couple of errors before
+            // traffic is gone, and the breaker must still latch open.
+            cfg.faults.breaker.error_threshold = 0.5;
+        }
+        other => unreachable!("unknown policy {other}"),
+    }
+}
+
+/// One named tail scenario.
+pub struct TailScenario {
+    /// Stable scenario name (report key), `<pattern>-<mode>-<policy>`.
+    pub name: String,
+    /// The full experiment configuration, faults and policy included.
+    pub cfg: ExperimentConfig,
+}
+
+/// The fixed scenario grid: six patterns x three fault modes x three
+/// policies. `quick` shrinks the machine (4 nodes, 200 blocks) and the
+/// fault windows for smoke tests.
+pub fn scenarios(quick: bool) -> Result<Vec<TailScenario>, FaultSpecError> {
+    let mut out = Vec::with_capacity(PATTERNS.len() * FAULT_MODES.len() * POLICIES.len());
+    for (pat_name, pattern) in PATTERNS {
+        for mode in FAULT_MODES {
+            for policy in POLICIES {
+                let mut cfg =
+                    ExperimentConfig::paper_default(pattern, SyncStyle::BlocksPerProc(10));
+                if quick {
+                    cfg.procs = 4;
+                    cfg.disks = 4;
+                    cfg.workload = WorkloadParams {
+                        procs: 4,
+                        file_blocks: 200,
+                        total_reads: 200,
+                        ..WorkloadParams::paper()
+                    };
+                }
+                let (plan, crashes) = parse_all_fault_specs(fault_spec(mode, quick))?;
+                cfg.faults.plan = plan;
+                for c in crashes.entries() {
+                    cfg.faults.crashes.push(*c);
+                }
+                apply_policy(&mut cfg, policy);
+                out.push(TailScenario {
+                    name: format!("{pat_name}-{mode}-{policy}"),
+                    cfg,
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// One scenario's full result: the measured run plus its verification
+/// verdict (per-event soak invariants — which reject any duplicate
+/// delivery the moment it happens — a livelock watchdog, and terminal
+/// leak checks, reusing the crash sweep's verifier).
+pub struct TailResult {
+    /// Scenario name (report key).
+    pub name: String,
+    /// The measured run.
+    pub metrics: RunMetrics,
+    /// Verification verdict.
+    pub verdict: CrashVerdict,
+}
+
+/// Run every scenario and verify it.
+pub fn run_sweep(quick: bool) -> Result<Vec<TailResult>, FaultSpecError> {
+    Ok(scenarios(quick)?
+        .into_iter()
+        .map(|s| TailResult {
+            metrics: run_experiment(&s.cfg),
+            verdict: verify_half(&s.cfg),
+            name: s.name,
+        })
+        .collect())
+}
+
+fn run_json(m: &RunMetrics, v: &CrashVerdict) -> Json {
+    let t = &m.tail;
+    num_obj(&[
+        ("total_ms", m.total_time.as_millis_f64()),
+        ("read_ms", m.mean_read_ms()),
+        ("read_p99_ms", m.read_quantile_ms(0.99)),
+        ("hedged_p99_ms", m.hedged_read_quantile_ms(0.99)),
+        ("timeouts", m.faults.timeouts as f64),
+        ("retries", m.faults.retries as f64),
+        ("disk_ops", m.disk_ops as f64),
+        ("hedges_launched", t.hedges_launched as f64),
+        ("hedge_wins", t.hedge_wins as f64),
+        ("hedge_wasted", t.hedge_wasted as f64),
+        ("hedge_cancels", t.hedge_cancels as f64),
+        ("retries_denied", t.retries_denied as f64),
+        ("budget_spent", t.budget_spent as f64),
+        ("breaker_opens", t.breaker_opens as f64),
+        ("probe_successes", t.probe_successes as f64),
+        ("duplicate_deliveries", t.duplicate_deliveries as f64),
+        ("lost_reads", m.crash.lost_reads as f64),
+        ("completed_reads", v.completed as f64),
+        ("abandoned_reads", v.abandoned as f64),
+        ("expected_reads", v.expected as f64),
+        ("violations", u64::from(v.violation.is_some()) as f64),
+    ])
+}
+
+/// Build the report document from a sweep's results. The report is
+/// regenerated wholesale on each run (scenarios are deterministic, so
+/// entries only change when the code does).
+pub fn report(results: &[TailResult], quick: bool) -> Json {
+    sweep_report(
+        SCHEMA,
+        quick,
+        results
+            .iter()
+            .map(|r| {
+                Json::Obj(vec![
+                    ("name".into(), Json::Str(r.name.clone())),
+                    ("run".into(), run_json(&r.metrics, &r.verdict)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Fields every per-run object in the report must carry.
+const RUN_FIELDS: [&str; 21] = [
+    "total_ms",
+    "read_ms",
+    "read_p99_ms",
+    "hedged_p99_ms",
+    "timeouts",
+    "retries",
+    "disk_ops",
+    "hedges_launched",
+    "hedge_wins",
+    "hedge_wasted",
+    "hedge_cancels",
+    "retries_denied",
+    "budget_spent",
+    "breaker_opens",
+    "probe_successes",
+    "duplicate_deliveries",
+    "lost_reads",
+    "completed_reads",
+    "abandoned_reads",
+    "expected_reads",
+    "violations",
+];
+
+/// Check that `doc` is a structurally valid tail report: correct
+/// schema, the full pattern x mode x policy grid present, every run
+/// carrying all counters, zero verification violations, **zero
+/// duplicate deliveries**, the reads accounted for, the timeout-only
+/// policy untouched by the new machinery, `budget_spent` within the
+/// token bucket's bound, hedges actually firing (and breakers actually
+/// opening) where their faults demand it, and the hedged policy's p99
+/// read time no worse than timeout-only's under the straggler. Every
+/// failure is reported, newline-joined, not just the first.
+pub fn validate_report(doc: &Json) -> Result<(), String> {
+    let mut c = Check::new();
+    c.require_schema(doc, SCHEMA);
+    let scenarios = c.array(doc, "scenarios");
+    let mut seen: Vec<String> = Vec::new();
+    let mut p99: Vec<(String, f64)> = Vec::new();
+    for (i, s) in scenarios.iter().enumerate() {
+        let Some(name) = c.string(s, "name", &format!("scenario {i}")) else {
+            continue;
+        };
+        let name = name.to_string();
+        seen.push(name.clone());
+        let Some(run) = s.get("run") else {
+            c.fail(format!("scenario {name}: missing run"));
+            continue;
+        };
+        let ctx = format!("scenario {name}");
+        c.nums(run, &RUN_FIELDS, &ctx);
+        let num = |field: &str| run.get(field).and_then(Json::as_f64);
+        if let Some(p) = num("read_p99_ms") {
+            p99.push((name.clone(), p));
+        }
+        if num("violations").is_some_and(|v| v != 0.0) {
+            c.fail(format!("{ctx}: verification reported violations"));
+        }
+        if num("duplicate_deliveries").is_some_and(|v| v != 0.0) {
+            c.fail(format!("{ctx}: a waiter was delivered a block twice"));
+        }
+        if let (Some(completed), Some(lost), Some(abandoned), Some(expected)) = (
+            num("completed_reads"),
+            num("lost_reads"),
+            num("abandoned_reads"),
+            num("expected_reads"),
+        ) {
+            if completed + lost + abandoned != expected {
+                c.fail(format!(
+                    "{ctx}: {completed} completed + {lost} lost + {abandoned} \
+                     abandoned != {expected} expected"
+                ));
+            }
+            if expected <= 0.0 {
+                c.fail(format!("{ctx}: empty workload"));
+            }
+        }
+        // The timeout-only policy must be untouched by the machinery:
+        // inert layers stay inert.
+        if name.ends_with("-timeout") {
+            for field in ["hedges_launched", "budget_spent", "breaker_opens"] {
+                if num(field).is_some_and(|v| v != 0.0) {
+                    c.fail(format!("{ctx}: timeout-only run has nonzero {field}"));
+                }
+            }
+        }
+        // Budget discipline: spends never exceed the initial capacity
+        // plus the refills successful completions could have earned.
+        if name.ends_with("-full") {
+            if let (Some(spent), Some(ops)) = (num("budget_spent"), num("disk_ops")) {
+                let bound = f64::from(BUDGET_CAPACITY) + BUDGET_REFILL * ops;
+                if spent > bound {
+                    c.fail(format!(
+                        "{ctx}: budget_spent {spent} exceeds the bucket bound {bound}"
+                    ));
+                }
+            }
+        }
+        // A straggled disk must provoke hedging, and an outage must trip
+        // the breaker, whenever the policy enables them.
+        let hedging = name.ends_with("-hedge") || name.ends_with("-full");
+        if hedging
+            && name.contains("-straggler-")
+            && num("hedges_launched").is_some_and(|v| v == 0.0)
+        {
+            c.fail(format!("{ctx}: straggler run never hedged"));
+        }
+        if name.contains("-outage-")
+            && name.ends_with("-full")
+            && num("breaker_opens").is_some_and(|v| v == 0.0)
+        {
+            c.fail(format!("{ctx}: outage run never opened a breaker"));
+        }
+    }
+    for (pat, _) in PATTERNS {
+        for mode in FAULT_MODES {
+            for policy in POLICIES {
+                let want = format!("{pat}-{mode}-{policy}");
+                if !seen.contains(&want) {
+                    c.fail(format!("missing scenario {want}"));
+                }
+            }
+        }
+    }
+    // Tail improvement: under the pure straggler, hedging must not make
+    // the p99 read time worse than waiting for the timeout.
+    let p99_of = |name: &str| p99.iter().find(|(n, _)| n == name).map(|&(_, p)| p);
+    for (pat, _) in PATTERNS {
+        let base = p99_of(&format!("{pat}-straggler-timeout"));
+        let hedged = p99_of(&format!("{pat}-straggler-hedge"));
+        if let (Some(base), Some(hedged)) = (base, hedged) {
+            if hedged > base {
+                c.fail(format!(
+                    "{pat}-straggler: hedged p99 {hedged:.2} ms worse than \
+                     timeout-only p99 {base:.2} ms"
+                ));
+            }
+        }
+    }
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_set_shape() {
+        for quick in [false, true] {
+            let set = scenarios(quick).unwrap();
+            assert_eq!(set.len(), 54, "6 patterns x 3 modes x 3 policies");
+            for s in &set {
+                s.cfg.validate().unwrap();
+                assert_eq!(s.cfg.faults.replicas, 1);
+                assert!(s.cfg.faults.retry.timeout.is_some());
+                let hedging = s.name.ends_with("-hedge") || s.name.ends_with("-full");
+                assert_eq!(s.cfg.faults.hedge.delay.is_some(), hedging, "{}", s.name);
+                assert_eq!(
+                    s.cfg.faults.breaker.enabled,
+                    s.name.ends_with("-full"),
+                    "{}",
+                    s.name
+                );
+                assert_eq!(
+                    !s.cfg.faults.crashes.is_empty(),
+                    s.name.contains("-straggler-crash-"),
+                    "{}",
+                    s.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn smoke_sweep_produces_valid_report() {
+        let results = run_sweep(true).unwrap();
+        let doc = report(&results, true);
+        validate_report(&doc).unwrap();
+        // Reparse what we would write to disk.
+        let parsed = Json::parse(&doc.pretty()).unwrap();
+        validate_report(&parsed).unwrap();
+        // The sweep exercised the machinery it claims to measure:
+        // hedges won somewhere, and some loser was cancelled or
+        // absorbed without ever double-delivering.
+        let wins: u64 = results.iter().map(|r| r.metrics.tail.hedge_wins).sum();
+        assert!(wins > 0, "no hedge ever won");
+        for r in &results {
+            assert_eq!(r.metrics.tail.duplicate_deliveries, 0, "{}", r.name);
+        }
+    }
+
+    #[test]
+    fn validation_rejects_broken_reports() {
+        assert!(validate_report(&Json::parse("{}").unwrap()).is_err());
+        let doc = Json::parse(r#"{"schema":1,"smoke":true,"scenarios":[]}"#).unwrap();
+        let msg = validate_report(&doc).unwrap_err();
+        assert!(msg.contains("missing scenario"), "{msg}");
+
+        // A duplicate delivery anywhere must fail validation.
+        let run = r#"{"total_ms":1,"read_ms":1,"read_p99_ms":1,"hedged_p99_ms":0,
+            "timeouts":0,"retries":0,"disk_ops":10,"hedges_launched":1,"hedge_wins":1,
+            "hedge_wasted":0,"hedge_cancels":0,"retries_denied":0,"budget_spent":1,
+            "breaker_opens":0,"probe_successes":0,"duplicate_deliveries":1,
+            "lost_reads":0,"completed_reads":200,"abandoned_reads":0,
+            "expected_reads":200,"violations":0}"#;
+        let doc = Json::parse(&format!(
+            r#"{{"schema":1,"smoke":true,"scenarios":[{{"name":"gw-straggler-hedge","run":{run}}}]}}"#
+        ))
+        .unwrap();
+        let msg = validate_report(&doc).unwrap_err();
+        assert!(msg.contains("delivered a block twice"), "{msg}");
+
+        // A hedged straggler p99 above the timeout-only p99 must fail.
+        let mk = |name: &str, p99: f64| {
+            format!(
+                r#"{{"name":"{name}","run":{{"total_ms":1,"read_ms":1,"read_p99_ms":{p99},
+                "hedged_p99_ms":0,"timeouts":0,"retries":0,"disk_ops":10,
+                "hedges_launched":1,"hedge_wins":1,"hedge_wasted":0,"hedge_cancels":0,
+                "retries_denied":0,"budget_spent":0,"breaker_opens":0,"probe_successes":0,
+                "duplicate_deliveries":0,"lost_reads":0,"completed_reads":200,
+                "abandoned_reads":0,"expected_reads":200,"violations":0}}}}"#
+            )
+        };
+        let doc = Json::parse(&format!(
+            r#"{{"schema":1,"smoke":true,"scenarios":[{},{}]}}"#,
+            mk("gw-straggler-timeout", 100.0),
+            mk("gw-straggler-hedge", 250.0),
+        ))
+        .unwrap();
+        let msg = validate_report(&doc).unwrap_err();
+        assert!(msg.contains("worse than"), "{msg}");
+
+        // Budget overspend must fail.
+        let over = r#"{"total_ms":1,"read_ms":1,"read_p99_ms":1,"hedged_p99_ms":0,
+            "timeouts":0,"retries":0,"disk_ops":4,"hedges_launched":1,"hedge_wins":1,
+            "hedge_wasted":0,"hedge_cancels":0,"retries_denied":0,"budget_spent":999,
+            "breaker_opens":1,"probe_successes":0,"duplicate_deliveries":0,
+            "lost_reads":0,"completed_reads":200,"abandoned_reads":0,
+            "expected_reads":200,"violations":0}"#;
+        let doc = Json::parse(&format!(
+            r#"{{"schema":1,"smoke":true,"scenarios":[{{"name":"gw-outage-full","run":{over}}}]}}"#
+        ))
+        .unwrap();
+        let msg = validate_report(&doc).unwrap_err();
+        assert!(msg.contains("bucket bound"), "{msg}");
+    }
+}

@@ -18,6 +18,15 @@
 //!   daemon tracks must record no span other than the `dead` span that
 //!   marks the interval itself: a dead node reads nothing and runs no
 //!   daemon action.
+//! * **Hedge causality** — every `hedge-win` instant must be preceded by
+//!   a `hedge-launch` for the same block: a win with no launch means the
+//!   exporter (or the simulator) invented a duplicate fetch. Skipped
+//!   when the ring dropped events, since the launch may be the casualty.
+//! * **Breaker discipline** — while a device's circuit breaker is open
+//!   (a `breaker-open` span on pid 5, one tid per device), no *demand*
+//!   request may be *submitted* to that device. Service spans that merely
+//!   finish draining inside the window are legal — submission time is
+//!   the span start minus its recorded `queue_ns`.
 //!
 //! Timestamps in the file are decimal microseconds with three fractional
 //! digits; they are converted back to exact nanoseconds by rounding, so
@@ -78,30 +87,82 @@ pub fn validate_trace(doc: &Json) -> Result<TraceStats, String> {
     // crash overwritten in the ring) is ignored.
     let mut dead: HashMap<u64, Vec<(u64, u64)>> = HashMap::new();
     let mut open_crash: HashMap<u64, u64> = HashMap::new();
-    for e in events {
-        let is_instant = e.get("ph").and_then(Json::as_str) == Some("i");
-        let on_proc = e.get("pid").and_then(Json::as_f64) == Some(1.0);
-        if !is_instant || !on_proc {
-            continue;
-        }
+    // Also reconstructed up front: per-device open-breaker windows (pid 5
+    // spans) for the breaker-discipline check, and the earliest
+    // hedge-launch per block for the hedge-causality check.
+    let mut breaker_open: HashMap<u64, Vec<(u64, u64)>> = HashMap::new();
+    let mut hedge_launch: HashMap<u64, u64> = HashMap::new();
+    let mut hedge_wins: Vec<(usize, u64, u64)> = Vec::new();
+    // Audited last-resort submissions (every replica avoided, or a parked
+    // replay whose target was fixed before the breaker opened): the
+    // emitter marks them, and the breaker-discipline check honors the
+    // mark — keyed by (device tid, block, exact submission ns).
+    let mut bypass: std::collections::HashSet<(u64, u64, u64)> = std::collections::HashSet::new();
+    for (i, e) in events.iter().enumerate() {
+        let ph = e.get("ph").and_then(Json::as_str);
+        let pid = e.get("pid").and_then(Json::as_f64);
         let tid = e.get("tid").and_then(Json::as_f64).unwrap_or(0.0) as u64;
         let Some(ts) = e.get("ts").and_then(Json::as_f64) else {
             continue;
         };
-        match e.get("name").and_then(Json::as_str) {
-            Some("crash") => {
-                open_crash.insert(tid, ns(ts));
+        if ph == Some("X") && pid == Some(5.0) {
+            if let Some(dur) = e.get("dur").and_then(Json::as_f64) {
+                breaker_open
+                    .entry(tid)
+                    .or_default()
+                    .push((ns(ts), ns(ts) + ns(dur)));
             }
-            Some("rejoin") => {
-                if let Some(start) = open_crash.remove(&tid) {
-                    dead.entry(tid).or_default().push((start, ns(ts)));
+            continue;
+        }
+        if ph != Some("i") {
+            continue;
+        }
+        let name = e.get("name").and_then(Json::as_str);
+        if pid == Some(1.0) {
+            match name {
+                Some("crash") => {
+                    open_crash.insert(tid, ns(ts));
                 }
+                Some("rejoin") => {
+                    if let Some(start) = open_crash.remove(&tid) {
+                        dead.entry(tid).or_default().push((start, ns(ts)));
+                    }
+                }
+                _ => {}
             }
-            _ => {}
+        }
+        let block = e
+            .get("args")
+            .and_then(|a| a.get("block"))
+            .and_then(Json::as_f64);
+        if let Some(block) = block {
+            match name {
+                Some("hedge-launch") => {
+                    let t = hedge_launch.entry(block as u64).or_insert(u64::MAX);
+                    *t = (*t).min(ns(ts));
+                }
+                Some("hedge-win") => hedge_wins.push((i, block as u64, ns(ts))),
+                Some("breaker-bypass") if pid == Some(2.0) => {
+                    bypass.insert((tid, block as u64, ns(ts)));
+                }
+                _ => {}
+            }
         }
     }
     for (tid, start) in open_crash {
         dead.entry(tid).or_default().push((start, u64::MAX));
+    }
+    // Hedge causality: a win with no prior launch for the block is a
+    // duplicate delivery the trace cannot explain. Only meaningful when
+    // nothing was dropped — the ring may have overwritten the launch.
+    if stats.dropped == 0 {
+        for (i, block, ts) in hedge_wins {
+            if hedge_launch.get(&block).is_none_or(|&l| l > ts) {
+                c.fail(format!(
+                    "event {i} (hedge-win): no earlier hedge-launch for block {block}"
+                ));
+            }
+        }
     }
     // Per-(pid,tid) end of the last duration span, in exact ns.
     let mut last_end: HashMap<(u64, u64), (u64, usize)> = HashMap::new();
@@ -173,6 +234,42 @@ pub fn validate_trace(doc: &Json) -> Result<TraceStats, String> {
                                 "{ctx}: span [{start}, {end}) ns on track {pid}/{tid} \
                                  lies inside node {tid}'s dead interval [{ds}, {de}) ns"
                             ));
+                        }
+                    }
+                }
+                // Breaker discipline: a demand request submitted while
+                // the device's breaker was open means replica selection
+                // ignored the open circuit. Submission time backs the
+                // queue delay out of the service start; requests queued
+                // before the breaker opened may legally drain inside the
+                // window, and submissions the emitter marked as audited
+                // last resorts (`breaker-bypass` instants) are exempt.
+                // Only meaningful when nothing was dropped — the ring may
+                // have overwritten the exempting mark.
+                if pid == 2
+                    && stats.dropped == 0
+                    && args
+                        .and_then(|a| a.get("kind"))
+                        .and_then(Json::as_str)
+                        .is_some_and(|k| k == "demand")
+                {
+                    let queue_ns = args
+                        .and_then(|a| a.get("queue_ns"))
+                        .and_then(Json::as_f64)
+                        .unwrap_or(0.0) as u64;
+                    let submitted = start.saturating_sub(queue_ns);
+                    let block = args
+                        .and_then(|a| a.get("block"))
+                        .and_then(Json::as_f64)
+                        .map_or(u64::MAX, |b| b as u64);
+                    if !bypass.contains(&(tid, block, submitted)) {
+                        for &(bs, be) in breaker_open.get(&tid).map_or(&[][..], Vec::as_slice) {
+                            if submitted >= bs && submitted < be {
+                                c.fail(format!(
+                                    "{ctx}: demand submitted at {submitted} ns to disk {tid} \
+                                     inside its open-breaker window [{bs}, {be}) ns"
+                                ));
+                            }
                         }
                     }
                 }
@@ -312,6 +409,134 @@ mod tests {
         )
         .unwrap();
         validate_trace(&doc).expect("survivor span passes");
+    }
+
+    #[test]
+    fn hedged_breaker_run_export_validates() {
+        // A straggler run with hedging, a retry budget, and breakers on:
+        // its own export must satisfy the hedge-causality and breaker-
+        // discipline rules (demand submissions route around open
+        // circuits; every win has its launch).
+        let mut cfg = ExperimentConfig::paper_default(
+            AccessPattern::GlobalWholeFile,
+            SyncStyle::BlocksPerProc(10),
+        );
+        cfg.procs = 4;
+        cfg.disks = 4;
+        cfg.workload = WorkloadParams {
+            procs: 4,
+            file_blocks: 200,
+            total_reads: 200,
+            ..WorkloadParams::paper()
+        };
+        cfg.faults.replicas = 1;
+        cfg.faults.retry.timeout = Some(rt_sim::SimDuration::from_millis(150));
+        cfg.faults.hedge.delay = Some(rt_sim::SimDuration::from_millis(40));
+        cfg.faults.budget.capacity = Some(32);
+        cfg.faults.breaker.enabled = true;
+        cfg.faults.plan =
+            rt_core::faults::parse_fault_specs("straggler:0:x8").expect("straggler spec parses");
+        let (m, data) = run_experiment_observed(&cfg, ObsConfig::default());
+        let doc = Json::parse(&data.to_perfetto()).expect("hedged trace parses");
+        let stats = validate_trace(&doc).expect("hedged trace validates");
+        assert!(stats.spans > 0);
+        assert_eq!(m.tail.duplicate_deliveries, 0);
+    }
+
+    #[test]
+    fn hedge_win_without_launch_is_caught() {
+        let doc = Json::parse(
+            r#"{"otherData":{"droppedEvents":0},"traceEvents":[
+              {"name":"hedge-win","ph":"i","s":"t","pid":2,"tid":1,"ts":20.000,"args":{"block":7}}
+            ]}"#,
+        )
+        .unwrap();
+        let err = validate_trace(&doc).expect_err("orphan hedge-win rejected");
+        assert!(err.contains("no earlier hedge-launch"), "{err}");
+
+        // With the launch present (and earlier), the same win passes.
+        let doc = Json::parse(
+            r#"{"otherData":{"droppedEvents":0},"traceEvents":[
+              {"name":"hedge-launch","ph":"i","s":"t","pid":2,"tid":1,"ts":10.000,"args":{"block":7}},
+              {"name":"hedge-win","ph":"i","s":"t","pid":2,"tid":1,"ts":20.000,"args":{"block":7}}
+            ]}"#,
+        )
+        .unwrap();
+        validate_trace(&doc).expect("launched hedge-win passes");
+
+        // When the ring dropped events the launch may be the casualty,
+        // so the rule is suspended.
+        let doc = Json::parse(
+            r#"{"otherData":{"droppedEvents":3},"traceEvents":[
+              {"name":"hedge-win","ph":"i","s":"t","pid":2,"tid":1,"ts":20.000,"args":{"block":7}}
+            ]}"#,
+        )
+        .unwrap();
+        validate_trace(&doc).expect("dropped ring suspends the rule");
+    }
+
+    #[test]
+    fn demand_inside_open_breaker_is_caught() {
+        // Disk 1's breaker is open [10, 60) µs. A demand serviced at
+        // 30 µs with no queue delay was submitted inside the window —
+        // rejected. The same span with queue_ns backing submission out
+        // to 5 µs drained legally, and a prefetch inside the window is
+        // not the breaker's business.
+        let open = r#"{"name":"breaker-open","ph":"X","pid":5,"tid":1,"ts":10.000,"dur":50.000,"args":{"dur_ns":50000,"half_open_ns":1000}}"#;
+        let doc = Json::parse(&format!(
+            r#"{{"otherData":{{"droppedEvents":0}},"traceEvents":[
+              {open},
+              {{"name":"service","ph":"X","pid":2,"tid":1,"ts":30.000,"dur":5.000,"args":{{"kind":"demand","dur_ns":5000}}}}
+            ]}}"#,
+        ))
+        .unwrap();
+        let err = validate_trace(&doc).expect_err("open-breaker demand rejected");
+        assert!(err.contains("open-breaker window"), "{err}");
+
+        let doc = Json::parse(&format!(
+            r#"{{"otherData":{{"droppedEvents":0}},"traceEvents":[
+              {open},
+              {{"name":"service","ph":"X","pid":2,"tid":1,"ts":30.000,"dur":5.000,"args":{{"kind":"demand","dur_ns":5000,"queue_ns":25000}}}},
+              {{"name":"service","ph":"X","pid":2,"tid":1,"ts":40.000,"dur":5.000,"args":{{"kind":"prefetch","dur_ns":5000}}}}
+            ]}}"#,
+        ))
+        .unwrap();
+        validate_trace(&doc).expect("queued drain and prefetch pass");
+
+        // Other devices are unaffected by disk 1's window.
+        let doc = Json::parse(&format!(
+            r#"{{"otherData":{{"droppedEvents":0}},"traceEvents":[
+              {open},
+              {{"name":"service","ph":"X","pid":2,"tid":2,"ts":30.000,"dur":5.000,"args":{{"kind":"demand","dur_ns":5000}}}}
+            ]}}"#,
+        ))
+        .unwrap();
+        validate_trace(&doc).expect("other device passes");
+
+        // A submission the emitter marked as an audited last resort
+        // (every replica avoided — patient waiting) is exempt; the mark
+        // must match device, block, and exact submission time.
+        let doc = Json::parse(&format!(
+            r#"{{"otherData":{{"droppedEvents":0}},"traceEvents":[
+              {open},
+              {{"name":"breaker-bypass","ph":"i","pid":2,"tid":1,"ts":30.000,"s":"t","args":{{"block":7,"code":1}}}},
+              {{"name":"service","ph":"X","pid":2,"tid":1,"ts":30.000,"dur":5.000,"args":{{"block":7,"kind":"demand","dur_ns":5000}}}}
+            ]}}"#,
+        ))
+        .unwrap();
+        validate_trace(&doc).expect("marked bypass passes");
+
+        // The mark is block-specific: a different block stays rejected.
+        let doc = Json::parse(&format!(
+            r#"{{"otherData":{{"droppedEvents":0}},"traceEvents":[
+              {open},
+              {{"name":"breaker-bypass","ph":"i","pid":2,"tid":1,"ts":30.000,"s":"t","args":{{"block":8,"code":1}}}},
+              {{"name":"service","ph":"X","pid":2,"tid":1,"ts":30.000,"dur":5.000,"args":{{"block":7,"kind":"demand","dur_ns":5000}}}}
+            ]}}"#,
+        ))
+        .unwrap();
+        let err = validate_trace(&doc).expect_err("wrong-block mark still rejected");
+        assert!(err.contains("open-breaker window"), "{err}");
     }
 
     #[test]

@@ -285,6 +285,28 @@ pub enum ConfigError {
         /// The node crashed twice.
         node: u16,
     },
+    /// The hedge delay is zero: every demand fetch would duplicate
+    /// immediately, doubling load instead of trimming the tail.
+    ZeroHedgeDelay,
+    /// The adaptive hedge multiplier is not > 1.0 (hedging below the
+    /// typical service time duplicates nearly every fetch).
+    InvalidHedgeMultiplier(f64),
+    /// Hedging is configured but the file has no replicas to hedge to.
+    HedgeNeedsReplicas,
+    /// The retry-budget refill fraction is outside `(0, 1]`.
+    InvalidBudgetRefill(f64),
+    /// The retry-budget capacity is zero: no retry or hedge could ever
+    /// launch (disable the timeout/hedge instead).
+    ZeroBudgetCapacity,
+    /// The breaker EWMA smoothing factor is outside `(0, 1]`.
+    InvalidBreakerAlpha(f64),
+    /// The breaker error threshold is not in `(0, 1]` (the error EWMA
+    /// never exceeds 1, so a larger threshold could never trip).
+    InvalidBreakerThreshold(f64),
+    /// A breaker window (hold or half-open) is zero: the lifecycle would
+    /// degenerate (a zero hold never skips, a zero half-open never
+    /// probes).
+    ZeroBreakerWindow,
 }
 
 impl fmt::Display for ConfigError {
@@ -351,6 +373,30 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::DuplicateCrashNode { node } => {
                 write!(f, "node {node} is scheduled to crash more than once")
+            }
+            ConfigError::ZeroHedgeDelay => {
+                write!(f, "hedge delay must be positive")
+            }
+            ConfigError::InvalidHedgeMultiplier(x) => {
+                write!(f, "hedge multiplier {x} must be finite and > 1.0")
+            }
+            ConfigError::HedgeNeedsReplicas => {
+                write!(f, "hedged reads need at least one replica to hedge to")
+            }
+            ConfigError::InvalidBudgetRefill(x) => {
+                write!(f, "retry-budget refill fraction {x} outside (0, 1]")
+            }
+            ConfigError::ZeroBudgetCapacity => {
+                write!(f, "retry-budget capacity must be at least 1")
+            }
+            ConfigError::InvalidBreakerAlpha(x) => {
+                write!(f, "breaker EWMA alpha {x} outside (0, 1]")
+            }
+            ConfigError::InvalidBreakerThreshold(x) => {
+                write!(f, "breaker error threshold {x} outside (0, 1]")
+            }
+            ConfigError::ZeroBreakerWindow => {
+                write!(f, "breaker hold and half-open windows must be positive")
             }
         }
     }
@@ -512,6 +558,42 @@ impl ExperimentConfig {
             }
             if !(q.threshold.is_finite() && q.threshold > 0.0) {
                 return Err(ConfigError::InvalidQuarantineThreshold(q.threshold));
+            }
+        }
+        if let Some(delay) = self.faults.hedge.delay {
+            if delay == SimDuration::ZERO {
+                return Err(ConfigError::ZeroHedgeDelay);
+            }
+            let m = self.faults.hedge.multiplier;
+            if !(m.is_finite() && m > 1.0) {
+                return Err(ConfigError::InvalidHedgeMultiplier(m));
+            }
+            if self.faults.replicas == 0 {
+                return Err(ConfigError::HedgeNeedsReplicas);
+            }
+        }
+        if let Some(capacity) = self.faults.budget.capacity {
+            if capacity == 0 {
+                return Err(ConfigError::ZeroBudgetCapacity);
+            }
+            let r = self.faults.budget.refill;
+            if !(r.is_finite() && r > 0.0 && r <= 1.0) {
+                return Err(ConfigError::InvalidBudgetRefill(r));
+            }
+        }
+        if self.faults.breaker.enabled {
+            let b = self.faults.breaker;
+            if !(b.alpha.is_finite() && b.alpha > 0.0 && b.alpha <= 1.0) {
+                return Err(ConfigError::InvalidBreakerAlpha(b.alpha));
+            }
+            if !(b.error_threshold.is_finite()
+                && b.error_threshold > 0.0
+                && b.error_threshold <= 1.0)
+            {
+                return Err(ConfigError::InvalidBreakerThreshold(b.error_threshold));
+            }
+            if b.hold == SimDuration::ZERO || b.half_open == SimDuration::ZERO {
+                return Err(ConfigError::ZeroBreakerWindow);
             }
         }
         Ok(())
@@ -702,6 +784,67 @@ mod tests {
             ConfigError::InvalidCacheHighWater(_)
         ));
         c.admission.cache_high_water = 0.9;
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_checks_tail_knobs() {
+        use crate::faults::{BreakerConfig, HedgeConfig, RetryBudgetConfig};
+        let base = ExperimentConfig::paper_default(AccessPattern::GlobalWholeFile, SyncStyle::None);
+
+        // Hedge: needs a positive delay, a sane multiplier, and replicas.
+        let mut c = base.clone();
+        c.faults.hedge.delay = Some(SimDuration::ZERO);
+        assert_eq!(c.validate().unwrap_err(), ConfigError::ZeroHedgeDelay);
+        c.faults.hedge = HedgeConfig {
+            delay: Some(SimDuration::from_millis(60)),
+            multiplier: 1.0,
+        };
+        assert!(matches!(
+            c.validate().unwrap_err(),
+            ConfigError::InvalidHedgeMultiplier(_)
+        ));
+        c.faults.hedge.multiplier = 2.0;
+        assert_eq!(c.validate().unwrap_err(), ConfigError::HedgeNeedsReplicas);
+        c.faults.replicas = 1;
+        c.validate().unwrap();
+
+        // Budget: capacity >= 1, refill in (0, 1].
+        let mut c = base.clone();
+        c.faults.budget.capacity = Some(0);
+        assert_eq!(c.validate().unwrap_err(), ConfigError::ZeroBudgetCapacity);
+        c.faults.budget = RetryBudgetConfig {
+            capacity: Some(8),
+            refill: 0.0,
+        };
+        assert!(matches!(
+            c.validate().unwrap_err(),
+            ConfigError::InvalidBudgetRefill(_)
+        ));
+        c.faults.budget.refill = 0.25;
+        c.validate().unwrap();
+
+        // Breaker: alpha and threshold in (0, 1], positive windows.
+        let mut c = base;
+        c.faults.breaker = BreakerConfig {
+            enabled: true,
+            alpha: 0.0,
+            ..BreakerConfig::default()
+        };
+        assert!(matches!(
+            c.validate().unwrap_err(),
+            ConfigError::InvalidBreakerAlpha(_)
+        ));
+        c.faults.breaker.alpha = 0.3;
+        c.faults.breaker.error_threshold = 1.5;
+        assert!(matches!(
+            c.validate().unwrap_err(),
+            ConfigError::InvalidBreakerThreshold(_)
+        ));
+        c.faults.breaker.error_threshold = 0.6;
+        c.faults.breaker.hold = SimDuration::ZERO;
+        assert_eq!(c.validate().unwrap_err(), ConfigError::ZeroBreakerWindow);
+        c.faults.breaker.hold = SimDuration::from_millis(200);
         c.validate().unwrap();
     }
 

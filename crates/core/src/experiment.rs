@@ -181,6 +181,8 @@ fn collect_metrics(world: &World, end_time: rt_sim::SimTime) -> RunMetrics {
         overload: world.overload_metrics(),
         integrity: world.integrity_metrics(end_time),
         crash: world.crash_metrics(),
+        tail: world.tail_metrics(),
+        hedged_read_times: world.rec.hedged_read_times.clone(),
     }
 }
 

@@ -99,6 +99,91 @@ impl Default for DegradeConfig {
     }
 }
 
+/// Hedged-read configuration: when a demand fetch of a replicated block
+/// has been outstanding longer than the hedge delay, a duplicate fetch is
+/// launched against the next healthy replica and the first completion
+/// wins. Inert by default — with [`HedgeConfig::delay`] unset no hedge
+/// timers are ever armed and the event stream is untouched.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HedgeConfig {
+    /// Fixed fallback hedge delay. `None` disables hedging entirely.
+    /// When the serving device's latency EWMA has enough samples to be
+    /// trusted, the *adaptive* delay `multiplier * latency_ewma` is used
+    /// instead of this fixed value.
+    pub delay: Option<SimDuration>,
+    /// Multiplier over the primary device's service-latency EWMA for the
+    /// adaptive delay. Must be > 1.0 — hedging below the typical service
+    /// time would duplicate nearly every fetch.
+    pub multiplier: f64,
+}
+
+impl Default for HedgeConfig {
+    fn default() -> Self {
+        HedgeConfig {
+            delay: None,
+            multiplier: 2.0,
+        }
+    }
+}
+
+/// Retry-budget token bucket: every timeout-redirect and every hedge
+/// launch costs one token; each successful completion refills
+/// [`RetryBudgetConfig::refill`] of a token (capped at the capacity). An
+/// empty bucket denies the retry — the read falls back to patient
+/// single-copy waiting instead of amplifying load, so the steady-state
+/// retry rate is bounded by `refill` times the success rate by
+/// construction. Inert by default (`capacity` unset = unlimited).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RetryBudgetConfig {
+    /// Bucket capacity in tokens; `None` disables budgeting entirely
+    /// (retries and hedges are never denied).
+    pub capacity: Option<u32>,
+    /// Fraction of a token refilled per successful completion, in (0, 1].
+    pub refill: f64,
+}
+
+impl Default for RetryBudgetConfig {
+    fn default() -> Self {
+        RetryBudgetConfig {
+            capacity: None,
+            refill: 0.1,
+        }
+    }
+}
+
+/// Per-device circuit breaker: a closed→open→half-open lifecycle driven
+/// by an error/timeout EWMA, generalizing the corruption quarantine in
+/// `health.rs`. While open, the device is skipped by demand replica
+/// selection, prefetch, hedges, and the scrubber; after
+/// [`BreakerConfig::hold`] a half-open window re-admits traffic as
+/// probes, and one failed probe re-opens the breaker on the spot. Inert
+/// by default.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BreakerConfig {
+    /// Master switch; when false no breaker state ever opens.
+    pub enabled: bool,
+    /// EWMA smoothing factor for the error/timeout signal, in (0, 1].
+    pub alpha: f64,
+    /// Error EWMA above this (on a failing sample) opens the breaker.
+    pub error_threshold: f64,
+    /// How long an opened breaker stays fully open.
+    pub hold: SimDuration,
+    /// Length of the half-open probation window after the hold.
+    pub half_open: SimDuration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            enabled: false,
+            alpha: 0.3,
+            error_threshold: 0.6,
+            hold: SimDuration::from_millis(200),
+            half_open: SimDuration::from_millis(200),
+        }
+    }
+}
+
 /// One scheduled node crash: processor `node` dies at `at` and, when
 /// `rejoin` is set, restarts there with a cold RU set. Crashes are
 /// experiment-level faults — they never reach the disk layer.
@@ -163,6 +248,12 @@ pub struct FaultConfig {
     /// disk further, so retries and timeouts can redirect around a dead
     /// or slow device.
     pub replicas: u16,
+    /// Hedged-read policy (tail tolerance; inert unless a delay is set).
+    pub hedge: HedgeConfig,
+    /// Retry/hedge token budget (inert unless a capacity is set).
+    pub budget: RetryBudgetConfig,
+    /// Per-device circuit breaker (inert unless enabled).
+    pub breaker: BreakerConfig,
 }
 
 impl FaultConfig {
@@ -175,7 +266,11 @@ impl FaultConfig {
     /// When false, the world allocates no fault state and the event
     /// stream is untouched.
     pub fn is_active(&self) -> bool {
-        !self.plan.is_empty() || self.retry.timeout.is_some()
+        !self.plan.is_empty()
+            || self.retry.timeout.is_some()
+            || self.hedge.delay.is_some()
+            || self.budget.capacity.is_some()
+            || self.breaker.enabled
     }
 }
 
@@ -455,6 +550,37 @@ mod tests {
             ..FaultConfig::none()
         };
         assert!(f.is_active());
+    }
+
+    #[test]
+    fn tail_knobs_alone_activate() {
+        // Each tail-tolerance knob needs the fault state allocated (the
+        // health tracker and token bucket live there), so setting any of
+        // them activates the layer even with no injected faults.
+        let hedge = FaultConfig {
+            hedge: HedgeConfig {
+                delay: Some(SimDuration::from_millis(60)),
+                ..HedgeConfig::default()
+            },
+            ..FaultConfig::none()
+        };
+        assert!(hedge.is_active());
+        let budget = FaultConfig {
+            budget: RetryBudgetConfig {
+                capacity: Some(8),
+                ..RetryBudgetConfig::default()
+            },
+            ..FaultConfig::none()
+        };
+        assert!(budget.is_active());
+        let breaker = FaultConfig {
+            breaker: BreakerConfig {
+                enabled: true,
+                ..BreakerConfig::default()
+            },
+            ..FaultConfig::none()
+        };
+        assert!(breaker.is_active());
     }
 
     #[test]

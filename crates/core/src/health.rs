@@ -19,8 +19,18 @@
 //! corrupt read during probation re-quarantines, a clean window restores
 //! full health. Phase is derived purely from the stored quarantine start
 //! and the current time, so the classification needs no timer events.
+//!
+//! The tail-tolerance layer generalizes that lifecycle once more into a
+//! per-device **circuit breaker** driven by an error/timeout EWMA:
+//! crossing [`BreakerConfig::error_threshold`] on a failing sample opens
+//! the breaker (closed→open), demand replica selection, prefetch, hedges
+//! and the scrubber all skip the device for
+//! [`BreakerConfig::hold`], then a half-open window re-admits traffic as
+//! probes — one failed probe re-opens on the spot, a clean window closes
+//! the breaker. Like quarantine, the phase is derived purely from the
+//! stored episode start, so no timer events are ever scheduled.
 
-use crate::faults::DegradeConfig;
+use crate::faults::{BreakerConfig, DegradeConfig};
 use crate::integrity::QuarantineConfig;
 use rt_disk::DiskId;
 use rt_sim::{SimDuration, SimTime};
@@ -44,6 +54,13 @@ struct DiskHealth {
     /// `quarantined_total` lazily on the next sample.
     quarantined_since: Option<SimTime>,
     quarantined_total: SimDuration,
+    /// EWMA of breaker samples (1 per error or timeout, 0 per success).
+    /// Starts at 0 and always blends — no first-sample jump.
+    brk_err: f64,
+    /// Start of the current breaker episode, when one is open. Phase is
+    /// derived from this and `now` exactly like `quarantined_since`.
+    brk_since: Option<SimTime>,
+    brk_total: SimDuration,
 }
 
 impl DiskHealth {
@@ -57,7 +74,26 @@ impl DiskHealth {
         corrupt: 0.0,
         quarantined_since: None,
         quarantined_total: SimDuration::ZERO,
+        brk_err: 0.0,
+        brk_since: None,
+        brk_total: SimDuration::ZERO,
     };
+}
+
+/// A finished breaker episode: the device either survived its half-open
+/// window (the breaker closed) or struck out during it (the re-open is a
+/// *new* episode). Drained by the world to emit trace spans.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BreakerClosure {
+    /// The device whose breaker closed.
+    pub disk: DiskId,
+    /// When the episode opened.
+    pub opened: SimTime,
+    /// Length of the fully-open window (`[opened, opened + hold)`).
+    pub hold: SimDuration,
+    /// How long the half-open tail actually lasted (the full configured
+    /// window when it was survived, shorter when a probe struck out).
+    pub half_open: SimDuration,
 }
 
 /// Where a device stands in the quarantine lifecycle.
@@ -74,6 +110,7 @@ enum Phase {
 pub struct HealthTracker {
     cfg: DegradeConfig,
     quarantine: QuarantineConfig,
+    breaker: BreakerConfig,
     disks: Vec<DiskHealth>,
     /// Fleet-wide service-time EWMA (nanoseconds), the latency baseline.
     fleet_lat: f64,
@@ -83,6 +120,14 @@ pub struct HealthTracker {
     /// Healthy→quarantined transitions (re-quarantines from probation
     /// count as new episodes).
     quarantines: u64,
+    /// Closed→open breaker transitions (half-open strikes count as new
+    /// episodes).
+    breaker_open_count: u64,
+    /// Successful half-open probes (clean completions during a breaker's
+    /// half-open window).
+    probe_success_count: u64,
+    /// Finished breaker episodes not yet drained for trace emission.
+    breaker_closed: Vec<BreakerClosure>,
 }
 
 /// Samples a disk needs before its latency EWMA is trusted against the
@@ -100,17 +145,27 @@ impl HealthTracker {
         HealthTracker {
             cfg,
             quarantine: QuarantineConfig::default(),
+            breaker: BreakerConfig::default(),
             disks: vec![DiskHealth::NEW; disks as usize],
             fleet_lat: 0.0,
             fleet_samples: 0,
             intervals: 0,
             quarantines: 0,
+            breaker_open_count: 0,
+            probe_success_count: 0,
+            breaker_closed: Vec::new(),
         }
     }
 
     /// Replace the quarantine lifecycle configuration.
     pub fn with_quarantine(mut self, quarantine: QuarantineConfig) -> Self {
         self.quarantine = quarantine;
+        self
+    }
+
+    /// Replace the circuit-breaker configuration (disabled by default).
+    pub fn with_breaker(mut self, breaker: BreakerConfig) -> Self {
+        self.breaker = breaker;
         self
     }
 
@@ -171,6 +226,148 @@ impl HealthTracker {
                 d.degraded_total += now.saturating_since(d.degraded_since);
             }
         }
+        self.breaker_sample(disk, !ok, now);
+    }
+
+    /// Record a demand-fetch timeout on `disk` as a breaker sample: a
+    /// timeout is not a completion (it never reaches
+    /// [`HealthTracker::observe`]) but it is exactly the signal a breaker
+    /// exists to act on. Out-of-range disks are ignored.
+    pub fn observe_timeout(&mut self, disk: DiskId, now: SimTime) {
+        self.breaker_sample(disk, true, now);
+    }
+
+    /// Feed one error/timeout sample into `disk`'s circuit breaker and
+    /// drive its closed→open→half-open lifecycle. The structure mirrors
+    /// [`HealthTracker::observe_corruption`]: finished episodes are
+    /// folded up lazily, only a *failing* sample can open the breaker,
+    /// and one failed half-open probe re-opens it on the spot.
+    fn breaker_sample(&mut self, disk: DiskId, bad: bool, now: SimTime) {
+        let b = self.breaker;
+        if !b.enabled || disk.index() >= self.disks.len() {
+            return;
+        }
+        let episode = b.hold + b.half_open;
+        let d = &mut self.disks[disk.index()];
+        // Fold up an episode the device has already outlived: the
+        // half-open window passed without a strike, so the breaker closed
+        // then and the device re-enters service with a fresh record.
+        if let Some(since) = d.brk_since {
+            if now >= since + episode {
+                d.brk_total += episode;
+                d.brk_since = None;
+                d.brk_err = 0.0;
+                self.breaker_closed.push(BreakerClosure {
+                    disk,
+                    opened: since,
+                    hold: b.hold,
+                    half_open: b.half_open,
+                });
+            }
+        }
+        let sample = if bad { 1.0 } else { 0.0 };
+        d.brk_err = b.alpha * sample + (1.0 - b.alpha) * d.brk_err;
+        match d.brk_since {
+            // Only a failing sample can open the breaker — successes
+            // never trip it, however low the threshold.
+            None => {
+                if bad && d.brk_err > b.error_threshold {
+                    d.brk_since = Some(now);
+                    self.breaker_open_count += 1;
+                }
+            }
+            Some(since) => {
+                let half_open = now >= since + b.hold;
+                if half_open {
+                    if bad {
+                        // One failed probe re-opens on the spot; the
+                        // truncated episode is closed for the trace.
+                        d.brk_total += now.saturating_since(since);
+                        self.breaker_closed.push(BreakerClosure {
+                            disk,
+                            opened: since,
+                            hold: b.hold,
+                            half_open: now.saturating_since(since + b.hold),
+                        });
+                        d.brk_since = Some(now);
+                        self.breaker_open_count += 1;
+                    } else {
+                        self.probe_success_count += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Where `d`'s breaker episode stands at `now` — same derivation as
+    /// [`HealthTracker::phase_of`] with the breaker's windows.
+    fn breaker_phase_of(&self, d: &DiskHealth, now: SimTime) -> Phase {
+        let Some(since) = d.brk_since else {
+            return Phase::Healthy;
+        };
+        if now < since + self.breaker.hold {
+            Phase::Quarantined
+        } else if now < since + self.breaker.hold + self.breaker.half_open {
+            Phase::Probation
+        } else {
+            Phase::Healthy
+        }
+    }
+
+    /// Is this device's breaker fully open at `now` — skipped by demand
+    /// replica selection, prefetch, hedges, and the scrubber? Always
+    /// false when the breaker is disabled.
+    pub fn breaker_open(&self, disk: DiskId, now: SimTime) -> bool {
+        self.breaker.enabled
+            && self
+                .disks
+                .get(disk.index())
+                .is_some_and(|d| self.breaker_phase_of(d, now) == Phase::Quarantined)
+    }
+
+    /// Is this device's breaker half-open at `now` — re-admitted as
+    /// probe traffic, one failure away from re-opening?
+    pub fn breaker_half_open(&self, disk: DiskId, now: SimTime) -> bool {
+        self.breaker.enabled
+            && self
+                .disks
+                .get(disk.index())
+                .is_some_and(|d| self.breaker_phase_of(d, now) == Phase::Probation)
+    }
+
+    /// Should replica selection avoid this device at `now`? The one
+    /// shared notion of "unhealthy replica target" — quarantined by the
+    /// integrity lifecycle OR held open by the circuit breaker — used by
+    /// demand selection, retry rotation, the prefetch daemon, and the
+    /// scrubber alike.
+    pub fn avoid(&self, disk: DiskId, now: SimTime) -> bool {
+        self.is_quarantined(disk, now) || self.breaker_open(disk, now)
+    }
+
+    /// Closed→open breaker transitions seen so far (half-open strikes
+    /// count as new episodes).
+    pub fn breaker_opens(&self) -> u64 {
+        self.breaker_open_count
+    }
+
+    /// Successful half-open probes seen so far.
+    pub fn probe_successes(&self) -> u64 {
+        self.probe_success_count
+    }
+
+    /// Does `disk` have enough samples for its latency EWMA to be
+    /// trusted (used by the adaptive hedge delay)?
+    pub fn latency_trusted(&self, disk: DiskId) -> bool {
+        self.disks
+            .get(disk.index())
+            .is_some_and(|d| d.samples >= MIN_SAMPLES)
+    }
+
+    /// Drain breaker episodes that have finished since the last call, for
+    /// trace-span emission. Usually empty — `std::mem::take` never
+    /// allocates then.
+    pub fn drain_breaker_closures(&mut self) -> Vec<BreakerClosure> {
+        std::mem::take(&mut self.breaker_closed)
     }
 
     /// Where `d`'s quarantine episode stands at `now`. Derived purely
@@ -560,6 +757,105 @@ mod tests {
         assert!(!h.in_probation(DiskId(0), at(50)));
         assert_eq!(h.quarantine_episodes(), 0);
         assert_eq!(h.quarantined_time(at(1000)), SimDuration::ZERO);
+    }
+
+    fn bcfg() -> BreakerConfig {
+        BreakerConfig {
+            enabled: true,
+            alpha: 0.3,
+            error_threshold: 0.6,
+            hold: ms(500),
+            half_open: ms(500),
+        }
+    }
+
+    #[test]
+    fn error_streak_opens_breaker_then_half_open_then_close() {
+        let mut h = HealthTracker::new(2, DegradeConfig::default()).with_breaker(bcfg());
+        // EWMA path: 0.3 → 0.51 → 0.657; the third error opens at t=20.
+        h.observe(DiskId(0), false, ms(30), at(0));
+        h.observe(DiskId(0), false, ms(30), at(10));
+        assert!(!h.breaker_open(DiskId(0), at(10)));
+        h.observe(DiskId(0), false, ms(30), at(20));
+        assert!(h.breaker_open(DiskId(0), at(20)));
+        assert!(h.avoid(DiskId(0), at(100)));
+        assert_eq!(h.breaker_opens(), 1);
+        // Hold expires at t=520: half-open, traffic probes again.
+        assert!(!h.breaker_open(DiskId(0), at(520)));
+        assert!(h.breaker_half_open(DiskId(0), at(520)));
+        assert!(!h.avoid(DiskId(0), at(520)));
+        // Clean probes count; survived window closes the breaker.
+        h.observe(DiskId(0), true, ms(30), at(600));
+        assert_eq!(h.probe_successes(), 1);
+        assert!(!h.breaker_half_open(DiskId(0), at(1020)));
+        // The next sample folds the episode up and emits the closure.
+        h.observe(DiskId(0), true, ms(30), at(1100));
+        let closed = h.drain_breaker_closures();
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed[0].disk, DiskId(0));
+        assert_eq!(closed[0].opened, at(20));
+        assert_eq!(closed[0].hold, ms(500));
+        assert_eq!(closed[0].half_open, ms(500));
+        assert!(h.drain_breaker_closures().is_empty());
+        // The other disk was never touched.
+        assert!(!h.breaker_open(DiskId(1), at(20)));
+    }
+
+    #[test]
+    fn failed_half_open_probe_reopens_breaker() {
+        let mut h = HealthTracker::new(1, DegradeConfig::default()).with_breaker(bcfg());
+        for i in 0..3 {
+            h.observe(DiskId(0), false, ms(30), at(i * 10));
+        }
+        assert!(h.breaker_open(DiskId(0), at(20)));
+        // One failed probe during the half-open window re-opens on the
+        // spot and closes the truncated episode for the trace.
+        h.observe(DiskId(0), false, ms(30), at(600));
+        assert!(h.breaker_open(DiskId(0), at(600)));
+        assert_eq!(h.breaker_opens(), 2);
+        let closed = h.drain_breaker_closures();
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed[0].opened, at(20));
+        assert_eq!(closed[0].half_open, ms(80));
+    }
+
+    #[test]
+    fn timeouts_feed_the_breaker_without_completions() {
+        let mut h = HealthTracker::new(1, DegradeConfig::default()).with_breaker(bcfg());
+        for i in 0..3 {
+            h.observe_timeout(DiskId(0), at(i * 10));
+        }
+        assert!(h.breaker_open(DiskId(0), at(20)));
+        // Out-of-range timeouts are ignored like every other sample.
+        h.observe_timeout(DiskId(9), at(100));
+        assert_eq!(h.breaker_opens(), 1);
+    }
+
+    #[test]
+    fn disabled_breaker_never_opens() {
+        let mut h = HealthTracker::new(1, DegradeConfig::default());
+        for i in 0..10 {
+            h.observe(DiskId(0), false, ms(30), at(i * 10));
+        }
+        assert!(!h.breaker_open(DiskId(0), at(100)));
+        assert_eq!(h.breaker_opens(), 0);
+        assert!(h.drain_breaker_closures().is_empty());
+    }
+
+    #[test]
+    fn avoid_covers_quarantine_and_breaker() {
+        let mut h = HealthTracker::new(3, DegradeConfig::default())
+            .with_quarantine(qcfg())
+            .with_breaker(bcfg());
+        // Disk 0: quarantined via corruption. Disk 1: breaker via errors.
+        h.observe_corruption(DiskId(0), true, at(0));
+        h.observe_corruption(DiskId(0), true, at(10));
+        for i in 0..3 {
+            h.observe(DiskId(1), false, ms(30), at(i * 10));
+        }
+        assert!(h.avoid(DiskId(0), at(50)));
+        assert!(h.avoid(DiskId(1), at(50)));
+        assert!(!h.avoid(DiskId(2), at(50)));
     }
 
     #[test]

@@ -99,6 +99,47 @@ pub struct RunMetrics {
     pub integrity: IntegrityMetrics,
     /// Node-crash counters; all zero when no crashes are scheduled.
     pub crash: CrashMetrics,
+    /// Tail-tolerance counters (hedges, retry budget, breakers); all
+    /// zero when none of the tail layer is configured.
+    pub tail: TailMetrics,
+    /// Read-time samples of reads that waited on a hedge (their
+    /// attribution carries a nonzero `hedge_wait`), for the hedged-read
+    /// quantiles. Empty unless hedging fired.
+    pub hedged_read_times: Sampled,
+}
+
+/// Counters from the tail-tolerance subsystem: hedged reads, the retry
+/// token budget, and per-device circuit breakers. All zero when the
+/// layer is unconfigured.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TailMetrics {
+    /// Duplicate fetches launched because the original was outstanding
+    /// longer than the hedge delay.
+    pub hedges_launched: u64,
+    /// Hedges whose duplicate delivered the block first.
+    pub hedge_wins: u64,
+    /// Hedges whose original delivered first (the duplicate was wasted —
+    /// cancelled while queued, or absorbed as a plain cache fill).
+    pub hedge_wasted: u64,
+    /// Hedge losers cancelled while still queued on their device (the
+    /// rest of the losers complete and are absorbed as stale fills).
+    pub hedge_cancels: u64,
+    /// Timeout-retries and hedges denied by an exhausted retry budget
+    /// (the read fell back to patient single-copy waiting).
+    pub retries_denied: u64,
+    /// Tokens the budget actually granted to retries and hedges; bounded
+    /// by `capacity + refill * successful completions` by construction.
+    pub budget_spent: u64,
+    /// Closed→open breaker transitions across all devices (half-open
+    /// strikes count as new episodes).
+    pub breaker_opens: u64,
+    /// Successful half-open probes across all devices.
+    pub probe_successes: u64,
+    /// Waiter deliveries that would have been duplicates (a waiter woken
+    /// twice for one read). The hedging layer asserts exactly-once
+    /// delivery; the bench validator rejects any run where this is not
+    /// zero.
+    pub duplicate_deliveries: u64,
 }
 
 /// Counters from the fault-injection subsystem: what went wrong and how
@@ -268,6 +309,14 @@ impl RunMetrics {
             .map_or(0.0, |d| d.as_millis_f64())
     }
 
+    /// Hedged-read-time quantile in milliseconds; 0.0 when no read ever
+    /// waited on a hedge.
+    pub fn hedged_read_quantile_ms(&self, q: f64) -> f64 {
+        self.hedged_read_times
+            .quantile(q)
+            .map_or(0.0, |d| d.as_millis_f64())
+    }
+
     /// Fraction of all reads served by *ready* hits.
     pub fn ready_fraction(&self) -> f64 {
         if self.total_reads() == 0 {
@@ -427,6 +476,8 @@ mod tests {
             overload: OverloadMetrics::default(),
             integrity: IntegrityMetrics::default(),
             crash: CrashMetrics::default(),
+            tail: TailMetrics::default(),
+            hedged_read_times: Sampled::new(),
         }
     }
 

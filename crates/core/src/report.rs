@@ -130,6 +130,7 @@ pub fn quantile_table(rows: &[(&str, &RunMetrics)]) -> Table {
         "read p50/p95/p99 (ms)",
         "hit-wait p50/p95/p99 (ms)",
         "disk resp p50/p95/p99 (ms)",
+        "hedged p50/p95/p99 (ms)",
     ]);
     for (label, m) in rows {
         t.row(&[
@@ -137,6 +138,32 @@ pub fn quantile_table(rows: &[(&str, &RunMetrics)]) -> Table {
             quantile_cell(m, RunMetrics::read_quantile_ms),
             quantile_cell(m, RunMetrics::hit_wait_quantile_ms),
             quantile_cell(m, RunMetrics::disk_response_quantile_ms),
+            quantile_cell(m, RunMetrics::hedged_read_quantile_ms),
+        ]);
+    }
+    t
+}
+
+/// Tail-tolerance table: one row per labeled run, showing the hedging,
+/// retry-budget, and circuit-breaker counters — hedges launched and how
+/// they resolved (win, wasted, cancelled), retries the budget denied and
+/// tokens it spent, and breaker open/probe transitions.
+pub fn tail_table(rows: &[(&str, &RunMetrics)]) -> Table {
+    let mut t = Table::new(&[
+        "run", "hedges", "wins", "wasted", "cancels", "denied", "spent", "opens", "probes",
+    ]);
+    for (label, m) in rows {
+        let c = &m.tail;
+        t.row(&[
+            label.to_string(),
+            c.hedges_launched.to_string(),
+            c.hedge_wins.to_string(),
+            c.hedge_wasted.to_string(),
+            c.hedge_cancels.to_string(),
+            c.retries_denied.to_string(),
+            c.budget_spent.to_string(),
+            c.breaker_opens.to_string(),
+            c.probe_successes.to_string(),
         ]);
     }
     t
@@ -249,6 +276,33 @@ mod tests {
         let data = s.lines().nth(2).unwrap();
         assert!(data.starts_with(" one-crash") || data.contains("one-crash"));
         assert!(data.contains('1'), "{data}");
+    }
+
+    #[test]
+    fn tail_table_from_run() {
+        use rt_patterns::{AccessPattern, SyncStyle, WorkloadParams};
+        use rt_sim::SimDuration;
+        let mut cfg =
+            crate::ExperimentConfig::paper_default(AccessPattern::GlobalWholeFile, SyncStyle::None);
+        cfg.procs = 4;
+        cfg.disks = 4;
+        cfg.workload = WorkloadParams {
+            procs: 4,
+            file_blocks: 100,
+            total_reads: 100,
+            ..WorkloadParams::paper()
+        };
+        cfg.faults.replicas = 1;
+        cfg.faults.retry.timeout = Some(SimDuration::from_millis(150));
+        cfg.faults.hedge.delay = Some(SimDuration::from_millis(40));
+        crate::faults::parse_fault_spec(&mut cfg.faults.plan, "straggler:0:x8").unwrap();
+        let m = crate::experiment::run_experiment(&cfg);
+        assert!(m.tail.hedges_launched > 0);
+        let s = tail_table(&[("straggled", &m)]).render();
+        assert!(s.contains("hedges"));
+        assert!(s.contains("straggled"));
+        let data = s.lines().nth(2).unwrap();
+        assert!(data.contains(&m.tail.hedges_launched.to_string()), "{data}");
     }
 
     #[test]

@@ -77,6 +77,9 @@ pub enum Ev {
     /// A demand fetch's per-request timeout fired. Never scheduled unless
     /// the fault layer is active and a timeout is configured.
     IoTimeout(BlockId),
+    /// A demand fetch's hedge delay elapsed; launch a duplicate fetch to
+    /// the next replica. Never scheduled unless hedging is configured.
+    Hedge(BlockId),
     /// The checksum verification of a freshly filled block finished.
     /// Never scheduled unless the integrity layer is active.
     VerifyDone(BlockId),
@@ -256,6 +259,20 @@ pub(crate) struct Recorder {
     pub aborted_prefetches: u64,
     pub degraded_skips: u64,
     pub stale_completions: u64,
+    /// Tail-tolerance counters (all zero unless hedging, retry budgets,
+    /// or breakers are configured).
+    pub hedges_launched: u64,
+    pub hedge_wins: u64,
+    pub hedge_wasted: u64,
+    pub hedge_cancels: u64,
+    pub retries_denied: u64,
+    pub budget_spent: u64,
+    /// Read times of reads that waited on at least one hedged fetch.
+    pub hedged_read_times: Sampled,
+    /// A waiter woken by a block delivery it was not waiting for — the
+    /// exactly-once tripwire the hedge path must keep at zero.
+    /// [`World::check_soak_invariants`] rejects any run where it is not.
+    pub duplicate_deliveries: u64,
     /// Overload counters (all zero unless queues are bounded or
     /// admission is enabled).
     pub prefetches_shed: u64,
@@ -281,6 +298,14 @@ pub(crate) struct PendingIo {
     pub timeout: Option<EventId>,
     /// The node the fetch is charged to, for resubmission.
     pub initiator: ProcId,
+    /// The armed hedge-delay event, cancelled on completion.
+    pub hedge: Option<EventId>,
+    /// `Some(replica)` once a hedge duplicate is in flight to `replica`;
+    /// resolved (win or waste) by the first completion.
+    pub hedged: Option<u16>,
+    /// The replica the primary in-flight fetch targets (so the hedge can
+    /// pick a different one).
+    pub replica: u16,
 }
 
 impl Default for PendingIo {
@@ -289,6 +314,9 @@ impl Default for PendingIo {
             attempts: 0,
             timeout: None,
             initiator: ProcId(0),
+            hedge: None,
+            hedged: None,
+            replica: 0,
         }
     }
 }
@@ -340,6 +368,10 @@ pub(crate) struct FaultState {
     pub retry: RetryPolicy,
     /// Per-block retry/timeout state for fetches the fault layer touched.
     pub pending: HashMap<BlockId, PendingIo>,
+    /// Retry-budget token bucket: fractional tokens, refilled per
+    /// successful completion, spent (one whole token) per timeout-retry
+    /// or hedge. Unlimited when no budget is configured.
+    pub budget_tokens: f64,
 }
 
 /// One in-flight checksum verification (or replica re-fetch) of a cache
@@ -595,9 +627,11 @@ impl World {
         let integrity_active = cfg.integrity.active_with(&cfg.faults.plan);
         let faults = (cfg.faults.is_active() || integrity_active).then(|| FaultState {
             health: HealthTracker::new(cfg.disks, cfg.faults.degrade)
-                .with_quarantine(cfg.integrity.quarantine),
+                .with_quarantine(cfg.integrity.quarantine)
+                .with_breaker(cfg.faults.breaker),
             retry: cfg.faults.retry,
             pending: HashMap::new(),
+            budget_tokens: cfg.faults.budget.capacity.map_or(f64::INFINITY, f64::from),
         });
         let integrity = integrity_active.then(|| IntegrityState::new(&cfg));
         if let Some(depth) = cfg.queue_depth {
@@ -812,6 +846,26 @@ impl World {
         }
     }
 
+    /// Tail-tolerance counters of this run. All zero for runs without
+    /// hedging, retry budgets, or breakers configured.
+    pub fn tail_metrics(&self) -> crate::metrics::TailMetrics {
+        let (breaker_opens, probe_successes) = match &self.faults {
+            Some(f) => (f.health.breaker_opens(), f.health.probe_successes()),
+            None => (0, 0),
+        };
+        crate::metrics::TailMetrics {
+            hedges_launched: self.rec.hedges_launched,
+            hedge_wins: self.rec.hedge_wins,
+            hedge_wasted: self.rec.hedge_wasted,
+            hedge_cancels: self.rec.hedge_cancels,
+            retries_denied: self.rec.retries_denied,
+            budget_spent: self.rec.budget_spent,
+            breaker_opens,
+            probe_successes,
+            duplicate_deliveries: self.rec.duplicate_deliveries,
+        }
+    }
+
     /// Overload/backpressure counters of this run. All zero for runs with
     /// unbounded queues and admission disabled (except `max_queue_depth`,
     /// which is always observed).
@@ -854,6 +908,12 @@ impl World {
             return Err(format!(
                 "integrity: {} corrupt block(s) delivered to readers as clean",
                 self.rec.corrupt_delivered
+            ));
+        }
+        if self.rec.duplicate_deliveries > 0 {
+            return Err(format!(
+                "exactly-once: {} waiter(s) woken by a delivery they were not waiting for",
+                self.rec.duplicate_deliveries
             ));
         }
         if let Some(adm) = &self.admission {
@@ -982,6 +1042,7 @@ impl Model for World {
             Ev::ActionEnd(p) => self.action_end(p.index(), sched),
             Ev::RetryIo(b) => self.retry_io(b, sched),
             Ev::IoTimeout(b) => self.io_timeout(b, sched),
+            Ev::Hedge(b) => self.hedge_fire(b, sched),
             Ev::VerifyDone(b) => self.verify_done(b, sched),
             Ev::Crash(p) => self.crash_node(p.index(), sched),
             Ev::Rejoin(p) => self.rejoin_node(p.index(), sched),
@@ -1727,5 +1788,171 @@ mod tests {
         assert_eq!(m.rejoins, 0);
         assert_eq!(m.lost_reads, 0);
         assert_eq!(w.reads_done(), 200);
+    }
+
+    // ------------------------------------------------------------------
+    // Tail tolerance: hedged reads, retry budgets, circuit breakers.
+    // ------------------------------------------------------------------
+
+    /// A straggled disk 0 (x8 for the whole run) with one replica and a
+    /// demand-read timeout — the canonical tail scenario.
+    fn straggler_cfg(prefetch: bool) -> ExperimentConfig {
+        let mut cfg = small_cfg(AccessPattern::GlobalWholeFile, SyncStyle::None, prefetch);
+        cfg.faults.replicas = 1;
+        cfg.faults.retry.timeout = Some(SimDuration::from_millis(150));
+        cfg.faults.plan.push(rt_disk::DeviceFault {
+            disk: DiskId(0),
+            kind: rt_disk::FaultKind::Slowdown { factor: 8.0 },
+            from: SimTime::ZERO,
+            until: None,
+        });
+        cfg
+    }
+
+    #[test]
+    fn defaults_leave_tail_layer_inert() {
+        let (w, _) = run_world(small_cfg(
+            AccessPattern::GlobalWholeFile,
+            SyncStyle::None,
+            true,
+        ));
+        let t = w.tail_metrics();
+        assert_eq!(t, crate::metrics::TailMetrics::default());
+        assert_eq!(w.rec.hedged_read_times.count(), 0);
+        w.check_soak_invariants().unwrap();
+    }
+
+    #[test]
+    fn hedge_beats_the_timeout_on_a_straggled_fetch() {
+        // The straggled primary holds a fetch for ~240 ms; the timeout
+        // would redirect at 150 ms, but a 40 ms hedge delay launches the
+        // duplicate first, and the duplicate (a 30 ms disk) wins the
+        // race. The loser is cancelled or absorbed — never delivered
+        // twice — and the tail of the read distribution shrinks.
+        let timeout_only = straggler_cfg(false);
+        let mut hedged = straggler_cfg(false);
+        hedged.faults.hedge.delay = Some(SimDuration::from_millis(40));
+        let (w_base, _) = run_world(timeout_only);
+        let (w, _) = run_world(hedged);
+        assert_eq!(w.reads_done(), 200);
+        let t = w.tail_metrics();
+        assert!(t.hedges_launched > 0, "{t:?}");
+        assert!(
+            t.hedge_wins > 0,
+            "straggled fetches lose to their hedges: {t:?}"
+        );
+        assert_eq!(t.duplicate_deliveries, 0, "{t:?}");
+        assert_eq!(
+            t.hedge_wins + t.hedge_wasted,
+            t.hedges_launched,
+            "every hedge resolves exactly once: {t:?}"
+        );
+        assert!(
+            w.rec.hedged_read_times.count() > 0,
+            "hedged reads are sampled separately"
+        );
+        // Winning at ~70 ms instead of redirecting at 150 ms must cut
+        // the straggler-bound tail and the timeout count.
+        assert!(
+            w.rec.timeouts < w_base.rec.timeouts,
+            "hedges resolve fetches before their timeouts ({} vs {})",
+            w.rec.timeouts,
+            w_base.rec.timeouts
+        );
+        let p99 = |rec: &rt_sim::Sampled| {
+            rec.quantile(0.99)
+                .unwrap_or(SimDuration::ZERO)
+                .as_millis_f64()
+        };
+        assert!(
+            p99(&w.rec.read_times) <= p99(&w_base.rec.read_times),
+            "hedged p99 {:.2} ms must not exceed timeout-only p99 {:.2} ms",
+            p99(&w.rec.read_times),
+            p99(&w_base.rec.read_times)
+        );
+        w.check_soak_invariants().unwrap();
+        w.pool().assert_invariants();
+    }
+
+    #[test]
+    fn exhausted_retry_budget_denies_hedges_and_waits_patiently() {
+        let mut cfg = straggler_cfg(false);
+        cfg.faults.hedge.delay = Some(SimDuration::from_millis(40));
+        cfg.faults.budget.capacity = Some(1);
+        cfg.faults.budget.refill = 0.001;
+        let (w, _) = run_world(cfg);
+        assert_eq!(w.reads_done(), 200, "patience still finishes the run");
+        let t = w.tail_metrics();
+        assert!(t.retries_denied > 0, "a 1-token bucket must deny: {t:?}");
+        assert_eq!(t.duplicate_deliveries, 0);
+        // The spend bound: initial capacity plus what completions could
+        // have refilled.
+        let bound = 1.0 + 0.001 * w.disks().total_ops() as f64;
+        assert!(
+            (t.budget_spent as f64) <= bound,
+            "budget_spent {} exceeds bound {bound:.2}",
+            t.budget_spent
+        );
+        w.check_soak_invariants().unwrap();
+    }
+
+    #[test]
+    fn breaker_opens_on_an_outage_and_probes_readmit() {
+        // Disk 0 errors every request in [20 ms, 400 ms). Two errors
+        // open its breaker (threshold 0.5); once open, demand selection
+        // routes to the replica without waiting to fail. After the hold,
+        // half-open probes re-admit the device once it answers again.
+        let mut cfg = small_cfg(AccessPattern::GlobalWholeFile, SyncStyle::None, false);
+        cfg.faults.replicas = 1;
+        cfg.faults.retry.timeout = Some(SimDuration::from_millis(150));
+        cfg.faults.breaker.enabled = true;
+        cfg.faults.breaker.error_threshold = 0.5;
+        cfg.faults.plan.push(rt_disk::DeviceFault {
+            disk: DiskId(0),
+            kind: rt_disk::FaultKind::Outage,
+            from: SimTime::from_nanos(20 * 1_000_000),
+            until: Some(SimTime::from_nanos(400 * 1_000_000)),
+        });
+        let (w, _) = run_world(cfg);
+        assert_eq!(w.reads_done(), 200);
+        let t = w.tail_metrics();
+        assert!(t.breaker_opens > 0, "{t:?}");
+        assert!(
+            t.probe_successes > 0,
+            "the repaired disk is re-admitted: {t:?}"
+        );
+        w.check_soak_invariants().unwrap();
+    }
+
+    #[test]
+    fn demand_retry_daemon_and_scrubber_share_replica_avoidance() {
+        // Satellite regression: every replica selector consults the one
+        // `healthy_replica` / `HealthTracker::avoid` predicate, so an
+        // open breaker steers the demand path, the retry rotation, and
+        // the prefetch daemon identically.
+        let mut cfg = small_cfg(AccessPattern::GlobalWholeFile, SyncStyle::None, false);
+        cfg.faults.replicas = 1;
+        cfg.faults.breaker.enabled = true;
+        cfg.faults.breaker.error_threshold = 0.5;
+        let mut w = World::new(cfg);
+        let mut sched = Scheduler::new();
+        w.bootstrap(&mut sched);
+        let now = SimTime::from_nanos(1_000_000);
+        // Closed breaker: block 0's primary (disk 0) is used everywhere.
+        assert_eq!(w.pick_demand_replica(BlockId(0), now), 0);
+        assert!(!w.prefetch_target_degraded(BlockId(0), now));
+        // Two timeouts push disk 0's error EWMA over the threshold.
+        let f = w.faults.as_mut().expect("breaker config activates faults");
+        f.health.observe_timeout(DiskId(0), now);
+        f.health.observe_timeout(DiskId(0), now);
+        assert!(f.health.avoid(DiskId(0), now));
+        // Open breaker: demand picks the replica, retry rotation lands
+        // on it too, and the daemon refuses to prefetch into disk 0.
+        assert_eq!(w.pick_demand_replica(BlockId(0), now), 1);
+        assert_eq!(w.healthy_replica(BlockId(0), 0, now), 1);
+        assert!(w.prefetch_target_degraded(BlockId(0), now));
+        // Blocks whose primary is healthy are untouched.
+        assert_eq!(w.pick_demand_replica(BlockId(1), now), 0);
+        assert!(!w.prefetch_target_degraded(BlockId(1), now));
     }
 }

@@ -175,6 +175,9 @@ impl World {
         self.rec.reads.record(read_time);
         self.rec.read_times.record(read_time);
         self.rec.proc_reads[p].record(read_time);
+        if self.procs[p].attr.ns[Component::HedgeWait as usize] > 0 {
+            self.rec.hedged_read_times.record(read_time);
+        }
         if matches!(
             self.procs[p].cur_outcome,
             Some(ReadOutcome::ReadyHit | ReadOutcome::UnreadyHit)

@@ -344,6 +344,10 @@ impl World {
                 if let Some(id) = e.timeout.take() {
                     sched.cancel(id);
                 }
+                // An orphan's hedge protection dies with its waiters too.
+                if let Some(id) = e.hedge.take() {
+                    sched.cancel(id);
+                }
             }
         }
     }

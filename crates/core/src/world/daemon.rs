@@ -258,13 +258,13 @@ impl World {
     }
 
     /// Would this prefetch land on a device the health tracker currently
-    /// classifies as degraded or quarantined? Always false without an
-    /// active fault layer.
+    /// classifies as degraded, quarantined, or behind an open breaker?
+    /// Always false without an active fault layer.
     pub(super) fn prefetch_target_degraded(&self, block: BlockId, now: SimTime) -> bool {
         let Some(fs) = &self.faults else { return false };
         self.fs
             .placement_disk(self.file, block, 0)
-            .is_some_and(|d| fs.health.is_degraded(d) || fs.health.is_quarantined(d, now))
+            .is_some_and(|d| fs.health.is_degraded(d) || fs.health.avoid(d, now))
     }
 
     /// Second-chance selection once the primary candidate proved degraded:
@@ -280,7 +280,7 @@ impl World {
         let file = self.file;
         let degraded = |block: BlockId| {
             fs.placement_disk(file, block, 0)
-                .is_some_and(|d| health.is_degraded(d) || health.is_quarantined(d, now))
+                .is_some_and(|d| health.is_degraded(d) || health.avoid(d, now))
         };
         match self.cfg.prefetch.policy {
             PolicyKind::Oracle => {

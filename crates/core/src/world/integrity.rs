@@ -368,12 +368,15 @@ impl World {
             {
                 continue;
             }
-            let quarantined = self.faults.as_ref().is_some_and(|f| {
+            // Skip copies the health tracker says to avoid: quarantined
+            // devices and open breakers alike (shared replica-health
+            // notion — see `healthy_replica`).
+            let avoided = self.faults.as_ref().is_some_and(|f| {
                 self.fs
                     .placement_disk(self.file, block, r)
-                    .is_some_and(|d| f.health.is_quarantined(d, now))
+                    .is_some_and(|d| f.health.avoid(d, now))
             });
-            if quarantined {
+            if avoided {
                 continue;
             }
             candidate = Some((block, r));
@@ -556,27 +559,42 @@ impl World {
     /// The replica whose placement of `block` is served by `disk`
     /// (0 = primary when no replica matches — possible only for raced
     /// duplicates under combined fault kinds).
-    fn replica_for_disk(&self, block: BlockId, disk: DiskId) -> u16 {
+    pub(super) fn replica_for_disk(&self, block: BlockId, disk: DiskId) -> u16 {
         let copies = 1 + self.fs.replica_count(self.file);
         (0..copies)
             .find(|&r| self.fs.placement_disk(self.file, block, r) == Some(disk))
             .unwrap_or(0)
     }
 
-    /// The first replica of `block` not behind a quarantined device
-    /// (0 when the integrity layer is off or every copy is quarantined).
-    pub(super) fn pick_demand_replica(&self, block: BlockId, now: SimTime) -> u16 {
-        if self.integrity.is_none() {
-            return 0;
-        }
-        let Some(f) = &self.faults else { return 0 };
+    /// The first replica of `block`, rotating from `start`, whose
+    /// placement device the health tracker does not say to avoid —
+    /// quarantined *or* behind an open breaker ([`HealthTracker::avoid`]).
+    /// Falls back to `start % copies` when every copy is avoided. This is
+    /// the one replica-health notion shared by demand selection, timeout
+    /// retries, hedge targeting, and the scrubber.
+    ///
+    /// [`HealthTracker::avoid`]: crate::health::HealthTracker::avoid
+    pub(super) fn healthy_replica(&self, block: BlockId, start: u16, now: SimTime) -> u16 {
         let copies = 1 + self.fs.replica_count(self.file);
+        let start = start % copies;
+        let Some(f) = &self.faults else { return start };
         (0..copies)
+            .map(|i| (start + i) % copies)
             .find(|&r| {
                 self.fs
                     .placement_disk(self.file, block, r)
-                    .is_some_and(|d| !f.health.is_quarantined(d, now))
+                    .is_some_and(|d| !f.health.avoid(d, now))
             })
-            .unwrap_or(0)
+            .unwrap_or(start)
+    }
+
+    /// The first healthy replica of `block` for a fresh demand fetch
+    /// (0 when neither the integrity layer nor the breaker is active, so
+    /// default runs never pay the placement scan).
+    pub(super) fn pick_demand_replica(&self, block: BlockId, now: SimTime) -> u16 {
+        if self.integrity.is_none() && !self.cfg.faults.breaker.enabled {
+            return 0;
+        }
+        self.healthy_replica(block, 0, now)
     }
 }

@@ -314,6 +314,29 @@ impl World {
         });
     }
 
+    /// Emit breaker open-episode closures folded up by the health tracker
+    /// as spans on the per-device breaker tracks. Draining is
+    /// unconditional so the closure list never grows without bound;
+    /// `obs_span` is a no-op when observation is off.
+    pub(crate) fn emit_breaker_closures(&mut self) {
+        if !self.cfg.faults.breaker.enabled {
+            return;
+        }
+        let Some(f) = &mut self.faults else { return };
+        let closed = f.health.drain_breaker_closures();
+        for c in closed {
+            self.obs_span(
+                Track::Breaker(c.disk.0),
+                EventKind::BreakerOpen,
+                c.opened,
+                c.hold,
+                u64::MAX,
+                c.half_open.as_nanos(),
+                ReadAttribution::default(),
+            );
+        }
+    }
+
     /// The fetch of `block` moved to a new stage (verify hold, retry
     /// backoff): miss-origin waiters switch their open interval to
     /// `next`. Unready-hit waiters keep accruing hit-wait.
@@ -327,6 +350,7 @@ impl World {
                     | Component::DiskService
                     | Component::RetryBackoff
                     | Component::VerifyHold
+                    | Component::HedgeWait
             ) {
                 let d = now.saturating_since(proc.attr_mark);
                 proc.attr.add(proc.attr_cur, d);

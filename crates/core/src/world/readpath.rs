@@ -222,9 +222,24 @@ impl World {
                     self.rec
                         .tl_outstanding_io
                         .record(now, self.outstanding_io as f64);
+                    // Timer-guarded fetches remember which copy is in
+                    // flight, so a hedge can pick a different one and a
+                    // completion can be attributed to its replica.
+                    if self.cfg.faults.retry.timeout.is_some()
+                        || self.cfg.faults.hedge.delay.is_some()
+                    {
+                        if let Some(fs) = &mut self.faults {
+                            fs.pending.entry(block).or_default().replica = replica;
+                        }
+                    }
                     if started.is_none() {
                         self.note_demand_queued(block, replica);
                     }
+                    // Submitting to an avoided device is legal only as a
+                    // last resort (every copy avoided — patient waiting);
+                    // mark it so the trace validator can tell the audited
+                    // fallback from a steering failure.
+                    self.note_bypass(block, replica, now);
                     return (started, false);
                 }
                 Err(FsError::QueueFull { disk, .. }) => {
@@ -264,6 +279,31 @@ impl World {
         unreachable!("second submission after a shed cannot be rejected");
     }
 
+    /// A demand fetch was just submitted to `replica`: if that copy's
+    /// device is currently avoided (open breaker or quarantine), the
+    /// submission was a deliberate last resort — every copy was avoided
+    /// (patient waiting), or the target was fixed before the device went
+    /// bad (a parked replay). Mark it so the trace validator can tell
+    /// the audited fallback from a steering failure.
+    fn note_bypass(&mut self, block: BlockId, replica: u16, now: SimTime) {
+        if self.obs.is_none() {
+            return;
+        }
+        let bypassed = self
+            .fs
+            .placement_disk(self.file, block, replica)
+            .filter(|&d| self.faults.as_ref().is_some_and(|f| f.health.avoid(d, now)));
+        if let Some(d) = bypassed {
+            self.obs_instant(
+                Track::Device(d.0),
+                ObsKind::BreakerBypass,
+                now,
+                block.index() as u64,
+                replica as u64,
+            );
+        }
+    }
+
     /// A demand fetch just queued behind other work: if the overload
     /// layer is active and the device holds queued prefetches, count the
     /// inversion (demand waiting behind speculative work).
@@ -296,14 +336,22 @@ impl World {
         self.rec
             .tl_outstanding_io
             .record(now, self.outstanding_io as f64);
-        let buf = self
-            .pool
-            .buffer_for(block)
-            .expect("queued prefetch without a pending buffer");
-        self.pool.discard_pending(buf);
-        self.rec
-            .tl_prefetched
-            .record(now, self.pool.prefetched_unused() as f64);
+        // The cancelled op may be a zombie: a timeout redirect can
+        // deliver the block from another replica and the buffer be
+        // consumed and evicted while the original op still sits in the
+        // queue. Shedding the zombie frees the slot all the same; there
+        // is just no pending buffer left to release.
+        if let Some(buf) = self.pool.buffer_for(block) {
+            if matches!(
+                self.pool.buffer(buf).state,
+                rt_cache::BufState::Pending { .. }
+            ) {
+                self.pool.discard_pending(buf);
+                self.rec
+                    .tl_prefetched
+                    .record(now, self.pool.prefetched_unused() as f64);
+            }
+        }
         self.rec.prefetches_shed += 1;
         self.refund_prefetch_credit();
         self.obs_instant(
@@ -370,9 +418,17 @@ impl World {
                     self.rec
                         .tl_outstanding_io
                         .record(now, self.outstanding_io as f64);
+                    if self.cfg.faults.retry.timeout.is_some()
+                        || self.cfg.faults.hedge.delay.is_some()
+                    {
+                        if let Some(fs) = &mut self.faults {
+                            fs.pending.entry(block).or_default().replica = replica;
+                        }
+                    }
                     if started.is_none() {
                         self.note_demand_queued(block, replica);
                     }
+                    self.note_bypass(block, replica, now);
                     self.note_started(block, started, sched);
                     self.arm_timeout(block, who, sched);
                 }
@@ -382,27 +438,73 @@ impl World {
         }
     }
 
-    /// Arm the per-request timeout for a demand fetch of `block`, if the
-    /// fault layer is active and a timeout is configured. No-op otherwise,
-    /// so fault-free runs schedule no timer events.
+    /// Arm the per-request timeout and hedge delay for a demand fetch of
+    /// `block`, whichever of the two the fault layer has configured.
+    /// No-op otherwise, so fault-free runs schedule no timer events.
     pub(super) fn arm_timeout(&mut self, block: BlockId, who: ProcId, sched: &mut Scheduler<Ev>) {
-        let Some(fs) = &mut self.faults else { return };
-        let Some(timeout) = fs.retry.timeout else {
+        let Some(fs) = &self.faults else { return };
+        let timeout = fs.retry.timeout;
+        let hedging = self.cfg.faults.hedge.delay.is_some();
+        if timeout.is_none() && !hedging {
             return;
+        }
+        let hedge_delay = if hedging {
+            let replica = fs.pending.get(&block).map_or(0, |e| e.replica);
+            self.hedge_delay_for(block, replica, sched.now())
+        } else {
+            None
         };
+        let fs = self.faults.as_mut().expect("checked above");
         let entry = fs.pending.entry(block).or_default();
         entry.initiator = who;
         if let Some(id) = entry.timeout.take() {
             sched.cancel(id);
         }
-        entry.timeout = Some(sched.schedule_in(timeout, Ev::IoTimeout(block)));
+        if let Some(t) = timeout {
+            entry.timeout = Some(sched.schedule_in(t, Ev::IoTimeout(block)));
+        }
+        if let Some(id) = entry.hedge.take() {
+            sched.cancel(id);
+        }
+        if entry.hedged.is_none() {
+            if let Some(d) = hedge_delay {
+                entry.hedge = Some(sched.schedule_in(d, Ev::Hedge(block)));
+            }
+        }
     }
 
-    /// Drop `block`'s fault bookkeeping, cancelling any armed timeout.
+    /// The hedge delay for the in-flight fetch of `block` on `replica`:
+    /// `multiplier ×` the *hedge target's* latency EWMA once the health
+    /// tracker has enough samples to trust it — once a duplicate sent
+    /// elsewhere would probably already have finished — and the fixed
+    /// `--hedge` delay until then. Keying on the target rather than the
+    /// serving device matters for persistent stragglers: the straggler's
+    /// own EWMA inflates until it would postpone the hedge past the
+    /// timeout, exactly when duplicating elsewhere helps most. `None`
+    /// when hedging is not configured or no healthy target exists.
+    fn hedge_delay_for(&self, block: BlockId, replica: u16, now: SimTime) -> Option<SimDuration> {
+        let fixed = self.cfg.faults.hedge.delay?;
+        let f = self.faults.as_ref()?;
+        let target = self.hedge_target(block, replica, now)?;
+        let adaptive = self
+            .fs
+            .placement_disk(self.file, block, target)
+            .filter(|&d| f.health.latency_trusted(d))
+            .map(|d| {
+                let ns = f.health.latency_ewma_ms(d) * 1e6 * self.cfg.faults.hedge.multiplier;
+                SimDuration::from_nanos(ns.max(1.0) as u64)
+            });
+        Some(adaptive.unwrap_or(fixed))
+    }
+
+    /// Drop `block`'s fault bookkeeping, cancelling any armed timers.
     pub(super) fn clear_pending(&mut self, block: BlockId, sched: &mut Scheduler<Ev>) {
         if let Some(fs) = &mut self.faults {
             if let Some(entry) = fs.pending.remove(&block) {
                 if let Some(id) = entry.timeout {
+                    sched.cancel(id);
+                }
+                if let Some(id) = entry.hedge {
                     sched.cancel(id);
                 }
             }
@@ -498,7 +600,17 @@ impl World {
         if let Some(fs) = &mut self.faults {
             fs.health
                 .observe(disk, done.status.is_ok(), done.service, now);
+            // Successful completions earn back a fraction of a retry
+            // token; spends are therefore bounded by
+            // `capacity + refill × completions` by construction.
+            if done.status.is_ok() {
+                if let Some(cap) = self.cfg.faults.budget.capacity {
+                    fs.budget_tokens =
+                        (fs.budget_tokens + self.cfg.faults.budget.refill).min(f64::from(cap));
+                }
+            }
         }
+        self.emit_breaker_closures();
         if self.admission.is_some() {
             // The overload layer settles its books at completion: a
             // finished prefetch returns its credit, and the freed queue
@@ -517,6 +629,11 @@ impl World {
         }
         match done.status {
             Ok(()) => {
+                // The first successful completion of a hedged block scores
+                // the race and reaps the losing duplicate.
+                if self.cfg.faults.hedge.delay.is_some() {
+                    self.resolve_hedge(done.block, disk, now);
+                }
                 if done.kind == FetchKind::Prefetch {
                     self.obs_instant(
                         Track::Device(disk.0),
@@ -579,6 +696,18 @@ impl World {
         let mut woken = std::mem::take(&mut self.wake_scratch);
         self.waiters.drain_into(block, &mut woken);
         for &w in &woken {
+            // Exactly-once tripwire: a drained waiter must still be
+            // blocked on this very block. Anything else means a duplicate
+            // (e.g. a hedge loser) reached a reader twice —
+            // `check_soak_invariants` rejects the run.
+            let expected = self.procs[w.index()].state == PState::WaitBlock
+                && self.procs[w.index()]
+                    .cur_access
+                    .is_some_and(|a| a.block == block);
+            if !expected {
+                self.rec.duplicate_deliveries += 1;
+                continue;
+            }
             let (is_hit, since) = {
                 let proc = &mut self.procs[w.index()];
                 proc.logical_wake = Some(now);
@@ -770,6 +899,10 @@ impl World {
             let entry = fs.pending.entry(block).or_default();
             ((entry.attempts % copies) as u16, entry.initiator)
         };
+        // Steer the rotation past avoided devices (quarantined or behind
+        // an open breaker) — the shared replica-health notion. Identity
+        // when nothing is avoided, so pure-fault runs are untouched.
+        let replica = self.healthy_replica(block, replica, now);
         // The recorded initiator may have crashed since the entry was
         // written; charge the resubmission to a survivor.
         let who = self.live_initiator(who);
@@ -801,9 +934,11 @@ impl World {
     }
 
     /// A demand fetch's timeout fired: if the block is still in flight,
-    /// race a duplicate on the next replica (when one exists — otherwise
-    /// just count the stall and keep waiting).
+    /// race a duplicate on the next replica (when one exists and the
+    /// retry budget allows — otherwise just count the stall and keep
+    /// waiting patiently on the single copy).
     pub(super) fn io_timeout(&mut self, block: BlockId, sched: &mut Scheduler<Ev>) {
+        let now = sched.now();
         let copies = 1 + self.fs.replica_count(self.file) as u32;
         let still_pending = self.pool.buffer_for(block).is_some_and(|b| {
             matches!(
@@ -811,17 +946,43 @@ impl World {
                 rt_cache::BufState::Pending { .. }
             )
         });
-        let Some(fs) = &mut self.faults else { return };
-        let Some(entry) = fs.pending.get_mut(&block) else {
-            return;
-        };
-        entry.timeout = None;
-        if !still_pending {
-            // Delivered (or dropped) while the timer was in flight.
-            fs.pending.remove(&block);
-            return;
+        {
+            let Some(fs) = &mut self.faults else { return };
+            let Some(entry) = fs.pending.get_mut(&block) else {
+                return;
+            };
+            entry.timeout = None;
+            if !still_pending {
+                // Delivered (or dropped) while the timer was in flight.
+                fs.pending.remove(&block);
+                return;
+            }
         }
-        let redirect = copies > 1;
+        // A stalled request is breaker evidence even though it never
+        // completed: feed the serving device's error EWMA.
+        let replica = self
+            .faults
+            .as_ref()
+            .and_then(|f| f.pending.get(&block))
+            .map_or(0, |e| e.replica);
+        if let Some(d) = self.fs.placement_disk(self.file, block, replica) {
+            self.faults
+                .as_mut()
+                .expect("checked above")
+                .health
+                .observe_timeout(d, now);
+            self.emit_breaker_closures();
+        }
+        // Redirect to another copy when one exists and the retry budget
+        // allows; budget exhaustion falls back to patient waiting —
+        // no retry storms by construction.
+        let mut redirect = copies > 1;
+        if redirect && !self.take_budget_token() {
+            self.rec.retries_denied += 1;
+            redirect = false;
+        }
+        let fs = self.faults.as_mut().expect("checked above");
+        let entry = fs.pending.get_mut(&block).expect("checked above");
         if redirect {
             entry.attempts += 1;
         } else {
@@ -845,6 +1006,190 @@ impl World {
         }
         if redirect {
             self.retry_io(block, sched);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Hedged reads and the retry budget. Inert unless `--hedge` or
+    // `--retry-budget` is configured.
+    // ------------------------------------------------------------------
+
+    /// Take one whole token from the retry budget. Always succeeds when
+    /// no budget is configured; otherwise a hedge or timeout-redirect may
+    /// only proceed when a token is available.
+    fn take_budget_token(&mut self) -> bool {
+        if self.cfg.faults.budget.capacity.is_none() {
+            return true;
+        }
+        let fs = self
+            .faults
+            .as_mut()
+            .expect("retry budget without a fault layer");
+        if fs.budget_tokens >= 1.0 {
+            fs.budget_tokens -= 1.0;
+            self.rec.budget_spent += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Return a token taken for a hedge that could not launch after all
+    /// (its target queue was full).
+    fn refund_budget_token(&mut self) {
+        let Some(cap) = self.cfg.faults.budget.capacity else {
+            return;
+        };
+        let fs = self
+            .faults
+            .as_mut()
+            .expect("retry budget without a fault layer");
+        fs.budget_tokens = (fs.budget_tokens + 1.0).min(f64::from(cap));
+        self.rec.budget_spent -= 1;
+    }
+
+    /// The replica a hedge of `block` should duplicate to: the first copy
+    /// after `cur` in rotation whose device the health tracker does not
+    /// say to avoid. `None` when the file has no other healthy copy.
+    fn hedge_target(&self, block: BlockId, cur: u16, now: SimTime) -> Option<u16> {
+        let copies = 1 + self.fs.replica_count(self.file);
+        let f = self.faults.as_ref()?;
+        (1..copies).map(|i| (cur + i) % copies).find(|&r| {
+            self.fs
+                .placement_disk(self.file, block, r)
+                .is_some_and(|d| !f.health.avoid(d, now))
+        })
+    }
+
+    /// The hedge delay of `block`'s demand fetch elapsed: if the block is
+    /// still in flight and the retry budget allows, launch a duplicate
+    /// fetch to the next healthy replica. The first completion wins
+    /// ([`World::resolve_hedge`]); the loser is cancelled from its queue
+    /// or absorbed as a stale completion.
+    pub(super) fn hedge_fire(&mut self, block: BlockId, sched: &mut Scheduler<Ev>) {
+        let now = sched.now();
+        let still_pending = self.pool.buffer_for(block).is_some_and(|b| {
+            matches!(
+                self.pool.buffer(b).state,
+                rt_cache::BufState::Pending { .. }
+            )
+        });
+        let (cur, who) = {
+            let Some(fs) = &mut self.faults else { return };
+            let Some(entry) = fs.pending.get_mut(&block) else {
+                return;
+            };
+            entry.hedge = None;
+            if !still_pending || entry.hedged.is_some() {
+                // Delivered while the timer was in flight (the completion
+                // path clears the entry), or already hedged.
+                return;
+            }
+            (entry.replica, entry.initiator)
+        };
+        let Some(target) = self.hedge_target(block, cur, now) else {
+            return;
+        };
+        if !self.take_budget_token() {
+            // Budget exhausted: fall back to patient single-copy waiting
+            // (the timeout, if armed, keeps guarding the read).
+            self.rec.retries_denied += 1;
+            return;
+        }
+        // The recorded initiator may have crashed since the fetch was
+        // submitted; charge the duplicate to a survivor.
+        let who = self.live_initiator(who);
+        match self
+            .fs
+            .read_replica(now, self.file, block, target, FetchKind::Demand, who)
+        {
+            Ok(started) => {
+                self.outstanding_io += 1;
+                self.rec
+                    .tl_outstanding_io
+                    .record(now, self.outstanding_io as f64);
+                // Schedule the duplicate's completion directly: the
+                // pending buffer keeps the primary's ready estimate, and
+                // waiters accrue hedge-wait (not service) until delivery.
+                if let Some(s) = started {
+                    sched.schedule_at(s.completion, Ev::DiskDone(s.disk));
+                }
+                let fs = self.faults.as_mut().expect("hedge without a fault layer");
+                let entry = fs.pending.entry(block).or_default();
+                entry.hedged = Some(target);
+                entry.initiator = who;
+                self.rec.hedges_launched += 1;
+                self.attr_fetch_stage(block, now, Component::HedgeWait);
+                if self.obs.is_some() {
+                    if let Some(d) = self.fs.placement_disk(self.file, block, target) {
+                        self.obs_instant(
+                            Track::Device(d.0),
+                            ObsKind::HedgeLaunch,
+                            now,
+                            block.index() as u64,
+                            target as u64,
+                        );
+                    }
+                }
+            }
+            Err(FsError::QueueFull { .. }) => {
+                // The target queue is full: skip the hedge (no parking —
+                // the primary is still in flight) and return the token.
+                self.refund_budget_token();
+            }
+            Err(e) => panic!("hedge read of an in-range block rejected: {e:?}"),
+        }
+    }
+
+    /// The first `Ok` completion for a hedged block arrived on `disk`:
+    /// score the race (a win if the hedge's replica delivered first),
+    /// then cancel the losing duplicate while it is still queued. A loser
+    /// already in service completes later and is absorbed by the
+    /// stale-completion checks — waiters are woken exactly once either
+    /// way.
+    fn resolve_hedge(&mut self, block: BlockId, disk: DiskId, now: SimTime) {
+        let (hedged, primary) = {
+            let Some(fs) = &mut self.faults else { return };
+            let Some(entry) = fs.pending.get_mut(&block) else {
+                return;
+            };
+            let Some(h) = entry.hedged.take() else { return };
+            (h, entry.replica)
+        };
+        let won = self.replica_for_disk(block, disk) == hedged;
+        if won {
+            self.rec.hedge_wins += 1;
+            self.obs_instant(
+                Track::Device(disk.0),
+                ObsKind::HedgeWin,
+                now,
+                block.index() as u64,
+                hedged as u64,
+            );
+        } else {
+            self.rec.hedge_wasted += 1;
+        }
+        let loser = if won { primary } else { hedged };
+        if let Some(ld) = self.fs.placement_disk(self.file, block, loser) {
+            if ld != disk
+                && self
+                    .fs
+                    .cancel_queued_demand(ld, now, self.file, block)
+                    .is_some()
+            {
+                self.outstanding_io -= 1;
+                self.rec
+                    .tl_outstanding_io
+                    .record(now, self.outstanding_io as f64);
+                self.rec.hedge_cancels += 1;
+                self.obs_instant(
+                    Track::Device(ld.0),
+                    ObsKind::HedgeCancel,
+                    now,
+                    block.index() as u64,
+                    loser as u64,
+                );
+            }
         }
     }
 }

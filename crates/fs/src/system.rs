@@ -331,6 +331,32 @@ impl FileSystem {
         Some((file, block, req.initiator))
     }
 
+    /// Remove the first *queued* demand fetch of `file`'s `block` on
+    /// `disk`, returning its initiator. The in-service request is never
+    /// cancelled. Used by the tail-tolerance layer to reap the losing
+    /// half of a hedged pair while it still waits in a queue.
+    pub fn cancel_queued_demand(
+        &mut self,
+        disk: DiskId,
+        now: SimTime,
+        file: FileId,
+        block: BlockId,
+    ) -> Option<ProcId> {
+        let bases = &self.bases;
+        let attribute = |global: BlockId| {
+            let pos = bases
+                .partition_point(|&(base, _)| base <= global.0)
+                .checked_sub(1)
+                .expect("queued request for an unallocated block");
+            let (base, f) = bases[pos];
+            (f, BlockId(global.0 - base))
+        };
+        let req = self.disks.cancel_queued(disk, now, |r| {
+            r.kind == FetchKind::Demand && attribute(r.block) == (file, block)
+        })?;
+        Some(req.initiator)
+    }
+
     /// Bound every device's queue to `limit` waiting requests (`None`
     /// restores the unbounded default).
     pub fn set_queue_limit(&mut self, limit: Option<usize>) {

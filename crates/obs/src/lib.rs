@@ -36,6 +36,10 @@ pub enum Track {
     Device(u16),
     /// The prefetch/scrub daemon slot of a process: carries action spans.
     Daemon(u16),
+    /// The circuit breaker guarding a device: carries open-episode spans.
+    /// Separate from `Device` so breaker windows never overlap the
+    /// service spans that legitimately drain during an open episode.
+    Breaker(u16),
 }
 
 /// What kind of event was recorded. Spans have a duration; instants are
@@ -80,6 +84,24 @@ pub enum EventKind {
     /// proc track). A node that never rejoins is marked only by its
     /// [`EventKind::Crash`] instant.
     DeadInterval,
+    /// A hedged duplicate fetch was launched against another replica
+    /// (instant; the target replica rides in `arg2`).
+    HedgeLaunch,
+    /// The hedged duplicate delivered the block before the original
+    /// (instant; the winning replica rides in `arg2`).
+    HedgeWin,
+    /// A hedge loser was cancelled while still queued on its device
+    /// (instant; the cancelled replica rides in `arg2`).
+    HedgeCancel,
+    /// The interval a device's circuit breaker spent open (span on a
+    /// device track, emitted when the breaker closes again; half-open
+    /// probation is the tail of the span, its length in `arg2`).
+    BreakerOpen,
+    /// A demand fetch was knowingly submitted to an avoided (open-breaker
+    /// or quarantined) device because no healthy replica existed —
+    /// patient waiting, not a steering failure (instant; the replica
+    /// rides in `arg2`).
+    BreakerBypass,
 }
 
 impl EventKind {
@@ -104,6 +126,11 @@ impl EventKind {
             EventKind::Crash => "crash",
             EventKind::Rejoin => "rejoin",
             EventKind::DeadInterval => "dead",
+            EventKind::HedgeLaunch => "hedge-launch",
+            EventKind::HedgeWin => "hedge-win",
+            EventKind::HedgeCancel => "hedge-cancel",
+            EventKind::BreakerOpen => "breaker-open",
+            EventKind::BreakerBypass => "breaker-bypass",
         }
     }
 
@@ -116,11 +143,12 @@ impl EventKind {
                 | EventKind::DeviceService
                 | EventKind::DaemonAction
                 | EventKind::DeadInterval
+                | EventKind::BreakerOpen
         )
     }
 }
 
-/// One latency component of a read. The seven components partition every
+/// One latency component of a read. The components partition every
 /// nanosecond between a read's request and its completion; see
 /// [`ReadAttribution`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -142,10 +170,13 @@ pub enum Component {
     HitWait = 5,
     /// Fixed CPU costs: lookup and miss overheads, buffer copy.
     Overhead = 6,
+    /// Waiting between a hedge launch and whichever copy delivers first
+    /// (zero unless the tail-tolerance layer launched a hedge).
+    HedgeWait = 7,
 }
 
 /// Number of latency components in [`ReadAttribution`].
-pub const COMPONENTS: usize = 7;
+pub const COMPONENTS: usize = 8;
 
 /// Short names for the components, indexed by `Component as usize`.
 pub const COMPONENT_NAMES: [&str; COMPONENTS] = [
@@ -156,6 +187,7 @@ pub const COMPONENT_NAMES: [&str; COMPONENTS] = [
     "verify_hold",
     "hit_wait",
     "overhead",
+    "hedge_wait",
 ];
 
 /// Per-read latency breakdown in nanoseconds. The components telescope:
@@ -233,6 +265,7 @@ fn track_name(t: Track) -> String {
         Track::Proc(i) => format!("proc {i}"),
         Track::Device(i) => format!("disk {i}"),
         Track::Daemon(i) => format!("daemon {i}"),
+        Track::Breaker(i) => format!("breaker {i}"),
     }
 }
 
@@ -274,7 +307,10 @@ pub fn render_tail(events: &[ObsEvent], limit: usize) -> String {
                     e.dur.as_millis_f64()
                 ));
             }
-            EventKind::DaemonAction | EventKind::VerifyHold | EventKind::DeadInterval => {
+            EventKind::DaemonAction
+            | EventKind::VerifyHold
+            | EventKind::DeadInterval
+            | EventKind::BreakerOpen => {
                 line.push_str(&format!(" dur={:.3}ms", e.dur.as_millis_f64()));
             }
             _ => {}

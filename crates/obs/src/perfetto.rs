@@ -36,6 +36,7 @@ fn pid_tid(t: Track) -> (u32, u32) {
         Track::Proc(i) => (1, i as u32),
         Track::Device(i) => (2, i as u32),
         Track::Daemon(i) => (3, i as u32),
+        Track::Breaker(i) => (5, i as u32),
     }
 }
 
@@ -44,6 +45,7 @@ fn track_label(t: Track) -> String {
         Track::Proc(i) => format!("proc {i}"),
         Track::Device(i) => format!("disk {i}"),
         Track::Daemon(i) => format!("daemon {i}"),
+        Track::Breaker(i) => format!("breaker {i}"),
     }
 }
 
@@ -87,6 +89,11 @@ fn event_args(e: &ObsEvent) -> String {
         EventKind::DaemonAction => {
             parts.push(format!("\"dur_ns\":{}", e.dur.as_nanos()));
         }
+        EventKind::BreakerOpen => {
+            parts.push(format!("\"dur_ns\":{}", e.dur.as_nanos()));
+            // Length of the half-open probation that followed the hold.
+            parts.push(format!("\"half_open_ns\":{}", e.arg2));
+        }
         _ => {
             if e.arg2 != 0 {
                 parts.push(format!("\"code\":{}", e.arg2));
@@ -119,6 +126,7 @@ pub fn write_trace(events: &[ObsEvent], series: &[Series], dropped: u64) -> Stri
         let label = match pid {
             1 => "processes",
             2 => "devices",
+            5 => "breakers",
             _ => "daemons",
         };
         push_meta(&mut lines, *pid, None, "process_name", label);
@@ -170,7 +178,7 @@ mod tests {
 
     fn read_event() -> ObsEvent {
         let attr = ReadAttribution {
-            ns: [100, 0, 30_000_000, 0, 0, 0, 500_000],
+            ns: [100, 0, 30_000_000, 0, 0, 0, 500_000, 0],
         };
         ObsEvent {
             track: Track::Proc(2),

@@ -56,6 +56,7 @@ fn main() -> ExitCode {
         "crashes" => cmd_crashes(rest),
         "soak" => cmd_soak(rest),
         "integrity" => cmd_integrity(rest),
+        "tail" => cmd_tail(rest),
         "help" | "--help" | "-h" => {
             println!("{}", USAGE);
             Ok(())
@@ -98,6 +99,9 @@ commands:
   integrity      run the data-integrity sweep (corruption, verify,
                  read-repair, scrub), write BENCH_integrity.json
                  (--out FILE, --smoke, --check)
+  tail           run the tail-tolerance sweep (stragglers/outages/crashes
+                 under timeout-only vs hedged vs hedged+budget+breaker),
+                 write BENCH_tail.json (--out FILE, --smoke, --check)
 
 run options:
   --pattern P    lfp|lrp|lw|gfp|grp|gw          (default gw)
@@ -129,6 +133,19 @@ fault options (run):
                  durations: 5s, 200ms, or bare milliseconds
   --replicas N   rotated-interleave file copies for redirects/repair
   --io-timeout MS demand-read timeout (redirects when replicas exist)
+
+tail-tolerance options (run):
+  --hedge MS[:xM] duplicate a slow demand fetch to the next replica after
+                 MS ms (or M x the device's latency EWMA once trusted);
+                 first completion wins, the loser is cancelled
+  --retry-budget N[:R] token bucket over timeout-retries and hedges:
+                 capacity N, refilled R tokens (default 0.1) per
+                 successful disk completion; exhausted => wait patiently
+  --breaker T[:HOLD[:HALF]] per-device circuit breaker: open when the
+                 error/timeout EWMA crosses T, hold open HOLD ms
+                 (default 200), then half-open probe for HALF ms
+                 (default 200); open devices are skipped by demand
+                 replica selection, prefetch, hedges, and the scrubber
 
 integrity options (run):
   --verify       checksum-verify every cache fill (forced on whenever a
@@ -256,6 +273,31 @@ fn crash_rows(m: &RunMetrics) -> Vec<(&'static str, String)> {
     ]
 }
 
+/// Tail-tolerance rows, shown only when hedging, retry budgets, or a
+/// circuit breaker is configured.
+fn tail_rows(m: &RunMetrics) -> Vec<(&'static str, String)> {
+    let t = &m.tail;
+    vec![
+        ("hedges launched", t.hedges_launched.to_string()),
+        ("hedge wins", t.hedge_wins.to_string()),
+        ("hedge wasted", t.hedge_wasted.to_string()),
+        ("hedge cancels", t.hedge_cancels.to_string()),
+        ("retries denied", t.retries_denied.to_string()),
+        ("budget spent", t.budget_spent.to_string()),
+        ("breaker opens", t.breaker_opens.to_string()),
+        ("probe successes", t.probe_successes.to_string()),
+        (
+            "hedged read ms (p50/p95/p99)",
+            format!(
+                "{:.2}/{:.2}/{:.2}",
+                m.hedged_read_quantile_ms(0.50),
+                m.hedged_read_quantile_ms(0.95),
+                m.hedged_read_quantile_ms(0.99)
+            ),
+        ),
+    ]
+}
+
 /// Overload rows, shown only when queues are bounded or admission is on.
 fn overload_rows(m: &RunMetrics) -> Vec<(&'static str, String)> {
     let o = &m.overload;
@@ -290,6 +332,9 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let show_crashes = !cfg.faults.crashes.is_empty();
     let show_integrity = cfg.integrity.active_with(&cfg.faults.plan);
     let show_overload = cfg.queue_depth.is_some() || cfg.admission.enabled;
+    let show_tail = cfg.faults.hedge.delay.is_some()
+        || cfg.faults.budget.capacity.is_some()
+        || cfg.faults.breaker.enabled;
     let m = match &trace_out {
         Some(path) => {
             let mut ocfg = ObsConfig::default();
@@ -318,6 +363,9 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     }
     if show_integrity {
         rows.extend(integrity_rows(&m));
+    }
+    if show_tail {
+        rows.extend(tail_rows(&m));
     }
     if show_overload {
         rows.extend(overload_rows(&m));
@@ -627,6 +675,67 @@ fn cmd_crashes(args: &[String]) -> Result<(), String> {
     }
     let doc = crashes::report(&results, smoke);
     crashes::validate_report(&doc).map_err(|e| format!("refusing to write {out}: {e}"))?;
+    std::fs::write(&out, doc.pretty()).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+fn cmd_tail(args: &[String]) -> Result<(), String> {
+    use rapid_transit::bench::json::Json;
+    use rapid_transit::bench::tail;
+    use rapid_transit::cli::flag_value;
+
+    let out = flag_value(args, "--out")?
+        .unwrap_or("BENCH_tail.json")
+        .to_string();
+    let smoke = has_flag(args, "--smoke");
+
+    if has_flag(args, "--check") {
+        let text = std::fs::read_to_string(&out).map_err(|e| format!("cannot read {out}: {e}"))?;
+        let doc = Json::parse(&text).map_err(|e| format!("{out}: {e}"))?;
+        tail::validate_report(&doc).map_err(|e| format!("{out}: {e}"))?;
+        let n = doc
+            .get("scenarios")
+            .and_then(Json::as_array)
+            .map_or(0, <[Json]>::len);
+        println!("{out}: valid tail report, {n} scenarios");
+        return Ok(());
+    }
+
+    println!(
+        "running tail sweep ({} ...)",
+        if smoke { "smoke" } else { "full" }
+    );
+    let results = tail::run_sweep(smoke).map_err(|e| e.to_string())?;
+    println!(
+        "{:<26} {:>9} {:>9} {:>7} {:>5} {:>7} {:>7} {:>6} {:>6}",
+        "scenario", "total ms", "p99 ms", "hedges", "wins", "cancels", "denied", "opens", "dups"
+    );
+    let mut violation = None;
+    for r in &results {
+        let t = &r.metrics.tail;
+        println!(
+            "{:<26} {:>9.0} {:>9.2} {:>7} {:>5} {:>7} {:>7} {:>6} {:>6}",
+            r.name,
+            r.metrics.total_time.as_millis_f64(),
+            r.metrics.read_quantile_ms(0.99),
+            t.hedges_launched,
+            t.hedge_wins,
+            t.hedge_cancels,
+            t.retries_denied,
+            t.breaker_opens,
+            t.duplicate_deliveries,
+        );
+        if let Some(v) = &r.verdict.violation {
+            violation = Some(format!("{}: {v}", r.name));
+            write_flight_dump(&out, r.verdict.flight.as_ref());
+        }
+    }
+    if let Some(v) = violation {
+        return Err(format!("tail invariant violation — {v}"));
+    }
+    let doc = tail::report(&results, smoke);
+    tail::validate_report(&doc).map_err(|e| format!("refusing to write {out}: {e}"))?;
     std::fs::write(&out, doc.pretty()).map_err(|e| format!("cannot write {out}: {e}"))?;
     println!("wrote {out}");
     Ok(())

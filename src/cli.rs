@@ -201,6 +201,63 @@ pub fn build_config(args: &[String]) -> Result<ExperimentConfig, String> {
         cfg.faults.retry.timeout = Some(SimDuration::from_millis(ms));
     }
 
+    // Tail-tolerance knobs. --hedge arms a duplicate fetch against the
+    // next replica once a demand read is outstanding past the delay
+    // (`<ms>` fixed, or `<ms>:x<mult>` to scale off the device latency
+    // EWMA once it is trusted); --retry-budget caps timeout-retries and
+    // hedges with a token bucket refilled per successful completion; and
+    // --breaker opens a per-device circuit on an error/timeout EWMA so
+    // replica selection routes around the sick device until a half-open
+    // probe succeeds.
+    if let Some(v) = flag_value(args, "--hedge")? {
+        let (ms, mult) = match v.split_once(':') {
+            Some((ms, m)) => {
+                let m = m
+                    .strip_prefix('x')
+                    .ok_or("bad --hedge (want <ms>[:x<multiplier>])")?;
+                (ms, Some(m))
+            }
+            None => (v, None),
+        };
+        let ms: u64 = ms.parse().map_err(|_| "bad --hedge (milliseconds)")?;
+        cfg.faults.hedge.delay = Some(SimDuration::from_millis(ms));
+        if let Some(m) = mult {
+            cfg.faults.hedge.multiplier = m.parse().map_err(|_| "bad --hedge multiplier")?;
+        }
+    }
+    if let Some(v) = flag_value(args, "--retry-budget")? {
+        let (cap, refill) = match v.split_once(':') {
+            Some((c, r)) => (c, Some(r)),
+            None => (v, None),
+        };
+        let cap: u32 = cap.parse().map_err(|_| "bad --retry-budget capacity")?;
+        cfg.faults.budget.capacity = Some(cap);
+        if let Some(r) = refill {
+            cfg.faults.budget.refill = r.parse().map_err(|_| "bad --retry-budget refill")?;
+        }
+    }
+    if let Some(v) = flag_value(args, "--breaker")? {
+        cfg.faults.breaker.enabled = true;
+        let mut parts = v.split(':');
+        if let Some(t) = parts.next() {
+            cfg.faults.breaker.error_threshold =
+                t.parse().map_err(|_| "bad --breaker threshold")?;
+        }
+        if let Some(h) = parts.next() {
+            let ms: u64 = h.parse().map_err(|_| "bad --breaker hold (milliseconds)")?;
+            cfg.faults.breaker.hold = SimDuration::from_millis(ms);
+        }
+        if let Some(p) = parts.next() {
+            let ms: u64 = p
+                .parse()
+                .map_err(|_| "bad --breaker half-open (milliseconds)")?;
+            cfg.faults.breaker.half_open = SimDuration::from_millis(ms);
+        }
+        if parts.next().is_some() {
+            return Err("bad --breaker (want <threshold>[:<hold-ms>[:<half-open-ms>]])".into());
+        }
+    }
+
     // Data-integrity knobs. Checksum verification is forced on whenever a
     // corrupt window is scheduled (corruption can never bypass detection);
     // --verify pays the checksum cost even without corruption, and --scrub
@@ -323,6 +380,59 @@ mod tests {
             Some(SimDuration::from_millis(500))
         );
         assert!(cfg.faults.is_active());
+    }
+
+    #[test]
+    fn tail_flags_parse() {
+        let cfg = build_config(&args(&[
+            "--replicas",
+            "1",
+            "--io-timeout",
+            "150",
+            "--hedge",
+            "60:x3.5",
+            "--retry-budget",
+            "32:0.25",
+            "--breaker",
+            "0.5:300:250",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.faults.hedge.delay, Some(SimDuration::from_millis(60)));
+        assert_eq!(cfg.faults.hedge.multiplier, 3.5);
+        assert_eq!(cfg.faults.budget.capacity, Some(32));
+        assert_eq!(cfg.faults.budget.refill, 0.25);
+        assert!(cfg.faults.breaker.enabled);
+        assert_eq!(cfg.faults.breaker.error_threshold, 0.5);
+        assert_eq!(cfg.faults.breaker.hold, SimDuration::from_millis(300));
+        assert_eq!(cfg.faults.breaker.half_open, SimDuration::from_millis(250));
+        assert!(cfg.faults.is_active());
+
+        // Short forms keep the defaults for the optional fields.
+        let cfg = build_config(&args(&[
+            "--replicas",
+            "1",
+            "--hedge",
+            "40",
+            "--retry-budget",
+            "8",
+            "--breaker",
+            "0.6",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.faults.hedge.delay, Some(SimDuration::from_millis(40)));
+        assert_eq!(cfg.faults.hedge.multiplier, 2.0);
+        assert_eq!(cfg.faults.budget.capacity, Some(8));
+        assert_eq!(cfg.faults.budget.refill, 0.1);
+        assert!(cfg.faults.breaker.enabled);
+        assert_eq!(cfg.faults.breaker.hold, SimDuration::from_millis(200));
+
+        // Hedging needs a replica to hedge onto, and junk is rejected.
+        let err = build_config(&args(&["--hedge", "60"])).unwrap_err();
+        assert!(err.contains("replica"), "{err}");
+        assert!(build_config(&args(&["--hedge", "60:3"])).is_err());
+        assert!(build_config(&args(&["--retry-budget", "0"])).is_err());
+        assert!(build_config(&args(&["--breaker", "0.5:0"])).is_err());
+        assert!(build_config(&args(&["--breaker", "0.5:1:1:1"])).is_err());
     }
 
     #[test]

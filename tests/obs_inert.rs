@@ -71,9 +71,10 @@ proptest! {
     #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
 
     /// Attribution telescopes: for every completed read — under any mix of
-    /// device faults, silent corruption, bounded queues, and prefetch
-    /// admission — the seven latency components sum *exactly* (integer
-    /// nanoseconds) to the observed read time.
+    /// device faults, silent corruption, bounded queues, prefetch
+    /// admission, hedged reads, retry budgets, and circuit breakers —
+    /// the eight latency components sum *exactly* (integer nanoseconds)
+    /// to the observed read time.
     #[test]
     fn attribution_sums_to_read_time_under_chaos(
         seed in any::<u64>(),
@@ -83,6 +84,9 @@ proptest! {
         straggler in any::<bool>(),
         flaky in any::<bool>(),
         corrupt in any::<bool>(),
+        hedge in any::<bool>(),
+        budget in any::<bool>(),
+        breaker in any::<bool>(),
     ) {
         let mut cfg = ExperimentConfig::paper_default(pattern, SyncStyle::BlocksPerProc(10));
         cfg.procs = 4;
@@ -114,6 +118,23 @@ proptest! {
         }
         if !specs.is_empty() {
             cfg.faults.plan = parse_fault_specs(&specs.join(",")).unwrap();
+        }
+        // The tail layer feeds the hedge_wait component; any knob needs a
+        // replica to steer to and a timeout to drive the retry machinery.
+        if hedge || budget || breaker {
+            cfg.faults.replicas = 1;
+            cfg.faults.retry.timeout = Some(SimDuration::from_millis(150));
+        }
+        if hedge {
+            cfg.faults.hedge.delay = Some(SimDuration::from_millis(40));
+        }
+        if budget {
+            cfg.faults.budget.capacity = Some(4);
+            cfg.faults.budget.refill = 0.25;
+        }
+        if breaker {
+            cfg.faults.breaker.enabled = true;
+            cfg.faults.breaker.error_threshold = 0.5;
         }
         let (m, trace) = run_experiment_traced(&cfg);
         prop_assert_eq!(trace.len() as u64, m.total_reads());

@@ -248,6 +248,93 @@ proptest! {
         let second = drain_crashed(&cfg);
         prop_assert_eq!(first, second);
     }
+
+    /// Tail-tolerance robustness: any combination of hedging, retry
+    /// budget, and circuit breakers, layered over any machine shape ×
+    /// pattern × prefetch setting and optionally over device faults, a
+    /// node crash, and bounded admission, must deliver every block
+    /// exactly once, keep budget spend within the bucket bound, stay
+    /// inert where unconfigured, and remain deterministic.
+    #[test]
+    fn tail_tolerant_runs_stay_exactly_once_and_deterministic(
+        cfg in config_strategy(),
+        hedge in any::<bool>(),
+        budget in prop::option::of((1u32..8, 1u32..50)),
+        breaker in any::<bool>(),
+        faulty in any::<bool>(),
+        crash in prop::option::of((any::<u16>(), 1u64..400, prop::option::of(1u64..400))),
+        overload in any::<bool>(),
+    ) {
+        let mut cfg = fixup(cfg);
+        if overload {
+            cfg.queue_depth = Some(2);
+            cfg.admission = AdmissionConfig::on(2);
+        }
+        if faulty {
+            parse_fault_spec(&mut cfg.faults.plan, "straggler:0:x4").unwrap();
+        }
+        if let Some((node, at_ms, rejoin_after_ms)) = crash {
+            cfg.faults.crashes.push(CrashSpec {
+                node: node % cfg.procs,
+                at: SimTime::from_nanos(at_ms * 1_000_000),
+                rejoin: rejoin_after_ms
+                    .map(|d| SimTime::from_nanos((at_ms + d) * 1_000_000)),
+            });
+        }
+        // Any tail knob needs somewhere to steer: mirror once and arm
+        // the demand timeout that drives hedging and breaker feedback.
+        if hedge || budget.is_some() || breaker {
+            cfg.faults.replicas = 1;
+            cfg.faults.retry.timeout = Some(SimDuration::from_millis(150));
+        }
+        if hedge {
+            cfg.faults.hedge.delay = Some(SimDuration::from_millis(40));
+        }
+        if let Some((cap, refill_pct)) = budget {
+            cfg.faults.budget.capacity = Some(cap);
+            cfg.faults.budget.refill = refill_pct as f64 / 100.0;
+        }
+        if breaker {
+            cfg.faults.breaker.enabled = true;
+            cfg.faults.breaker.error_threshold = 0.5;
+        }
+        prop_assert!(cfg.validate().is_ok(), "config invalid: {:?}", cfg);
+
+        let m = run_experiment(&cfg);
+        // Exactly-once delivery is the hedging layer's core promise.
+        prop_assert_eq!(m.tail.duplicate_deliveries, 0, "cfg {:?}", cfg);
+        // Every hedge resolves as a win or a waste (or was orphaned by a
+        // crash); each resolution cancels at most one queued loser.
+        prop_assert!(m.tail.hedge_wins + m.tail.hedge_wasted <= m.tail.hedges_launched);
+        prop_assert!(m.tail.hedge_cancels <= m.tail.hedge_wins + m.tail.hedge_wasted);
+        // Unconfigured slices of the layer must stay inert.
+        if !hedge {
+            prop_assert_eq!(m.tail.hedges_launched, 0);
+        }
+        if budget.is_none() {
+            prop_assert_eq!(m.tail.retries_denied, 0);
+            prop_assert_eq!(m.tail.budget_spent, 0);
+        }
+        if !breaker {
+            prop_assert_eq!(m.tail.breaker_opens, 0);
+            prop_assert_eq!(m.tail.probe_successes, 0);
+        }
+        // Token-bucket bound: spend never exceeds the initial capacity
+        // plus what successful completions refilled.
+        if let Some((cap, _)) = budget {
+            let bound = cap as f64 + cfg.faults.budget.refill * m.disk_ops as f64;
+            prop_assert!(
+                m.tail.budget_spent as f64 <= bound + 1e-9,
+                "budget_spent {} exceeds bucket bound {} (cfg {:?})",
+                m.tail.budget_spent, bound, cfg
+            );
+        }
+        // The tail layer must not perturb determinism.
+        let again = run_experiment(&cfg);
+        prop_assert_eq!(fingerprint(&again), fingerprint(&m));
+        prop_assert_eq!(&again.tail, &m.tail);
+        prop_assert_eq!(again.hedged_read_times.count(), m.hedged_read_times.count());
+    }
 }
 
 /// Everything that pins a crashed run: completion counters, crash
